@@ -1,0 +1,62 @@
+"""Fig. 4 — error heat maps of selected evolved multipliers.
+
+Selects, from each Fig. 3 sweep, the design at the same WMED target and
+renders its |i*j - M~(i,j)| map over all operand pairs.  The paper's
+observation to reproduce: under D1 errors avoid mid-range x (where D1
+concentrates), under D2 they avoid small x, and under Du they spread out.
+The quantitative counterpart asserted here is the correlation between
+per-x error mass and the driving PMF.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    error_heatmap,
+    error_mass_correlation,
+    format_table,
+    render_ascii,
+)
+from repro.errors import paper_d1, paper_d2, uniform
+
+#: Heat maps are drawn for the deepest common target of the sweeps.
+_TARGET_INDEX = -1
+
+
+def test_fig4_heatmaps(cs1_fronts, report, benchmark):
+    dists = {"D1": paper_d1(8), "D2": paper_d2(8), "Du": uniform(8, name="Du")}
+    benchmark(
+        error_mass_correlation, cs1_fronts["D1"][_TARGET_INDEX].table, 8, dists["D1"]
+    )
+    text = ["Fig. 4 — error heat maps (rows = x operand, dark = low error)"]
+    corr_rows = []
+    for name, front in cs1_fronts.items():
+        point = front[_TARGET_INDEX]
+        corr = error_mass_correlation(point.table, 8, dists[name])
+        corr_rows.append(
+            [name, point.name, point.wmed_percent(name), corr]
+        )
+        heat = error_heatmap(point.table, 8, signed=False)
+        text.append(f"\nMultiplier evolved for {name} "
+                    f"(WMED_{name} = {point.wmed_percent(name):.3f} %):")
+        text.append(render_ascii(heat, bins=32))
+    text.append(
+        format_table(
+            ["driving dist", "multiplier", "WMED %", "corr(error, D)"],
+            corr_rows,
+            title="\nError-mass vs distribution correlation "
+            "(negative = errors pushed to improbable operands)",
+        )
+    )
+    report("fig4", "\n".join(text))
+
+    # D1/D2-driven designs must not pile error where their D is large.
+    for name, _mult, wm, corr in corr_rows:
+        if name in ("D1", "D2") and wm > 0:
+            assert corr < 0.3, f"{name}: error mass aligned with D (corr={corr})"
+
+
+def test_fig4_heatmap_kernel(benchmark, cs1_fronts):
+    """Benchmark one full-resolution heat-map computation."""
+    point = cs1_fronts["D2"][_TARGET_INDEX]
+    heat = benchmark(error_heatmap, point.table, 8, False)
+    assert heat.shape == (256, 256)

@@ -1,0 +1,97 @@
+"""Case Study 1 application: approximate Gaussian filter denoising (Fig. 5).
+
+Builds approximate multipliers (a truncation sweep plus one multiplier
+evolved for the D2 distribution), drops each into the 3x3 integer
+Gaussian filter, and reports average PSNR against the exactly filtered
+reference over a noisy synthetic image set, next to the estimated power
+of the complete filter datapath.
+
+Usage::
+
+    python examples/gaussian_filter_denoising.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import build_truncated_multiplier
+from repro.circuits.generators import build_array_multiplier
+from repro.circuits.simulator import truth_table
+from repro.core import (
+    EvolutionConfig,
+    MultiplierFitness,
+    evolve,
+    netlist_to_chromosome,
+    params_for_netlist,
+)
+from repro.errors import paper_d2, table_as_matrix
+from repro.imaging import (
+    add_gaussian_noise,
+    average_psnr,
+    estimate_filter_power,
+    filter_image,
+    filter_image_lut,
+    standard_image_suite,
+)
+
+WIDTH = 8
+NOISE_SIGMA = 12.0
+GENERATIONS = 4000
+WMED_TARGET = 0.003  # 0.3 % under D2
+
+
+def evolve_d2_multiplier():
+    seed = build_array_multiplier(WIDTH)
+    chromosome = netlist_to_chromosome(
+        seed, params_for_netlist(seed, extra_columns=20)
+    )
+    evaluator = MultiplierFitness(WIDTH, paper_d2(WIDTH))
+    result = evolve(
+        chromosome,
+        evaluator,
+        threshold=WMED_TARGET,
+        config=EvolutionConfig(generations=GENERATIONS),
+        rng=np.random.default_rng(7),
+    )
+    return result.best.to_netlist(name="evolved-D2")
+
+
+def main() -> None:
+    images = standard_image_suite(25, size=64)
+    rng = np.random.default_rng(1)
+    noisy = [add_gaussian_noise(im, NOISE_SIGMA, rng) for im in images]
+    reference = [filter_image(im) for im in noisy]
+
+    candidates = [
+        build_truncated_multiplier(WIDTH, k, signed=False) for k in (0, 2, 4, 6)
+    ]
+    print(f"evolving a D2-driven multiplier ({GENERATIONS} generations) ...")
+    candidates.append(evolve_d2_multiplier())
+
+    rows = []
+    for net in candidates:
+        lut = table_as_matrix(truth_table(net), WIDTH)
+        filtered = [filter_image_lut(im, lut) for im in noisy]
+        rows.append(
+            [
+                net.name,
+                average_psnr(reference, filtered),
+                estimate_filter_power(net) / 1000.0,
+            ]
+        )
+    print(
+        format_table(
+            ["multiplier", "avg PSNR dB (vs exact filter)", "filter power mW"],
+            rows,
+            title="\nApproximate Gaussian filter quality vs power (Fig. 5 flow)",
+        )
+    )
+    print(
+        "\nThe D2-evolved multiplier should sit above the truncation curve:\n"
+        "similar power, higher PSNR — because the filter's coefficients are\n"
+        "small values, exactly where D2 forces accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

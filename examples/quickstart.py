@@ -1,0 +1,77 @@
+"""Quickstart: evolve a data-distribution-driven approximate multiplier.
+
+Runs in a few seconds: a 4-bit signed multiplier is approximated under a
+half-normal operand distribution (small |x| values dominate, like NN
+weights), then compared against the same search driven by the uniform
+distribution.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import evolve_front, format_table
+from repro.circuits.generators import build_baugh_wooley_multiplier
+from repro.core import EvolutionConfig
+from repro.errors import discretized_half_normal, uniform
+
+WIDTH = 4
+TARGETS_PERCENT = [0.5, 2.0, 8.0]
+
+
+def main() -> None:
+    seed = build_baugh_wooley_multiplier(WIDTH)
+    d_data = discretized_half_normal(WIDTH, sigma=2.5, signed=True, name="Ddata")
+    d_uniform = uniform(WIDTH, signed=True)
+    config = EvolutionConfig(generations=1500)
+
+    print(f"Seed: exact {WIDTH}-bit signed multiplier, {len(seed.gates)} gates")
+    rows = []
+    for dist in (d_data, d_uniform):
+        points = evolve_front(
+            seed,
+            WIDTH,
+            design_dist=dist,
+            thresholds_percent=TARGETS_PERCENT,
+            eval_dists=[d_data, d_uniform],
+            config=config,
+            rng=np.random.default_rng(2019),
+        )
+        for point in points:
+            rows.append(
+                [
+                    point.source,
+                    point.threshold_percent,
+                    point.wmed_percent("Ddata"),
+                    point.wmed_percent("Du"),
+                    point.area,
+                    point.power_mw,
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "evolved for",
+                "target %",
+                "WMED_Ddata %",
+                "WMED_Du %",
+                "area um2",
+                "power mW",
+            ],
+            rows,
+            title="\nEvolved approximate multipliers (lower area at equal "
+            "target = better)",
+        )
+    )
+    print(
+        "\nReading the table: multipliers evolved for Ddata exploit the "
+        "distribution\n(low WMED_Ddata, possibly high WMED_Du) and reach "
+        "smaller area than the\nuniform-driven ones at the same target."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — data-distribution-driven automated circuit approximation.
+
+A from-scratch reproduction of Vasicek, Mrazek and Sekanina, "Automated
+Circuit Approximation Method Driven by Data Distribution" (DATE 2019):
+WMED-driven Cartesian Genetic Programming over gate-level arithmetic
+circuits, plus every substrate the paper's evaluation rests on (circuit
+simulation, technology cost models, baseline approximate multipliers, a
+Gaussian image filter, and quantized neural-network inference with
+approximate MAC units).
+
+Subpackages:
+
+* :mod:`repro.core` — CGP search with the WMED-constrained fitness,
+* :mod:`repro.circuits` — gate-level netlists, simulation, generators,
+* :mod:`repro.errors` — WMED and other error metrics; distributions,
+* :mod:`repro.tech` — area / power / timing / PDP models,
+* :mod:`repro.baselines` — truncated / broken-array / zero-guard shelves,
+* :mod:`repro.imaging` — the approximate Gaussian filter case study,
+* :mod:`repro.nn` — quantized NN inference with approximate multipliers,
+* :mod:`repro.analysis` — sweeps, heat maps, reporting.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "circuits",
+    "core",
+    "errors",
+    "imaging",
+    "nn",
+    "tech",
+]

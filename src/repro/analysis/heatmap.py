@@ -1,0 +1,91 @@
+"""Error heat maps over the input space (paper Fig. 4).
+
+The paper visualizes ``|i * j - M~(i, j)|`` over all operand pairs to show
+that the error mass settles where the driving distribution puts little
+probability.  Here the map is computed as a matrix (and optionally
+rendered as ASCII art for terminal reports) plus summary statistics that
+the tests and benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors.distributions import Distribution
+from ..errors.truth_tables import (
+    exact_product_table,
+    max_product_magnitude,
+    table_as_matrix,
+)
+
+__all__ = ["error_heatmap", "downsample", "render_ascii", "error_mass_correlation"]
+
+_ASCII_LEVELS = " .:-=+*#%@"
+
+
+def error_heatmap(
+    table: np.ndarray, width: int, signed: bool, relative: bool = True
+) -> np.ndarray:
+    """Absolute error as an ``[x_idx, y_idx]`` matrix.
+
+    Args:
+        table: Candidate truth table in vector order.
+        width: Operand width.
+        signed: Product semantics.
+        relative: Normalize by the max exact product magnitude (the
+            percent scale of Fig. 4).
+    """
+    exact = exact_product_table(width, signed)
+    err = np.abs(np.asarray(table, dtype=np.int64) - exact)
+    matrix = table_as_matrix(err, width).astype(np.float64)
+    if relative:
+        matrix /= max_product_magnitude(width, signed)
+    return matrix
+
+
+def downsample(matrix: np.ndarray, bins: int) -> np.ndarray:
+    """Mean-pool a square matrix down to ``bins x bins``."""
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    if n % bins:
+        raise ValueError(f"bins {bins} must divide size {n}")
+    s = n // bins
+    return matrix.reshape(bins, s, bins, s).mean(axis=(1, 3))
+
+
+def render_ascii(matrix: np.ndarray, bins: int = 32) -> str:
+    """Coarse ASCII rendering of a heat map (dark = low error)."""
+    small = downsample(matrix, bins)
+    top = small.max()
+    if top <= 0:
+        return "\n".join(" " * bins for _ in range(bins))
+    levels = len(_ASCII_LEVELS) - 1
+    scaled = np.clip(
+        np.rint(small / top * levels), 0, levels
+    ).astype(int)
+    return "\n".join(
+        "".join(_ASCII_LEVELS[v] for v in row) for row in scaled
+    )
+
+
+def error_mass_correlation(
+    table: np.ndarray,
+    width: int,
+    dist: Distribution,
+) -> float:
+    """Pearson correlation between per-``x`` error mass and ``D(x)``.
+
+    A multiplier evolved under WMED_D should place its error where D is
+    small, so this correlation is expected to be *negative* — the
+    quantitative counterpart of the Fig. 4 visual argument.
+    """
+    matrix = error_heatmap(table, width, dist.signed, relative=True)
+    per_x_error = matrix.mean(axis=1)
+    pmf = dist.pmf
+    if per_x_error.std() == 0 or pmf.std() == 0:
+        return 0.0
+    return float(np.corrcoef(per_x_error, pmf)[0, 1])

@@ -1,0 +1,82 @@
+"""Plain-text reporting used by the benchmark harness.
+
+Every benchmark regenerates its paper table/figure as aligned text — the
+series and rows the paper plots, printed so the shape of the result
+(orderings, crossovers, reduction percentages) can be read directly from
+the pytest output and is archived in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_pmf_sparkline", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with four significant digits; everything else via
+    ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(widths[k]) for k, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_pmf_sparkline(pmf: Sequence[float], bins: int = 64) -> str:
+    """One-line bar rendering of a PMF (used for Fig. 2 / Fig. 6 top)."""
+    marks = " _.,:;|+*#@"
+    values = list(pmf)
+    n = len(values)
+    if n == 0:
+        return ""
+    per_bin = max(1, n // bins)
+    pooled = [
+        sum(values[k : k + per_bin]) for k in range(0, n, per_bin)
+    ]
+    top = max(pooled) or 1.0
+    levels = len(marks) - 1
+    return "".join(
+        marks[min(levels, int(round(v / top * levels)))] for v in pooled
+    )
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Compact ``name: (x, y) ...`` rendering of one plotted series."""
+    pairs = "  ".join(f"({x:.4g}, {y:.4g})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} vs {y_label}]: {pairs}"
+
+
+def banner(text: str) -> str:
+    """Section banner used between benchmark stages."""
+    bar = "=" * max(8, len(text) + 4)
+    return f"\n{bar}\n  {text}\n{bar}"

@@ -1,0 +1,239 @@
+"""Experiment orchestration: WMED-target sweeps producing trade-off fronts.
+
+This is the flow behind Fig. 3 and Fig. 6: for every target error level
+``E_i``, run the (1 + lambda) CGP search seeded with an exact multiplier,
+keep the evolved circuit, and characterize it electrically and under
+every error metric of interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from ..circuits.simulator import truth_table
+from ..core.chromosome import Chromosome
+from ..core.evolution import EvolutionConfig, EvolutionResult, evolve
+from ..core.fitness import MultiplierFitness
+from ..core.seeding import netlist_to_chromosome, params_for_netlist
+from ..errors.distributions import Distribution
+from ..errors.metrics import wmed
+from ..errors.truth_tables import exact_product_table, vector_weights
+from ..tech.library import TechLibrary, default_library
+from ..tech.timing import TimingPowerSummary, characterize
+
+__all__ = [
+    "DesignPoint",
+    "characterize_multiplier",
+    "evolve_front",
+    "mac_summary",
+    "PAPER_WMED_LEVELS",
+]
+
+#: The WMED levels of Table I (percent).
+PAPER_WMED_LEVELS = (0.0, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+@dataclass
+class DesignPoint:
+    """One multiplier design: circuit, truth table and measured figures.
+
+    ``wmed_by_dist`` maps distribution names to normalized WMED values —
+    the cross-evaluation the paper performs in Fig. 3 (each multiplier is
+    "also evaluated using the remaining WMEDs that were not considered
+    during the design").
+    """
+
+    name: str
+    source: str
+    threshold_percent: float
+    netlist: Netlist
+    table: np.ndarray
+    summary: TimingPowerSummary
+    wmed_by_dist: Dict[str, float]
+    evolution: Optional[EvolutionResult] = None
+
+    @property
+    def power_mw(self) -> float:
+        return self.summary.power.total / 1000.0
+
+    @property
+    def area(self) -> float:
+        return self.summary.area
+
+    @property
+    def pdp(self) -> float:
+        return self.summary.pdp
+
+    def wmed_percent(self, dist_name: str) -> float:
+        return 100.0 * self.wmed_by_dist[dist_name]
+
+
+def characterize_multiplier(
+    netlist: Netlist,
+    width: int,
+    dists: Sequence[Distribution],
+    name: str = "",
+    source: str = "",
+    threshold_percent: float = float("nan"),
+    library: Optional[TechLibrary] = None,
+    activity_dist: Optional[Distribution] = None,
+    evolution: Optional[EvolutionResult] = None,
+) -> DesignPoint:
+    """Measure a multiplier netlist under all metrics and cost models.
+
+    Args:
+        netlist: Multiplier with the standard interface.
+        width: Operand width.
+        dists: Distributions to cross-evaluate WMED under (all must share
+            the signedness of the design).
+        name: Design label.
+        source: Family/source tag (e.g. ``"proposed (D2)"``).
+        threshold_percent: WMED target this design was evolved for.
+        library: Technology library.
+        activity_dist: Distribution shaping the power model's switching
+            activity; defaults to the first entry of ``dists``.
+        evolution: Optional provenance (the CGP run that produced it).
+    """
+    if not dists:
+        raise ValueError("at least one distribution required")
+    signed = dists[0].signed
+    if any(d.signed != signed for d in dists):
+        raise ValueError("distributions disagree on signedness")
+    table = truth_table(netlist, signed=signed)
+    exact = exact_product_table(width, signed)
+    act = activity_dist or dists[0]
+    weights = vector_weights(act, width)
+    summary = characterize(netlist, library, weights=weights / weights.sum())
+    return DesignPoint(
+        name=name or netlist.name,
+        source=source,
+        threshold_percent=threshold_percent,
+        netlist=netlist,
+        table=table,
+        summary=summary,
+        wmed_by_dist={d.name: wmed(exact, table, d) for d in dists},
+        evolution=evolution,
+    )
+
+
+def mac_summary(
+    multiplier: Netlist,
+    width: int,
+    dist: Distribution,
+    max_terms: int = 512,
+    samples: int = 8192,
+    rng: Optional[np.random.Generator] = None,
+    library: Optional[TechLibrary] = None,
+) -> TimingPowerSummary:
+    """Area / power / delay / PDP of a MAC built around ``multiplier``.
+
+    This is what Table I reports ("the design parameters are reported for
+    the MAC units").  The MAC's input space is too wide for exhaustive
+    activity extraction, so switching probabilities are sampled: the
+    multiplier's x operand follows ``dist`` (the application's data
+    distribution), the y operand and the accumulator are uniform.
+
+    Args:
+        multiplier: Multiplier core with the standard interface.
+        width: Operand width ``w``.
+        dist: Distribution of the x operand (e.g. NN weights).
+        max_terms: Accumulation depth ``d`` sizing the accumulator.
+        samples: Number of random stimulus vectors for the power model.
+        rng: Sampling source.
+        library: Technology library.
+    """
+    from ..circuits.generators.mac import accumulator_width, build_mac
+    from ..circuits.simulator import pack_input_vectors
+
+    rng = rng or np.random.default_rng(0)
+    acc_width = accumulator_width(width, max_terms)
+    mac = build_mac(width, acc_width, multiplier=multiplier, signed=dist.signed)
+
+    x_idx = rng.choice(dist.size, size=samples, p=dist.pmf).astype(np.uint64)
+    y_idx = rng.integers(0, 1 << width, size=samples, dtype=np.uint64)
+    acc = rng.integers(0, 1 << acc_width, size=samples, dtype=np.uint64)
+    vectors = (
+        x_idx
+        | (y_idx << np.uint64(width))
+        | (acc << np.uint64(2 * width))
+    )
+    stimulus = pack_input_vectors(vectors, mac.num_inputs)
+    lib = library or default_library()
+    from ..tech.area import circuit_area
+    from ..tech.power import circuit_power
+    from ..tech.timing import critical_path_delay
+
+    return TimingPowerSummary(
+        area=circuit_area(mac, lib),
+        power=circuit_power(mac, lib, input_words=stimulus, num_vectors=samples),
+        delay=critical_path_delay(mac, lib),
+    )
+
+
+def evolve_front(
+    seed_netlist: Netlist,
+    width: int,
+    design_dist: Distribution,
+    thresholds_percent: Sequence[float],
+    eval_dists: Sequence[Distribution],
+    config: Optional[EvolutionConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    library: Optional[TechLibrary] = None,
+    extra_columns: int = 0,
+    chain_targets: bool = True,
+) -> List[DesignPoint]:
+    """Sweep WMED targets, evolving one multiplier per target.
+
+    Args:
+        seed_netlist: Exact multiplier seeding the first run.
+        width: Operand width.
+        design_dist: Distribution used in the WMED fitness (the "driving"
+            distribution of the proposed method).
+        thresholds_percent: Target WMED levels in percent, ascending.
+        eval_dists: Distributions to cross-evaluate each result under.
+        config: Evolution budget per target.
+        rng: Random source.
+        library: Technology library for area/power.
+        extra_columns: Spare CGP columns beyond the seed's gate count.
+        chain_targets: Seed each target's run with the previous target's
+            survivor (cheaper and mirrors how Pareto sweeps are run in
+            practice); the first run always starts from the exact seed.
+
+    Returns:
+        One :class:`DesignPoint` per threshold, in sweep order.
+    """
+    rng = rng or np.random.default_rng()
+    params = params_for_netlist(
+        seed_netlist, extra_columns=extra_columns
+    )
+    seed = netlist_to_chromosome(seed_netlist, params)
+    evaluator = MultiplierFitness(width, design_dist, library=library)
+    points: List[DesignPoint] = []
+    parent: Chromosome = seed
+    for level in thresholds_percent:
+        result = evolve(
+            parent, evaluator, threshold=level / 100.0, config=config, rng=rng
+        )
+        netlist = result.best.to_netlist(
+            name=f"mul{width}_{design_dist.name}_wmed{level:g}"
+        )
+        points.append(
+            characterize_multiplier(
+                netlist,
+                width,
+                eval_dists,
+                name=netlist.name,
+                source=f"proposed ({design_dist.name})",
+                threshold_percent=level,
+                library=library,
+                activity_dist=design_dist,
+                evolution=result,
+            )
+        )
+        if chain_targets:
+            parent = result.best
+    return points

@@ -1,0 +1,18 @@
+"""Conventional approximate multiplier baselines."""
+
+from .adders import build_lower_part_or_adder, build_truncated_adder
+from .broken_array import build_broken_array_multiplier
+from .library8b import LibraryEntry, conventional_multiplier_library
+from .truncated import build_truncated_multiplier
+from .zero_guard import build_zero_guard_multiplier, wrap_zero_guard
+
+__all__ = [
+    "build_lower_part_or_adder",
+    "build_truncated_adder",
+    "build_broken_array_multiplier",
+    "LibraryEntry",
+    "conventional_multiplier_library",
+    "build_truncated_multiplier",
+    "build_zero_guard_multiplier",
+    "wrap_zero_guard",
+]

@@ -1,0 +1,73 @@
+"""Approximate adder baselines.
+
+The WMED method is not multiplier-specific; to exercise it (and compare
+it) on adders, two classic manual approximations are provided:
+
+* **Truncated adder** — the low ``k`` result bits are constant zero and
+  no carry is generated from the dropped stages.
+* **Lower-part OR adder (LOA)** — the low ``k`` result bits are computed
+  as ``a_i | b_i`` (a cheap carry-free estimate) and a single AND of the
+  top dropped bits seeds the exact upper ripple chain's carry.
+"""
+
+from __future__ import annotations
+
+from ..circuits.generators.adders import ripple_carry_adder
+from ..circuits.netlist import Netlist
+
+__all__ = ["build_truncated_adder", "build_lower_part_or_adder"]
+
+
+def _check(width: int, approx_bits: int) -> None:
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if not 0 <= approx_bits <= width:
+        raise ValueError(
+            f"approx_bits must be in [0, {width}], got {approx_bits}"
+        )
+
+
+def build_truncated_adder(width: int, truncation: int) -> Netlist:
+    """Adder ignoring the ``truncation`` low bit positions entirely.
+
+    Inputs ``[a0..a(w-1), b0..b(w-1)]``; outputs ``w`` sum bits plus the
+    carry-out (low outputs constant zero).
+    """
+    _check(width, truncation)
+    net = Netlist(num_inputs=2 * width, name=f"add{width}_trunc{truncation}")
+    zero = net.add_gate("CONST0")
+    low = [zero] * truncation
+    a_bits = list(range(truncation, width))
+    b_bits = list(range(width + truncation, 2 * width))
+    if a_bits:
+        sums, cout = ripple_carry_adder(net, a_bits, b_bits)
+    else:
+        sums, cout = [], zero
+    net.set_outputs(low + sums + [cout])
+    return net
+
+
+def build_lower_part_or_adder(width: int, approx_bits: int) -> Netlist:
+    """LOA: OR for the low part, exact ripple chain above.
+
+    The carry into the exact part is ``a[k-1] & b[k-1]`` (the standard
+    LOA carry-guess), which keeps the worst-case error well below a
+    truncated adder of the same split.
+    """
+    _check(width, approx_bits)
+    net = Netlist(num_inputs=2 * width, name=f"add{width}_loa{approx_bits}")
+    k = approx_bits
+    low = [net.add_gate("OR", i, width + i) for i in range(k)]
+    a_bits = list(range(k, width))
+    b_bits = list(range(width + k, 2 * width))
+    if not a_bits:
+        cout = net.add_gate("CONST0")
+        net.set_outputs(low + [cout])
+        return net
+    if k > 0:
+        carry_guess = net.add_gate("AND", k - 1, width + k - 1)
+        sums, cout = ripple_carry_adder(net, a_bits, b_bits, cin=carry_guess)
+    else:
+        sums, cout = ripple_carry_adder(net, a_bits, b_bits)
+    net.set_outputs(low + sums + [cout])
+    return net

@@ -1,0 +1,65 @@
+"""Broken-array multiplier (BAM) baseline, after Mahdiani et al. (2010).
+
+The BAM omits carry-save cells of an array multiplier along two break
+lines:
+
+* the **vertical break level** (VBL) removes every cell whose column
+  weight is below ``vbl`` (like truncation),
+* the **horizontal break level** (HBL) additionally removes cells of the
+  lower partial-product rows, i.e. terms ``x_i * y_j`` with ``j < hbl``
+  whose column weight is below ``hbl + width`` (the triangular region the
+  break line cuts off the array).
+
+Sweeping ``(vbl, hbl)`` yields the family of operating points plotted as
+"broken-array multiplier" in the paper's Fig. 3 and Fig. 7.
+"""
+
+from __future__ import annotations
+
+from ..circuits.generators.multipliers import (
+    partial_product_columns,
+    reduce_columns,
+)
+from ..circuits.netlist import Netlist
+
+__all__ = ["build_broken_array_multiplier"]
+
+
+def build_broken_array_multiplier(
+    width: int,
+    vbl: int = 0,
+    hbl: int = 0,
+    signed: bool = False,
+) -> Netlist:
+    """BAM with the given vertical/horizontal break levels.
+
+    Args:
+        width: Operand width ``w``.
+        vbl: Vertical break level in ``[0, 2 * width]``; 0 disables it.
+        hbl: Horizontal break level in ``[0, width]``; 0 disables it.
+        signed: Two's-complement semantics (Baugh-Wooley array).
+
+    Returns:
+        Netlist with the standard multiplier interface.
+    """
+    if not 0 <= vbl <= 2 * width:
+        raise ValueError(f"vbl must be in [0, {2 * width}], got {vbl}")
+    if not 0 <= hbl <= width:
+        raise ValueError(f"hbl must be in [0, {width}], got {hbl}")
+
+    def keep(i: int, j: int) -> bool:
+        if i + j < vbl:
+            return False
+        if j < hbl and i + j < hbl + width - 1:
+            return False
+        return True
+
+    tag = "s" if signed else "u"
+    net = Netlist(
+        num_inputs=2 * width, name=f"mul{width}{tag}_bam_v{vbl}h{hbl}"
+    )
+    columns = partial_product_columns(net, width, signed, keep=keep)
+    for c in range(min(vbl, 2 * width)):
+        columns[c] = []
+    net.set_outputs(reduce_columns(net, columns, 2 * width))
+    return net

@@ -1,0 +1,51 @@
+"""Truncated multipliers — the classic manual approximation baseline.
+
+A truncation level ``k`` discards every partial product whose column
+weight is below ``2**k``; the ``k`` low product bits become constant zero.
+This is the "truncated array multiplier" the paper compares against in
+Fig. 3 and the bit-width-reduction strategy of TPU-style accelerators
+referenced in Section II-B.
+"""
+
+from __future__ import annotations
+
+from ..circuits.generators.multipliers import (
+    partial_product_columns,
+    reduce_columns,
+)
+from ..circuits.netlist import Netlist
+
+__all__ = ["build_truncated_multiplier"]
+
+
+def build_truncated_multiplier(
+    width: int, truncation: int, signed: bool = False
+) -> Netlist:
+    """Multiplier with the ``truncation`` least significant columns dropped.
+
+    Args:
+        width: Operand width ``w``.
+        truncation: Number of dropped LSB product columns ``k``; 0 yields
+            the exact column-reduction multiplier, ``2 * width`` drops
+            everything (constant-zero output).
+        signed: Two's-complement semantics (Baugh-Wooley array).
+
+    Returns:
+        Netlist with the standard multiplier interface; output bits below
+        ``k`` are constant zero.
+    """
+    if not 0 <= truncation <= 2 * width:
+        raise ValueError(
+            f"truncation must be in [0, {2 * width}], got {truncation}"
+        )
+    tag = "s" if signed else "u"
+    net = Netlist(
+        num_inputs=2 * width, name=f"mul{width}{tag}_trunc{truncation}"
+    )
+    columns = partial_product_columns(
+        net, width, signed, keep=lambda i, j: i + j >= truncation
+    )
+    for c in range(min(truncation, 2 * width)):
+        columns[c] = []
+    net.set_outputs(reduce_columns(net, columns, 2 * width))
+    return net

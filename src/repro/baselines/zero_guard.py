@@ -1,0 +1,81 @@
+"""Zero-guarded approximate multipliers (Mrazek et al., ICCAD 2016 style).
+
+These multipliers guarantee **exact multiplication by zero** — crucial in
+neural networks where a large share of weights are zero, so that no error
+is injected for the dominant operand value — while allowing deep
+approximation everywhere else.  The construction wraps any approximate
+multiplier core with operand zero-detectors that force the product bus to
+zero whenever either operand is zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.compose import append_netlist
+from ..circuits.netlist import Netlist
+from .truncated import build_truncated_multiplier
+
+__all__ = ["wrap_zero_guard", "build_zero_guard_multiplier"]
+
+
+def _nonzero_detector(net: Netlist, bits) -> int:
+    """OR-tree over ``bits``: 1 iff the operand is non-zero."""
+    bits = list(bits)
+    while len(bits) > 1:
+        nxt = []
+        for k in range(0, len(bits) - 1, 2):
+            nxt.append(net.add_gate("OR", bits[k], bits[k + 1]))
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    return bits[0]
+
+
+def wrap_zero_guard(core: Netlist, width: int, name: str = "") -> Netlist:
+    """Wrap a multiplier core so that ``x == 0`` or ``y == 0`` yields 0.
+
+    Args:
+        core: Approximate multiplier with the standard ``2 * width`` input
+            / ``2 * width`` output interface.
+        width: Operand width ``w``.
+        name: Optional name of the wrapped netlist.
+
+    Returns:
+        New netlist computing ``0`` when either operand is zero and the
+        core's product otherwise.
+    """
+    if core.num_inputs != 2 * width or core.num_outputs != 2 * width:
+        raise ValueError("core must have the standard multiplier interface")
+    net = Netlist(
+        num_inputs=2 * width, name=name or f"{core.name}_zguard"
+    )
+    product = append_netlist(net, core, list(range(2 * width)))
+    x_nonzero = _nonzero_detector(net, range(width))
+    y_nonzero = _nonzero_detector(net, range(width, 2 * width))
+    mask = net.add_gate("AND", x_nonzero, y_nonzero)
+    net.set_outputs([net.add_gate("AND", bit, mask) for bit in product])
+    return net
+
+
+def build_zero_guard_multiplier(
+    width: int,
+    truncation: int,
+    signed: bool = True,
+    core: Optional[Netlist] = None,
+) -> Netlist:
+    """Zero-guarded multiplier around a truncated core (the common recipe).
+
+    Args:
+        width: Operand width ``w``.
+        truncation: Truncation level of the default core (ignored when an
+            explicit ``core`` is supplied).
+        signed: Two's-complement semantics.
+        core: Optional custom approximate core to wrap instead.
+    """
+    if core is None:
+        core = build_truncated_multiplier(width, truncation, signed=signed)
+    tag = "s" if signed else "u"
+    return wrap_zero_guard(
+        core, width, name=f"mul{width}{tag}_zg{truncation}"
+    )

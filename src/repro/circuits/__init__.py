@@ -1,0 +1,46 @@
+"""Gate-level combinational circuit substrate.
+
+Public surface:
+
+* :class:`~repro.circuits.netlist.Netlist`, :class:`~repro.circuits.netlist.Gate`
+  — circuit representation,
+* :mod:`~repro.circuits.gates` — gate function registry,
+* :mod:`~repro.circuits.simulator` — vectorized packed-bit simulation,
+* :mod:`~repro.circuits.generators` — exact adders / multipliers / MACs,
+* :mod:`~repro.circuits.verify` — exhaustive functional checks,
+* :func:`~repro.circuits.compose.append_netlist` — structural composition.
+"""
+
+from .compose import append_netlist
+from .gates import DEFAULT_FUNCTION_SET, FULL_FUNCTION_SET, GATE_REGISTRY, gate_function
+from .netlist import Gate, Netlist
+from .verilog import to_verilog
+from .simulator import (
+    exhaustive_inputs,
+    output_values,
+    pack_bits,
+    pack_input_vectors,
+    simulate,
+    truth_table,
+    unpack_bits,
+    words_to_values,
+)
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "append_netlist",
+    "DEFAULT_FUNCTION_SET",
+    "FULL_FUNCTION_SET",
+    "GATE_REGISTRY",
+    "gate_function",
+    "exhaustive_inputs",
+    "output_values",
+    "pack_bits",
+    "pack_input_vectors",
+    "simulate",
+    "truth_table",
+    "unpack_bits",
+    "words_to_values",
+    "to_verilog",
+]

@@ -1,0 +1,52 @@
+"""Structural composition of netlists.
+
+:func:`append_netlist` instantiates one netlist inside another, remapping
+signal addresses.  It is used to embed a (possibly approximate) multiplier
+inside a MAC unit or any other wrapper circuit while keeping a single flat
+gate list that the simulator and the cost models understand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .gates import gate_function
+from .netlist import Netlist
+
+__all__ = ["append_netlist"]
+
+
+def append_netlist(
+    dst: Netlist,
+    src: Netlist,
+    input_signals: Sequence[int],
+) -> List[int]:
+    """Instantiate ``src`` inside ``dst``.
+
+    Only the active cone of ``src`` is copied (inactive gates would inflate
+    the destination without affecting behaviour).
+
+    Args:
+        dst: Netlist being extended.
+        src: Netlist to instantiate.
+        input_signals: For each primary input of ``src``, the ``dst``
+            signal address that drives it.
+
+    Returns:
+        ``dst`` signal addresses corresponding to ``src``'s outputs.
+    """
+    if len(input_signals) != src.num_inputs:
+        raise ValueError(
+            f"src has {src.num_inputs} inputs, got {len(input_signals)} drivers"
+        )
+    for sig in input_signals:
+        if not 0 <= sig < dst.num_signals:
+            raise ValueError(f"driver signal {sig} out of range in destination")
+
+    remap = {i: input_signals[i] for i in range(src.num_inputs)}
+    for k in src.active_gate_indices():
+        gate = src.gates[k]
+        spec = gate_function(gate.fn)
+        srcs = tuple(remap[s] for s in gate.inputs[: spec.arity])
+        remap[src.gate_signal(k)] = dst.add_gate(gate.fn, *srcs)
+    return [remap[o] for o in src.outputs]

@@ -1,0 +1,128 @@
+"""Gate function registry for the gate-level circuit substrate.
+
+Every gate function is defined over *packed* bit vectors: a signal carrying
+N test vectors is stored as a ``numpy.uint64`` array of ``ceil(N / 64)``
+words, one vector per bit.  Bitwise numpy operators therefore evaluate a
+gate for all test vectors at once, which is what makes exhaustive
+evaluation of 16-input circuits (65 536 vectors) cheap enough to sit inside
+a CGP loop.
+
+All functions are registered with a *fixed* arity of two connection slots
+(the CGP node format); unary and nullary functions simply ignore the unused
+operand(s).  This mirrors the chromosome encoding used by the paper, where
+every node carries ``na = 2`` source genes regardless of its function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "GateFunction",
+    "GATE_REGISTRY",
+    "DEFAULT_FUNCTION_SET",
+    "FULL_FUNCTION_SET",
+    "gate_function",
+    "ALL_ONES",
+]
+
+#: All-ones uint64 constant used to implement logical NOT on packed words.
+ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass(frozen=True)
+class GateFunction:
+    """A single boolean gate function.
+
+    Attributes:
+        name: Canonical upper-case cell name (``"AND"``, ``"XNOR"``, ...).
+        arity: Number of operands the function actually reads (0, 1 or 2).
+        packed: Vectorized evaluator over packed ``uint64`` words.  Always
+            called with two word arrays; unary/nullary functions ignore the
+            extras.
+        scalar: Reference evaluator over python ints in ``{0, 1}``, used by
+            tests and by the slow reference simulator.
+    """
+
+    name: str
+    arity: int
+    packed: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    scalar: Callable[[int, int], int]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateFunction({self.name})"
+
+
+def _make_registry() -> Dict[str, GateFunction]:
+    ones = ALL_ONES
+
+    def const0(a, b):
+        return np.zeros_like(a)
+
+    def const1(a, b):
+        return np.full_like(a, ones)
+
+    registry = {
+        "CONST0": GateFunction("CONST0", 0, const0, lambda a, b: 0),
+        "CONST1": GateFunction("CONST1", 0, const1, lambda a, b: 1),
+        "BUF": GateFunction("BUF", 1, lambda a, b: a.copy(), lambda a, b: a),
+        "NOT": GateFunction("NOT", 1, lambda a, b: a ^ ones, lambda a, b: 1 - a),
+        "AND": GateFunction("AND", 2, lambda a, b: a & b, lambda a, b: a & b),
+        "OR": GateFunction("OR", 2, lambda a, b: a | b, lambda a, b: a | b),
+        "XOR": GateFunction("XOR", 2, lambda a, b: a ^ b, lambda a, b: a ^ b),
+        "NAND": GateFunction(
+            "NAND", 2, lambda a, b: (a & b) ^ ones, lambda a, b: 1 - (a & b)
+        ),
+        "NOR": GateFunction(
+            "NOR", 2, lambda a, b: (a | b) ^ ones, lambda a, b: 1 - (a | b)
+        ),
+        "XNOR": GateFunction(
+            "XNOR", 2, lambda a, b: (a ^ b) ^ ones, lambda a, b: 1 - (a ^ b)
+        ),
+        # AND/OR with one inverted input; part of the "all standard
+        # two-input gates" set the paper uses.
+        "ANDN": GateFunction(
+            "ANDN", 2, lambda a, b: a & (b ^ ones), lambda a, b: a & (1 - b)
+        ),
+        "ORN": GateFunction(
+            "ORN", 2, lambda a, b: a | (b ^ ones), lambda a, b: a | (1 - b)
+        ),
+    }
+    return registry
+
+
+#: Global name -> :class:`GateFunction` registry.
+GATE_REGISTRY: Dict[str, GateFunction] = _make_registry()
+
+#: The function set used throughout the paper's experiments: identity,
+#: inversion and all standard two-input gates.
+DEFAULT_FUNCTION_SET: Tuple[str, ...] = (
+    "BUF",
+    "NOT",
+    "AND",
+    "OR",
+    "XOR",
+    "NAND",
+    "NOR",
+    "XNOR",
+)
+
+#: Extended set including constants and inverted-input gates.
+FULL_FUNCTION_SET: Tuple[str, ...] = tuple(GATE_REGISTRY)
+
+
+def gate_function(name: str) -> GateFunction:
+    """Look up a gate function by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered gate function.
+    """
+    try:
+        return GATE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gate function {name!r}; known: {sorted(GATE_REGISTRY)}"
+        ) from None

@@ -1,0 +1,32 @@
+"""Exact arithmetic circuit generators (adders, multipliers, MAC units)."""
+
+from .adders import (
+    build_ripple_carry_adder,
+    full_adder,
+    half_adder,
+    ripple_carry_adder,
+)
+from .mac import accumulator_width, build_mac
+from .multipliers import (
+    build_array_multiplier,
+    build_baugh_wooley_multiplier,
+    build_multiplier,
+    build_wallace_multiplier,
+    partial_product_columns,
+    reduce_columns,
+)
+
+__all__ = [
+    "build_ripple_carry_adder",
+    "full_adder",
+    "half_adder",
+    "ripple_carry_adder",
+    "accumulator_width",
+    "build_mac",
+    "build_array_multiplier",
+    "build_baugh_wooley_multiplier",
+    "build_multiplier",
+    "build_wallace_multiplier",
+    "partial_product_columns",
+    "reduce_columns",
+]

@@ -1,0 +1,94 @@
+"""Exact adder generators.
+
+These builders append gate structures to an existing
+:class:`~repro.circuits.netlist.Netlist` and return the signal addresses of
+the produced sum bits.  They are the building blocks for the array and
+tree multipliers and also stand alone (e.g. the accumulator adder of a MAC
+unit is a ripple-carry adder built here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import Netlist
+
+__all__ = [
+    "half_adder",
+    "full_adder",
+    "ripple_carry_adder",
+    "build_ripple_carry_adder",
+]
+
+
+def half_adder(net: Netlist, a: int, b: int) -> Tuple[int, int]:
+    """Append a half adder; return ``(sum, carry)`` signal addresses."""
+    s = net.add_gate("XOR", a, b)
+    c = net.add_gate("AND", a, b)
+    return s, c
+
+
+def full_adder(net: Netlist, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Append a full adder; return ``(sum, carry)`` signal addresses.
+
+    Uses the classic 5-gate realization (2x XOR, 2x AND, 1x OR).
+    """
+    axb = net.add_gate("XOR", a, b)
+    s = net.add_gate("XOR", axb, cin)
+    c1 = net.add_gate("AND", a, b)
+    c2 = net.add_gate("AND", axb, cin)
+    c = net.add_gate("OR", c1, c2)
+    return s, c
+
+
+def ripple_carry_adder(
+    net: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    cin: Optional[int] = None,
+) -> Tuple[List[int], int]:
+    """Append a ripple-carry adder over two equal-width operands.
+
+    Args:
+        net: Netlist to extend.
+        a_bits: LSB-first signal addresses of operand A.
+        b_bits: LSB-first signal addresses of operand B.
+        cin: Optional carry-in signal; omitted means carry-in of 0 (the
+            first stage degenerates to a half adder).
+
+    Returns:
+        ``(sum_bits, carry_out)`` where ``sum_bits`` is LSB-first and has
+        the same width as the operands.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    if not a_bits:
+        raise ValueError("zero-width adder")
+    sums: List[int] = []
+    carry = cin
+    for a, b in zip(a_bits, b_bits):
+        if carry is None:
+            s, carry = half_adder(net, a, b)
+        else:
+            s, carry = full_adder(net, a, b, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def build_ripple_carry_adder(width: int, with_carry_out: bool = True) -> Netlist:
+    """Standalone exact ``width``-bit ripple-carry adder netlist.
+
+    Inputs are laid out ``[a0..a(w-1), b0..b(w-1)]``; outputs are the sum
+    bits LSB-first, optionally followed by the carry-out.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    net = Netlist(num_inputs=2 * width, name=f"rca{width}")
+    a_bits = list(range(width))
+    b_bits = list(range(width, 2 * width))
+    sums, cout = ripple_carry_adder(net, a_bits, b_bits)
+    outputs = list(sums)
+    if with_carry_out:
+        outputs.append(cout)
+    net.set_outputs(outputs)
+    return net

@@ -1,0 +1,84 @@
+"""Multiply-and-accumulate (MAC) unit generator.
+
+The paper's processing element (Section V-B) is an 8-bit signed multiplier
+feeding an ``n``-bit accumulator adder, with ``n = 8 + log2(d)`` where
+``d`` is the maximum number of products summed into one neuron.  The MAC
+built here has inputs ``[x (w bits), y (w bits), acc (n bits)]`` and
+outputs the ``n``-bit updated accumulator ``acc + x * y``.
+
+Any multiplier netlist with the standard ``[x, y] -> product`` interface —
+exact, baseline-approximate or CGP-evolved — can be embedded, which is how
+approximate multipliers become approximate MACs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compose import append_netlist
+from ..netlist import Netlist
+from .adders import ripple_carry_adder
+from .multipliers import build_baugh_wooley_multiplier, build_multiplier
+
+__all__ = ["accumulator_width", "build_mac"]
+
+
+def accumulator_width(operand_width: int, max_terms: int) -> int:
+    """Accumulator width ``n = 2 * w + ceil(log2(d))`` that never overflows.
+
+    The paper quotes ``n = 8 + log2(d)`` for 8-bit operands, counting the
+    product width as part of the 8-bit datapath convention; we size for the
+    full product to keep the reference MAC exact.
+    """
+    if operand_width <= 0 or max_terms <= 0:
+        raise ValueError("operand_width and max_terms must be positive")
+    extra = max(1, (max_terms - 1).bit_length())
+    return 2 * operand_width + extra
+
+
+def build_mac(
+    operand_width: int,
+    acc_width: int,
+    multiplier: Optional[Netlist] = None,
+    signed: bool = True,
+) -> Netlist:
+    """Build a MAC unit, optionally around a supplied multiplier netlist.
+
+    Args:
+        operand_width: Width ``w`` of the two multiplication operands.
+        acc_width: Width ``n >= 2 * w`` of the accumulator input/output.
+        multiplier: Multiplier to embed (inputs ``[x, y]``, ``2w``-bit
+            product).  Defaults to an exact multiplier of the requested
+            signedness.
+        signed: Interpret operands and accumulator as two's complement;
+            the product is then sign-extended to the accumulator width.
+
+    Returns:
+        Netlist with ``2 * w + n`` inputs and ``n`` outputs.
+    """
+    w = operand_width
+    if acc_width < 2 * w:
+        raise ValueError("accumulator must be at least as wide as the product")
+    if multiplier is None:
+        multiplier = (
+            build_baugh_wooley_multiplier(w) if signed else build_multiplier(w, False)
+        )
+    if multiplier.num_inputs != 2 * w:
+        raise ValueError("multiplier input width mismatch")
+    if multiplier.num_outputs != 2 * w:
+        raise ValueError("multiplier must produce the full 2w-bit product")
+
+    net = Netlist(num_inputs=2 * w + acc_width, name=f"mac{w}x{acc_width}")
+    product = append_netlist(net, multiplier, list(range(2 * w)))
+
+    if signed:
+        sign = product[-1]
+        extended = product + [sign] * (acc_width - 2 * w)
+    else:
+        zero = net.add_gate("CONST0")
+        extended = product + [zero] * (acc_width - 2 * w)
+
+    acc_bits = list(range(2 * w, 2 * w + acc_width))
+    sums, _cout = ripple_carry_adder(net, acc_bits, extended)
+    net.set_outputs(sums)
+    return net

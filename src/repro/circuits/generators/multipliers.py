@@ -1,0 +1,260 @@
+"""Exact multiplier generators.
+
+Three conventional implementations are provided, matching the paper's
+practice of seeding CGP with "different conventional implementations of
+exact multipliers":
+
+* :func:`build_array_multiplier` — unsigned row-ripple array multiplier,
+* :func:`build_wallace_multiplier` — unsigned column-reduction (Wallace-
+  style) multiplier,
+* :func:`build_baugh_wooley_multiplier` — signed two's-complement
+  multiplier using the Baugh-Wooley reformulation.
+
+All builders lay primary inputs out as ``[x0..x(w-1), y0..y(w-1)]``
+(LSB first) and produce the full ``2w``-bit product LSB first, so their
+truth tables line up with :func:`repro.circuits.simulator.exhaustive_inputs`
+vector indexing: vector ``v`` encodes ``x = v & (2**w - 1)`` and
+``y = v >> w``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..netlist import Netlist
+from .adders import full_adder, half_adder, ripple_carry_adder
+
+__all__ = [
+    "reduce_columns",
+    "partial_product_columns",
+    "build_array_multiplier",
+    "build_wallace_multiplier",
+    "build_baugh_wooley_multiplier",
+    "build_multiplier",
+]
+
+
+def reduce_columns(
+    net: Netlist,
+    columns: List[List[int]],
+    out_width: int,
+) -> List[int]:
+    """Reduce per-column bit lists to a single binary word.
+
+    Performs carry-save reduction (full/half adders) until every column
+    holds at most two bits, then resolves the remaining two rows with a
+    ripple carry chain.  Carries beyond ``out_width`` are discarded, i.e.
+    the result is the column sum modulo ``2**out_width`` — exactly the
+    wrap-around semantics needed by Baugh-Wooley correction constants.
+
+    Args:
+        net: Netlist to extend.
+        columns: ``columns[c]`` lists the signal addresses whose weight is
+            ``2**c``.  The list is consumed (not mutated).
+        out_width: Width of the produced word.
+
+    Returns:
+        LSB-first signal addresses of the ``out_width``-bit result.
+    """
+    cols = [list(col) for col in columns[:out_width]]
+    cols += [[] for _ in range(out_width - len(cols))]
+
+    while any(len(col) > 2 for col in cols):
+        nxt: List[List[int]] = [[] for _ in range(out_width)]
+        for c, col in enumerate(cols):
+            i = 0
+            while len(col) - i >= 3:
+                s, cy = full_adder(net, col[i], col[i + 1], col[i + 2])
+                i += 3
+                nxt[c].append(s)
+                if c + 1 < out_width:
+                    nxt[c + 1].append(cy)
+            if len(col) - i == 2 and len(col) > 2:
+                # Column still oversized after the FA pass: squeeze with a
+                # half adder so progress is guaranteed every round.
+                s, cy = half_adder(net, col[i], col[i + 1])
+                i += 2
+                nxt[c].append(s)
+                if c + 1 < out_width:
+                    nxt[c + 1].append(cy)
+            nxt[c].extend(col[i:])
+        cols = nxt
+
+    # Final carry-propagate pass: each column now has <= 2 entries, plus at
+    # most one incoming carry, so a FA/HA per column suffices.
+    result: List[int] = []
+    carry = None
+    const0 = None
+    for col in cols:
+        entries = list(col)
+        if carry is not None:
+            entries.append(carry)
+            carry = None
+        if not entries:
+            if const0 is None:
+                const0 = net.add_gate("CONST0")
+            result.append(const0)
+        elif len(entries) == 1:
+            result.append(entries[0])
+        elif len(entries) == 2:
+            s, carry = half_adder(net, entries[0], entries[1])
+            result.append(s)
+        else:
+            s, carry = full_adder(net, entries[0], entries[1], entries[2])
+            result.append(s)
+    return result
+
+
+def _operand_bits(width: int) -> (Sequence[int], Sequence[int]):
+    return list(range(width)), list(range(width, 2 * width))
+
+
+def partial_product_columns(
+    net: Netlist,
+    width: int,
+    signed: bool,
+    keep=None,
+) -> List[List[int]]:
+    """Build the partial-product array as per-column signal lists.
+
+    For unsigned operands every partial product is ``AND(x_i, y_j)`` in
+    column ``i + j``; for signed operands the Baugh-Wooley arrangement is
+    produced (complemented mixed terms + correction constants).
+
+    Args:
+        net: Netlist to extend (must have the standard ``2 * width``
+            inputs already).
+        width: Operand width ``w``.
+        signed: Baugh-Wooley (signed) vs plain AND array (unsigned).
+        keep: Optional predicate ``keep(i, j) -> bool`` deciding whether
+            the partial product of ``x_i`` and ``y_j`` is generated at
+            all.  Dropping terms is how the truncated and broken-array
+            baselines are built.  Correction constants of the signed form
+            are kept whenever any term in their column survives.
+
+    Returns:
+        ``columns[c]`` = signals of weight ``2**c``; length ``2 * width``.
+    """
+    if keep is None:
+        keep = lambda i, j: True  # noqa: E731 - tiny local predicate
+    a_bits, b_bits = _operand_bits(width)
+    w = width
+    out_width = 2 * w
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+
+    if not signed:
+        for i in range(w):
+            for j in range(w):
+                if keep(i, j):
+                    columns[i + j].append(
+                        net.add_gate("AND", a_bits[i], b_bits[j])
+                    )
+        return columns
+
+    if w < 2:
+        raise ValueError("signed partial products need width >= 2")
+    for i in range(w - 1):
+        for j in range(w - 1):
+            if keep(i, j):
+                columns[i + j].append(net.add_gate("AND", a_bits[i], b_bits[j]))
+    if keep(w - 1, w - 1):
+        columns[2 * w - 2].append(
+            net.add_gate("AND", a_bits[w - 1], b_bits[w - 1])
+        )
+    for i in range(w - 1):
+        if keep(i, w - 1):
+            columns[i + w - 1].append(
+                net.add_gate("NAND", a_bits[i], b_bits[w - 1])
+            )
+    for j in range(w - 1):
+        if keep(w - 1, j):
+            columns[j + w - 1].append(
+                net.add_gate("NAND", a_bits[w - 1], b_bits[j])
+            )
+
+    one = None
+    if columns[w] or any(columns[c] for c in range(w)):
+        one = net.add_gate("CONST1")
+        columns[w].append(one)
+    if columns[2 * w - 1] or columns[2 * w - 2]:
+        if one is None:
+            one = net.add_gate("CONST1")
+        columns[2 * w - 1].append(one)
+    return columns
+
+
+def build_array_multiplier(width: int) -> Netlist:
+    """Unsigned ``width x width`` row-ripple array multiplier.
+
+    The classic array structure: one AND plane for the partial products and
+    a cascade of ripple-carry adders accumulating one shifted row at a
+    time.  Produces the full ``2 * width``-bit product.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    net = Netlist(num_inputs=2 * width, name=f"mul{width}u_array")
+    a_bits, b_bits = _operand_bits(width)
+
+    rows = [
+        [net.add_gate("AND", a_bits[j], b_bits[i]) for j in range(width)]
+        for i in range(width)
+    ]
+
+    if width == 1:
+        net.set_outputs([rows[0][0], net.add_gate("CONST0")])
+        return net
+
+    outputs = [rows[0][0]]
+    zero = net.add_gate("CONST0")
+    # Invariant: ``high`` holds product bits i .. i + width - 1 before the
+    # row for multiplier bit i is added.
+    high = rows[0][1:] + [zero]
+    for i in range(1, width):
+        sums, cout = ripple_carry_adder(net, high, rows[i])
+        outputs.append(sums[0])
+        high = sums[1:] + [cout]
+    outputs.extend(high)
+    net.set_outputs(outputs)
+    return net
+
+
+def build_wallace_multiplier(width: int) -> Netlist:
+    """Unsigned ``width x width`` Wallace-style (column reduction) multiplier."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    net = Netlist(num_inputs=2 * width, name=f"mul{width}u_wallace")
+    columns = partial_product_columns(net, width, signed=False)
+    net.set_outputs(reduce_columns(net, columns, 2 * width))
+    return net
+
+
+def build_baugh_wooley_multiplier(width: int) -> Netlist:
+    """Signed two's-complement ``width x width`` Baugh-Wooley multiplier.
+
+    Partial products involving exactly one sign bit are complemented
+    (NAND instead of AND) and constant ones are injected at columns
+    ``width`` and ``2 * width - 1``; the column sum modulo ``2**(2 width)``
+    then equals the signed product in two's complement.
+    """
+    net = Netlist(num_inputs=2 * width, name=f"mul{width}s_bw")
+    columns = partial_product_columns(net, width, signed=True)
+    net.set_outputs(reduce_columns(net, columns, 2 * width))
+    return net
+
+
+def build_multiplier(width: int, signed: bool, structure: str = "array") -> Netlist:
+    """Convenience dispatcher over the exact multiplier builders.
+
+    Args:
+        width: Operand width in bits.
+        signed: Two's-complement operands and product when true.
+        structure: ``"array"`` or ``"wallace"`` for unsigned circuits;
+            ignored for signed ones (Baugh-Wooley is used).
+    """
+    if signed:
+        return build_baugh_wooley_multiplier(width)
+    if structure == "array":
+        return build_array_multiplier(width)
+    if structure == "wallace":
+        return build_wallace_multiplier(width)
+    raise ValueError(f"unknown multiplier structure {structure!r}")

@@ -1,0 +1,65 @@
+"""Netlist (de)serialization to plain JSON-compatible dicts.
+
+Evolved circuits and generated baselines are archived as small JSON
+documents so experiment artifacts can be stored, diffed and reloaded
+without pickling.  The schema is deliberately minimal::
+
+    {"name": ..., "num_inputs": N,
+     "gates": [["AND", src_a, src_b], ...],
+     "outputs": [...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .netlist import Gate, Netlist
+
+__all__ = ["netlist_to_dict", "netlist_from_dict", "save_netlist", "load_netlist"]
+
+_SCHEMA_KEYS = {"name", "num_inputs", "gates", "outputs"}
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    """JSON-compatible representation of a netlist."""
+    return {
+        "name": netlist.name,
+        "num_inputs": netlist.num_inputs,
+        "gates": [[g.fn, *g.inputs] for g in netlist.gates],
+        "outputs": list(netlist.outputs),
+    }
+
+
+def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output.
+
+    Raises:
+        ValueError: on schema violations or structurally invalid circuits.
+    """
+    missing = {"num_inputs", "gates", "outputs"} - set(data)
+    if missing:
+        raise ValueError(f"missing keys: {sorted(missing)}")
+    net = Netlist(
+        num_inputs=int(data["num_inputs"]), name=str(data.get("name", ""))
+    )
+    for entry in data["gates"]:
+        if not entry:
+            raise ValueError("empty gate entry")
+        fn, *srcs = entry
+        net.add_gate(str(fn), *(int(s) for s in srcs))
+    net.set_outputs([int(o) for o in data["outputs"]])
+    net.validate()
+    return net
+
+
+def save_netlist(netlist: Netlist, path: str) -> None:
+    """Write a netlist to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(netlist_to_dict(netlist), fh, indent=1)
+
+
+def load_netlist(path: str) -> Netlist:
+    """Read a netlist from a JSON file written by :func:`save_netlist`."""
+    with open(path) as fh:
+        return netlist_from_dict(json.load(fh))

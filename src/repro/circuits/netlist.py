@@ -1,0 +1,221 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is a flat, topologically ordered list of gates over a
+shared signal address space, mirroring the addressing scheme of Cartesian
+Genetic Programming:
+
+* signals ``0 .. num_inputs - 1`` are the primary inputs,
+* the gate appended at position ``k`` drives signal ``num_inputs + k``,
+* every gate may only read signals with *smaller* addresses, so the list
+  order is a valid evaluation order by construction and no feedback is
+  representable (combinational circuits only).
+
+This doubles as the interchange format between the exact-circuit
+generators (:mod:`repro.circuits.generators`), the CGP seeding code
+(:mod:`repro.core.seeding`) and the technology-level cost models
+(:mod:`repro.tech`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .gates import GATE_REGISTRY, gate_function
+
+__all__ = ["Gate", "Netlist"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: a function name plus input signal addresses."""
+
+    fn: str
+    inputs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        spec = gate_function(self.fn)
+        if len(self.inputs) < spec.arity:
+            raise ValueError(
+                f"gate {self.fn} needs {spec.arity} inputs, got {self.inputs}"
+            )
+
+
+@dataclass
+class Netlist:
+    """A combinational circuit as a topologically ordered gate list.
+
+    Attributes:
+        num_inputs: Number of primary inputs.
+        gates: Gate list; gate ``k`` drives signal ``num_inputs + k``.
+        outputs: Signal addresses of the primary outputs (may repeat and
+            may point directly at primary inputs).
+        name: Optional human-readable circuit name.
+    """
+
+    num_inputs: int
+    gates: List[Gate] = field(default_factory=list)
+    outputs: List[int] = field(default_factory=list)
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_gate(self, fn: str, *inputs: int) -> int:
+        """Append a gate and return the signal address it drives.
+
+        Unary/nullary functions may be given fewer operands; the missing
+        connection slots are padded with signal 0 so that every stored gate
+        has a uniform two-slot shape (matching the CGP node format).
+        """
+        spec = gate_function(fn)
+        padded = tuple(inputs) + (0,) * (2 - len(inputs))
+        if len(padded) != 2:
+            raise ValueError(f"at most 2 inputs supported, got {inputs}")
+        limit = self.num_signals
+        for src in padded[: max(spec.arity, 0)] if spec.arity else ():
+            if not 0 <= src < limit:
+                raise ValueError(
+                    f"gate input {src} out of range [0, {limit}) for fn {fn}"
+                )
+        # Unused slots must still be legal addresses.
+        padded = tuple(min(src, limit - 1) if limit else 0 for src in padded)
+        self.gates.append(Gate(fn, padded))
+        return limit
+
+    def set_outputs(self, outputs: Sequence[int]) -> None:
+        """Define the primary outputs, validating every address."""
+        for out in outputs:
+            if not 0 <= out < self.num_signals:
+                raise ValueError(f"output address {out} out of range")
+        self.outputs = list(outputs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_signals(self) -> int:
+        """Total number of addressable signals (inputs + gate outputs)."""
+        return self.num_inputs + len(self.gates)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def gate_signal(self, gate_index: int) -> int:
+        """Signal address driven by gate ``gate_index``."""
+        return self.num_inputs + gate_index
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``ValueError`` on violation."""
+        for k, gate in enumerate(self.gates):
+            sig = self.gate_signal(k)
+            if gate.fn not in GATE_REGISTRY:
+                raise ValueError(f"gate {k} has unknown function {gate.fn!r}")
+            for src in gate.inputs:
+                if not 0 <= src < sig:
+                    raise ValueError(
+                        f"gate {k} (signal {sig}) reads illegal source {src}"
+                    )
+        for out in self.outputs:
+            if not 0 <= out < self.num_signals:
+                raise ValueError(f"output address {out} out of range")
+
+    def active_signals(self) -> Set[int]:
+        """Signals in the transitive fan-in cone of the outputs.
+
+        Primary inputs that feed the cone are included.  Gates outside the
+        cone contribute neither to function nor (in our cost models) to
+        area/power — they correspond to the inactive CGP nodes.
+        """
+        active: Set[int] = set()
+        stack = [out for out in self.outputs]
+        while stack:
+            sig = stack.pop()
+            if sig in active:
+                continue
+            active.add(sig)
+            if sig >= self.num_inputs:
+                gate = self.gates[sig - self.num_inputs]
+                spec = gate_function(gate.fn)
+                stack.extend(gate.inputs[: spec.arity])
+        return active
+
+    def active_gate_indices(self) -> List[int]:
+        """Indices of gates inside the output cone, in topological order."""
+        active = self.active_signals()
+        return [
+            k
+            for k in range(len(self.gates))
+            if self.gate_signal(k) in active
+        ]
+
+    def cell_counts(self, active_only: bool = True) -> Dict[str, int]:
+        """Histogram of gate function names.
+
+        Args:
+            active_only: Count only gates in the output cone (the default;
+                matches how area is reported for CGP phenotypes).
+        """
+        indices: Iterable[int]
+        if active_only:
+            indices = self.active_gate_indices()
+        else:
+            indices = range(len(self.gates))
+        counts: Dict[str, int] = {}
+        for k in indices:
+            fn = self.gates[k].fn
+            counts[fn] = counts.get(fn, 0) + 1
+        return counts
+
+    def fanouts(self) -> Dict[int, int]:
+        """Number of gate/output consumers per signal (active cone only)."""
+        fanout: Dict[int, int] = {}
+        active = self.active_signals()
+        for k in self.active_gate_indices():
+            gate = self.gates[k]
+            spec = gate_function(gate.fn)
+            for src in gate.inputs[: spec.arity]:
+                fanout[src] = fanout.get(src, 0) + 1
+        for out in self.outputs:
+            fanout[out] = fanout.get(out, 0) + 1
+        for sig in active:
+            fanout.setdefault(sig, 0)
+        return fanout
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Netlist":
+        """Deep copy (gates are immutable, so a shallow list copy suffices)."""
+        return Netlist(
+            num_inputs=self.num_inputs,
+            gates=list(self.gates),
+            outputs=list(self.outputs),
+            name=self.name,
+        )
+
+    def pruned(self) -> "Netlist":
+        """Return an equivalent netlist containing only the active cone.
+
+        Signal addresses are compacted; primary inputs keep their position.
+        """
+        keep = self.active_gate_indices()
+        remap: Dict[int, int] = {i: i for i in range(self.num_inputs)}
+        new = Netlist(num_inputs=self.num_inputs, name=self.name)
+        for k in keep:
+            gate = self.gates[k]
+            spec = gate_function(gate.fn)
+            srcs = tuple(
+                remap[s] for s in gate.inputs[: spec.arity]
+            )
+            remap[self.gate_signal(k)] = new.add_gate(gate.fn, *srcs)
+        new.set_outputs([remap[o] for o in self.outputs])
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Netlist{label}: {self.num_inputs} in, {self.num_outputs} out, "
+            f"{len(self.gates)} gates ({len(self.active_gate_indices())} active)>"
+        )

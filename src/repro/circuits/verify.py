@@ -1,0 +1,105 @@
+"""Exhaustive functional verification helpers.
+
+Arithmetic circuits built by the generators (or evolved by CGP) are small
+enough that their full truth table is cheap to compute, so verification is
+exact: compare against numpy-computed reference arithmetic over every
+input combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .netlist import Netlist
+from .simulator import truth_table
+
+__all__ = [
+    "operand_grids",
+    "reference_products",
+    "reference_sums",
+    "verify_multiplier",
+    "verify_adder",
+    "mismatch_count",
+]
+
+
+def operand_grids(width: int, signed: bool) -> (np.ndarray, np.ndarray):
+    """Per-vector operand values for the standard two-operand layout.
+
+    Vector ``v`` encodes ``x = v & (2**width - 1)`` (inputs 0..w-1) and
+    ``y = v >> width`` (inputs w..2w-1); with ``signed=True`` both are
+    decoded as two's complement.
+
+    Returns:
+        ``(x, y)`` int64 arrays of length ``2**(2 * width)``.
+    """
+    n = 1 << width
+    raw = np.arange(n, dtype=np.int64)
+    vals = np.where(raw >= n // 2, raw - n, raw) if signed else raw
+    x = np.tile(vals, n)
+    y = np.repeat(vals, n)
+    return x, y
+
+
+def reference_products(width: int, signed: bool) -> np.ndarray:
+    """Exact products ``x * y`` for every input vector, in vector order."""
+    x, y = operand_grids(width, signed)
+    return x * y
+
+
+def reference_sums(width: int, signed: bool, with_carry: bool = True) -> np.ndarray:
+    """Exact sums ``x + y`` for every input vector, in vector order.
+
+    With ``with_carry`` the value is the full ``width + 1``-bit result (as
+    produced by :func:`~repro.circuits.generators.adders.build_ripple_carry_adder`);
+    otherwise it wraps modulo ``2**width``.
+    """
+    x, y = operand_grids(width, signed)
+    s = x + y
+    if not with_carry:
+        s = np.mod(s, 1 << width)
+    return s
+
+
+def mismatch_count(netlist: Netlist, reference: np.ndarray, signed: bool) -> int:
+    """Number of input vectors on which the circuit disagrees with ``reference``."""
+    got = truth_table(netlist, signed=signed)
+    if got.shape != reference.shape:
+        raise ValueError(
+            f"reference has {reference.shape} entries, circuit {got.shape}"
+        )
+    return int(np.count_nonzero(got != reference))
+
+
+def verify_multiplier(netlist: Netlist, width: int, signed: bool) -> None:
+    """Assert that ``netlist`` is an exact ``width``-bit multiplier.
+
+    Raises:
+        AssertionError: with the first differing vector on mismatch.
+    """
+    ref = reference_products(width, signed)
+    got = truth_table(netlist, signed=signed)
+    bad = np.nonzero(got != ref)[0]
+    if bad.size:
+        v = int(bad[0])
+        x, y = operand_grids(width, signed)
+        raise AssertionError(
+            f"multiplier mismatch at vector {v}: "
+            f"{x[v]} * {y[v]} = {ref[v]}, circuit says {got[v]} "
+            f"({bad.size} mismatching vectors total)"
+        )
+
+
+def verify_adder(netlist: Netlist, width: int, with_carry: bool = True) -> None:
+    """Assert that ``netlist`` is an exact unsigned ``width``-bit adder."""
+    ref = reference_sums(width, signed=False, with_carry=with_carry)
+    got = truth_table(netlist, signed=False)
+    bad = np.nonzero(got != ref)[0]
+    if bad.size:
+        v = int(bad[0])
+        x, y = operand_grids(width, False)
+        raise AssertionError(
+            f"adder mismatch at vector {v}: "
+            f"{x[v]} + {y[v]} = {ref[v]}, circuit says {got[v]} "
+            f"({bad.size} mismatching vectors total)"
+        )

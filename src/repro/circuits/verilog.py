@@ -1,0 +1,76 @@
+"""Structural Verilog export.
+
+Evolved netlists are handed to a synthesis flow in the paper (Synopsys
+DC); this module produces the equivalent synthesizable artifact: a flat
+structural Verilog module using ``assign`` expressions over the standard
+gate functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .gates import gate_function
+from .netlist import Netlist
+
+__all__ = ["to_verilog"]
+
+_EXPRESSIONS = {
+    "CONST0": lambda a, b: "1'b0",
+    "CONST1": lambda a, b: "1'b1",
+    "BUF": lambda a, b: a,
+    "NOT": lambda a, b: f"~{a}",
+    "AND": lambda a, b: f"{a} & {b}",
+    "OR": lambda a, b: f"{a} | {b}",
+    "XOR": lambda a, b: f"{a} ^ {b}",
+    "NAND": lambda a, b: f"~({a} & {b})",
+    "NOR": lambda a, b: f"~({a} | {b})",
+    "XNOR": lambda a, b: f"~({a} ^ {b})",
+    "ANDN": lambda a, b: f"{a} & ~{b}",
+    "ORN": lambda a, b: f"{a} | ~{b}",
+}
+
+
+def to_verilog(netlist: Netlist, module_name: str = "") -> str:
+    """Render the active cone of a netlist as a structural Verilog module.
+
+    Inputs become ``in_<k>`` ports, outputs ``out_<k>`` ports; internal
+    signals are ``w<k>`` wires.  Gates outside the output cone are not
+    emitted (they would be swept by synthesis anyway).
+
+    Raises:
+        ValueError: if a gate function has no Verilog template.
+    """
+    name = module_name or (netlist.name.replace("-", "_") or "circuit")
+    in_ports = [f"in_{k}" for k in range(netlist.num_inputs)]
+    out_ports = [f"out_{k}" for k in range(netlist.num_outputs)]
+
+    signal_expr: Dict[int, str] = {
+        k: in_ports[k] for k in range(netlist.num_inputs)
+    }
+    lines: List[str] = [
+        f"module {name} (",
+        "    input  wire " + ", ".join(in_ports) + ",",
+        "    output wire " + ", ".join(out_ports),
+        ");",
+    ]
+
+    body: List[str] = []
+    for k in netlist.active_gate_indices():
+        gate = netlist.gates[k]
+        if gate.fn not in _EXPRESSIONS:
+            raise ValueError(f"no Verilog template for gate {gate.fn!r}")
+        spec = gate_function(gate.fn)
+        operands = [signal_expr[s] for s in gate.inputs[: spec.arity]]
+        a = operands[0] if operands else ""
+        b = operands[1] if len(operands) > 1 else ""
+        sig = netlist.gate_signal(k)
+        wire = f"w{sig}"
+        signal_expr[sig] = wire
+        body.append(f"    wire {wire} = {_EXPRESSIONS[gate.fn](a, b)};")
+
+    lines.extend(body)
+    for j, out in enumerate(netlist.outputs):
+        lines.append(f"    assign out_{j} = {signal_expr[out]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``evolve`` — run the WMED-driven CGP approximation of a multiplier and
+  write the result as a CGP chromosome string (plus a summary line),
+* ``characterize`` — electrical + error report for a saved chromosome,
+* ``export-verilog`` — emit structural Verilog for a saved chromosome.
+
+Distributions are named on the command line: ``uniform``, ``d1``, ``d2``,
+``half-normal:<sigma>`` or ``normal:<mean>:<std>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .circuits.generators import build_baugh_wooley_multiplier, build_multiplier
+from .circuits.verilog import to_verilog
+from .core import (
+    EvolutionConfig,
+    MultiplierFitness,
+    evolve,
+    netlist_to_chromosome,
+    params_for_netlist,
+)
+from .core.serialization import chromosome_from_string, chromosome_to_string
+from .errors import (
+    Distribution,
+    discretized_half_normal,
+    discretized_normal,
+    evaluate_errors,
+    exact_product_table,
+    paper_d1,
+    paper_d2,
+    uniform,
+)
+from .tech import characterize
+
+__all__ = ["main", "parse_distribution"]
+
+
+def parse_distribution(spec: str, width: int, signed: bool) -> Distribution:
+    """Parse a distribution spec string (see module docstring)."""
+    spec = spec.strip().lower()
+    if spec in ("uniform", "du"):
+        return uniform(width, signed=signed, name="Du")
+    if spec == "d1":
+        return paper_d1(width)
+    if spec == "d2":
+        return paper_d2(width)
+    if spec.startswith("half-normal:"):
+        sigma = float(spec.split(":", 1)[1])
+        return discretized_half_normal(
+            width, sigma=sigma, signed=signed, name=spec
+        )
+    if spec.startswith("normal:"):
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError("normal spec is normal:<mean>:<std>")
+        return discretized_normal(
+            width, mean=float(parts[1]), std=float(parts[2]),
+            signed=signed, name=spec,
+        )
+    raise ValueError(f"unknown distribution spec {spec!r}")
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    signed = not args.unsigned
+    dist = parse_distribution(args.dist, args.width, signed)
+    if signed:
+        seed_net = build_baugh_wooley_multiplier(args.width)
+    else:
+        seed_net = build_multiplier(args.width, signed=False)
+    params = params_for_netlist(seed_net, extra_columns=args.extra_columns)
+    seed = netlist_to_chromosome(seed_net, params)
+    evaluator = MultiplierFitness(args.width, dist)
+    result = evolve(
+        seed,
+        evaluator,
+        threshold=args.wmed_percent / 100.0,
+        config=EvolutionConfig(generations=args.generations),
+        rng=np.random.default_rng(args.seed),
+    )
+    text = chromosome_to_string(result.best)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    print(
+        f"# wmed={100 * result.best_eval.wmed:.4f}% "
+        f"area={result.best_eval.area:.1f}um2 "
+        f"evaluations={result.evaluations}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _load_chromosome(path: str):
+    with open(path) as fh:
+        return chromosome_from_string(fh.read())
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    chromosome = _load_chromosome(args.chromosome)
+    width = chromosome.params.num_inputs // 2
+    signed = not args.unsigned
+    dist = parse_distribution(args.dist, width, signed)
+    net = chromosome.to_netlist()
+    summary = characterize(net)
+    table = MultiplierFitness(width, dist).truth_table(chromosome)
+    report = evaluate_errors(exact_product_table(width, signed), table, dist)
+    print(f"gates:  {len(net.active_gate_indices())}")
+    print(f"area:   {summary.area:.1f} um2")
+    print(f"power:  {summary.power.total / 1000:.4f} mW")
+    print(f"delay:  {summary.delay:.0f} ps")
+    print(f"pdp:    {summary.pdp:.1f} fJ")
+    print(f"errors: {report}")
+    return 0
+
+
+def _cmd_export_verilog(args: argparse.Namespace) -> int:
+    chromosome = _load_chromosome(args.chromosome)
+    text = to_verilog(chromosome.to_netlist(), module_name=args.module)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ev = sub.add_parser("evolve", help="evolve an approximate multiplier")
+    p_ev.add_argument("--width", type=int, default=8)
+    p_ev.add_argument("--dist", default="uniform")
+    p_ev.add_argument("--wmed-percent", type=float, default=0.5)
+    p_ev.add_argument("--generations", type=int, default=10_000)
+    p_ev.add_argument("--extra-columns", type=int, default=20)
+    p_ev.add_argument("--unsigned", action="store_true")
+    p_ev.add_argument("--seed", type=int, default=0)
+    p_ev.add_argument("--output", help="chromosome file (stdout if omitted)")
+    p_ev.set_defaults(func=_cmd_evolve)
+
+    p_ch = sub.add_parser("characterize", help="report on a saved chromosome")
+    p_ch.add_argument("chromosome", help="chromosome string file")
+    p_ch.add_argument("--dist", default="uniform")
+    p_ch.add_argument("--unsigned", action="store_true")
+    p_ch.set_defaults(func=_cmd_characterize)
+
+    p_vl = sub.add_parser("export-verilog", help="emit structural Verilog")
+    p_vl.add_argument("chromosome", help="chromosome string file")
+    p_vl.add_argument("--module", default="approx_circuit")
+    p_vl.add_argument("--output", help="verilog file (stdout if omitted)")
+    p_vl.set_defaults(func=_cmd_export_verilog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

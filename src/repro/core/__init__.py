@@ -1,0 +1,36 @@
+"""WMED-driven CGP circuit approximation — the paper's core contribution."""
+
+from .annealing import AnnealingConfig, anneal
+from .chromosome import CGP_FUNCTION_SET, CGPParams, Chromosome
+from .evolution import EvolutionConfig, EvolutionResult, evolve
+from .fitness import EvalResult, MultiplierFitness
+from .generic_fitness import CircuitFitness
+from .mutation import mutate, random_gene_value
+from .pareto import dominates, hypervolume_2d, pareto_indices, pareto_points
+from .seeding import netlist_to_chromosome, params_for_netlist, random_chromosome
+from .serialization import chromosome_from_string, chromosome_to_string
+
+__all__ = [
+    "AnnealingConfig",
+    "anneal",
+    "CircuitFitness",
+    "CGP_FUNCTION_SET",
+    "CGPParams",
+    "Chromosome",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "evolve",
+    "EvalResult",
+    "MultiplierFitness",
+    "mutate",
+    "random_gene_value",
+    "dominates",
+    "hypervolume_2d",
+    "pareto_indices",
+    "pareto_points",
+    "netlist_to_chromosome",
+    "params_for_netlist",
+    "random_chromosome",
+    "chromosome_from_string",
+    "chromosome_to_string",
+]

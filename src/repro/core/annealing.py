@@ -1,0 +1,114 @@
+"""Simulated-annealing baseline search over CGP genotypes.
+
+The paper positions CGP's (1 + lambda) strategy against other automated
+approximation loops (ABACUS, SALSA — greedy / annealing-style methods
+applying elementary circuit modifications).  This module provides that
+comparison point on identical ground: the same genotype, mutation
+operator and Eq. (1) evaluator, but Metropolis acceptance with a
+geometric temperature schedule instead of elitist selection.
+
+Because Eq. (1) is partly infinite, annealing works on a *relaxed* scalar
+energy: ``area + penalty * max(0, wmed - threshold)``, which equals the
+area inside the feasible region and degrades smoothly outside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .chromosome import Chromosome
+from .evolution import EvolutionResult
+from .fitness import EvalResult
+from .mutation import mutate
+
+__all__ = ["AnnealingConfig", "anneal"]
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Annealing schedule and relaxation parameters."""
+
+    steps: int = 10_000
+    h: int = 5
+    initial_temperature: float = 20.0
+    final_temperature: float = 0.05
+    infeasibility_penalty: float = 1e4
+
+    def temperature(self, step: int) -> float:
+        """Geometric interpolation between the two endpoint temperatures."""
+        if self.steps <= 1:
+            return self.final_temperature
+        ratio = self.final_temperature / self.initial_temperature
+        return self.initial_temperature * ratio ** (step / (self.steps - 1))
+
+
+def _energy(result: EvalResult, threshold: float, penalty: float) -> float:
+    violation = max(0.0, result.wmed - threshold)
+    return result.area + penalty * violation
+
+
+def anneal(
+    seed: Chromosome,
+    evaluator,
+    threshold: float,
+    config: Optional[AnnealingConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> EvolutionResult:
+    """Simulated annealing minimizing the relaxed Eq. (1) energy.
+
+    Args:
+        seed: Starting chromosome (typically the exact seed circuit).
+        evaluator: Any object with ``evaluate(chromosome, threshold)``
+            returning an :class:`~repro.core.fitness.EvalResult`
+            (:class:`MultiplierFitness`, :class:`CircuitFitness`).
+        threshold: WMED budget.
+        config: Schedule parameters.
+        rng: Random source.
+
+    Returns:
+        An :class:`~repro.core.evolution.EvolutionResult` for drop-in
+        comparison with :func:`~repro.core.evolution.evolve`; ``best``
+        is the best *feasible* state visited (the seed if none other).
+    """
+    cfg = config or AnnealingConfig()
+    rng = rng or np.random.default_rng()
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+
+    current = seed.copy()
+    current_eval = evaluator.evaluate(current, threshold)
+    current_energy = _energy(current_eval, threshold, cfg.infeasibility_penalty)
+    best, best_eval = current, current_eval
+    evaluations = 1
+
+    for step in range(cfg.steps):
+        candidate, changed = mutate(current, cfg.h, rng)
+        if not changed:
+            continue
+        cand_eval = evaluator.evaluate(candidate, threshold)
+        evaluations += 1
+        cand_energy = _energy(cand_eval, threshold, cfg.infeasibility_penalty)
+        delta = cand_energy - current_energy
+        temperature = cfg.temperature(step)
+        if delta <= 0 or rng.random() < np.exp(-delta / max(temperature, 1e-12)):
+            current, current_eval, current_energy = (
+                candidate, cand_eval, cand_energy,
+            )
+            better_feasible = cand_eval.feasible() and (
+                not best_eval.feasible()
+                or (cand_eval.fitness, cand_eval.wmed)
+                < (best_eval.fitness, best_eval.wmed)
+            )
+            if better_feasible:
+                best, best_eval = candidate, cand_eval
+
+    return EvolutionResult(
+        best=best,
+        best_eval=best_eval,
+        generations=cfg.steps,
+        evaluations=evaluations,
+        threshold=threshold,
+    )

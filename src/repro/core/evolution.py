@@ -1,0 +1,150 @@
+"""The (1 + lambda) evolution strategy of CGP (paper Section III-C).
+
+Starting from a parent (the seeded exact circuit, or the survivor of a
+previous target level), each generation creates ``lambda`` mutants,
+evaluates them with Eq. (1), and promotes the best offspring whenever it
+is *at least as fit* as the parent — the neutral-drift rule that CGP
+relies on to traverse plateaus.
+
+Two standard accelerations are implemented, neither of which changes the
+search semantics:
+
+* offspring whose mutations touch only inactive genes inherit the parent's
+  evaluation without simulation (their phenotype is identical);
+* the evaluator precomputes stimulus / reference / weights once per run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .chromosome import Chromosome
+from .fitness import EvalResult, MultiplierFitness
+from .mutation import mutate
+
+__all__ = ["EvolutionConfig", "EvolutionResult", "evolve"]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Search hyper-parameters (paper defaults).
+
+    ``tie_break_error`` refines Eq. (1)'s acceptance: among candidates of
+    equal area (including the infeasible ones), the one with lower WMED is
+    preferred.  This keeps all of CGP's neutral drift over genotypes with
+    identical (area, WMED) while preventing the search from silently
+    drifting *toward* the error budget on plateaus — which matters at
+    small evaluation budgets.  Set to ``False`` for the paper's literal
+    area-only fitness.
+    """
+
+    generations: int = 10_000
+    lam: int = 4
+    h: int = 5
+    neutral_drift: bool = True
+    skip_neutral_evaluations: bool = True
+    tie_break_error: bool = True
+    time_limit_s: Optional[float] = None
+    history_every: int = 0
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one CGP run at a fixed WMED target."""
+
+    best: Chromosome
+    best_eval: EvalResult
+    generations: int
+    evaluations: int
+    threshold: float
+    history: List[Tuple[int, float, float]] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.best_eval.feasible()
+
+
+def evolve(
+    seed: Chromosome,
+    evaluator: MultiplierFitness,
+    threshold: float,
+    config: Optional[EvolutionConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> EvolutionResult:
+    """Run (1 + lambda) CGP minimizing Eq. (1) at one WMED target.
+
+    Args:
+        seed: Initial parent (typically a seeded exact multiplier, whose
+            WMED of 0 satisfies any threshold).
+        evaluator: Precomputed :class:`MultiplierFitness`.
+        threshold: WMED target ``E_i`` (normalized units, e.g. 0.005 for
+            the paper's 0.5 %).
+        config: Search hyper-parameters.
+        rng: Random source (fresh default generator when omitted).
+
+    Returns:
+        :class:`EvolutionResult` with the final parent (the best feasible
+        circuit found, by construction of the acceptance rule).
+    """
+    cfg = config or EvolutionConfig()
+    rng = rng or np.random.default_rng()
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+
+    parent = seed.copy()
+    parent_eval = evaluator.evaluate(parent, threshold)
+    evaluations = 1
+    history: List[Tuple[int, float, float]] = []
+    deadline = (
+        time.monotonic() + cfg.time_limit_s if cfg.time_limit_s else None
+    )
+
+    def sort_key(result: EvalResult):
+        if cfg.tie_break_error:
+            return (result.fitness, result.wmed)
+        return (result.fitness,)
+
+    generation = 0
+    for generation in range(1, cfg.generations + 1):
+        active_positions = set(int(x) for x in parent.active_gene_positions())
+        best_child: Optional[Chromosome] = None
+        best_eval: Optional[EvalResult] = None
+        for _ in range(cfg.lam):
+            child, changed = mutate(parent, cfg.h, rng)
+            neutral = cfg.skip_neutral_evaluations and not any(
+                pos in active_positions for pos in changed
+            )
+            if neutral:
+                child_eval = parent_eval
+            else:
+                child_eval = evaluator.evaluate(child, threshold)
+                evaluations += 1
+            if best_eval is None or sort_key(child_eval) < sort_key(best_eval):
+                best_child, best_eval = child, child_eval
+        assert best_child is not None and best_eval is not None
+
+        accept = (
+            sort_key(best_eval) <= sort_key(parent_eval)
+            if cfg.neutral_drift
+            else sort_key(best_eval) < sort_key(parent_eval)
+        )
+        if accept:
+            parent, parent_eval = best_child, best_eval
+
+        if cfg.history_every and generation % cfg.history_every == 0:
+            history.append((generation, parent_eval.wmed, parent_eval.area))
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+
+    return EvolutionResult(
+        best=parent,
+        best_eval=parent_eval,
+        generations=generation,
+        evaluations=evaluations,
+        threshold=threshold,
+        history=history,
+    )

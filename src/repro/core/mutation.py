@@ -1,0 +1,79 @@
+"""The CGP mutation operator.
+
+The paper's search uses a single variation operator: point mutation that
+"randomly modifies up to ``h`` randomly selected integers of the string",
+always producing a structurally valid circuit.  Positions are drawn with
+replacement, and a redrawn gene may coincide with its old value, so the
+number of *effective* changes is at most ``h`` — matching the paper's
+"up to" phrasing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .chromosome import Chromosome
+
+__all__ = ["mutate", "random_gene_value", "randomize_output_genes"]
+
+
+def random_gene_value(
+    chromosome: Chromosome, position: int, rng: np.random.Generator
+) -> int:
+    """Draw a uniformly random legal value for one genome position."""
+    p = chromosome.params
+    gpn = p.genes_per_node
+    node_genes_end = p.num_nodes * gpn
+    if position < node_genes_end:
+        node, slot = divmod(position, gpn)
+        if slot == p.arity:  # function gene
+            return int(rng.integers(0, len(p.functions)))
+        index = int(rng.integers(0, p.num_sources(node)))
+        return p.source_address(node, index)
+    lo, hi = p.output_range()
+    return int(rng.integers(lo, hi))
+
+
+def mutate(
+    parent: Chromosome,
+    h: int,
+    rng: np.random.Generator,
+) -> (Chromosome, List[int]):
+    """Create one offspring by point-mutating up to ``h`` genes.
+
+    Args:
+        parent: Chromosome to copy and perturb.
+        h: Maximum number of modified genes (the paper uses ``h = 5``).
+        rng: Random source.
+
+    Returns:
+        ``(offspring, changed_positions)`` where ``changed_positions``
+        lists the genome positions whose value actually changed — the
+        evolution loop uses it to detect phenotypically neutral offspring.
+    """
+    if h <= 0:
+        raise ValueError("h must be positive")
+    child = Chromosome(parent.params, parent.genes.copy())
+    changed: List[int] = []
+    positions = rng.integers(0, parent.params.genome_length, size=h)
+    for position in positions:
+        position = int(position)
+        new_value = random_gene_value(child, position, rng)
+        if new_value != int(child.genes[position]):
+            child.genes[position] = new_value
+            changed.append(position)
+    child.invalidate_cache()
+    return child, changed
+
+
+def randomize_output_genes(
+    chromosome: Chromosome, rng: np.random.Generator
+) -> None:
+    """In-place re-draw of all output genes (used by tests/benchmarks)."""
+    p = chromosome.params
+    lo, hi = p.output_range()
+    start = p.num_nodes * p.genes_per_node
+    chromosome.genes[start:] = rng.integers(lo, hi, size=p.num_outputs)
+    chromosome.invalidate_cache()

@@ -1,0 +1,79 @@
+"""Pareto-front utilities over (error, cost) pairs.
+
+The paper constructs its trade-off fronts by repeating the constrained
+single-objective search for several target error levels and keeping the
+non-dominated results; these helpers implement the bookkeeping.
+Both objectives are minimized.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["dominates", "pareto_indices", "pareto_points", "hypervolume_2d"]
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when point ``a`` Pareto-dominates ``b`` (minimization)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def pareto_indices(
+    errors: Sequence[float], costs: Sequence[float]
+) -> List[int]:
+    """Indices of non-dominated (error, cost) points, sorted by error.
+
+    Duplicate points are kept once (first occurrence wins).
+    """
+    errors = np.asarray(errors, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if errors.shape != costs.shape:
+        raise ValueError("errors and costs must have equal length")
+    order = np.lexsort((costs, errors))
+    front: List[int] = []
+    best_cost = np.inf
+    seen = set()
+    for idx in order:
+        point = (float(errors[idx]), float(costs[idx]))
+        if point in seen:
+            continue
+        if costs[idx] < best_cost:
+            front.append(int(idx))
+            best_cost = float(costs[idx])
+            seen.add(point)
+    return front
+
+
+def pareto_points(
+    points: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Non-dominated subset of (error, cost) points, sorted by error."""
+    if not points:
+        return []
+    errors = [p[0] for p in points]
+    costs = [p[1] for p in points]
+    return [points[i] for i in pareto_indices(errors, costs)]
+
+
+def hypervolume_2d(
+    points: Sequence[Tuple[float, float]],
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated hypervolume w.r.t. ``reference`` (minimization).
+
+    A scalar quality figure for comparing whole fronts, used by the
+    ablation benchmarks.
+    """
+    front = pareto_points(
+        [p for p in points if p[0] <= reference[0] and p[1] <= reference[1]]
+    )
+    volume = 0.0
+    prev_error = reference[0]
+    for error, cost in sorted(front, reverse=True):
+        if cost >= reference[1]:
+            continue
+        volume += (prev_error - error) * (reference[1] - cost)
+        prev_error = error
+    return volume

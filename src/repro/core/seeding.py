@@ -1,0 +1,119 @@
+"""Seeding CGP with conventional exact circuits.
+
+The paper initializes every run with a conventional exact multiplier
+("the initial population of CGP is seeded with different conventional
+implementations of exact multipliers", ``c = 320 ... 490`` depending on
+the seed).  :func:`netlist_to_chromosome` performs that embedding: each
+netlist gate becomes one CGP node in address order; surplus columns are
+filled with inactive identity nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..circuits.gates import gate_function
+from ..circuits.netlist import Netlist
+from .chromosome import CGP_FUNCTION_SET, CGPParams, Chromosome
+
+__all__ = ["netlist_to_chromosome", "params_for_netlist", "random_chromosome"]
+
+
+def params_for_netlist(
+    netlist: Netlist,
+    extra_columns: int = 0,
+    functions=CGP_FUNCTION_SET,
+) -> CGPParams:
+    """CGP parameters sized to host ``netlist`` (plus spare columns).
+
+    The paper's column counts (320...490 for 8-bit multipliers) are
+    exactly "seed gate count, structure-dependent"; ``extra_columns`` adds
+    slack the search can grow into.
+    """
+    return CGPParams(
+        num_inputs=netlist.num_inputs,
+        num_outputs=netlist.num_outputs,
+        columns=len(netlist.gates) + extra_columns,
+        rows=1,
+        functions=tuple(functions),
+    )
+
+
+def netlist_to_chromosome(
+    netlist: Netlist,
+    params: Optional[CGPParams] = None,
+) -> Chromosome:
+    """Encode a netlist as a CGP chromosome.
+
+    Gate ``k`` of the netlist occupies node ``k``; because netlists are
+    topologically ordered by construction, every source reference is
+    automatically legal under full levels-back.  Remaining nodes are
+    filled with ``BUF`` of input 0 (inactive padding).
+
+    Args:
+        netlist: Circuit to embed (``r = 1`` assumed in ``params``).
+        params: Target CGP shape; defaults to a tight fit.
+
+    Raises:
+        ValueError: if the netlist does not fit or uses functions outside
+            the parameter function set.
+    """
+    if params is None:
+        params = params_for_netlist(netlist)
+    if params.rows != 1:
+        raise ValueError("seeding requires rows == 1")
+    if params.num_inputs != netlist.num_inputs:
+        raise ValueError("input count mismatch")
+    if params.num_outputs != netlist.num_outputs:
+        raise ValueError("output count mismatch")
+    if len(netlist.gates) > params.num_nodes:
+        raise ValueError(
+            f"netlist has {len(netlist.gates)} gates, "
+            f"chromosome only {params.num_nodes} nodes"
+        )
+    fn_index = {name: i for i, name in enumerate(params.functions)}
+    try:
+        pad_fn = fn_index["BUF"]
+    except KeyError:
+        pad_fn = 0
+
+    genes = np.zeros(params.genome_length, dtype=np.int64)
+    gpn = params.genes_per_node
+    for k, gate in enumerate(netlist.gates):
+        if gate.fn not in fn_index:
+            raise ValueError(
+                f"gate function {gate.fn!r} not in CGP function set"
+            )
+        genes[k * gpn] = gate.inputs[0]
+        genes[k * gpn + 1] = gate.inputs[1]
+        genes[k * gpn + 2] = fn_index[gate.fn]
+    for k in range(len(netlist.gates), params.num_nodes):
+        genes[k * gpn] = 0
+        genes[k * gpn + 1] = 0
+        genes[k * gpn + 2] = pad_fn
+    genes[params.num_nodes * gpn:] = netlist.outputs
+    return Chromosome(params, genes)
+
+
+def random_chromosome(
+    params: CGPParams, rng: np.random.Generator
+) -> Chromosome:
+    """Uniformly random (valid) chromosome — for tests and ablations."""
+    genes = np.zeros(params.genome_length, dtype=np.int64)
+    gpn = params.genes_per_node
+    for node in range(params.num_nodes):
+        n_src = params.num_sources(node)
+        genes[node * gpn] = params.source_address(
+            node, int(rng.integers(0, n_src))
+        )
+        genes[node * gpn + 1] = params.source_address(
+            node, int(rng.integers(0, n_src))
+        )
+        genes[node * gpn + 2] = int(rng.integers(0, len(params.functions)))
+    lo, hi = params.output_range()
+    genes[params.num_nodes * gpn:] = rng.integers(
+        lo, hi, size=params.num_outputs
+    )
+    return Chromosome(params, genes)

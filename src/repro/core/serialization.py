@@ -1,0 +1,109 @@
+"""Chromosome serialization in a compact CGP string format.
+
+Evolved circuits are published (EvoApprox-style) as one-line CGP
+chromosome strings so they can be archived, diffed and re-imported
+without pickling.  Format::
+
+    {ni,no,c,r,na,lb,fn0|fn1|...}([s0,s1,f],[s0,s1,f],...)(o0,o1,...)
+
+* header: structural parameters; ``lb`` is the levels-back value or ``*``
+  for unrestricted; the function set is recorded by name,
+* one ``[src_a,src_b,fn_index]`` triple per node,
+* the output gene list.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+import numpy as np
+
+from .chromosome import CGPParams, Chromosome
+
+__all__ = ["chromosome_to_string", "chromosome_from_string"]
+
+_HEADER_RE = re.compile(r"^\{([^}]*)\}")
+_NODE_RE = re.compile(r"\[(\-?\d+),(\-?\d+),(\-?\d+)\]")
+_OUTPUT_RE = re.compile(r"\(([\d,\s]*)\)$")
+
+
+def chromosome_to_string(chromosome: Chromosome) -> str:
+    """Serialize a chromosome (parameters + genome) to one line."""
+    p = chromosome.params
+    lb = "*" if p.levels_back is None else str(p.levels_back)
+    header = (
+        f"{{{p.num_inputs},{p.num_outputs},{p.columns},{p.rows},"
+        f"{p.arity},{lb},{'|'.join(p.functions)}}}"
+    )
+    nodes = []
+    for node in range(p.num_nodes):
+        a, b, fn = chromosome.node_genes(node)
+        nodes.append(f"[{a},{b},{fn}]")
+    outputs = ",".join(str(int(o)) for o in chromosome.output_genes)
+    return f"{header}({''.join(nodes)})({outputs})"
+
+
+def chromosome_from_string(text: str) -> Chromosome:
+    """Parse a string produced by :func:`chromosome_to_string`.
+
+    Raises:
+        ValueError: on malformed input or gene counts inconsistent with
+            the header.
+    """
+    text = text.strip()
+    header_match = _HEADER_RE.match(text)
+    if not header_match:
+        raise ValueError("missing {ni,no,c,r,na,lb,functions} header")
+    fields = header_match.group(1).split(",", 6)
+    if len(fields) != 7:
+        raise ValueError(f"header needs 7 fields, got {len(fields)}")
+    ni, no, c, r, na = (int(v) for v in fields[:5])
+    lb = None if fields[5] == "*" else int(fields[5])
+    functions: Tuple[str, ...] = tuple(fields[6].split("|"))
+    params = CGPParams(
+        num_inputs=ni,
+        num_outputs=no,
+        columns=c,
+        rows=r,
+        arity=na,
+        functions=functions,
+        levels_back=lb,
+    )
+
+    body = text[header_match.end():]
+    nodes = _NODE_RE.findall(body)
+    if len(nodes) != params.num_nodes:
+        raise ValueError(
+            f"expected {params.num_nodes} node triples, found {len(nodes)}"
+        )
+    out_match = _OUTPUT_RE.search(body)
+    if not out_match:
+        raise ValueError("missing output gene list")
+    outs = [int(v) for v in out_match.group(1).split(",") if v.strip()]
+    if len(outs) != no:
+        raise ValueError(f"expected {no} output genes, found {len(outs)}")
+
+    genes = np.zeros(params.genome_length, dtype=np.int64)
+    gpn = params.genes_per_node
+    for k, (a, b, fn) in enumerate(nodes):
+        genes[k * gpn] = int(a)
+        genes[k * gpn + 1] = int(b)
+        genes[k * gpn + 2] = int(fn)
+    genes[params.num_nodes * gpn:] = outs
+    chromosome = Chromosome(params, genes)
+
+    # Structural validation: every gene must be legal.
+    for node in range(params.num_nodes):
+        a, b, fn = chromosome.node_genes(node)
+        if not 0 <= fn < len(functions):
+            raise ValueError(f"node {node}: function index {fn} out of range")
+        arity = 2  # connection genes must be legal regardless of arity
+        for src in (a, b)[:arity]:
+            if not params.legal_source(node, src):
+                raise ValueError(f"node {node}: illegal source {src}")
+    lo, hi = params.output_range()
+    for out in outs:
+        if not lo <= out < hi:
+            raise ValueError(f"output gene {out} out of range")
+    return chromosome

@@ -1,0 +1,233 @@
+"""Operand value distributions (probability mass functions).
+
+A :class:`Distribution` assigns a probability to every value an operand of
+a ``w``-bit component can take.  It is the object the paper's WMED metric
+is parameterized by: the weight of input vector ``(x, y)`` is ``D(x)``.
+
+Index convention
+----------------
+``pmf[k]`` is the probability of the operand whose *raw bit pattern* is
+``k`` (``0 <= k < 2**width``).  For signed operands the numeric value of
+pattern ``k`` is its two's-complement decoding; :attr:`Distribution.values`
+gives the pattern -> value map.  Keeping the raw-pattern order makes the
+pmf line up directly with the exhaustive-simulation vector order.
+
+Provided constructors cover the paper's distributions:
+
+* :func:`uniform` — Du,
+* :func:`discretized_normal` — D1 (normal, arbitrary mean/std),
+* :func:`discretized_half_normal` — D2 (half-normal, decaying from 0),
+* :func:`empirical` — measured from application data (NN weights, filter
+  coefficients), the "data-driven" path of the method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "uniform",
+    "discretized_normal",
+    "discretized_half_normal",
+    "empirical",
+    "from_pmf",
+    "paper_d1",
+    "paper_d2",
+]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A PMF over the ``2**width`` bit patterns of a circuit operand.
+
+    Attributes:
+        width: Operand bit width.
+        signed: Whether patterns decode as two's complement.
+        pmf: Probabilities indexed by raw bit pattern; sums to 1.
+        name: Label used in reports.
+    """
+
+    width: int
+    signed: bool
+    pmf: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        pmf = np.asarray(self.pmf, dtype=np.float64)
+        if pmf.shape != (1 << self.width,):
+            raise ValueError(
+                f"pmf must have 2**{self.width} entries, got {pmf.shape}"
+            )
+        if np.any(pmf < 0):
+            raise ValueError("pmf entries must be non-negative")
+        total = pmf.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ValueError("pmf must have positive finite mass")
+        object.__setattr__(self, "pmf", pmf / total)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct operand patterns, ``2**width``."""
+        return 1 << self.width
+
+    @property
+    def values(self) -> np.ndarray:
+        """Numeric operand value for each raw pattern index."""
+        raw = np.arange(self.size, dtype=np.int64)
+        if self.signed:
+            half = self.size >> 1
+            return np.where(raw >= half, raw - self.size, raw)
+        return raw
+
+    def probability_of_value(self, value: int) -> float:
+        """Probability of a numeric operand value."""
+        idx = int(value) & (self.size - 1)
+        lo, hi = (-(self.size >> 1), (self.size >> 1) - 1) if self.signed else (
+            0,
+            self.size - 1,
+        )
+        if not lo <= value <= hi:
+            raise ValueError(f"value {value} outside {self.width}-bit range")
+        return float(self.pmf[idx])
+
+    def mean(self) -> float:
+        """Expected numeric operand value."""
+        return float(np.dot(self.pmf, self.values))
+
+    def entropy(self) -> float:
+        """Shannon entropy in bits."""
+        p = self.pmf[self.pmf > 0]
+        return float(-(p * np.log2(p)).sum())
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw numeric operand values according to the PMF."""
+        idx = rng.choice(self.size, size=count, p=self.pmf)
+        return self.values[idx]
+
+    def renamed(self, name: str) -> "Distribution":
+        return Distribution(self.width, self.signed, self.pmf, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or ("signed" if self.signed else "unsigned")
+        return f"<Distribution {label}: width={self.width}>"
+
+
+def from_pmf(
+    pmf: np.ndarray, width: int, signed: bool = False, name: str = ""
+) -> Distribution:
+    """Wrap a raw-pattern-indexed PMF array (normalizing it)."""
+    return Distribution(width=width, signed=signed, pmf=pmf, name=name)
+
+
+def uniform(width: int, signed: bool = False, name: str = "Du") -> Distribution:
+    """Uniform distribution Du — the conventional-metric reference."""
+    return Distribution(
+        width=width,
+        signed=signed,
+        pmf=np.full(1 << width, 1.0 / (1 << width)),
+        name=name,
+    )
+
+
+def _pmf_from_density(values: np.ndarray, density: np.ndarray) -> np.ndarray:
+    pmf = np.asarray(density, dtype=np.float64)
+    pmf = np.clip(pmf, 0.0, None)
+    return pmf
+
+
+def discretized_normal(
+    width: int,
+    mean: float,
+    std: float,
+    signed: bool = False,
+    name: str = "",
+) -> Distribution:
+    """Normal density discretized over the operand's numeric range.
+
+    The paper's D1 is an "arbitrarily chosen" normal over 0..255; see
+    :func:`paper_d1` for that instance.
+    """
+    if std <= 0:
+        raise ValueError("std must be positive")
+    probe = Distribution(width, signed, np.full(1 << width, 1.0))
+    vals = probe.values.astype(np.float64)
+    density = np.exp(-0.5 * ((vals - mean) / std) ** 2)
+    return Distribution(width, signed, _pmf_from_density(vals, density), name)
+
+
+def discretized_half_normal(
+    width: int,
+    sigma: float,
+    signed: bool = False,
+    name: str = "",
+) -> Distribution:
+    """Half-normal density: mass decays from 0 with scale ``sigma``.
+
+    For signed operands the density is symmetric in ``|value|`` — the
+    natural analogue used for zero-peaked NN weight distributions.  For
+    unsigned operands it decays from 0 upward (the paper's D2 shape).
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    probe = Distribution(width, signed, np.full(1 << width, 1.0))
+    vals = np.abs(probe.values.astype(np.float64))
+    density = np.exp(-0.5 * (vals / sigma) ** 2)
+    return Distribution(width, signed, _pmf_from_density(vals, density), name)
+
+
+def empirical(
+    samples: np.ndarray,
+    width: int,
+    signed: bool = False,
+    name: str = "empirical",
+    smoothing: float = 0.0,
+) -> Distribution:
+    """PMF measured from observed operand values.
+
+    This is the data-driven entry point: feed it the quantized weights of
+    a trained network (or any signal trace) and use the result as the
+    WMED weighting distribution.
+
+    Args:
+        samples: Integer operand values; must fit in ``width`` bits with
+            the requested signedness.
+        width: Operand bit width.
+        signed: Two's-complement decoding of patterns.
+        name: Report label.
+        smoothing: Additive (Laplace) smoothing mass per pattern.  Zero
+            keeps unobserved patterns at exactly zero weight, which lets
+            CGP approximate them arbitrarily aggressively — pass a small
+            value (e.g. ``1e-4``) to retain a safety floor.
+    """
+    samples = np.asarray(samples).astype(np.int64).ravel()
+    size = 1 << width
+    lo, hi = (-(size >> 1), (size >> 1) - 1) if signed else (0, size - 1)
+    if samples.size and (samples.min() < lo or samples.max() > hi):
+        raise ValueError(
+            f"samples outside {width}-bit {'signed' if signed else 'unsigned'} range"
+        )
+    patterns = samples & (size - 1)
+    counts = np.bincount(patterns, minlength=size).astype(np.float64)
+    counts += smoothing
+    if counts.sum() == 0:
+        raise ValueError("no samples and no smoothing: empty distribution")
+    return Distribution(width, signed, counts, name)
+
+
+def paper_d1(width: int = 8) -> Distribution:
+    """The paper's D1: normal centered mid-range (peak near 127 for 8-bit)."""
+    center = (1 << width) / 2 - 0.5
+    return discretized_normal(
+        width, mean=center, std=(1 << width) / 6.7, signed=False, name="D1"
+    )
+
+
+def paper_d2(width: int = 8) -> Distribution:
+    """The paper's D2: half-normal decaying from 0."""
+    return discretized_half_normal(
+        width, sigma=(1 << width) / 3.35, signed=False, name="D2"
+    )

@@ -1,0 +1,221 @@
+"""Arithmetic error metrics, including the paper's WMED.
+
+All metrics operate on two integer truth tables in vector order (see
+:mod:`repro.errors.truth_tables`): the exact function and a candidate
+approximation.  The central metric is the **weighted mean error distance**:
+
+.. math::
+
+    \\mathrm{WMED}_D(\\tilde M) \\propto \\sum_{i,j}
+        \\alpha_{i,j} \\, | i \\cdot j - \\tilde M(i, j) |,
+    \\qquad \\alpha_{i,j} = D(i)
+
+Normalization: the paper divides by :math:`2^{2w}` and reports percent.
+Taken literally that constant does not bound the metric by 1, so for
+percentage reporting we normalize the weighted expected error distance by
+the maximum exact product magnitude, which *is* bounded by 1 and preserves
+the paper's threshold semantics.  Both conventions are exposed:
+
+* :func:`wmed` — ``E_{i~D, j~U}[|err|] / max|product|``   (used everywhere),
+* :func:`wmed_paper` — the literal Eq. (WMED) value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .distributions import Distribution
+from .truth_tables import max_product_magnitude, vector_weights
+
+__all__ = [
+    "error_distances",
+    "mean_error_distance",
+    "normalized_med",
+    "wmed",
+    "wmed_paper",
+    "mean_relative_error",
+    "error_rate",
+    "worst_case_error",
+    "error_bias",
+    "ErrorReport",
+    "evaluate_errors",
+]
+
+
+def _check(exact: np.ndarray, approx: np.ndarray) -> (np.ndarray, np.ndarray):
+    exact = np.asarray(exact, dtype=np.int64).ravel()
+    approx = np.asarray(approx, dtype=np.int64).ravel()
+    if exact.shape != approx.shape:
+        raise ValueError(
+            f"truth tables differ in length: {exact.shape} vs {approx.shape}"
+        )
+    if exact.size == 0:
+        raise ValueError("empty truth tables")
+    return exact, approx
+
+
+def error_distances(exact: np.ndarray, approx: np.ndarray) -> np.ndarray:
+    """Absolute error ``|exact - approx|`` per input vector."""
+    exact, approx = _check(exact, approx)
+    return np.abs(exact - approx)
+
+
+def mean_error_distance(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """(Weighted) mean error distance in absolute output units.
+
+    With ``weights`` the result is ``sum(w * |err|) / sum(w)`` — the
+    expected error distance under the weight distribution.  Without, all
+    vectors count equally (classic MED under uniform inputs).
+    """
+    dist = error_distances(exact, approx).astype(np.float64)
+    if weights is None:
+        return float(dist.mean())
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if weights.shape != dist.shape:
+        raise ValueError("weights length must match truth tables")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive mass")
+    return float(np.dot(weights, dist) / total)
+
+
+def normalized_med(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    width: int,
+    signed: bool,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """MED normalized by the maximum exact product magnitude, in [0, ~1]."""
+    med = mean_error_distance(exact, approx, weights)
+    return med / max_product_magnitude(width, signed)
+
+
+def wmed(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    dist: Distribution,
+    width: Optional[int] = None,
+) -> float:
+    """Weighted mean error distance, normalized to [0, ~1].
+
+    ``wmed = E_{x ~ D, y ~ Uniform}[ |x*y - approx(x,y)| ] / max|x*y|``.
+    Multiply by 100 to get the percentage figures the paper quotes
+    (0.005 % ... 10 %).
+
+    Args:
+        exact: Exact product truth table, vector order.
+        approx: Candidate truth table, vector order.
+        dist: Distribution of the ``x`` operand (low input half).
+        width: Operand width; defaults to ``dist.width``.
+    """
+    width = dist.width if width is None else width
+    weights = vector_weights(dist, width)
+    return normalized_med(exact, approx, width, dist.signed, weights)
+
+
+def wmed_paper(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    dist: Distribution,
+    width: Optional[int] = None,
+) -> float:
+    """The literal Eq. (WMED): ``(1 / 2**(2w)) * sum alpha |err|``."""
+    width = dist.width if width is None else width
+    weights = vector_weights(dist, width)
+    dist_abs = error_distances(exact, approx).astype(np.float64)
+    return float(np.dot(weights, dist_abs) / (1 << (2 * width)))
+
+
+def mean_relative_error(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    epsilon: float = 1.0,
+) -> float:
+    """Mean relative error ``|err| / max(|exact|, epsilon)``."""
+    exact, approx = _check(exact, approx)
+    rel = np.abs(exact - approx) / np.maximum(np.abs(exact), epsilon)
+    if weights is None:
+        return float(rel.mean())
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    return float(np.dot(weights, rel) / weights.sum())
+
+
+def error_rate(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Fraction (or weighted probability) of vectors with any error."""
+    exact, approx = _check(exact, approx)
+    wrong = (exact != approx).astype(np.float64)
+    if weights is None:
+        return float(wrong.mean())
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    return float(np.dot(weights, wrong) / weights.sum())
+
+
+def worst_case_error(exact: np.ndarray, approx: np.ndarray) -> int:
+    """Largest absolute error over all vectors."""
+    return int(error_distances(exact, approx).max())
+
+
+def error_bias(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+) -> float:
+    """Signed mean error ``E[approx - exact]`` (accumulation bias)."""
+    exact, approx = _check(exact, approx)
+    signed_err = (approx - exact).astype(np.float64)
+    if weights is None:
+        return float(signed_err.mean())
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    return float(np.dot(weights, signed_err) / weights.sum())
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Bundle of standard error figures for one candidate circuit."""
+
+    med: float
+    wmed: float
+    wmed_percent: float
+    mre: float
+    error_rate: float
+    worst_case: int
+    bias: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WMED={self.wmed_percent:.4f}%  MED={self.med:.2f}  "
+            f"MRE={self.mre:.4f}  ER={self.error_rate:.3f}  "
+            f"WCE={self.worst_case}  bias={self.bias:+.2f}"
+        )
+
+
+def evaluate_errors(
+    exact: np.ndarray,
+    approx: np.ndarray,
+    dist: Distribution,
+) -> ErrorReport:
+    """Compute the full :class:`ErrorReport` for a candidate truth table."""
+    weights = vector_weights(dist, dist.width)
+    w = wmed(exact, approx, dist)
+    return ErrorReport(
+        med=mean_error_distance(exact, approx),
+        wmed=w,
+        wmed_percent=100.0 * w,
+        mre=mean_relative_error(exact, approx, weights),
+        error_rate=error_rate(exact, approx, weights),
+        worst_case=worst_case_error(exact, approx),
+        bias=error_bias(exact, approx, weights),
+    )

@@ -1,0 +1,110 @@
+"""Helpers tying truth tables, operand values and WMED weights together.
+
+Everything in the error package works on *vector order*: for a two-operand
+``w``-bit component, input vector ``v`` encodes operand ``x`` in its low
+``w`` bits and operand ``y`` in its high ``w`` bits (the layout produced by
+:func:`repro.circuits.simulator.exhaustive_inputs` for the generator
+circuits).  Truth tables, reference products and weight vectors are all
+``2**(2w)``-long arrays in this order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distributions import Distribution
+
+__all__ = [
+    "operand_values",
+    "operand_index_grids",
+    "exact_product_table",
+    "vector_weights",
+    "vector_weights_joint",
+    "weight_matrix",
+    "table_as_matrix",
+    "max_product_magnitude",
+]
+
+
+def operand_values(width: int, signed: bool) -> np.ndarray:
+    """Numeric value of each raw ``width``-bit pattern, pattern order."""
+    raw = np.arange(1 << width, dtype=np.int64)
+    if signed:
+        half = 1 << (width - 1)
+        return np.where(raw >= half, raw - (1 << width), raw)
+    return raw
+
+
+def operand_index_grids(width: int) -> (np.ndarray, np.ndarray):
+    """Raw pattern indices ``(x_idx, y_idx)`` for every input vector."""
+    n = 1 << width
+    x_idx = np.tile(np.arange(n, dtype=np.int64), n)
+    y_idx = np.repeat(np.arange(n, dtype=np.int64), n)
+    return x_idx, y_idx
+
+
+def exact_product_table(width: int, signed: bool) -> np.ndarray:
+    """Exact products ``x * y`` for every input vector, vector order."""
+    vals = operand_values(width, signed)
+    x_idx, y_idx = operand_index_grids(width)
+    return vals[x_idx] * vals[y_idx]
+
+
+def vector_weights(dist: Distribution, width: int) -> np.ndarray:
+    """Per-vector WMED weights ``alpha[v] = D(x(v))``, vector order.
+
+    The distribution applies to the ``x`` operand (the low input half),
+    matching the paper's setup where one operand is an arbitrary input
+    value and the other follows the application's data distribution.
+    """
+    if dist.width != width:
+        raise ValueError(
+            f"distribution width {dist.width} != component width {width}"
+        )
+    x_idx, _ = operand_index_grids(width)
+    return dist.pmf[x_idx]
+
+
+def vector_weights_joint(
+    dist_x: Distribution, dist_y: Distribution
+) -> np.ndarray:
+    """Per-vector weights ``alpha[v] = Dx(x(v)) * Dy(y(v))``.
+
+    The paper notes that ``alpha_{i,j} = D(i)`` is one choice and "a
+    different approach can be chosen in general"; weighting *both*
+    operands is the natural extension when both follow known statistics
+    (e.g. weights x activations in a neural network).
+    """
+    if dist_x.width != dist_y.width:
+        raise ValueError("operand widths differ")
+    if dist_x.signed != dist_y.signed:
+        raise ValueError("operand signedness differs")
+    x_idx, y_idx = operand_index_grids(dist_x.width)
+    return dist_x.pmf[x_idx] * dist_y.pmf[y_idx]
+
+
+def weight_matrix(dist: Distribution) -> np.ndarray:
+    """The full ``alpha[i, j] = D(i)`` matrix (rows = x pattern index)."""
+    n = dist.size
+    return np.repeat(dist.pmf[:, None], n, axis=1)
+
+
+def table_as_matrix(table: np.ndarray, width: int) -> np.ndarray:
+    """Reshape a vector-order truth table into an ``[x, y]`` matrix.
+
+    ``matrix[x_idx, y_idx]`` is the circuit output for raw operand
+    patterns ``x_idx`` (low input half) and ``y_idx`` (high input half).
+    This is the LUT format consumed by the image-filter and NN substrates.
+    """
+    n = 1 << width
+    table = np.asarray(table).ravel()
+    if table.shape != (n * n,):
+        raise ValueError(f"table must have {n * n} entries, got {table.shape}")
+    return table.reshape(n, n).T.copy()
+
+
+def max_product_magnitude(width: int, signed: bool) -> int:
+    """Largest ``|x * y|`` attainable by a ``width``-bit multiplier."""
+    if signed:
+        return (1 << (width - 1)) ** 2
+    return ((1 << width) - 1) ** 2

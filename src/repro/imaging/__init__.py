@@ -1,0 +1,38 @@
+"""Image-filter substrate: synthetic images, noise, Gaussian filter, PSNR."""
+
+from .filters import (
+    estimate_filter_power,
+    filter_image,
+    filter_image_lut,
+    gaussian_kernel_3x3,
+    kernel_coefficient_distribution,
+    kernel_shift,
+)
+from .images import (
+    blob_image,
+    checker_image,
+    gradient_image,
+    smooth_noise_image,
+    standard_image_suite,
+)
+from .noise import add_gaussian_noise, add_salt_pepper_noise
+from .psnr import average_psnr, mse, psnr
+
+__all__ = [
+    "estimate_filter_power",
+    "filter_image",
+    "filter_image_lut",
+    "gaussian_kernel_3x3",
+    "kernel_coefficient_distribution",
+    "kernel_shift",
+    "blob_image",
+    "checker_image",
+    "gradient_image",
+    "smooth_noise_image",
+    "standard_image_suite",
+    "add_gaussian_noise",
+    "add_salt_pepper_noise",
+    "average_psnr",
+    "mse",
+    "psnr",
+]

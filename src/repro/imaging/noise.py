@@ -1,0 +1,31 @@
+"""Noise injection for the denoising experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["add_gaussian_noise", "add_salt_pepper_noise"]
+
+
+def add_gaussian_noise(
+    image: np.ndarray, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Additive white Gaussian noise, clipped to the 8-bit range."""
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    noisy = image.astype(np.float64) + rng.normal(0.0, sigma, size=image.shape)
+    return np.clip(np.rint(noisy), 0, 255).astype(np.uint8)
+
+
+def add_salt_pepper_noise(
+    image: np.ndarray, amount: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Salt-and-pepper impulse noise with the given pixel fraction."""
+    if not 0 <= amount <= 1:
+        raise ValueError("amount must be in [0, 1]")
+    noisy = image.copy()
+    mask = rng.random(image.shape) < amount
+    salt = rng.random(image.shape) < 0.5
+    noisy[mask & salt] = 255
+    noisy[mask & ~salt] = 0
+    return noisy

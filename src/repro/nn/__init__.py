@@ -1,0 +1,52 @@
+"""Neural-network substrate: layers, training, quantization, approx MACs."""
+
+from .approx_layers import QuantizedModel, lut_matmul
+from .datasets import DIGIT_GLYPHS, mnist_like, render_digit, svhn_like
+from .finetune import FinetuneReport, finetune
+from .layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, ReLU, im2col
+from .network import Sequential, build_lenet5, build_mlp
+from .quantization import (
+    LayerQuantization,
+    calibrate,
+    quantize_array,
+    weight_distribution,
+)
+from .training import (
+    SGDMomentum,
+    TrainReport,
+    accuracy,
+    cross_entropy_loss,
+    softmax,
+    train,
+)
+
+__all__ = [
+    "QuantizedModel",
+    "lut_matmul",
+    "DIGIT_GLYPHS",
+    "mnist_like",
+    "render_digit",
+    "svhn_like",
+    "FinetuneReport",
+    "finetune",
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "ReLU",
+    "im2col",
+    "Sequential",
+    "build_lenet5",
+    "build_mlp",
+    "LayerQuantization",
+    "calibrate",
+    "quantize_array",
+    "weight_distribution",
+    "SGDMomentum",
+    "TrainReport",
+    "accuracy",
+    "cross_entropy_loss",
+    "softmax",
+    "train",
+]

@@ -1,0 +1,193 @@
+"""Quantized inference with (approximate) multiplier LUTs.
+
+:class:`QuantizedModel` executes a trained float network in the paper's
+MAC hardware model: activations and weights are 8-bit signed codes, every
+weight-activation product goes through the multiplier — exact, or an
+approximate one supplied as a 256x256 product LUT — and products are
+accumulated exactly in a wide register, then rescaled.
+
+The LUT convention follows :func:`repro.errors.truth_tables.table_as_matrix`:
+``lut[x_code & mask, y_code & mask]`` where the **x operand is the
+weight** (the operand whose distribution drives WMED) and the y operand
+is the activation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .layers import Conv2D, Dense, im2col
+from .network import Sequential
+from .quantization import LayerQuantization, calibrate
+
+__all__ = ["lut_matmul", "QuantizedModel"]
+
+#: Keep LUT-gather intermediates below roughly this many elements.
+_GATHER_CHUNK_ELEMENTS = 24_000_000
+
+
+def lut_matmul(
+    activations_q: np.ndarray,
+    weights_q: np.ndarray,
+    lut: np.ndarray,
+) -> np.ndarray:
+    """``activations_q @ weights_q`` with products taken from a LUT.
+
+    Args:
+        activations_q: ``(M, K)`` integer activation codes.
+        weights_q: ``(K, O)`` integer weight codes.
+        lut: ``(2**w, 2**w)`` product table indexed by raw bit patterns
+            ``lut[weight_code, activation_code]``.
+
+    Returns:
+        ``(M, O)`` int64 accumulator values.
+    """
+    m, k = activations_q.shape
+    k2, o = weights_q.shape
+    if k != k2:
+        raise ValueError("inner dimensions differ")
+    size = lut.shape[0]
+    if lut.shape != (size, size) or size & (size - 1):
+        raise ValueError("lut must be square with power-of-two size")
+    mask = size - 1
+    a_idx = (activations_q & mask).astype(np.intp)
+    w_idx = (weights_q & mask).astype(np.intp).T  # (O, K)
+    out = np.empty((m, o), dtype=np.int64)
+    rows_per_chunk = max(1, _GATHER_CHUNK_ELEMENTS // max(1, o * k))
+    lut = np.ascontiguousarray(lut, dtype=np.int64)
+    for start in range(0, m, rows_per_chunk):
+        stop = min(m, start + rows_per_chunk)
+        gathered = lut[w_idx[None, :, :], a_idx[start:stop, None, :]]
+        out[start:stop] = gathered.sum(axis=2)
+    return out
+
+
+class QuantizedModel:
+    """A float network lowered to the 8-bit approximate-MAC datapath.
+
+    Args:
+        network: Trained float network (not copied; fine-tuning updates
+            its parameters in place).
+        calibration_x: Data used to fix activation scales.
+        bits: Fixed-point width (8 in the paper).
+
+    The model keeps per-layer quantization state; :meth:`forward` runs
+    inference with an optional product LUT, :meth:`requantize` refreshes
+    weight codes after the float weights change (fine-tuning loop).
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        calibration_x: np.ndarray,
+        bits: int = 8,
+    ) -> None:
+        self.network = network
+        self.bits = bits
+        self.quants: List[LayerQuantization] = calibrate(
+            network, calibration_x, bits=bits
+        )
+        self._by_layer: Dict[int, LayerQuantization] = {
+            q.layer_index: q for q in self.quants
+        }
+
+    # ------------------------------------------------------------------
+    def requantize(self) -> None:
+        """Refresh quantized weights from the float network parameters."""
+        for q in self.quants:
+            layer = self.network.layers[q.layer_index]
+            q.requantize(layer.params["W"], layer.params["b"])
+
+    def _weighted_forward(
+        self,
+        layer,
+        q: LayerQuantization,
+        x: np.ndarray,
+        lut: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, dict]:
+        """One Dense/Conv layer through the quantized MAC datapath.
+
+        Returns the float output and a cache usable by the float layer's
+        ``backward`` (the straight-through-estimator path).
+        """
+        lo, hi = -(1 << (self.bits - 1)), (1 << (self.bits - 1)) - 1
+        x_q = np.clip(np.rint(x / q.a_scale), lo, hi).astype(np.int64)
+        if isinstance(layer, Dense):
+            flat_q = x_q
+            cache = {"x": x_q * q.a_scale}
+        elif isinstance(layer, Conv2D):
+            cols_q = im2col(x_q, layer.ksize)
+            n, oh, ow, k = cols_q.shape
+            flat_q = cols_q.reshape(-1, k)
+            cache = {
+                "cols": cols_q.reshape(n, oh, ow, k) * q.a_scale,
+                "x_shape": np.array(x.shape),
+            }
+        else:  # pragma: no cover - guarded by caller
+            raise TypeError(f"unsupported weighted layer {type(layer)}")
+
+        if lut is None:
+            acc = flat_q @ q.weights_q
+        else:
+            acc = lut_matmul(flat_q, q.weights_q, lut)
+
+        y = acc * q.product_scale + q.bias
+        if isinstance(layer, Conv2D):
+            n, oh, ow, _ = cache["cols"].shape
+            y = y.reshape(n, oh, ow, layer.out_channels)
+        return y, cache
+
+    def forward(
+        self,
+        x: np.ndarray,
+        lut: Optional[np.ndarray] = None,
+        collect_caches: bool = False,
+    ) -> Tuple[np.ndarray, Optional[List[dict]]]:
+        """Quantized forward pass.
+
+        Args:
+            x: Float inputs (batch axis first).
+            lut: Optional approximate-product LUT; ``None`` multiplies
+                exactly (the quantized reference model).
+            collect_caches: Also return per-layer caches suitable for the
+                float ``backward`` (used by fine-tuning's STE).
+
+        Returns:
+            ``(logits, caches)``; ``caches`` is ``None`` unless requested.
+        """
+        caches: List[dict] = []
+        for idx, layer in enumerate(self.network.layers):
+            q = self._by_layer.get(idx)
+            if q is None:
+                x, cache = layer.forward(x)
+            else:
+                x, cache = self._weighted_forward(layer, q, x, lut)
+            if collect_caches:
+                caches.append(cache)
+        return x, (caches if collect_caches else None)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        lut: Optional[np.ndarray] = None,
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Logits over a dataset, evaluated in batches."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            logits, _ = self.forward(x[start : start + batch_size], lut=lut)
+            outputs.append(logits)
+        return np.concatenate(outputs, axis=0)
+
+    def accuracy(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        lut: Optional[np.ndarray] = None,
+        batch_size: int = 256,
+    ) -> float:
+        """Top-1 accuracy of the quantized (optionally approximate) model."""
+        logits = self.predict(x, lut=lut, batch_size=batch_size)
+        return float((logits.argmax(axis=1) == labels).mean())

@@ -1,0 +1,218 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+A tiny but complete numpy deep-learning substrate: enough to train the
+paper's two reference networks (MLP-300 and a LeNet-5 variant) from
+scratch and to re-run their inference through quantized approximate MAC
+units.
+
+Conventions:
+
+* activations are ``float64`` arrays; images are NHWC
+  ``(batch, height, width, channels)``; dense activations are
+  ``(batch, features)``;
+* ``forward`` returns ``(output, cache)``; ``backward`` consumes the
+  upstream gradient plus that cache and returns ``(dx, grads)`` where
+  ``grads`` maps parameter names to gradient arrays;
+* parameters live in the ``params`` dict so optimizers and the
+  quantization engine can enumerate them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Layer", "Dense", "Conv2D", "AvgPool2D", "ReLU", "Flatten", "im2col"]
+
+Cache = Dict[str, np.ndarray]
+Grads = Dict[str, np.ndarray]
+
+
+class Layer:
+    """Base class; parameter-free layers inherit the defaults."""
+
+    #: Parameter name -> array; empty for stateless layers.
+    params: Dict[str, np.ndarray]
+
+    def __init__(self) -> None:
+        self.params = {}
+
+    @property
+    def has_weights(self) -> bool:
+        return "W" in self.params
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, Grads]:
+        raise NotImplementedError
+
+
+def _kaiming(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    ``W`` has shape ``(in_features, out_features)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": _kaiming(rng, in_features, (in_features, out_features)),
+            "b": np.zeros(out_features),
+        }
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expects (N, {self.in_features}), got {x.shape}"
+            )
+        y = x @ self.params["W"] + self.params["b"]
+        return y, {"x": x}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, Grads]:
+        x = cache["x"]
+        grads = {"W": x.T @ dy, "b": dy.sum(axis=0)}
+        dx = dy @ self.params["W"].T
+        return dx, grads
+
+
+def im2col(x: np.ndarray, ksize: int) -> np.ndarray:
+    """Extract valid ``ksize x ksize`` patches.
+
+    Args:
+        x: Input of shape ``(N, H, W, C)``.
+        ksize: Square kernel size.
+
+    Returns:
+        Array ``(N, OH, OW, ksize * ksize * C)`` where the last axis is
+        laid out ``(dy, dx, channel)`` — matching the Conv2D weight
+        layout.
+    """
+    n, h, w, c = x.shape
+    oh, ow = h - ksize + 1, w - ksize + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"kernel {ksize} too large for input {x.shape}")
+    cols = np.empty((n, oh, ow, ksize * ksize * c), dtype=x.dtype)
+    idx = 0
+    for dy in range(ksize):
+        for dx in range(ksize):
+            cols[:, :, :, idx : idx + c] = x[:, dy : dy + oh, dx : dx + ow, :]
+            idx += c
+    return cols
+
+
+class Conv2D(Layer):
+    """Valid (no padding, stride 1) 2-D convolution via im2col.
+
+    ``W`` has shape ``(ksize * ksize * in_channels, out_channels)`` so the
+    forward pass is a single matmul over patches — and, in the quantized
+    engine, a single LUT-gather MAC sweep.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        ksize: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.ksize = ksize
+        fan_in = ksize * ksize * in_channels
+        self.params = {
+            "W": _kaiming(rng, fan_in, (fan_in, out_channels)),
+            "b": np.zeros(out_channels),
+        }
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects (N, H, W, {self.in_channels}), got {x.shape}"
+            )
+        cols = im2col(x, self.ksize)
+        y = cols @ self.params["W"] + self.params["b"]
+        return y, {"cols": cols, "x_shape": np.array(x.shape)}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, Grads]:
+        cols = cache["cols"]
+        n, oh, ow, k2c = cols.shape
+        f = self.out_channels
+        cols2 = cols.reshape(-1, k2c)
+        dy2 = dy.reshape(-1, f)
+        grads = {"W": cols2.T @ dy2, "b": dy2.sum(axis=0)}
+
+        dcols = (dy2 @ self.params["W"].T).reshape(n, oh, ow, k2c)
+        x_shape = tuple(int(v) for v in cache["x_shape"])
+        dx = np.zeros(x_shape)
+        c = self.in_channels
+        idx = 0
+        for ddy in range(self.ksize):
+            for ddx in range(self.ksize):
+                dx[:, ddy : ddy + oh, ddx : ddx + ow, :] += dcols[
+                    :, :, :, idx : idx + c
+                ]
+                idx += c
+        return dx, grads
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling with a square window."""
+
+    def __init__(self, size: int = 2) -> None:
+        super().__init__()
+        if size <= 0:
+            raise ValueError("pool size must be positive")
+        self.size = size
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        n, h, w, c = x.shape
+        s = self.size
+        if h % s or w % s:
+            raise ValueError(f"input {x.shape} not divisible by pool {s}")
+        y = x.reshape(n, h // s, s, w // s, s, c).mean(axis=(2, 4))
+        return y, {"x_shape": np.array(x.shape)}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, Grads]:
+        n, h, w, c = (int(v) for v in cache["x_shape"])
+        s = self.size
+        dx = (
+            np.repeat(np.repeat(dy, s, axis=1), s, axis=2) / (s * s)
+        )
+        return dx.reshape(n, h, w, c), {}
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        mask = x > 0
+        return x * mask, {"mask": mask}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, Grads]:
+        return dy * cache["mask"], {}
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes."""
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        return x.reshape(x.shape[0], -1), {"x_shape": np.array(x.shape)}
+
+    def backward(self, dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, Grads]:
+        return dy.reshape(tuple(int(v) for v in cache["x_shape"])), {}

@@ -1,0 +1,141 @@
+"""Sequential network container and the paper's two reference topologies.
+
+* :func:`build_mlp` — the 784-300-10 multi-layer perceptron used on the
+  MNIST-like task (Section V-A),
+* :func:`build_lenet5` — the modified LeNet-5 for 32x32 inputs: three
+  convolution layers, two pooling layers and one fully connected layer
+  whose "120 neurons output 10 values", as described in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import AvgPool2D, Conv2D, Dense, Flatten, Layer, ReLU
+
+__all__ = ["Sequential", "build_mlp", "build_lenet5"]
+
+
+class Sequential:
+    """A simple feed-forward stack of layers."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "") -> None:
+        self.layers: List[Layer] = list(layers)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, List[dict]]:
+        """Full forward pass; returns output and per-layer caches."""
+        caches: List[dict] = []
+        for layer in self.layers:
+            x, cache = layer.forward(x)
+            caches.append(cache)
+        return x, caches
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Logits for a (possibly large) input, evaluated in batches."""
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            out, _ = self.forward(x[start : start + batch_size])
+            outputs.append(out)
+        return np.concatenate(outputs, axis=0)
+
+    def backward(
+        self, dloss: np.ndarray, caches: List[dict]
+    ) -> List[dict]:
+        """Backward pass; returns per-layer gradient dicts (same order)."""
+        grads: List[dict] = [{} for _ in self.layers]
+        dy = dloss
+        for idx in range(len(self.layers) - 1, -1, -1):
+            dy, layer_grads = self.layers[idx].backward(dy, caches[idx])
+            grads[idx] = layer_grads
+        return grads
+
+    # ------------------------------------------------------------------
+    def weighted_layers(self) -> List[Tuple[int, Layer]]:
+        """(index, layer) for every layer carrying weights."""
+        return [
+            (idx, layer)
+            for idx, layer in enumerate(self.layers)
+            if layer.has_weights
+        ]
+
+    def num_parameters(self) -> int:
+        return sum(
+            param.size
+            for layer in self.layers
+            for param in layer.params.values()
+        )
+
+    def all_weights(self) -> np.ndarray:
+        """Every multiplicative weight in the network, flattened.
+
+        This is the signal whose distribution defines the WMED weights in
+        Case Study 2 ("the distribution of weights across all layers").
+        """
+        chunks = [
+            layer.params["W"].ravel() for _, layer in self.weighted_layers()
+        ]
+        if not chunks:
+            return np.zeros(0)
+        return np.concatenate(chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Sequential{label}: {len(self.layers)} layers, "
+            f"{self.num_parameters()} parameters>"
+        )
+
+
+def build_mlp(
+    input_size: int = 784,
+    hidden: int = 300,
+    classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """The paper's MLP: ``input -> 300 hidden (ReLU) -> 10 outputs``."""
+    rng = rng or np.random.default_rng()
+    return Sequential(
+        [
+            Dense(input_size, hidden, rng=rng),
+            ReLU(),
+            Dense(hidden, classes, rng=rng),
+        ],
+        name="mlp-300",
+    )
+
+
+def build_lenet5(
+    input_hw: int = 32,
+    channels: int = 1,
+    classes: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Modified LeNet-5 for ``input_hw x input_hw`` images.
+
+    conv(6, 5x5) -> pool -> conv(16, 5x5) -> pool -> conv(120, 5x5)
+    -> dense(120 -> 10); with 32x32 inputs the final convolution sees a
+    5x5 map, so its output is 1x1x120, i.e. the 120 neurons of the fully
+    connected stage.
+    """
+    if input_hw != 32:
+        raise ValueError("the LeNet-5 variant is sized for 32x32 inputs")
+    rng = rng or np.random.default_rng()
+    return Sequential(
+        [
+            Conv2D(channels, 6, 5, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Conv2D(6, 16, 5, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Conv2D(16, 120, 5, rng=rng),
+            ReLU(),
+            Flatten(),
+            Dense(120, classes, rng=rng),
+        ],
+        name="lenet5",
+    )

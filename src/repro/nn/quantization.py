@@ -1,0 +1,144 @@
+"""Fixed-point quantization (the Ristretto substitute).
+
+The paper runs Ristretto's automated trimming analysis and settles on
+8-bit fixed-point signed values for both networks.  This module provides
+the equivalent: symmetric linear quantization of weights and activations
+to ``bits``-bit signed integers, with scales calibrated on sample data.
+
+The quantized computation model matches the paper's MAC hardware: an
+8-bit signed multiplier (the component being approximated) feeding a
+wide exact accumulator, with per-layer scale factors applied once per
+accumulated dot product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors.distributions import Distribution, empirical
+from .network import Sequential
+
+__all__ = ["LayerQuantization", "quantize_array", "calibrate", "weight_distribution"]
+
+
+def quantize_array(
+    values: np.ndarray, scale: float, bits: int = 8
+) -> np.ndarray:
+    """Symmetric quantization: ``round(values / scale)`` clipped to range.
+
+    Args:
+        values: Float array.
+        scale: Quantization step (positive).
+        bits: Total signed width; 8 gives the range [-128, 127].
+
+    Returns:
+        ``int64`` array of quantized codes.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return np.clip(np.rint(values / scale), lo, hi).astype(np.int64)
+
+
+def _symmetric_scale(max_abs: float, bits: int) -> float:
+    hi = (1 << (bits - 1)) - 1
+    if max_abs <= 0:
+        return 1.0 / hi
+    return max_abs / hi
+
+
+@dataclass
+class LayerQuantization:
+    """Quantization state of one weighted layer.
+
+    Attributes:
+        layer_index: Position in the host :class:`Sequential`.
+        bits: Signed integer width (8 throughout the paper).
+        w_scale: Weight quantization step.
+        a_scale: Input-activation quantization step (from calibration).
+        weights_q: Quantized weight codes, same shape as the float ``W``.
+        bias: Float bias applied after the scaled accumulation.
+    """
+
+    layer_index: int
+    bits: int
+    w_scale: float
+    a_scale: float
+    weights_q: np.ndarray
+    bias: np.ndarray
+
+    @property
+    def product_scale(self) -> float:
+        """Scale of an integer product: ``w_scale * a_scale``."""
+        return self.w_scale * self.a_scale
+
+    def requantize(self, weights: np.ndarray, bias: np.ndarray) -> None:
+        """Refresh codes from updated float parameters (fine-tuning)."""
+        self.w_scale = _symmetric_scale(float(np.abs(weights).max()), self.bits)
+        self.weights_q = quantize_array(weights, self.w_scale, self.bits)
+        self.bias = np.asarray(bias, dtype=np.float64).copy()
+
+
+def calibrate(
+    network: Sequential,
+    calibration_x: np.ndarray,
+    bits: int = 8,
+) -> List[LayerQuantization]:
+    """Derive per-layer quantization from a float network + sample data.
+
+    Weight scales come from each layer's max |W|; activation scales from
+    the max |input| observed while running the calibration batch through
+    the float network (the Ristretto-style range analysis).
+
+    Args:
+        network: Trained float network.
+        calibration_x: Representative inputs (a few hundred suffice).
+        bits: Signed fixed-point width.
+
+    Returns:
+        One :class:`LayerQuantization` per weighted layer, in layer order.
+    """
+    if calibration_x.shape[0] == 0:
+        raise ValueError("calibration set is empty")
+    quants: List[LayerQuantization] = []
+    x = calibration_x
+    for idx, layer in enumerate(network.layers):
+        if layer.has_weights:
+            weights = layer.params["W"]
+            bias = layer.params["b"]
+            a_scale = _symmetric_scale(float(np.abs(x).max()), bits)
+            w_scale = _symmetric_scale(float(np.abs(weights).max()), bits)
+            quants.append(
+                LayerQuantization(
+                    layer_index=idx,
+                    bits=bits,
+                    w_scale=w_scale,
+                    a_scale=a_scale,
+                    weights_q=quantize_array(weights, w_scale, bits),
+                    bias=np.asarray(bias, dtype=np.float64).copy(),
+                )
+            )
+        x, _ = layer.forward(x)
+    return quants
+
+
+def weight_distribution(
+    quants: List[LayerQuantization],
+    bits: int = 8,
+    name: str = "nn-weights",
+    smoothing: float = 0.0,
+) -> Distribution:
+    """Empirical distribution of quantized weights across all layers.
+
+    This is the paper's Fig. 6 (top) object and the source of the WMED
+    weights for Case Study 2.
+    """
+    if not quants:
+        raise ValueError("no quantized layers")
+    samples = np.concatenate([q.weights_q.ravel() for q in quants])
+    return empirical(
+        samples, width=bits, signed=True, name=name, smoothing=smoothing
+    )

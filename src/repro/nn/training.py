@@ -1,0 +1,127 @@
+"""Training: softmax cross-entropy loss, SGD with momentum, accuracy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .network import Sequential
+
+__all__ = [
+    "softmax",
+    "cross_entropy_loss",
+    "SGDMomentum",
+    "train",
+    "accuracy",
+    "TrainReport",
+]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy and its gradient w.r.t. the logits."""
+    n = logits.shape[0]
+    probs = softmax(logits)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    return loss, dlogits / n
+
+
+class SGDMomentum:
+    """Classical SGD with momentum over a Sequential's parameters."""
+
+    def __init__(self, lr: float = 0.05, momentum: float = 0.9) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self, network: Sequential, grads: List[dict]) -> None:
+        """Apply one update given per-layer gradient dicts."""
+        for idx, layer in enumerate(network.layers):
+            for name, grad in grads[idx].items():
+                key = (idx, name)
+                vel = self._velocity.get(key)
+                if vel is None:
+                    vel = np.zeros_like(grad)
+                vel = self.momentum * vel - self.lr * grad
+                self._velocity[key] = vel
+                layer.params[name] += vel
+
+
+@dataclass
+class TrainReport:
+    """Loss/accuracy trajectory of one training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_train_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def accuracy(network: Sequential, x: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    logits = network.predict(x)
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def train(
+    network: Sequential,
+    x: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 3,
+    batch_size: int = 64,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    rng: Optional[np.random.Generator] = None,
+    lr_decay: float = 1.0,
+) -> TrainReport:
+    """Mini-batch SGD training loop.
+
+    Args:
+        network: Model to train in place.
+        x: Training inputs (batch axis first).
+        labels: Integer class labels.
+        epochs: Full passes over the data.
+        batch_size: Mini-batch size.
+        lr: Initial learning rate.
+        momentum: Momentum coefficient.
+        rng: Shuffling source.
+        lr_decay: Multiplicative per-epoch learning-rate decay.
+
+    Returns:
+        :class:`TrainReport` with per-epoch mean loss and train accuracy.
+    """
+    rng = rng or np.random.default_rng()
+    optimizer = SGDMomentum(lr=lr, momentum=momentum)
+    report = TrainReport()
+    n = x.shape[0]
+    for _epoch in range(epochs):
+        order = rng.permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            batch = order[start : start + batch_size]
+            logits, caches = network.forward(x[batch])
+            loss, dlogits = cross_entropy_loss(logits, labels[batch])
+            grads = network.backward(dlogits, caches)
+            optimizer.step(network, grads)
+            losses.append(loss)
+        optimizer.lr *= lr_decay
+        report.epoch_losses.append(float(np.mean(losses)))
+        report.epoch_train_accuracy.append(accuracy(network, x, labels))
+    return report

@@ -1,0 +1,37 @@
+"""Area estimation.
+
+Area is the cost signal inside the CGP fitness function (the paper picks
+it because it is quick to compute from the technology library and highly
+correlated with power).  It is simply the sum of active-cell areas.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuits.netlist import Netlist
+from .library import TechLibrary, default_library
+
+__all__ = ["circuit_area", "area_of_counts"]
+
+
+def area_of_counts(counts, library: Optional[TechLibrary] = None) -> float:
+    """Area in um^2 of a ``{cell name: count}`` histogram."""
+    lib = library or default_library()
+    return float(sum(lib.cell(fn).area * n for fn, n in counts.items()))
+
+
+def circuit_area(
+    netlist: Netlist,
+    library: Optional[TechLibrary] = None,
+    active_only: bool = True,
+) -> float:
+    """Total cell area of a netlist in um^2.
+
+    Args:
+        netlist: Circuit to measure.
+        library: Technology library (defaults to the 45 nm-class one).
+        active_only: Count only gates in the output cone — inactive CGP
+            nodes do not exist in the synthesized circuit.
+    """
+    return area_of_counts(netlist.cell_counts(active_only=active_only), library)

@@ -1,0 +1,98 @@
+"""Static timing analysis (critical path) and power-delay product.
+
+Arrival time of a gate output is the maximum arrival over its read inputs
+plus the cell's pin-to-pin delay; primary inputs arrive at t = 0.  The
+circuit delay is the maximum arrival over the primary outputs.  This is a
+load-independent STA, adequate for the relative PDP comparisons in the
+paper's Fig. 6 and Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..circuits.gates import gate_function
+from ..circuits.netlist import Netlist
+from .library import TechLibrary, default_library
+from .power import PowerReport, circuit_power
+
+__all__ = ["critical_path_delay", "critical_path", "pdp", "TimingPowerSummary", "characterize"]
+
+
+def _arrival_times(netlist: Netlist, lib: TechLibrary) -> Dict[int, float]:
+    arrival: Dict[int, float] = {k: 0.0 for k in range(netlist.num_inputs)}
+    for k in netlist.active_gate_indices():
+        gate = netlist.gates[k]
+        spec = gate_function(gate.fn)
+        cell = lib.cell(gate.fn)
+        start = max(
+            (arrival[src] for src in gate.inputs[: spec.arity]),
+            default=0.0,
+        )
+        arrival[netlist.gate_signal(k)] = start + cell.delay
+    return arrival
+
+
+def critical_path_delay(
+    netlist: Netlist, library: Optional[TechLibrary] = None
+) -> float:
+    """Longest input-to-output combinational delay in ps."""
+    lib = library or default_library()
+    arrival = _arrival_times(netlist, lib)
+    return max((arrival.get(out, 0.0) for out in netlist.outputs), default=0.0)
+
+
+def critical_path(
+    netlist: Netlist, library: Optional[TechLibrary] = None
+) -> List[int]:
+    """Signal addresses along one critical path, input end first."""
+    lib = library or default_library()
+    arrival = _arrival_times(netlist, lib)
+    if not netlist.outputs:
+        return []
+    end = max(netlist.outputs, key=lambda out: arrival.get(out, 0.0))
+    path = [end]
+    while path[-1] >= netlist.num_inputs:
+        gate = netlist.gates[path[-1] - netlist.num_inputs]
+        spec = gate_function(gate.fn)
+        srcs = gate.inputs[: spec.arity]
+        if not srcs:
+            break
+        path.append(max(srcs, key=lambda src: arrival.get(src, 0.0)))
+    return list(reversed(path))
+
+
+def pdp(power_uw: float, delay_ps: float) -> float:
+    """Power-delay product in fJ (uW * ps = 1e-18 J = aJ; scaled to fJ)."""
+    return power_uw * delay_ps * 1e-3
+
+
+@dataclass(frozen=True)
+class TimingPowerSummary:
+    """Area / power / delay / PDP of one circuit, as reported in Table I."""
+
+    area: float
+    power: PowerReport
+    delay: float
+
+    @property
+    def pdp(self) -> float:
+        return pdp(self.power.total, self.delay)
+
+
+def characterize(
+    netlist: Netlist,
+    library: Optional[TechLibrary] = None,
+    input_words=None,
+    weights=None,
+) -> TimingPowerSummary:
+    """One-stop electrical characterization of a circuit."""
+    from .area import circuit_area
+
+    lib = library or default_library()
+    return TimingPowerSummary(
+        area=circuit_area(netlist, lib),
+        power=circuit_power(netlist, lib, input_words=input_words, weights=weights),
+        delay=critical_path_delay(netlist, lib),
+    )

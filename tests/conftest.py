@@ -1,0 +1,105 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (exhaustive tables, generated circuits, trained tiny
+networks) are session-scoped so the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_truncated_multiplier
+from repro.circuits.generators import (
+    build_array_multiplier,
+    build_baugh_wooley_multiplier,
+    build_wallace_multiplier,
+)
+from repro.circuits.simulator import truth_table
+from repro.errors import (
+    exact_product_table,
+    paper_d1,
+    paper_d2,
+    uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def bw4():
+    """Exact 4-bit signed Baugh-Wooley multiplier."""
+    return build_baugh_wooley_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def array4():
+    """Exact 4-bit unsigned array multiplier."""
+    return build_array_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def wallace4():
+    """Exact 4-bit unsigned Wallace multiplier."""
+    return build_wallace_multiplier(4)
+
+
+@pytest.fixture(scope="session")
+def bw8():
+    """Exact 8-bit signed Baugh-Wooley multiplier."""
+    return build_baugh_wooley_multiplier(8)
+
+
+@pytest.fixture(scope="session")
+def exact4s():
+    return exact_product_table(4, signed=True)
+
+
+@pytest.fixture(scope="session")
+def exact4u():
+    return exact_product_table(4, signed=False)
+
+
+@pytest.fixture(scope="session")
+def exact8s():
+    return exact_product_table(8, signed=True)
+
+
+@pytest.fixture(scope="session")
+def exact8u():
+    return exact_product_table(8, signed=False)
+
+
+@pytest.fixture(scope="session")
+def trunc8s_tables():
+    """Truth tables of signed 8-bit truncated multipliers, k = 0..8."""
+    return {
+        k: truth_table(
+            build_truncated_multiplier(8, k, signed=True), signed=True
+        )
+        for k in range(9)
+    }
+
+
+@pytest.fixture(scope="session")
+def d1():
+    return paper_d1(8)
+
+
+@pytest.fixture(scope="session")
+def d2():
+    return paper_d2(8)
+
+
+@pytest.fixture(scope="session")
+def du8s():
+    return uniform(8, signed=True)
+
+
+@pytest.fixture(scope="session")
+def du8u():
+    return uniform(8, signed=False)

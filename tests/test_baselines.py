@@ -1,0 +1,189 @@
+"""Conventional approximate multiplier baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    build_broken_array_multiplier,
+    build_truncated_multiplier,
+    build_zero_guard_multiplier,
+    conventional_multiplier_library,
+    wrap_zero_guard,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import truth_table
+from repro.circuits.verify import verify_multiplier
+from repro.errors import exact_product_table, uniform, wmed
+from repro.tech import circuit_area
+
+
+# ----------------------------------------------------------------------
+# Truncated
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("signed", [False, True])
+def test_truncation_zero_is_exact(signed):
+    verify_multiplier(
+        build_truncated_multiplier(6, 0, signed=signed), 6, signed=signed
+    )
+
+
+def test_truncation_bounds_checked():
+    with pytest.raises(ValueError):
+        build_truncated_multiplier(4, -1)
+    with pytest.raises(ValueError):
+        build_truncated_multiplier(4, 9)
+
+
+def test_full_truncation_outputs_zero():
+    net = build_truncated_multiplier(4, 8, signed=False)
+    assert np.all(truth_table(net) == 0)
+
+
+def test_truncated_low_bits_are_zero():
+    k = 3
+    net = build_truncated_multiplier(4, k, signed=False)
+    tt = truth_table(net)
+    assert np.all(tt % (1 << k) == 0)
+
+
+def test_truncation_error_bounded(exact8u):
+    """Dropping k columns can cost at most the dropped column mass."""
+    for k in (2, 4, 6):
+        net = build_truncated_multiplier(8, k, signed=False)
+        tt = truth_table(net)
+        err = np.abs(exact8u - tt)
+        # Worst case: every dropped partial product was 1 and carries are
+        # lost; a loose but sound bound is 2**(k+3).
+        assert err.max() <= 1 << (k + 3)
+
+
+def test_truncation_area_monotone():
+    areas = [
+        circuit_area(build_truncated_multiplier(8, k, signed=True))
+        for k in range(0, 9, 2)
+    ]
+    assert all(a >= b for a, b in zip(areas, areas[1:]))
+
+
+def test_truncation_wmed_monotone(exact8s, trunc8s_tables, du8s):
+    vals = [wmed(exact8s, trunc8s_tables[k], du8s) for k in range(9)]
+    assert all(a <= b + 1e-15 for a, b in zip(vals, vals[1:]))
+
+
+# ----------------------------------------------------------------------
+# Broken array
+# ----------------------------------------------------------------------
+def test_bam_no_breaks_is_exact():
+    verify_multiplier(
+        build_broken_array_multiplier(5, 0, 0, signed=False), 5, signed=False
+    )
+    verify_multiplier(
+        build_broken_array_multiplier(5, 0, 0, signed=True), 5, signed=True
+    )
+
+
+def test_bam_bounds_checked():
+    with pytest.raises(ValueError):
+        build_broken_array_multiplier(4, vbl=9)
+    with pytest.raises(ValueError):
+        build_broken_array_multiplier(4, hbl=5)
+
+
+def test_bam_vbl_equals_truncation():
+    """With hbl=0 the BAM reduces to plain column truncation."""
+    for k in (2, 4):
+        bam = build_broken_array_multiplier(6, vbl=k, hbl=0, signed=False)
+        trunc = build_truncated_multiplier(6, k, signed=False)
+        assert np.array_equal(truth_table(bam), truth_table(trunc))
+
+
+def test_bam_hbl_reduces_area_further():
+    a0 = circuit_area(build_broken_array_multiplier(8, 4, 0, signed=True))
+    a2 = circuit_area(build_broken_array_multiplier(8, 4, 3, signed=True))
+    assert a2 < a0
+
+
+def test_bam_error_grows_with_breaks(exact8s, du8s):
+    errs = []
+    for vbl in (2, 4, 6, 8):
+        net = build_broken_array_multiplier(8, vbl, vbl // 2, signed=True)
+        errs.append(wmed(exact8s, truth_table(net, signed=True), du8s))
+    assert all(a <= b + 1e-15 for a, b in zip(errs, errs[1:]))
+
+
+# ----------------------------------------------------------------------
+# Zero guard
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("signed", [False, True])
+def test_zero_guard_guarantee(signed):
+    net = build_zero_guard_multiplier(6, truncation=5, signed=signed)
+    tt = truth_table(net, signed=signed)
+    n = 1 << 6
+    x = np.tile(np.arange(n), n)
+    y = np.repeat(np.arange(n), n)
+    zero = (x == 0) | (y == 0)
+    assert np.all(tt[zero] == 0)
+
+
+def test_zero_guard_preserves_core_elsewhere():
+    core = build_truncated_multiplier(4, 3, signed=False)
+    net = wrap_zero_guard(core, 4)
+    tt_core = truth_table(core)
+    tt = truth_table(net)
+    n = 16
+    x = np.tile(np.arange(n), n)
+    y = np.repeat(np.arange(n), n)
+    nonzero = (x != 0) & (y != 0)
+    assert np.array_equal(tt[nonzero], tt_core[nonzero])
+
+
+def test_zero_guard_interface_check():
+    bad = Netlist(num_inputs=6)
+    bad.set_outputs([0])
+    with pytest.raises(ValueError):
+        wrap_zero_guard(bad, 4)
+
+
+def test_zero_guard_reduces_wmed_under_zero_heavy_distribution(exact8s):
+    """With a zero-peaked D, the zero guard pays off (the Mrazek'16 insight)."""
+    from repro.errors import from_pmf
+
+    pmf = np.full(256, 0.2 / 255)
+    pmf[0] = 0.8  # 80 % zeros, like sparse NN weights
+    d = from_pmf(pmf, width=8, signed=True, name="sparse")
+    plain = build_truncated_multiplier(8, 7, signed=True)
+    guarded = build_zero_guard_multiplier(8, 7, signed=True)
+    w_plain = wmed(exact8s, truth_table(plain, signed=True), d)
+    w_guard = wmed(exact8s, truth_table(guarded, signed=True), d)
+    assert w_guard <= w_plain
+
+
+# ----------------------------------------------------------------------
+# Library
+# ----------------------------------------------------------------------
+def test_library_families_and_count():
+    lib = conventional_multiplier_library(8, signed=True)
+    families = {e.family for e in lib}
+    assert families == {"truncated", "broken-array", "zero-guard"}
+    assert len(lib) >= 20
+
+
+def test_library_family_filter():
+    lib = conventional_multiplier_library(8, signed=True, families=["truncated"])
+    assert all(e.family == "truncated" for e in lib)
+    with pytest.raises(ValueError):
+        conventional_multiplier_library(8, families=["booth"])
+
+
+def test_library_tables_match_netlists():
+    lib = conventional_multiplier_library(4, signed=False, families=["truncated"])
+    for entry in lib[:3]:
+        assert np.array_equal(
+            entry.table, truth_table(entry.netlist, signed=False)
+        )
+
+
+def test_library_contains_exact_reference():
+    lib = conventional_multiplier_library(4, signed=True, families=["truncated"])
+    exact = exact_product_table(4, True)
+    assert any(np.array_equal(e.table, exact) for e in lib)

@@ -1,0 +1,164 @@
+"""CGP genotype: encoding, decoding, simulation, conversion."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import build_baugh_wooley_multiplier
+from repro.circuits.simulator import exhaustive_inputs, truth_table
+from repro.core import (
+    CGP_FUNCTION_SET,
+    CGPParams,
+    Chromosome,
+    netlist_to_chromosome,
+    params_for_netlist,
+    random_chromosome,
+)
+
+
+def small_params(**overrides):
+    defaults = dict(num_inputs=3, num_outputs=2, columns=5)
+    defaults.update(overrides)
+    return CGPParams(**defaults)
+
+
+def test_genome_length_formula():
+    p = small_params()
+    # S = r*c*(na+1) + no
+    assert p.genome_length == 5 * 3 + 2
+    assert p.num_nodes == 5
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        CGPParams(num_inputs=0, num_outputs=1, columns=1)
+    with pytest.raises(ValueError):
+        CGPParams(num_inputs=1, num_outputs=1, columns=1, arity=3)
+    with pytest.raises(KeyError):
+        CGPParams(num_inputs=1, num_outputs=1, columns=1, functions=("FOO",))
+
+
+def test_num_sources_unrestricted():
+    p = small_params()
+    assert p.num_sources(0) == 3
+    assert p.num_sources(4) == 7
+
+
+def test_num_sources_levels_back():
+    p = small_params(levels_back=1)
+    assert p.num_sources(0) == 3
+    assert p.num_sources(3) == 4  # inputs + 1 previous column
+
+
+def test_source_address_mapping_levels_back():
+    p = small_params(levels_back=1)
+    # node 3: sources are inputs 0..2 and node 2 (signal 5)
+    assert p.source_address(3, 0) == 0
+    assert p.source_address(3, 3) == 3 + 2  # first admissible node signal
+
+
+def test_legal_source():
+    p = small_params(levels_back=1)
+    assert p.legal_source(3, 0)
+    assert p.legal_source(3, 5)  # node 2
+    assert not p.legal_source(3, 4)  # node 1: too far back
+    assert not p.legal_source(3, 6)  # node 3 itself
+    assert not p.legal_source(3, 99)
+
+
+def test_chromosome_length_guard():
+    p = small_params()
+    with pytest.raises(ValueError):
+        Chromosome(p, np.zeros(3, dtype=np.int64))
+
+
+def test_active_nodes_simple():
+    p = CGPParams(
+        num_inputs=2, num_outputs=1, columns=3, functions=("AND", "OR")
+    )
+    # node0 = AND(0,1) -> sig 2; node1 = OR(0,0) dead; node2 = OR(2,1) -> sig4
+    genes = np.array([0, 1, 0, 0, 0, 1, 2, 1, 1, 4], dtype=np.int64)
+    ch = Chromosome(p, genes)
+    assert list(ch.active_nodes()) == [0, 2]
+
+
+def test_output_wired_to_input_has_no_active_nodes():
+    p = CGPParams(num_inputs=2, num_outputs=1, columns=2, functions=("AND",))
+    genes = np.array([0, 1, 0, 0, 1, 0, 1], dtype=np.int64)  # out = input 1
+    ch = Chromosome(p, genes)
+    assert len(ch.active_nodes()) == 0
+    tt = truth_table(ch.to_netlist())
+    assert list(tt) == [0, 0, 1, 1]  # input 1 is the high bit of the vector
+
+
+def test_active_cache_invalidation():
+    p = CGPParams(num_inputs=2, num_outputs=1, columns=2, functions=("AND",))
+    genes = np.array([0, 1, 0, 2, 2, 0, 3], dtype=np.int64)
+    ch = Chromosome(p, genes)
+    assert list(ch.active_nodes()) == [0, 1]
+    ch.genes[-1] = 2  # output now node 0
+    ch.invalidate_cache()
+    assert list(ch.active_nodes()) == [0]
+
+
+def test_seeded_chromosome_matches_netlist(bw4):
+    ch = netlist_to_chromosome(bw4)
+    assert np.array_equal(
+        truth_table(ch.to_netlist(), signed=True), truth_table(bw4, signed=True)
+    )
+
+
+def test_chromosome_simulate_equals_netlist_simulation(bw4):
+    ch = netlist_to_chromosome(bw4)
+    stim = exhaustive_inputs(8)
+    words = ch.simulate(stim)
+    from repro.circuits.simulator import words_to_values
+
+    vals = words_to_values(words, 256, signed=True)
+    assert np.array_equal(vals, truth_table(bw4, signed=True))
+
+
+def test_cell_counts_matches_netlist(bw4):
+    ch = netlist_to_chromosome(bw4)
+    assert ch.cell_counts() == bw4.cell_counts(active_only=True)
+
+
+def test_active_gene_positions_include_outputs(bw4):
+    ch = netlist_to_chromosome(bw4)
+    positions = set(int(x) for x in ch.active_gene_positions())
+    p = ch.params
+    out_start = p.num_nodes * p.genes_per_node
+    for k in range(p.num_outputs):
+        assert out_start + k in positions
+
+
+def test_random_chromosome_valid(rng):
+    p = CGPParams(
+        num_inputs=4,
+        num_outputs=3,
+        columns=20,
+        functions=CGP_FUNCTION_SET,
+        levels_back=5,
+    )
+    for _ in range(10):
+        ch = random_chromosome(p, rng)
+        net = ch.to_netlist()
+        net.validate()
+        # every node gene is a legal source
+        for node in range(p.num_nodes):
+            a, b, fn = ch.node_genes(node)
+            assert p.legal_source(node, a)
+            assert p.legal_source(node, b)
+            assert 0 <= fn < len(p.functions)
+
+
+def test_simulate_rejects_bad_stimulus(bw4):
+    ch = netlist_to_chromosome(bw4)
+    with pytest.raises(ValueError):
+        ch.simulate(exhaustive_inputs(4))
+
+
+def test_copy_shares_nothing(bw4):
+    ch = netlist_to_chromosome(bw4)
+    clone = ch.copy()
+    clone.genes[0] = 1 - clone.genes[0]
+    assert ch.genes[0] != clone.genes[0]

@@ -1,0 +1,75 @@
+"""Netlist JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import build_baugh_wooley_multiplier
+from repro.circuits.io import (
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import truth_table
+
+
+def test_dict_roundtrip_preserves_function(bw4):
+    data = netlist_to_dict(bw4)
+    back = netlist_from_dict(data)
+    assert np.array_equal(
+        truth_table(back, signed=True), truth_table(bw4, signed=True)
+    )
+    assert back.name == bw4.name
+    assert back.num_inputs == bw4.num_inputs
+
+
+def test_dict_is_json_compatible(bw4):
+    import json
+
+    text = json.dumps(netlist_to_dict(bw4))
+    assert isinstance(text, str)
+    back = netlist_from_dict(json.loads(text))
+    assert len(back.gates) == len(bw4.gates)
+
+
+def test_file_roundtrip(tmp_path, bw4):
+    path = tmp_path / "mult.json"
+    save_netlist(bw4, str(path))
+    back = load_netlist(str(path))
+    assert np.array_equal(
+        truth_table(back, signed=True), truth_table(bw4, signed=True)
+    )
+
+
+def test_from_dict_missing_keys():
+    with pytest.raises(ValueError, match="missing keys"):
+        netlist_from_dict({"num_inputs": 2})
+
+
+def test_from_dict_rejects_invalid_structure():
+    data = {
+        "num_inputs": 2,
+        "gates": [["AND", 0, 9]],  # forward reference
+        "outputs": [2],
+    }
+    with pytest.raises(ValueError):
+        netlist_from_dict(data)
+
+
+def test_from_dict_rejects_empty_gate_entry():
+    with pytest.raises(ValueError, match="empty gate"):
+        netlist_from_dict({"num_inputs": 1, "gates": [[]], "outputs": [0]})
+
+
+def test_from_dict_unknown_function():
+    data = {"num_inputs": 2, "gates": [["MAJ", 0, 1]], "outputs": [0]}
+    with pytest.raises(KeyError):
+        netlist_from_dict(data)
+
+
+def test_outputs_on_inputs_roundtrip():
+    net = Netlist(num_inputs=3)
+    net.set_outputs([2, 0])
+    back = netlist_from_dict(netlist_to_dict(net))
+    assert back.outputs == [2, 0]

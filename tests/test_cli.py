@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_distribution
+
+
+def test_parse_distribution_variants():
+    assert parse_distribution("uniform", 8, False).name == "Du"
+    assert parse_distribution("d1", 8, False).name == "D1"
+    assert parse_distribution("d2", 8, False).name == "D2"
+    hn = parse_distribution("half-normal:30", 8, True)
+    assert int(np.argmax(hn.pmf)) == 0
+    nm = parse_distribution("normal:100:20", 8, False)
+    assert abs(int(np.argmax(nm.pmf)) - 100) <= 1
+
+
+def test_parse_distribution_rejects_unknown():
+    with pytest.raises(ValueError):
+        parse_distribution("zipf", 8, False)
+    with pytest.raises(ValueError):
+        parse_distribution("normal:1", 8, False)
+
+
+def test_cli_evolve_and_characterize(tmp_path, capsys):
+    out = tmp_path / "mult.cgp"
+    code = main(
+        [
+            "evolve",
+            "--width", "3",
+            "--dist", "uniform",
+            "--wmed-percent", "4",
+            "--generations", "150",
+            "--output", str(out),
+        ]
+    )
+    assert code == 0
+    text = out.read_text()
+    assert text.startswith("{6,6,")
+
+    code = main(["characterize", str(out), "--dist", "uniform"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "area:" in captured
+    assert "WMED=" in captured
+
+
+def test_cli_export_verilog(tmp_path, capsys):
+    out = tmp_path / "mult.cgp"
+    main(
+        [
+            "evolve", "--width", "2", "--dist", "uniform",
+            "--wmed-percent", "0", "--generations", "5",
+            "--output", str(out),
+        ]
+    )
+    vfile = tmp_path / "mult.v"
+    code = main(
+        ["export-verilog", str(out), "--module", "m2", "--output", str(vfile)]
+    )
+    assert code == 0
+    text = vfile.read_text()
+    assert text.startswith("module m2 (")
+    assert text.rstrip().endswith("endmodule")
+
+
+def test_cli_evolve_stdout(capsys):
+    code = main(
+        ["evolve", "--width", "2", "--dist", "d2",
+         "--wmed-percent", "5", "--generations", "20", "--unsigned"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("{4,4,")

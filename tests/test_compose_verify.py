@@ -1,0 +1,112 @@
+"""Structural composition and exhaustive verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.compose import append_netlist
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import truth_table
+from repro.circuits.verify import (
+    mismatch_count,
+    operand_grids,
+    reference_products,
+    reference_sums,
+    verify_adder,
+    verify_multiplier,
+)
+from repro.circuits.generators import build_array_multiplier
+
+
+def test_append_netlist_preserves_function():
+    inner = build_array_multiplier(2)
+    outer = Netlist(num_inputs=4)
+    outs = append_netlist(outer, inner, [0, 1, 2, 3])
+    outer.set_outputs(outs)
+    assert np.array_equal(truth_table(outer), truth_table(inner))
+
+
+def test_append_netlist_with_permuted_inputs():
+    inner = Netlist(num_inputs=2)
+    inner.set_outputs([inner.add_gate("ANDN", 0, 1)])  # a & ~b
+    outer = Netlist(num_inputs=2)
+    outs = append_netlist(outer, inner, [1, 0])  # swap operands
+    outer.set_outputs(outs)
+    tt = truth_table(outer)
+    for v in range(4):
+        a, b = v & 1, v >> 1
+        assert tt[v] == (b & (1 - a))
+
+
+def test_append_netlist_skips_dead_gates():
+    inner = Netlist(num_inputs=1)
+    live = inner.add_gate("NOT", 0)
+    inner.add_gate("AND", 0, 0)  # dead
+    inner.set_outputs([live])
+    outer = Netlist(num_inputs=1)
+    append_netlist(outer, inner, [0])
+    assert len(outer.gates) == 1
+
+
+def test_append_netlist_validates_driver_count():
+    inner = build_array_multiplier(2)
+    outer = Netlist(num_inputs=4)
+    with pytest.raises(ValueError):
+        append_netlist(outer, inner, [0, 1, 2])
+
+
+def test_append_netlist_validates_driver_range():
+    inner = Netlist(num_inputs=1)
+    inner.set_outputs([0])
+    outer = Netlist(num_inputs=1)
+    with pytest.raises(ValueError):
+        append_netlist(outer, inner, [7])
+
+
+def test_operand_grids_unsigned():
+    x, y = operand_grids(2, signed=False)
+    assert list(x[:4]) == [0, 1, 2, 3]
+    assert list(y[:4]) == [0, 0, 0, 0]
+    assert list(y[-4:]) == [3, 3, 3, 3]
+
+
+def test_operand_grids_signed():
+    x, _ = operand_grids(2, signed=True)
+    assert list(x[:4]) == [0, 1, -2, -1]
+
+
+def test_reference_products_signed_values():
+    ref = reference_products(2, signed=True)
+    # vector: x = -2 (pattern 2), y = -1 (pattern 3) -> index 3*4+2
+    assert ref[3 * 4 + 2] == 2
+
+
+def test_reference_sums_wrap():
+    ref = reference_sums(2, signed=False, with_carry=False)
+    assert ref[3 * 4 + 3] == (3 + 3) % 4
+
+
+def test_mismatch_count_zero_for_exact():
+    net = build_array_multiplier(3)
+    assert mismatch_count(net, reference_products(3, False), signed=False) == 0
+
+
+def test_mismatch_count_shape_guard():
+    net = build_array_multiplier(3)
+    with pytest.raises(ValueError):
+        mismatch_count(net, reference_products(2, False), signed=False)
+
+
+def test_verify_multiplier_raises_with_details():
+    net = build_array_multiplier(2)
+    net.outputs[0] = 0  # corrupt LSB wiring
+    with pytest.raises(AssertionError, match="mismatch at vector"):
+        verify_multiplier(net, 2, signed=False)
+
+
+def test_verify_adder_raises_on_corruption():
+    from repro.circuits.generators import build_ripple_carry_adder
+
+    net = build_ripple_carry_adder(2)
+    net.outputs[0] = 1
+    with pytest.raises(AssertionError):
+        verify_adder(net, 2)

@@ -1,0 +1,152 @@
+"""Operand distributions: constructors, invariants, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.distributions import (
+    Distribution,
+    discretized_half_normal,
+    discretized_normal,
+    empirical,
+    from_pmf,
+    paper_d1,
+    paper_d2,
+    uniform,
+)
+
+
+def test_pmf_is_normalized():
+    d = from_pmf(np.ones(16) * 3.0, width=4)
+    assert d.pmf.sum() == pytest.approx(1.0)
+
+
+def test_pmf_wrong_size_rejected():
+    with pytest.raises(ValueError):
+        from_pmf(np.ones(10), width=4)
+
+
+def test_negative_mass_rejected():
+    pmf = np.ones(4)
+    pmf[0] = -0.5
+    with pytest.raises(ValueError):
+        from_pmf(pmf, width=2)
+
+
+def test_zero_mass_rejected():
+    with pytest.raises(ValueError):
+        from_pmf(np.zeros(4), width=2)
+
+
+def test_values_unsigned():
+    d = uniform(3)
+    assert list(d.values) == list(range(8))
+
+
+def test_values_signed():
+    d = uniform(3, signed=True)
+    assert list(d.values) == [0, 1, 2, 3, -4, -3, -2, -1]
+
+
+def test_probability_of_value_signed():
+    pmf = np.zeros(8)
+    pmf[7] = 1.0  # pattern 7 = value -1
+    d = from_pmf(pmf, width=3, signed=True)
+    assert d.probability_of_value(-1) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        d.probability_of_value(5)
+
+
+def test_uniform_mean():
+    assert uniform(8).mean() == pytest.approx(127.5)
+    assert uniform(8, signed=True).mean() == pytest.approx(-0.5)
+
+
+def test_entropy_uniform_is_width():
+    assert uniform(6).entropy() == pytest.approx(6.0)
+
+
+def test_entropy_point_mass_zero():
+    pmf = np.zeros(8)
+    pmf[3] = 1.0
+    assert from_pmf(pmf, width=3).entropy() == pytest.approx(0.0)
+
+
+def test_sample_respects_support(rng):
+    pmf = np.zeros(16)
+    pmf[[2, 5]] = 0.5
+    d = from_pmf(pmf, width=4)
+    samples = d.sample(200, rng)
+    assert set(np.unique(samples)) <= {2, 5}
+
+
+def test_discretized_normal_peaks_at_mean():
+    d = discretized_normal(8, mean=127.5, std=30)
+    assert abs(int(np.argmax(d.pmf)) - 127) <= 1
+
+
+def test_discretized_normal_rejects_bad_std():
+    with pytest.raises(ValueError):
+        discretized_normal(8, mean=0, std=0)
+
+
+def test_half_normal_decreasing_unsigned():
+    d = discretized_half_normal(8, sigma=60)
+    assert d.pmf[0] > d.pmf[64] > d.pmf[200]
+
+
+def test_half_normal_signed_symmetric():
+    d = discretized_half_normal(8, sigma=40, signed=True)
+    # P(value v) == P(value -v) for the symmetric-in-|v| construction.
+    vals = d.values
+    for v in (1, 10, 50):
+        p_pos = d.pmf[np.where(vals == v)[0][0]]
+        p_neg = d.pmf[np.where(vals == -v)[0][0]]
+        assert p_pos == pytest.approx(p_neg)
+    assert d.pmf[0] == d.pmf.max()
+
+
+def test_empirical_counts():
+    d = empirical(np.array([1, 1, 2, 3]), width=4)
+    assert d.pmf[1] == pytest.approx(0.5)
+    assert d.pmf[2] == pytest.approx(0.25)
+    assert d.pmf[0] == 0.0
+
+
+def test_empirical_signed_range_check():
+    with pytest.raises(ValueError):
+        empirical(np.array([200]), width=8, signed=True)
+    d = empirical(np.array([-128, 127]), width=8, signed=True)
+    assert d.pmf[128] == pytest.approx(0.5)  # pattern of -128
+
+
+def test_empirical_smoothing_floors_support():
+    d = empirical(np.array([0]), width=4, smoothing=0.1)
+    assert np.all(d.pmf > 0)
+
+
+def test_empirical_empty_without_smoothing():
+    with pytest.raises(ValueError):
+        empirical(np.array([], dtype=int), width=4)
+
+
+def test_paper_distributions_shapes():
+    d1, d2 = paper_d1(), paper_d2()
+    assert abs(int(np.argmax(d1.pmf)) - 127) <= 1  # D1 peaks mid-range
+    assert int(np.argmax(d2.pmf)) == 0  # D2 decays from zero
+    assert d1.pmf.sum() == pytest.approx(1.0)
+    assert d2.pmf.sum() == pytest.approx(1.0)
+
+
+def test_renamed():
+    d = uniform(4).renamed("X")
+    assert d.name == "X"
+    assert np.array_equal(d.pmf, uniform(4).pmf)
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_uniform_any_width(width):
+    d = uniform(width)
+    assert d.size == 1 << width
+    assert d.pmf.sum() == pytest.approx(1.0)

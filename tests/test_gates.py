@@ -1,0 +1,124 @@
+"""Gate function registry: packed vs scalar consistency and metadata."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    ALL_ONES,
+    DEFAULT_FUNCTION_SET,
+    FULL_FUNCTION_SET,
+    GATE_REGISTRY,
+    gate_function,
+)
+
+_TRUTH = {
+    "CONST0": lambda a, b: 0,
+    "CONST1": lambda a, b: 1,
+    "BUF": lambda a, b: a,
+    "NOT": lambda a, b: 1 - a,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "NAND": lambda a, b: 1 - (a & b),
+    "NOR": lambda a, b: 1 - (a | b),
+    "XNOR": lambda a, b: 1 - (a ^ b),
+    "ANDN": lambda a, b: a & (1 - b),
+    "ORN": lambda a, b: a | (1 - b),
+}
+
+
+def test_registry_covers_expected_functions():
+    assert set(GATE_REGISTRY) == set(_TRUTH)
+
+
+def test_default_set_is_subset_of_full():
+    assert set(DEFAULT_FUNCTION_SET) <= set(FULL_FUNCTION_SET)
+
+
+def test_default_set_has_standard_two_input_gates():
+    for name in ("AND", "OR", "XOR", "NAND", "NOR", "XNOR", "NOT", "BUF"):
+        assert name in DEFAULT_FUNCTION_SET
+
+
+def test_gate_function_unknown_name_raises():
+    with pytest.raises(KeyError):
+        gate_function("MAJ3")
+
+
+@pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+def test_scalar_matches_truth_table(name):
+    spec = gate_function(name)
+    for a in (0, 1):
+        for b in (0, 1):
+            assert spec.scalar(a, b) == _TRUTH[name](a, b)
+
+
+@pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+def test_packed_matches_scalar_on_all_bit_pairs(name):
+    spec = gate_function(name)
+    a = np.array([0b0101], dtype=np.uint64)  # bits: 1,0,1,0
+    b = np.array([0b0011], dtype=np.uint64)  # bits: 1,1,0,0
+    out = spec.packed(a, b)
+    for bit in range(4):
+        av = (int(a[0]) >> bit) & 1
+        bv = (int(b[0]) >> bit) & 1
+        assert (int(out[0]) >> bit) & 1 == spec.scalar(av, bv)
+
+
+@given(
+    words=st.lists(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        min_size=1,
+        max_size=4,
+    ),
+    words2=st.lists(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_packed_bitwise_property(words, words2):
+    """Packed evaluation is bitwise: every bit position is independent."""
+    n = min(len(words), len(words2))
+    a = np.array(words[:n], dtype=np.uint64)
+    b = np.array(words2[:n], dtype=np.uint64)
+    for name in ("AND", "OR", "XOR", "NAND", "NOR", "XNOR", "NOT", "ANDN"):
+        spec = gate_function(name)
+        out = spec.packed(a, b)
+        # Spot-check bit 0 and bit 63 of every word.
+        for w in range(n):
+            for bit in (0, 63):
+                av = (int(a[w]) >> bit) & 1
+                bv = (int(b[w]) >> bit) & 1
+                assert (int(out[w]) >> bit) & 1 == spec.scalar(av, bv)
+
+
+def test_packed_does_not_mutate_operands():
+    a = np.array([7], dtype=np.uint64)
+    b = np.array([9], dtype=np.uint64)
+    a0, b0 = a.copy(), b.copy()
+    for name in GATE_REGISTRY:
+        gate_function(name).packed(a, b)
+    assert np.array_equal(a, a0)
+    assert np.array_equal(b, b0)
+
+
+def test_buf_copies_rather_than_aliases():
+    a = np.array([3], dtype=np.uint64)
+    out = gate_function("BUF").packed(a, a)
+    out[0] = 0
+    assert a[0] == 3
+
+
+def test_const_shapes_follow_input():
+    a = np.zeros(5, dtype=np.uint64)
+    assert gate_function("CONST0").packed(a, a).shape == (5,)
+    assert np.all(gate_function("CONST1").packed(a, a) == ALL_ONES)
+
+
+def test_arity_metadata():
+    assert gate_function("CONST0").arity == 0
+    assert gate_function("NOT").arity == 1
+    assert gate_function("AND").arity == 2

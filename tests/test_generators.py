@@ -1,0 +1,228 @@
+"""Exact arithmetic generators: adders, multipliers, MAC units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import (
+    accumulator_width,
+    build_array_multiplier,
+    build_baugh_wooley_multiplier,
+    build_mac,
+    build_multiplier,
+    build_ripple_carry_adder,
+    build_wallace_multiplier,
+    full_adder,
+    half_adder,
+    partial_product_columns,
+    reduce_columns,
+    ripple_carry_adder,
+)
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import truth_table
+from repro.circuits.verify import (
+    reference_products,
+    verify_adder,
+    verify_multiplier,
+)
+
+
+# ----------------------------------------------------------------------
+# Adders
+# ----------------------------------------------------------------------
+def test_half_adder_truth_table():
+    net = Netlist(num_inputs=2)
+    s, c = half_adder(net, 0, 1)
+    net.set_outputs([s, c])
+    assert list(truth_table(net)) == [0, 1, 1, 2]
+
+
+def test_full_adder_truth_table():
+    net = Netlist(num_inputs=3)
+    s, c = full_adder(net, 0, 1, 2)
+    net.set_outputs([s, c])
+    tt = truth_table(net)
+    for v in range(8):
+        ones = bin(v).count("1")
+        assert tt[v] == ones
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6, 8])
+def test_ripple_carry_adder_exhaustive(width):
+    verify_adder(build_ripple_carry_adder(width), width)
+
+
+def test_ripple_carry_adder_without_carry_out():
+    net = build_ripple_carry_adder(3, with_carry_out=False)
+    tt = truth_table(net)
+    for v in range(64):
+        a, b = v & 7, v >> 3
+        assert tt[v] == (a + b) % 8
+
+
+def test_ripple_carry_adder_with_cin():
+    net = Netlist(num_inputs=5)  # a(2) b(2) cin
+    sums, cout = ripple_carry_adder(net, [0, 1], [2, 3], cin=4)
+    net.set_outputs(sums + [cout])
+    tt = truth_table(net)
+    for v in range(32):
+        a, b, cin = v & 3, (v >> 2) & 3, (v >> 4) & 1
+        assert tt[v] == a + b + cin
+
+
+def test_ripple_carry_adder_width_mismatch():
+    net = Netlist(num_inputs=3)
+    with pytest.raises(ValueError):
+        ripple_carry_adder(net, [0, 1], [2])
+
+
+def test_zero_width_adder_rejected():
+    with pytest.raises(ValueError):
+        build_ripple_carry_adder(0)
+
+
+# ----------------------------------------------------------------------
+# Multipliers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6])
+def test_array_multiplier_exhaustive(width):
+    verify_multiplier(build_array_multiplier(width), width, signed=False)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6])
+def test_wallace_multiplier_exhaustive(width):
+    verify_multiplier(build_wallace_multiplier(width), width, signed=False)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 6])
+def test_baugh_wooley_multiplier_exhaustive(width):
+    verify_multiplier(
+        build_baugh_wooley_multiplier(width), width, signed=True
+    )
+
+
+def test_eight_bit_multipliers_exact(bw8):
+    verify_multiplier(bw8, 8, signed=True)
+    verify_multiplier(build_array_multiplier(8), 8, signed=False)
+
+
+def test_baugh_wooley_rejects_width_one():
+    with pytest.raises(ValueError):
+        build_baugh_wooley_multiplier(1)
+
+
+def test_build_multiplier_dispatch():
+    assert build_multiplier(3, signed=True).name.endswith("bw")
+    assert "array" in build_multiplier(3, False, "array").name
+    assert "wallace" in build_multiplier(3, False, "wallace").name
+    with pytest.raises(ValueError):
+        build_multiplier(3, False, "booth")
+
+
+def test_multiplier_gate_counts_in_paper_range():
+    """The paper quotes c = 320..490 columns for its 8-bit seeds."""
+    for net in (
+        build_array_multiplier(8),
+        build_wallace_multiplier(8),
+        build_baugh_wooley_multiplier(8),
+    ):
+        assert 300 <= len(net.gates) <= 490
+
+
+@given(
+    st.lists(
+        st.lists(st.booleans(), max_size=5),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_reduce_columns_sums_constants(bit_columns):
+    """Property: reduce_columns computes the weighted column sum mod 2^n."""
+    out_width = len(bit_columns) + 3
+    net = Netlist(num_inputs=1)
+    columns = []
+    expected = 0
+    for c, bits in enumerate(bit_columns):
+        col = []
+        for bit in bits:
+            col.append(net.add_gate("CONST1" if bit else "CONST0"))
+            expected += int(bit) << c
+        columns.append(col)
+    outs = reduce_columns(net, columns, out_width)
+    net.set_outputs(outs)
+    tt = truth_table(net)
+    assert int(tt[0]) == expected % (1 << out_width)
+
+
+def test_partial_product_columns_keep_predicate():
+    net = Netlist(num_inputs=8)
+    cols = partial_product_columns(net, 4, signed=False, keep=lambda i, j: False)
+    assert all(not col for col in cols)
+
+
+def test_partial_product_columns_unsigned_counts():
+    net = Netlist(num_inputs=8)
+    cols = partial_product_columns(net, 4, signed=False)
+    assert sum(len(c) for c in cols) == 16
+    assert len(cols[0]) == 1 and len(cols[3]) == 4
+
+
+# ----------------------------------------------------------------------
+# MAC
+# ----------------------------------------------------------------------
+def test_accumulator_width():
+    assert accumulator_width(8, 9) == 16 + 4  # 3x3 kernel: ceil(log2 9) = 4
+    assert accumulator_width(8, 1) == 17
+    with pytest.raises(ValueError):
+        accumulator_width(0, 4)
+
+
+@pytest.mark.parametrize("signed", [False, True])
+def test_mac_exhaustive_small(signed):
+    w, n = 2, 6
+    mac = build_mac(w, n, signed=signed)
+    tt = truth_table(mac, signed=signed)
+    size = 1 << (2 * w + n)
+    v = np.arange(size)
+
+    def dec(val, bits):
+        if not signed:
+            return val
+        return np.where(val >= (1 << (bits - 1)), val - (1 << bits), val)
+
+    x = dec(v & 3, 2)
+    y = dec((v >> 2) & 3, 2)
+    acc = dec((v >> 4) & 63, 6)
+    ref = acc + x * y
+    wrap = 1 << n
+    if signed:
+        ref = ((ref + wrap // 2) % wrap) - wrap // 2
+    else:
+        ref = ref % wrap
+    assert np.array_equal(tt, ref)
+
+
+def test_mac_embeds_custom_multiplier():
+    from repro.baselines import build_truncated_multiplier
+
+    core = build_truncated_multiplier(2, 1, signed=False)
+    mac = build_mac(2, 5, multiplier=core, signed=False)
+    tt = truth_table(mac)
+    core_tt = truth_table(core)
+    for v in range(1 << 9):
+        x, y, acc = v & 3, (v >> 2) & 3, v >> 4
+        assert tt[v] == (acc + core_tt[y * 4 + x]) % 32
+
+
+def test_mac_rejects_narrow_accumulator():
+    with pytest.raises(ValueError):
+        build_mac(4, 6)
+
+
+def test_mac_rejects_wrong_core_interface():
+    bad = Netlist(num_inputs=3)
+    bad.set_outputs([0])
+    with pytest.raises(ValueError):
+        build_mac(2, 6, multiplier=bad)

@@ -1,0 +1,202 @@
+"""Imaging substrate: images, noise, Gaussian filter, PSNR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_truncated_multiplier
+from repro.circuits.simulator import truth_table
+from repro.errors import exact_product_table, table_as_matrix
+from repro.imaging import (
+    add_gaussian_noise,
+    add_salt_pepper_noise,
+    average_psnr,
+    blob_image,
+    checker_image,
+    estimate_filter_power,
+    filter_image,
+    filter_image_lut,
+    gaussian_kernel_3x3,
+    gradient_image,
+    kernel_coefficient_distribution,
+    kernel_shift,
+    mse,
+    psnr,
+    smooth_noise_image,
+    standard_image_suite,
+)
+
+
+# ----------------------------------------------------------------------
+# Images
+# ----------------------------------------------------------------------
+def test_standard_image_suite_shapes_and_dtype():
+    imgs = standard_image_suite(8, size=32)
+    assert len(imgs) == 8
+    for img in imgs:
+        assert img.shape == (32, 32)
+        assert img.dtype == np.uint8
+
+
+def test_standard_image_suite_deterministic():
+    a = standard_image_suite(5, size=32, seed=3)
+    b = standard_image_suite(5, size=32, seed=3)
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_standard_image_suite_varied():
+    a, b = standard_image_suite(2, size=32)[:2]
+    assert not np.array_equal(a, b)
+
+
+def test_gradient_image_spans_range():
+    img = gradient_image(32, angle=0.0)
+    assert img.min() == 0 and img.max() == 255
+
+
+def test_checker_image_two_levels():
+    img = checker_image(16, cell=4, low=10, high=200)
+    assert set(np.unique(img)) == {10, 200}
+
+
+def test_checker_cell_guard():
+    with pytest.raises(ValueError):
+        checker_image(16, cell=0)
+
+
+def test_blob_and_smooth_noise_in_range(rng):
+    for img in (blob_image(32, rng), smooth_noise_image(32, rng)):
+        assert img.dtype == np.uint8
+        assert 0 <= img.min() <= img.max() <= 255
+
+
+# ----------------------------------------------------------------------
+# Noise
+# ----------------------------------------------------------------------
+def test_gaussian_noise_changes_image(rng):
+    img = checker_image(32)
+    noisy = add_gaussian_noise(img, 10, rng)
+    assert noisy.shape == img.shape
+    assert not np.array_equal(noisy, img)
+    assert noisy.dtype == np.uint8
+
+
+def test_gaussian_noise_zero_sigma_identity(rng):
+    img = checker_image(32)
+    assert np.array_equal(add_gaussian_noise(img, 0, rng), img)
+
+
+def test_gaussian_noise_sigma_guard(rng):
+    with pytest.raises(ValueError):
+        add_gaussian_noise(checker_image(8), -1, rng)
+
+
+def test_salt_pepper_fraction(rng):
+    img = np.full((64, 64), 128, dtype=np.uint8)
+    noisy = add_salt_pepper_noise(img, 0.2, rng)
+    frac = np.mean((noisy == 0) | (noisy == 255))
+    assert 0.1 < frac < 0.3
+
+
+def test_salt_pepper_amount_guard(rng):
+    with pytest.raises(ValueError):
+        add_salt_pepper_noise(checker_image(8), 1.5, rng)
+
+
+# ----------------------------------------------------------------------
+# PSNR
+# ----------------------------------------------------------------------
+def test_psnr_identical_is_infinite():
+    img = checker_image(16)
+    assert psnr(img, img) == float("inf")
+
+
+def test_psnr_known_value():
+    a = np.zeros((4, 4))
+    b = np.full((4, 4), 255.0)
+    assert psnr(a, b) == pytest.approx(0.0)
+
+
+def test_mse_shape_guard():
+    with pytest.raises(ValueError):
+        mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+def test_average_psnr_clamps_infinities():
+    a = checker_image(16)
+    b = add_gaussian_noise(a, 5, np.random.default_rng(0))
+    avg = average_psnr([a, a], [a, b])  # one exact pair
+    assert np.isfinite(avg)
+    assert avg >= psnr(a, b)
+
+
+def test_average_psnr_guards():
+    with pytest.raises(ValueError):
+        average_psnr([], [])
+    with pytest.raises(ValueError):
+        average_psnr([checker_image(8)], [])
+
+
+# ----------------------------------------------------------------------
+# Filter
+# ----------------------------------------------------------------------
+def test_kernel_sum_power_of_two():
+    assert kernel_shift(gaussian_kernel_3x3()) == 4
+    assert kernel_shift(gaussian_kernel_3x3(scale=4)) == 6
+
+
+def test_kernel_scale_guard():
+    with pytest.raises(ValueError):
+        gaussian_kernel_3x3(scale=16)  # sum = 256: too big
+
+
+def test_kernel_shift_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        kernel_shift(np.array([[1, 2], [3, 4]]))
+
+
+def test_filter_constant_image_is_identity():
+    img = np.full((16, 16), 77, dtype=np.uint8)
+    out = filter_image(img)
+    assert np.all(out == 77)
+
+
+def test_filter_output_shape_valid_region():
+    img = checker_image(16)
+    assert filter_image(img).shape == (14, 14)
+
+
+def test_filter_smooths_checkerboard():
+    img = checker_image(32, cell=1, low=0, high=255)
+    out = filter_image(img)
+    # A 1-pixel checkerboard under a binomial kernel flattens severely.
+    assert out.std() < np.asarray(img, dtype=float).std()
+
+
+def test_exact_lut_matches_direct_filter():
+    lut = table_as_matrix(exact_product_table(8, False), 8)
+    img = standard_image_suite(1, size=32)[0]
+    assert np.array_equal(filter_image(img), filter_image_lut(img, lut))
+
+
+def test_approximate_filter_degrades_gracefully():
+    img = standard_image_suite(1, size=48)[0]
+    exact_out = filter_image(img)
+    scores = []
+    for k in (2, 6, 9):
+        net = build_truncated_multiplier(8, k, signed=False)
+        lut = table_as_matrix(truth_table(net), 8)
+        scores.append(psnr(exact_out, filter_image_lut(img, lut)))
+    assert scores[0] > scores[1] > scores[2]
+
+
+def test_kernel_coefficient_distribution_is_small_value_heavy():
+    d = kernel_coefficient_distribution()
+    assert d.pmf[:5].sum() == pytest.approx(1.0)  # all mass below 5
+    assert d.pmf[0] == 0.0  # the 3x3 binomial kernel has no zero coefficient
+
+
+def test_filter_power_scales_with_multiplier():
+    exact = build_truncated_multiplier(8, 0, signed=False)
+    trunc = build_truncated_multiplier(8, 6, signed=False)
+    assert estimate_filter_power(trunc) < estimate_filter_power(exact)

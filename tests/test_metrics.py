@@ -1,0 +1,180 @@
+"""Error metrics: WMED and friends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    error_bias,
+    error_distances,
+    error_rate,
+    evaluate_errors,
+    exact_product_table,
+    from_pmf,
+    mean_error_distance,
+    mean_relative_error,
+    max_product_magnitude,
+    normalized_med,
+    uniform,
+    vector_weights,
+    wmed,
+    wmed_paper,
+    worst_case_error,
+)
+
+
+def test_error_distances_basic():
+    assert list(error_distances([1, 2, 3], [1, 0, 6])) == [0, 2, 3]
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        mean_error_distance([1, 2], [1])
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_error_distance([], [])
+
+
+def test_med_unweighted():
+    assert mean_error_distance([0, 0, 0, 0], [1, 1, 1, 5]) == pytest.approx(2.0)
+
+
+def test_med_weighted():
+    med = mean_error_distance([0, 0], [10, 0], weights=[1.0, 3.0])
+    assert med == pytest.approx(2.5)
+
+
+def test_med_weights_must_be_positive_mass():
+    with pytest.raises(ValueError):
+        mean_error_distance([0], [1], weights=[0.0])
+
+
+def test_exact_circuit_has_zero_everything(exact4s, du8s):
+    d = uniform(4, signed=True)
+    rep = evaluate_errors(exact4s, exact4s, d)
+    assert rep.med == 0
+    assert rep.wmed == 0
+    assert rep.error_rate == 0
+    assert rep.worst_case == 0
+    assert rep.bias == 0
+
+
+def test_wmed_uniform_equals_normalized_med(exact4u):
+    approx = exact4u.copy()
+    approx[::3] += 5
+    d = uniform(4)
+    assert wmed(exact4u, approx, d) == pytest.approx(
+        normalized_med(exact4u, approx, 4, False)
+    )
+
+
+def test_wmed_respects_distribution():
+    """Errors on zero-probability operands do not count."""
+    exact = exact_product_table(3, signed=False)
+    approx = exact.copy()
+    # Corrupt all vectors where x == 7.
+    x_idx = np.arange(64) % 8
+    approx[x_idx == 7] += 40
+    pmf = np.ones(8)
+    pmf[7] = 0.0
+    d = from_pmf(pmf, width=3, name="no7")
+    assert wmed(exact, approx, d) == 0.0
+    assert wmed(exact, approx, uniform(3)) > 0.0
+
+
+def test_wmed_point_mass_selects_row():
+    exact = exact_product_table(3, signed=False)
+    approx = exact + 1  # uniform error of 1 everywhere
+    pmf = np.zeros(8)
+    pmf[4] = 1.0
+    d = from_pmf(pmf, width=3)
+    assert wmed(exact, approx, d) == pytest.approx(1.0 / 49)
+
+
+def test_wmed_paper_relation(exact4u):
+    """Literal Eq. (WMED) = normalized wmed * max|product| * 2^w / 2^(2w)."""
+    approx = exact4u + 3
+    d = uniform(4)
+    lhs = wmed_paper(exact4u, approx, d)
+    rhs = (
+        wmed(exact4u, approx, d)
+        * max_product_magnitude(4, False)
+        * (1 << 4)
+        / (1 << 8)
+    )
+    assert lhs == pytest.approx(rhs)
+
+
+def test_wmed_bounded_by_one(exact4u):
+    worst = np.zeros_like(exact4u)  # all-zero output
+    val = wmed(exact4u, worst, uniform(4))
+    assert 0 <= val <= 1
+
+
+def test_mre_epsilon_guards_zero():
+    val = mean_relative_error([0, 4], [1, 2], epsilon=1.0)
+    assert val == pytest.approx((1 / 1 + 2 / 4) / 2)
+
+
+def test_error_rate():
+    assert error_rate([1, 2, 3, 4], [1, 0, 3, 0]) == pytest.approx(0.5)
+
+
+def test_error_rate_weighted():
+    r = error_rate([1, 2], [0, 2], weights=[3.0, 1.0])
+    assert r == pytest.approx(0.75)
+
+
+def test_worst_case_error():
+    assert worst_case_error([0, 0], [5, -7]) == 7
+
+
+def test_error_bias_sign():
+    assert error_bias([0, 0], [2, 4]) == pytest.approx(3.0)
+    assert error_bias([0, 0], [-2, -4]) == pytest.approx(-3.0)
+
+
+def test_evaluate_errors_consistency(exact8s, trunc8s_tables, du8s):
+    rep = evaluate_errors(exact8s, trunc8s_tables[4], du8s)
+    assert rep.wmed_percent == pytest.approx(100 * rep.wmed)
+    assert rep.worst_case > 0
+    assert rep.med > 0
+    # Truncation only ever reduces magnitude -> negative bias for
+    # non-negative products dominates; just check it is nonzero.
+    assert rep.bias != 0
+
+
+def test_truncation_error_monotone_in_k(exact8s, trunc8s_tables, du8s):
+    """More truncation -> more WMED (the Fig. 3 baseline curve)."""
+    wmeds = [
+        wmed(exact8s, trunc8s_tables[k], du8s) for k in range(9)
+    ]
+    assert wmeds[0] == 0.0
+    assert all(a <= b + 1e-15 for a, b in zip(wmeds, wmeds[1:]))
+
+
+@given(
+    offset=st.integers(min_value=-50, max_value=50),
+)
+@settings(max_examples=20, deadline=None)
+def test_constant_offset_med_property(offset, exact4u):
+    """MED of a constant offset equals |offset|."""
+    approx = exact4u + offset
+    assert mean_error_distance(exact4u, approx) == pytest.approx(abs(offset))
+
+
+def test_vector_weights_layout():
+    pmf = np.zeros(4)
+    pmf[2] = 1.0
+    d = from_pmf(pmf, width=2)
+    w = vector_weights(d, 2)
+    # weight 1 exactly where x pattern == 2 (vector index % 4 == 2)
+    assert np.array_equal(np.nonzero(w)[0] % 4, np.full(4, 2))
+
+
+def test_vector_weights_width_guard():
+    with pytest.raises(ValueError):
+        vector_weights(uniform(4), 3)

@@ -1,0 +1,128 @@
+"""Mutation operator and netlist seeding."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import (
+    build_array_multiplier,
+    build_baugh_wooley_multiplier,
+    build_wallace_multiplier,
+)
+from repro.circuits.simulator import truth_table
+from repro.core import CGPParams, netlist_to_chromosome, params_for_netlist
+from repro.core.mutation import mutate, randomize_output_genes
+from repro.core.seeding import random_chromosome
+
+
+def test_mutate_changes_at_most_h_genes(rng, bw4):
+    parent = netlist_to_chromosome(bw4)
+    for h in (1, 3, 5):
+        child, changed = mutate(parent, h, rng)
+        assert len(changed) <= h
+        diff = np.nonzero(parent.genes != child.genes)[0]
+        assert set(int(d) for d in diff) == set(changed)
+
+
+def test_mutate_rejects_nonpositive_h(rng, bw4):
+    parent = netlist_to_chromosome(bw4)
+    with pytest.raises(ValueError):
+        mutate(parent, 0, rng)
+
+
+def test_mutate_preserves_validity_over_many_rounds(rng, bw4):
+    """Property: every mutant decodes to a structurally valid circuit."""
+    ch = netlist_to_chromosome(bw4)
+    p = ch.params
+    for _ in range(300):
+        ch, _ = mutate(ch, 5, rng)
+    for node in range(p.num_nodes):
+        a, b, fn = ch.node_genes(node)
+        assert p.legal_source(node, a)
+        assert p.legal_source(node, b)
+        assert 0 <= fn < len(p.functions)
+    lo, hi = p.output_range()
+    assert all(lo <= int(o) < hi for o in ch.output_genes)
+    ch.to_netlist().validate()
+
+
+def test_mutate_respects_levels_back(rng):
+    p = CGPParams(
+        num_inputs=3, num_outputs=2, columns=30, levels_back=2
+    )
+    ch = random_chromosome(p, rng)
+    for _ in range(200):
+        ch, _ = mutate(ch, 5, rng)
+    for node in range(p.num_nodes):
+        a, b, _fn = ch.node_genes(node)
+        assert p.legal_source(node, a)
+        assert p.legal_source(node, b)
+
+
+def test_mutate_does_not_touch_parent(rng, bw4):
+    parent = netlist_to_chromosome(bw4)
+    before = parent.genes.copy()
+    for _ in range(50):
+        mutate(parent, 5, rng)
+    assert np.array_equal(parent.genes, before)
+
+
+def test_randomize_output_genes(rng, bw4):
+    ch = netlist_to_chromosome(bw4)
+    randomize_output_genes(ch, rng)
+    lo, hi = ch.params.output_range()
+    assert all(lo <= int(o) < hi for o in ch.output_genes)
+
+
+# ----------------------------------------------------------------------
+# Seeding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "builder,signed",
+    [
+        (build_array_multiplier, False),
+        (build_wallace_multiplier, False),
+        (build_baugh_wooley_multiplier, True),
+    ],
+)
+def test_seeding_roundtrip_preserves_function(builder, signed):
+    net = builder(4)
+    ch = netlist_to_chromosome(net)
+    assert np.array_equal(
+        truth_table(ch.to_netlist(), signed=signed),
+        truth_table(net, signed=signed),
+    )
+
+
+def test_params_for_netlist_sizes(bw4):
+    p = params_for_netlist(bw4, extra_columns=10)
+    assert p.columns == len(bw4.gates) + 10
+    assert p.num_inputs == bw4.num_inputs
+    assert p.num_outputs == bw4.num_outputs
+
+
+def test_seeding_rejects_too_small(bw4):
+    p = CGPParams(
+        num_inputs=8, num_outputs=8, columns=3,
+    )
+    with pytest.raises(ValueError):
+        netlist_to_chromosome(bw4, p)
+
+
+def test_seeding_rejects_shape_mismatch(bw4):
+    p = CGPParams(num_inputs=6, num_outputs=8, columns=400)
+    with pytest.raises(ValueError):
+        netlist_to_chromosome(bw4, p)
+
+
+def test_seeding_rejects_missing_function(bw4):
+    p = params_for_netlist(bw4, functions=("AND", "OR"))
+    with pytest.raises(ValueError):
+        netlist_to_chromosome(bw4, p)
+
+
+def test_seeding_pads_with_inactive_nodes(bw4):
+    p = params_for_netlist(bw4, extra_columns=25)
+    ch = netlist_to_chromosome(bw4, p)
+    # Padding nodes exist but are inactive.
+    assert len(ch.active_nodes()) <= len(bw4.gates)
+    assert ch.params.num_nodes == len(bw4.gates) + 25

@@ -1,0 +1,149 @@
+"""Netlist representation: construction, validation, cones, pruning."""
+
+import pytest
+
+from repro.circuits.netlist import Gate, Netlist
+
+
+def _xor_and_example():
+    """Two inputs; XOR and AND of them; outputs [xor, and]."""
+    net = Netlist(num_inputs=2)
+    x = net.add_gate("XOR", 0, 1)
+    a = net.add_gate("AND", 0, 1)
+    net.set_outputs([x, a])
+    return net, x, a
+
+
+def test_add_gate_returns_sequential_addresses():
+    net = Netlist(num_inputs=3)
+    assert net.add_gate("AND", 0, 1) == 3
+    assert net.add_gate("OR", 2, 3) == 4
+    assert net.num_signals == 5
+
+
+def test_add_gate_rejects_forward_reference():
+    net = Netlist(num_inputs=2)
+    with pytest.raises(ValueError):
+        net.add_gate("AND", 0, 5)
+
+
+def test_add_gate_rejects_too_many_inputs():
+    net = Netlist(num_inputs=2)
+    with pytest.raises(ValueError):
+        net.add_gate("AND", 0, 1, 1)
+
+
+def test_gate_requires_minimum_arity():
+    with pytest.raises(ValueError):
+        Gate("AND", (0,))
+
+
+def test_unary_gate_padding():
+    net = Netlist(num_inputs=2)
+    sig = net.add_gate("NOT", 1)
+    assert sig == 2
+    assert len(net.gates[0].inputs) == 2
+
+
+def test_set_outputs_validates_addresses():
+    net, _, _ = _xor_and_example()
+    with pytest.raises(ValueError):
+        net.set_outputs([99])
+
+
+def test_outputs_may_point_at_inputs():
+    net = Netlist(num_inputs=2)
+    net.set_outputs([0, 1])
+    net.validate()
+    assert net.num_outputs == 2
+
+
+def test_validate_accepts_well_formed():
+    net, _, _ = _xor_and_example()
+    net.validate()
+
+
+def test_validate_rejects_illegal_source():
+    net, _, _ = _xor_and_example()
+    net.gates[0] = Gate("AND", (0, 3))  # self-reference: signal 3 is gate 1... gate 0 drives 2
+    with pytest.raises(ValueError):
+        net.validate()
+
+
+def test_active_signals_excludes_dead_gates():
+    net = Netlist(num_inputs=2)
+    live = net.add_gate("XOR", 0, 1)
+    net.add_gate("AND", 0, 1)  # dead
+    net.set_outputs([live])
+    active = net.active_signals()
+    assert live in active
+    assert 3 not in active  # the AND gate's signal
+    assert active == {0, 1, live}
+
+
+def test_active_gate_indices_topological():
+    net = Netlist(num_inputs=2)
+    a = net.add_gate("AND", 0, 1)
+    b = net.add_gate("OR", a, 1)
+    net.add_gate("XOR", 0, 0)  # dead
+    net.set_outputs([b])
+    assert net.active_gate_indices() == [0, 1]
+
+
+def test_cell_counts_active_vs_all():
+    net, _, _ = _xor_and_example()
+    net.add_gate("NOR", 0, 1)  # dead gate
+    assert net.cell_counts(active_only=True) == {"XOR": 1, "AND": 1}
+    assert net.cell_counts(active_only=False) == {"XOR": 1, "AND": 1, "NOR": 1}
+
+
+def test_fanouts_counts_consumers():
+    net = Netlist(num_inputs=2)
+    x = net.add_gate("XOR", 0, 1)
+    y = net.add_gate("AND", x, x)
+    net.set_outputs([y, y])
+    fan = net.fanouts()
+    assert fan[x] == 2  # both AND pins
+    assert fan[y] == 2  # both outputs
+    assert fan[0] == 1 and fan[1] == 1
+
+
+def test_pruned_removes_dead_gates_and_preserves_function():
+    from repro.circuits.simulator import truth_table
+
+    net = Netlist(num_inputs=2)
+    x = net.add_gate("XOR", 0, 1)
+    net.add_gate("NOR", 0, 1)  # dead
+    net.add_gate("AND", 2, 3)  # dead
+    net.set_outputs([x])
+    pruned = net.pruned()
+    assert len(pruned.gates) == 1
+    assert (truth_table(net) == truth_table(pruned)).all()
+
+
+def test_pruned_keeps_input_outputs():
+    net = Netlist(num_inputs=3)
+    net.add_gate("AND", 0, 1)
+    net.set_outputs([2, 3])
+    pruned = net.pruned()
+    assert pruned.outputs[0] == 2
+    pruned.validate()
+
+
+def test_copy_is_independent():
+    net, x, _ = _xor_and_example()
+    clone = net.copy()
+    clone.add_gate("NOT", x)
+    assert len(net.gates) == 2
+    assert len(clone.gates) == 3
+
+
+def test_gate_signal_mapping():
+    net, _, _ = _xor_and_example()
+    assert net.gate_signal(0) == 2
+    assert net.gate_signal(1) == 3
+
+
+def test_num_outputs():
+    net, _, _ = _xor_and_example()
+    assert net.num_outputs == 2

@@ -1,0 +1,79 @@
+"""Synthetic digit datasets."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DIGIT_GLYPHS, mnist_like, render_digit, svhn_like
+
+
+def test_glyphs_cover_all_digits():
+    assert set(DIGIT_GLYPHS) == set(range(10))
+    for glyph in DIGIT_GLYPHS.values():
+        assert glyph.shape == (7, 5)
+        assert set(np.unique(glyph)) <= {0.0, 1.0}
+
+
+def test_glyphs_distinct():
+    flat = [tuple(g.ravel()) for g in DIGIT_GLYPHS.values()]
+    assert len(set(flat)) == 10
+
+
+def test_render_digit_in_canvas(rng):
+    img = render_digit(3, 28, rng)
+    assert img.shape == (28, 28)
+    assert img.max() > 0.5
+    assert img.min() == 0.0
+
+
+def test_render_digit_guards(rng):
+    with pytest.raises(ValueError):
+        render_digit(11, 28, rng)
+    with pytest.raises(ValueError):
+        render_digit(3, 8, rng, scale_range=(3, 3))  # 15x21 glyph won't fit
+
+
+def test_mnist_like_shapes(rng):
+    x, y = mnist_like(12, rng)
+    assert x.shape == (12, 28, 28, 1)
+    assert y.shape == (12,)
+    assert x.min() >= 0.0 and x.max() <= 1.0
+    assert set(np.unique(y)) <= set(range(10))
+
+
+def test_svhn_like_shapes(rng):
+    x, y = svhn_like(12, rng)
+    assert x.shape == (12, 32, 32, 1)
+    assert x.min() >= 0.0 and x.max() <= 1.0
+
+
+def test_datasets_deterministic_per_seed():
+    a, ya = mnist_like(5, np.random.default_rng(42))
+    b, yb = mnist_like(5, np.random.default_rng(42))
+    assert np.array_equal(a, b) and np.array_equal(ya, yb)
+
+
+def test_datasets_differ_across_seeds():
+    a, _ = svhn_like(5, np.random.default_rng(1))
+    b, _ = svhn_like(5, np.random.default_rng(2))
+    assert not np.array_equal(a, b)
+
+
+def test_count_guards(rng):
+    with pytest.raises(ValueError):
+        mnist_like(0, rng)
+    with pytest.raises(ValueError):
+        svhn_like(-3, rng)
+
+
+def test_svhn_backgrounds_nonblack(rng):
+    """SVHN-like images have cluttered (non-zero) backgrounds."""
+    x, _ = svhn_like(8, rng)
+    # Corner pixels are background; their mean should be well above 0.
+    corners = x[:, :3, :3, 0]
+    assert corners.mean() > 0.1
+
+
+def test_mnist_background_dark(rng):
+    x, _ = mnist_like(8, rng, noise=0.0)
+    corners = x[:, :2, :2, 0]
+    assert corners.mean() < 0.2

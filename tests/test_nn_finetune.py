@@ -1,0 +1,71 @@
+"""Fine-tuning with approximate multipliers (straight-through estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_truncated_multiplier
+from repro.circuits.simulator import truth_table
+from repro.errors import table_as_matrix
+from repro.nn import (
+    QuantizedModel,
+    build_mlp,
+    finetune,
+    mnist_like,
+    train,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(21)
+    x, y = mnist_like(1200, rng)
+    x = x.reshape(len(x), -1)
+    net = build_mlp(rng=np.random.default_rng(6))
+    train(net, x[:900], y[:900], epochs=5, lr=0.1, rng=rng)
+    lut = table_as_matrix(
+        truth_table(build_truncated_multiplier(8, 7, signed=True), signed=True), 8
+    )
+    return net, x, y, lut
+
+
+def test_finetune_recovers_accuracy(setup):
+    """The Table I effect: deep approximation hurts; fine-tuning recovers."""
+    net, x, y, lut = setup
+    qm = QuantizedModel(net, x[:128])
+    test_x, test_y = x[900:], y[900:]
+    acc_exact = qm.accuracy(test_x, test_y)
+    acc_before = qm.accuracy(test_x, test_y, lut=lut)
+    rng = np.random.default_rng(3)
+    report = finetune(
+        qm, x[:900], y[:900], lut=lut, steps=80, lr=0.02, rng=rng
+    )
+    acc_after = qm.accuracy(test_x, test_y, lut=lut)
+    assert len(report.step_losses) == 80
+    # Fine-tuning must claw back accuracy lost to the approximate LUT.
+    assert acc_after > acc_before
+    # And land within striking distance of the exact-multiplier model.
+    assert acc_after >= acc_exact - 0.15
+
+
+def test_finetune_updates_float_weights(setup):
+    net, x, y, lut = setup
+    qm = QuantizedModel(net, x[:128])
+    before = net.layers[0].params["W"].copy()
+    finetune(qm, x[:200], y[:200], lut=lut, steps=5, rng=np.random.default_rng(0))
+    assert not np.array_equal(before, net.layers[0].params["W"])
+
+
+def test_finetune_steps_guard(setup):
+    net, x, y, lut = setup
+    qm = QuantizedModel(net, x[:128])
+    with pytest.raises(ValueError):
+        finetune(qm, x, y, lut=lut, steps=0)
+
+
+def test_finetune_none_lut_tunes_quantized_model(setup):
+    net, x, y, _ = setup
+    qm = QuantizedModel(net, x[:128])
+    report = finetune(
+        qm, x[:200], y[:200], lut=None, steps=5, rng=np.random.default_rng(1)
+    )
+    assert all(np.isfinite(l) for l in report.step_losses)

@@ -1,0 +1,151 @@
+"""NN layers: shape handling and numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, Conv2D, Dense, Flatten, ReLU, im2col
+
+
+def _numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for k in range(flat.size):
+        old = flat[k]
+        flat[k] = old + eps
+        hi = f()
+        flat[k] = old - eps
+        lo = f()
+        flat[k] = old
+        gflat[k] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def _check_input_grad(layer, x, tol=1e-5):
+    y, cache = layer.forward(x)
+    dy = np.random.default_rng(0).normal(size=y.shape)
+
+    def loss():
+        out, _ = layer.forward(x)
+        return float((out * dy).sum())
+
+    dx, _ = layer.backward(dy, cache)
+    num = _numeric_grad(loss, x)
+    assert np.allclose(dx, num, atol=tol), np.abs(dx - num).max()
+
+
+def _check_param_grad(layer, x, name, tol=1e-5):
+    y, cache = layer.forward(x)
+    dy = np.random.default_rng(1).normal(size=y.shape)
+    _, grads = layer.backward(dy, cache)
+
+    def loss():
+        out, _ = layer.forward(x)
+        return float((out * dy).sum())
+
+    num = _numeric_grad(loss, layer.params[name])
+    assert np.allclose(grads[name], num, atol=tol)
+
+
+def test_dense_shapes(rng):
+    layer = Dense(6, 4, rng=rng)
+    y, _ = layer.forward(np.zeros((3, 6)))
+    assert y.shape == (3, 4)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((3, 5)))
+
+
+def test_dense_input_gradient(rng):
+    layer = Dense(5, 3, rng=rng)
+    _check_input_grad(layer, rng.normal(size=(4, 5)))
+
+
+def test_dense_weight_gradients(rng):
+    layer = Dense(5, 3, rng=rng)
+    x = rng.normal(size=(4, 5))
+    _check_param_grad(layer, x, "W")
+    _check_param_grad(layer, x, "b")
+
+
+def test_im2col_layout():
+    x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+    cols = im2col(x, 3)
+    assert cols.shape == (1, 2, 2, 9)
+    # Patch at (0,0): rows 0-2, cols 0-2.
+    assert list(cols[0, 0, 0]) == [0, 1, 2, 4, 5, 6, 8, 9, 10]
+
+
+def test_im2col_kernel_too_large():
+    with pytest.raises(ValueError):
+        im2col(np.zeros((1, 2, 2, 1)), 3)
+
+
+def test_conv_shapes(rng):
+    layer = Conv2D(2, 5, 3, rng=rng)
+    y, _ = layer.forward(np.zeros((2, 8, 8, 2)))
+    assert y.shape == (2, 6, 6, 5)
+    with pytest.raises(ValueError):
+        layer.forward(np.zeros((2, 8, 8, 3)))
+
+
+def test_conv_input_gradient(rng):
+    layer = Conv2D(1, 2, 3, rng=rng)
+    _check_input_grad(layer, rng.normal(size=(2, 5, 5, 1)))
+
+
+def test_conv_weight_gradients(rng):
+    layer = Conv2D(1, 2, 3, rng=rng)
+    x = rng.normal(size=(2, 5, 5, 1))
+    _check_param_grad(layer, x, "W")
+    _check_param_grad(layer, x, "b")
+
+
+def test_conv_matches_manual_convolution(rng):
+    layer = Conv2D(1, 1, 2, rng=rng)
+    x = rng.normal(size=(1, 3, 3, 1))
+    y, _ = layer.forward(x)
+    w = layer.params["W"].reshape(2, 2)
+    for i in range(2):
+        for j in range(2):
+            expected = (x[0, i : i + 2, j : j + 2, 0] * w).sum() + layer.params["b"][0]
+            assert y[0, i, j, 0] == pytest.approx(expected)
+
+
+def test_avgpool_forward():
+    x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+    pool = AvgPool2D(2)
+    y, _ = pool.forward(x)
+    assert y.shape == (1, 2, 2, 1)
+    assert y[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+
+def test_avgpool_divisibility_guard():
+    with pytest.raises(ValueError):
+        AvgPool2D(2).forward(np.zeros((1, 5, 4, 1)))
+
+
+def test_avgpool_gradient(rng):
+    _check_input_grad(AvgPool2D(2), rng.normal(size=(2, 4, 4, 3)))
+
+
+def test_relu_forward_backward(rng):
+    x = np.array([[-1.0, 2.0, 0.0]])
+    relu = ReLU()
+    y, cache = relu.forward(x)
+    assert list(y[0]) == [0.0, 2.0, 0.0]
+    dx, _ = relu.backward(np.ones_like(y), cache)
+    assert list(dx[0]) == [0.0, 1.0, 0.0]
+
+
+def test_flatten_roundtrip(rng):
+    x = rng.normal(size=(2, 3, 4, 5))
+    flat = Flatten()
+    y, cache = flat.forward(x)
+    assert y.shape == (2, 60)
+    dx, _ = flat.backward(y, cache)
+    assert np.array_equal(dx, x)
+
+
+def test_pool_size_guard():
+    with pytest.raises(ValueError):
+        AvgPool2D(0)

@@ -1,0 +1,121 @@
+"""Sequential container, reference topologies, training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Sequential,
+    accuracy,
+    build_lenet5,
+    build_mlp,
+    cross_entropy_loss,
+    mnist_like,
+    softmax,
+    train,
+)
+from repro.nn.layers import Dense, ReLU
+
+
+def test_mlp_topology(rng):
+    mlp = build_mlp(rng=rng)
+    assert mlp.num_parameters() == 784 * 300 + 300 + 300 * 10 + 10
+    logits = mlp.predict(np.zeros((2, 784)))
+    assert logits.shape == (2, 10)
+
+
+def test_lenet_topology(rng):
+    net = build_lenet5(rng=rng)
+    logits = net.predict(np.zeros((2, 32, 32, 1)))
+    assert logits.shape == (2, 10)
+    # Layer structure: 3 convs, 2 pools, 1 dense.
+    from repro.nn.layers import AvgPool2D, Conv2D
+
+    convs = [l for l in net.layers if isinstance(l, Conv2D)]
+    pools = [l for l in net.layers if isinstance(l, AvgPool2D)]
+    dense = [l for l in net.layers if isinstance(l, Dense)]
+    assert len(convs) == 3 and len(pools) == 2 and len(dense) == 1
+    assert dense[0].in_features == 120
+
+
+def test_lenet_requires_32(rng):
+    with pytest.raises(ValueError):
+        build_lenet5(input_hw=28, rng=rng)
+
+
+def test_predict_batching_consistent(rng):
+    mlp = build_mlp(input_size=20, hidden=8, rng=rng)
+    x = rng.normal(size=(30, 20))
+    full = mlp.predict(x, batch_size=30)
+    batched = mlp.predict(x, batch_size=7)
+    assert np.allclose(full, batched)
+
+
+def test_all_weights_concatenates(rng):
+    mlp = build_mlp(input_size=5, hidden=3, classes=2, rng=rng)
+    w = mlp.all_weights()
+    assert w.shape == (5 * 3 + 3 * 2,)
+
+
+def test_weighted_layers(rng):
+    mlp = build_mlp(rng=rng)
+    idx = [i for i, _ in mlp.weighted_layers()]
+    assert idx == [0, 2]
+
+
+def test_softmax_rows_sum_to_one(rng):
+    probs = softmax(rng.normal(size=(5, 10)) * 50)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert np.all(probs >= 0)
+
+
+def test_cross_entropy_perfect_prediction():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss, grad = cross_entropy_loss(logits, np.array([0, 1]))
+    assert loss == pytest.approx(0.0, abs=1e-6)
+    assert np.allclose(grad, 0.0, atol=1e-6)
+
+
+def test_cross_entropy_gradient_is_probs_minus_onehot(rng):
+    logits = rng.normal(size=(4, 3))
+    labels = np.array([0, 1, 2, 0])
+    _, grad = cross_entropy_loss(logits.copy(), labels)
+    probs = softmax(logits)
+    onehot = np.eye(3)[labels]
+    assert np.allclose(grad, (probs - onehot) / 4)
+
+
+def test_training_reduces_loss_tiny_task(rng):
+    """A linearly separable blob task must be learned quickly."""
+    n = 200
+    x = rng.normal(size=(n, 2))
+    labels = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    net = Sequential([Dense(2, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+    report = train(net, x, labels, epochs=12, batch_size=16, lr=0.1, rng=rng)
+    assert report.epoch_losses[-1] < report.epoch_losses[0]
+    assert accuracy(net, x, labels) > 0.9
+
+
+def test_training_on_synthetic_digits(rng):
+    x, y = mnist_like(600, rng)
+    x = x.reshape(len(x), -1)
+    net = build_mlp(rng=np.random.default_rng(5))
+    report = train(net, x, y, epochs=4, lr=0.1, rng=rng)
+    assert report.epoch_train_accuracy[-1] > 0.6
+    assert len(report.epoch_losses) == 4
+
+
+def test_lr_decay_applied(rng):
+    from repro.nn.training import SGDMomentum
+
+    x = rng.normal(size=(20, 2))
+    labels = (x[:, 0] > 0).astype(np.int64)
+    net = Sequential([Dense(2, 2, rng=rng)])
+    report = train(net, x, labels, epochs=2, lr=0.1, lr_decay=0.5, rng=rng)
+    assert len(report.epoch_losses) == 2
+
+
+def test_sgd_momentum_lr_guard():
+    from repro.nn.training import SGDMomentum
+
+    with pytest.raises(ValueError):
+        SGDMomentum(lr=0.0)

@@ -1,0 +1,188 @@
+"""Fixed-point quantization and the quantized/approximate inference engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import exact_product_table, table_as_matrix
+from repro.nn import (
+    QuantizedModel,
+    build_mlp,
+    calibrate,
+    lut_matmul,
+    mnist_like,
+    quantize_array,
+    train,
+    weight_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_mlp():
+    """A small trained MLP + its data, shared across this module."""
+    rng = np.random.default_rng(11)
+    x, y = mnist_like(800, rng)
+    x = x.reshape(len(x), -1)
+    net = build_mlp(rng=np.random.default_rng(4))
+    train(net, x, y, epochs=4, lr=0.1, rng=rng)
+    return net, x, y
+
+
+@pytest.fixture(scope="module")
+def exact_lut():
+    return table_as_matrix(exact_product_table(8, True), 8)
+
+
+# ----------------------------------------------------------------------
+# quantize_array
+# ----------------------------------------------------------------------
+def test_quantize_array_rounds():
+    out = quantize_array(np.array([0.24, 0.26, -0.26]), scale=0.25)
+    assert list(out) == [1, 1, -1]
+
+
+def test_quantize_array_clips():
+    out = quantize_array(np.array([100.0, -100.0]), scale=0.1)
+    assert list(out) == [127, -128]
+
+
+def test_quantize_array_scale_guard():
+    with pytest.raises(ValueError):
+        quantize_array(np.zeros(3), scale=0.0)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1, max_value=1, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_quantize_roundtrip_error_bounded(values):
+    """Property: |dequantized - original| <= scale/2 inside the range."""
+    arr = np.array(values)
+    scale = max(1e-6, float(np.abs(arr).max()) / 127)
+    codes = quantize_array(arr, scale)
+    back = codes * scale
+    assert np.all(np.abs(back - arr) <= scale / 2 + 1e-12)
+
+
+# ----------------------------------------------------------------------
+# calibrate
+# ----------------------------------------------------------------------
+def test_calibrate_covers_weighted_layers(trained_mlp):
+    net, x, _ = trained_mlp
+    quants = calibrate(net, x[:64])
+    assert [q.layer_index for q in quants] == [0, 2]
+    for q in quants:
+        assert q.w_scale > 0 and q.a_scale > 0
+        assert np.abs(q.weights_q).max() <= 127
+
+
+def test_calibrate_empty_guard(trained_mlp):
+    net, x, _ = trained_mlp
+    with pytest.raises(ValueError):
+        calibrate(net, x[:0])
+
+
+def test_weight_distribution_is_zero_peaked(trained_mlp):
+    net, x, _ = trained_mlp
+    quants = calibrate(net, x[:64])
+    dist = weight_distribution(quants)
+    assert dist.signed
+    # Trained NN weights concentrate near zero (the paper's Fig. 6 top):
+    # the +-32 band (a quarter of the code range) holds far more than a
+    # quarter of the mass.
+    small = dist.pmf[np.abs(dist.values) <= 32].sum()
+    assert small > 0.6
+
+
+def test_weight_distribution_empty_guard():
+    with pytest.raises(ValueError):
+        weight_distribution([])
+
+
+# ----------------------------------------------------------------------
+# lut_matmul
+# ----------------------------------------------------------------------
+def test_lut_matmul_matches_exact(rng, exact_lut):
+    a = rng.integers(-128, 128, size=(13, 17))
+    w = rng.integers(-128, 128, size=(17, 5))
+    assert np.array_equal(lut_matmul(a, w, exact_lut), a @ w)
+
+
+def test_lut_matmul_dimension_guard(exact_lut):
+    with pytest.raises(ValueError):
+        lut_matmul(np.zeros((2, 3), int), np.zeros((4, 2), int), exact_lut)
+
+
+def test_lut_matmul_lut_shape_guard():
+    with pytest.raises(ValueError):
+        lut_matmul(np.zeros((2, 3), int), np.zeros((3, 2), int), np.zeros((5, 5)))
+
+
+def test_lut_matmul_custom_lut_semantics():
+    """A LUT that doubles every product doubles the accumulator."""
+    lut = table_as_matrix(exact_product_table(4, True) * 2, 4)
+    a = np.array([[1, 2], [3, -4]])
+    w = np.array([[1, 0], [0, 1]])
+    assert np.array_equal(lut_matmul(a, w, lut), 2 * (a @ w))
+
+
+# ----------------------------------------------------------------------
+# QuantizedModel
+# ----------------------------------------------------------------------
+def test_quantized_accuracy_close_to_float(trained_mlp):
+    net, x, y = trained_mlp
+    from repro.nn import accuracy
+
+    qm = QuantizedModel(net, x[:128])
+    a_float = accuracy(net, x[:400], y[:400])
+    a_quant = qm.accuracy(x[:400], y[:400])
+    assert abs(a_float - a_quant) < 0.05  # paper: ~0.01-0.1 % drop
+
+
+def test_exact_lut_equals_integer_path(trained_mlp, exact_lut):
+    net, x, _ = trained_mlp
+    qm = QuantizedModel(net, x[:128])
+    ref = qm.predict(x[:60])
+    via_lut = qm.predict(x[:60], lut=exact_lut)
+    assert np.array_equal(ref, via_lut)
+
+
+def test_zero_lut_degrades_accuracy(trained_mlp):
+    net, x, y = trained_mlp
+    qm = QuantizedModel(net, x[:128])
+    zero_lut = np.zeros((256, 256), dtype=np.int64)
+    acc = qm.accuracy(x[:200], y[:200], lut=zero_lut)
+    assert acc < 0.5  # all products zero: logits carry only biases
+
+
+def test_requantize_tracks_weight_updates(trained_mlp):
+    net, x, _ = trained_mlp
+    qm = QuantizedModel(net, x[:128])
+    before = qm.quants[0].weights_q.copy()
+    net.layers[0].params["W"] *= 2.0
+    qm.requantize()
+    # Scale doubles; codes stay (roughly) the same.
+    assert qm.quants[0].w_scale > 0
+    assert np.abs(qm.quants[0].weights_q - before).mean() < 2.0
+    net.layers[0].params["W"] /= 2.0
+    qm.requantize()
+
+
+def test_forward_caches_for_ste(trained_mlp, exact_lut):
+    net, x, _ = trained_mlp
+    qm = QuantizedModel(net, x[:128])
+    logits, caches = qm.forward(x[:8], lut=exact_lut, collect_caches=True)
+    assert len(caches) == len(net.layers)
+    assert "x" in caches[0]  # Dense STE cache
+    # Gradients flow through the caches.
+    from repro.nn import cross_entropy_loss
+
+    _, dlogits = cross_entropy_loss(logits, np.zeros(8, dtype=int))
+    grads = net.backward(dlogits, caches)
+    assert grads[0]["W"].shape == net.layers[0].params["W"].shape
+    assert np.isfinite(grads[0]["W"]).all()

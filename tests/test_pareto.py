@@ -1,0 +1,93 @@
+"""Pareto-front bookkeeping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import (
+    dominates,
+    hypervolume_2d,
+    pareto_indices,
+    pareto_points,
+)
+
+
+def test_dominates_basic():
+    assert dominates((1, 1), (2, 2))
+    assert dominates((1, 2), (1, 3))
+    assert not dominates((1, 1), (1, 1))
+    assert not dominates((1, 3), (2, 2))
+
+
+def test_pareto_indices_simple():
+    errors = [0.0, 0.1, 0.2, 0.15]
+    costs = [10.0, 6.0, 3.0, 8.0]
+    front = pareto_indices(errors, costs)
+    assert front == [0, 1, 2]
+
+
+def test_pareto_indices_removes_duplicates():
+    front = pareto_indices([0.1, 0.1], [5.0, 5.0])
+    assert len(front) == 1
+
+
+def test_pareto_indices_length_guard():
+    with pytest.raises(ValueError):
+        pareto_indices([1.0], [1.0, 2.0])
+
+
+def test_pareto_points_sorted_by_error():
+    points = [(0.3, 1.0), (0.1, 5.0), (0.2, 2.0)]
+    front = pareto_points(points)
+    assert front == [(0.1, 5.0), (0.2, 2.0), (0.3, 1.0)]
+
+
+point_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(point_lists)
+@settings(max_examples=60, deadline=None)
+def test_pareto_front_is_mutually_nondominated(points):
+    front = pareto_points(points)
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b)
+
+
+@given(point_lists)
+@settings(max_examples=60, deadline=None)
+def test_every_point_dominated_or_on_front(points):
+    front = pareto_points(points)
+    for p in points:
+        assert p in front or any(
+            dominates(f, p) or f == p for f in front
+        )
+
+
+def test_hypervolume_single_point():
+    assert hypervolume_2d([(1.0, 1.0)], reference=(2.0, 2.0)) == pytest.approx(1.0)
+
+
+def test_hypervolume_two_points():
+    hv = hypervolume_2d([(0.0, 2.0), (1.0, 1.0)], reference=(2.0, 3.0))
+    # (2-1)*(3-1) + (1-0)*(3-2) = 2 + 1 = 3
+    assert hv == pytest.approx(3.0)
+
+
+def test_hypervolume_ignores_points_beyond_reference():
+    assert hypervolume_2d([(5.0, 5.0)], reference=(1.0, 1.0)) == 0.0
+
+
+def test_hypervolume_monotone_in_front_quality():
+    base = [(0.5, 5.0)]
+    better = [(0.5, 5.0), (0.2, 7.0)]
+    ref = (1.0, 10.0)
+    assert hypervolume_2d(better, ref) >= hypervolume_2d(base, ref)

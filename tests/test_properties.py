@@ -1,0 +1,174 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.compose import append_netlist
+from repro.circuits.gates import FULL_FUNCTION_SET
+from repro.circuits.netlist import Netlist
+from repro.circuits.simulator import truth_table
+from repro.core import CGPParams, Chromosome, netlist_to_chromosome
+from repro.core.mutation import mutate
+from repro.errors import (
+    error_distances,
+    exact_product_table,
+    from_pmf,
+    mean_error_distance,
+    table_as_matrix,
+    wmed,
+)
+from repro.nn.quantization import quantize_array
+
+
+# ----------------------------------------------------------------------
+# Random netlist strategy
+# ----------------------------------------------------------------------
+@st.composite
+def random_netlists(draw, max_inputs=5, max_gates=12):
+    ni = draw(st.integers(min_value=1, max_value=max_inputs))
+    net = Netlist(num_inputs=ni)
+    n_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    for _ in range(n_gates):
+        fn = draw(st.sampled_from(FULL_FUNCTION_SET))
+        a = draw(st.integers(min_value=0, max_value=net.num_signals - 1))
+        b = draw(st.integers(min_value=0, max_value=net.num_signals - 1))
+        net.add_gate(fn, a, b)
+    n_out = draw(st.integers(min_value=1, max_value=3))
+    outs = [
+        draw(st.integers(min_value=0, max_value=net.num_signals - 1))
+        for _ in range(n_out)
+    ]
+    net.set_outputs(outs)
+    return net
+
+
+@given(random_netlists())
+@settings(max_examples=40, deadline=None)
+def test_pruning_preserves_truth_table(net):
+    pruned = net.pruned()
+    assert np.array_equal(truth_table(net), truth_table(pruned))
+    assert len(pruned.gates) <= len(net.gates)
+    pruned.validate()
+
+
+@given(random_netlists())
+@settings(max_examples=30, deadline=None)
+def test_composition_identity(net):
+    """Appending into a fresh wrapper with identity wiring is a no-op."""
+    outer = Netlist(num_inputs=net.num_inputs)
+    outs = append_netlist(outer, net, list(range(net.num_inputs)))
+    outer.set_outputs(outs)
+    assert np.array_equal(truth_table(outer), truth_table(net))
+
+
+def _seed_full(net):
+    from repro.core.seeding import params_for_netlist
+
+    return netlist_to_chromosome(
+        net, params_for_netlist(net, functions=FULL_FUNCTION_SET)
+    )
+
+
+@given(random_netlists())
+@settings(max_examples=30, deadline=None)
+def test_seeded_chromosome_equivalence(net):
+    """Any valid netlist survives the netlist -> CGP -> netlist roundtrip."""
+    ch = _seed_full(net)
+    assert np.array_equal(truth_table(ch.to_netlist()), truth_table(net))
+
+
+@given(random_netlists(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_mutation_chain_always_valid(net, seed):
+    rng = np.random.default_rng(seed)
+    ch = _seed_full(net)
+    for _ in range(30):
+        ch, _changed = mutate(ch, 4, rng)
+    decoded = ch.to_netlist()
+    decoded.validate()
+    # Output count is an invariant of the genotype.
+    assert decoded.num_outputs == net.num_outputs
+
+
+# ----------------------------------------------------------------------
+# Metric properties
+# ----------------------------------------------------------------------
+tables = st.lists(
+    st.integers(min_value=-300, max_value=300), min_size=4, max_size=64
+)
+
+
+@given(tables, tables)
+@settings(max_examples=60, deadline=None)
+def test_med_symmetry(a, b):
+    n = min(len(a), len(b))
+    x, y = np.array(a[:n]), np.array(b[:n])
+    assert mean_error_distance(x, y) == pytest.approx(mean_error_distance(y, x))
+
+
+@given(tables, tables, tables)
+@settings(max_examples=60, deadline=None)
+def test_med_triangle_inequality(a, b, c):
+    n = min(len(a), len(b), len(c))
+    x, y, z = (np.array(v[:n]) for v in (a, b, c))
+    lhs = mean_error_distance(x, z)
+    rhs = mean_error_distance(x, y) + mean_error_distance(y, z)
+    assert lhs <= rhs + 1e-9
+
+
+@given(st.integers(min_value=2, max_value=5), st.data())
+@settings(max_examples=30, deadline=None)
+def test_wmed_convexity_in_distribution(width, data):
+    """WMED under a mixture of PMFs is the mixture of WMEDs."""
+    n = 1 << width
+    exact = exact_product_table(width, signed=False)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    approx = exact + rng.integers(-4, 5, size=exact.shape)
+    pmf_a = rng.random(n) + 1e-9
+    pmf_b = rng.random(n) + 1e-9
+    lam = data.draw(st.floats(min_value=0.0, max_value=1.0))
+    da = from_pmf(pmf_a, width)
+    db = from_pmf(pmf_b, width)
+    mix = from_pmf(
+        lam * pmf_a / pmf_a.sum() + (1 - lam) * pmf_b / pmf_b.sum(), width
+    )
+    expected = lam * wmed(exact, approx, da) + (1 - lam) * wmed(exact, approx, db)
+    assert wmed(exact, approx, mix) == pytest.approx(expected)
+
+
+@given(st.integers(min_value=2, max_value=5))
+@settings(max_examples=10, deadline=None)
+def test_table_matrix_roundtrip(width):
+    n = 1 << width
+    table = np.arange(n * n)
+    mat = table_as_matrix(table, width)
+    x = np.tile(np.arange(n), n)
+    y = np.repeat(np.arange(n), n)
+    assert np.array_equal(mat[x, y], table)
+
+
+@given(
+    st.lists(st.floats(-10, 10, allow_nan=False), min_size=1, max_size=40),
+    st.floats(min_value=1e-3, max_value=2.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_quantize_monotone(values, scale):
+    """Quantization preserves (non-strict) ordering."""
+    arr = np.array(values)
+    codes = quantize_array(arr, scale)
+    order = np.argsort(arr, kind="stable")
+    sorted_codes = codes[order]
+    assert np.all(np.diff(sorted_codes) >= 0)
+
+
+@given(tables)
+@settings(max_examples=40, deadline=None)
+def test_error_distance_zero_iff_equal(a):
+    x = np.array(a)
+    assert error_distances(x, x).max() == 0
+    if x.size:
+        y = x.copy()
+        y[0] += 1
+        assert error_distances(x, y).max() == 1

@@ -1,0 +1,156 @@
+"""CGP string serialization and Verilog export."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import (
+    build_baugh_wooley_multiplier,
+    build_ripple_carry_adder,
+)
+from repro.circuits.simulator import truth_table
+from repro.circuits.verilog import to_verilog
+from repro.core import netlist_to_chromosome, params_for_netlist
+from repro.core.serialization import (
+    chromosome_from_string,
+    chromosome_to_string,
+)
+
+
+@pytest.fixture(scope="module")
+def chromosome4():
+    net = build_baugh_wooley_multiplier(4)
+    return netlist_to_chromosome(net, params_for_netlist(net, extra_columns=5))
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def test_roundtrip_preserves_genome(chromosome4):
+    text = chromosome_to_string(chromosome4)
+    back = chromosome_from_string(text)
+    assert np.array_equal(back.genes, chromosome4.genes)
+    assert back.params == chromosome4.params
+
+
+def test_roundtrip_preserves_function(chromosome4):
+    back = chromosome_from_string(chromosome_to_string(chromosome4))
+    assert np.array_equal(
+        truth_table(back.to_netlist(), signed=True),
+        truth_table(chromosome4.to_netlist(), signed=True),
+    )
+
+
+def test_string_is_single_line(chromosome4):
+    text = chromosome_to_string(chromosome4)
+    assert "\n" not in text
+    assert text.startswith("{8,8,")  # two 4-bit operands, 8-bit product
+
+
+def test_parse_rejects_missing_header():
+    with pytest.raises(ValueError, match="header"):
+        chromosome_from_string("([0,1,2])(0)")
+
+
+def test_parse_rejects_wrong_node_count(chromosome4):
+    text = chromosome_to_string(chromosome4)
+    truncated = text.replace("[0,0,0]", "", 1)
+    with pytest.raises(ValueError):
+        chromosome_from_string(truncated)
+
+
+def test_parse_rejects_illegal_source():
+    # Node 0 reading signal 5 (not yet defined).
+    text = "{2,1,1,1,2,*,AND|OR}([5,0,0])(2)"
+    with pytest.raises(ValueError, match="illegal source"):
+        chromosome_from_string(text)
+
+
+def test_parse_rejects_bad_function_index():
+    text = "{2,1,1,1,2,*,AND|OR}([0,1,9])(2)"
+    with pytest.raises(ValueError, match="function index"):
+        chromosome_from_string(text)
+
+
+def test_parse_levels_back_roundtrip():
+    from repro.core import CGPParams
+    from repro.core.seeding import random_chromosome
+
+    p = CGPParams(
+        num_inputs=3, num_outputs=2, columns=8, levels_back=3,
+        functions=("AND", "OR", "NOT", "BUF"),
+    )
+    ch = random_chromosome(p, np.random.default_rng(0))
+    back = chromosome_from_string(chromosome_to_string(ch))
+    assert back.params.levels_back == 3
+    assert np.array_equal(back.genes, ch.genes)
+
+
+# ----------------------------------------------------------------------
+# Verilog
+# ----------------------------------------------------------------------
+def test_verilog_structure():
+    net = build_ripple_carry_adder(2)
+    text = to_verilog(net, module_name="rca2")
+    assert text.startswith("module rca2 (")
+    assert text.rstrip().endswith("endmodule")
+    assert "input  wire in_0, in_1, in_2, in_3" in text
+    assert "assign out_2" in text  # carry out
+
+
+def test_verilog_covers_active_gates_only():
+    from repro.circuits.netlist import Netlist
+
+    net = Netlist(num_inputs=2)
+    live = net.add_gate("XOR", 0, 1)
+    dead = net.add_gate("NOR", 0, 1)
+    net.set_outputs([live])
+    text = to_verilog(net)
+    assert f"w{live}" in text
+    assert f"w{dead}" not in text
+
+
+def test_verilog_constants_and_unary():
+    from repro.circuits.netlist import Netlist
+
+    net = Netlist(num_inputs=1)
+    one = net.add_gate("CONST1")
+    inv = net.add_gate("NOT", 0)
+    net.set_outputs([one, inv])
+    text = to_verilog(net)
+    assert "1'b1" in text
+    assert "~in_0" in text
+
+
+def test_verilog_output_wired_to_input():
+    from repro.circuits.netlist import Netlist
+
+    net = Netlist(num_inputs=2)
+    net.set_outputs([1])
+    text = to_verilog(net)
+    assert "assign out_0 = in_1;" in text
+
+
+def test_verilog_semantics_by_reference_eval():
+    """Evaluate the emitted expressions in Python and compare truth tables."""
+    net = build_baugh_wooley_multiplier(2)
+    text = to_verilog(net, module_name="m")
+    # Translate Verilog operators into Python bitwise ops on 0/1 ints.
+    lines = [
+        l.strip() for l in text.splitlines() if l.strip().startswith(("wire", "assign"))
+    ]
+    tt = truth_table(net, signed=True)
+    for vector in range(16):
+        env = {f"in_{k}": (vector >> k) & 1 for k in range(4)}
+        for line in lines:
+            line = line.rstrip(";")
+            if line.startswith("wire "):
+                name, expr = line[5:].split(" = ", 1)
+            else:
+                name, expr = line[7:].split(" = ", 1)
+            expr = expr.replace("1'b0", "0").replace("1'b1", "1")
+            expr = expr.replace("~", "1^")
+            env[name.strip()] = eval(expr, {}, env) & 1
+        value = sum(env[f"out_{j}"] << j for j in range(4))
+        if value >= 8:
+            value -= 16
+        assert value == tt[vector]

@@ -1,0 +1,74 @@
+"""Truth-table helpers: operand grids, weights, LUT matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    exact_product_table,
+    max_product_magnitude,
+    operand_index_grids,
+    operand_values,
+    table_as_matrix,
+    uniform,
+    weight_matrix,
+)
+
+
+def test_operand_values_unsigned():
+    assert list(operand_values(3, False)) == list(range(8))
+
+
+def test_operand_values_signed():
+    assert list(operand_values(3, True)) == [0, 1, 2, 3, -4, -3, -2, -1]
+
+
+def test_operand_index_grids():
+    x, y = operand_index_grids(2)
+    assert list(x) == [0, 1, 2, 3] * 4
+    assert list(y) == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+
+def test_exact_product_table_spot_values():
+    tab = exact_product_table(3, signed=True)
+    # vector v: x pattern = v & 7, y pattern = v >> 3
+    # x = -4 (pattern 4), y = 3 (pattern 3) -> v = 3*8+4
+    assert tab[3 * 8 + 4] == -12
+
+
+def test_exact_product_table_unsigned_max():
+    tab = exact_product_table(4, signed=False)
+    assert tab.max() == 225
+    assert tab.min() == 0
+
+
+def test_table_as_matrix_layout():
+    tab = exact_product_table(3, signed=False)
+    mat = table_as_matrix(tab, 3)
+    for x in range(8):
+        for y in range(8):
+            assert mat[x, y] == x * y
+
+
+def test_table_as_matrix_signed_patterns():
+    tab = exact_product_table(3, signed=True)
+    mat = table_as_matrix(tab, 3)
+    # pattern 7 = -1, pattern 4 = -4
+    assert mat[7, 4] == 4
+
+
+def test_table_as_matrix_size_guard():
+    with pytest.raises(ValueError):
+        table_as_matrix(np.zeros(60), 3)
+
+
+def test_weight_matrix_rows_follow_pmf():
+    d = uniform(3)
+    mat = weight_matrix(d)
+    assert mat.shape == (8, 8)
+    assert np.allclose(mat, 1 / 8)
+
+
+def test_max_product_magnitude():
+    assert max_product_magnitude(8, signed=False) == 255 * 255
+    assert max_product_magnitude(8, signed=True) == 128 * 128
+    assert max_product_magnitude(4, signed=True) == 64
