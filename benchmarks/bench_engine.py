@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Benchmark the compiled evaluation engine against the seed evaluator.
+
+Measures, for one operand width:
+
+* **single-candidate evaluation** — the interpreted
+  ``MultiplierFitness`` path vs. the engine with caching disabled (every
+  evaluation compiles + simulates + decodes from scratch) and vs. the
+  engine's cache-hit path;
+* **end-to-end evolution** — ``evolve()`` wall time and evaluations/s
+  under both evaluators with the same RNG seed, asserting the
+  ``(wmed, area)`` trajectories are identical (the engine must change
+  throughput, never results).
+
+Results are appended-free-written to ``BENCH_engine.json`` at the repo
+root (override with ``--out``) so perf trajectories can be tracked
+across commits.  Exits non-zero when trajectories diverge or when
+``--min-speedup`` is not met — CI uses this as a loud perf regression
+tripwire.
+
+Usage::
+
+    python benchmarks/bench_engine.py                  # full, width 8
+    python benchmarks/bench_engine.py --smoke          # CI: width 6, short
+    python benchmarks/bench_engine.py --min-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.circuits.generators import build_array_multiplier  # noqa: E402
+from repro.core.evolution import EvolutionConfig, evolve  # noqa: E402
+from repro.core.fitness import MultiplierFitness  # noqa: E402
+from repro.core.seeding import (  # noqa: E402
+    netlist_to_chromosome,
+    params_for_netlist,
+)
+from repro.engine import (  # noqa: E402
+    CompiledMultiplierFitness,
+    native_available,
+)
+from repro.errors.distributions import uniform  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_engine.json"
+)
+
+
+def _time_ms(fn, reps: int, rounds: int) -> float:
+    """Median over ``rounds`` of the mean ms across ``reps`` calls."""
+    fn()  # warmup
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        samples.append((time.perf_counter() - t0) / reps * 1e3)
+    return statistics.median(samples)
+
+
+def bench_single_eval(width: int, reps: int, rounds: int) -> dict:
+    net = build_array_multiplier(width)
+    params = params_for_netlist(net)
+    chrom = netlist_to_chromosome(net, params)
+    dist = uniform(width, signed=False)
+    threshold = 0.01
+
+    baseline = MultiplierFitness(width, dist)
+    engine_cold = CompiledMultiplierFitness(width, dist, cache_entries=0)
+    engine_cached = CompiledMultiplierFitness(width, dist)
+
+    def fresh():
+        c = chrom.copy()
+        c.invalidate_cache()
+        return c
+
+    baseline_ms = _time_ms(
+        lambda: baseline.evaluate(fresh(), threshold), reps, rounds
+    )
+    engine_ms = _time_ms(
+        lambda: engine_cold.evaluate(fresh(), threshold), reps, rounds
+    )
+    engine_cached.evaluate(chrom, threshold)  # populate the cache
+    cached_ms = _time_ms(
+        lambda: engine_cached.evaluate(fresh(), threshold), reps, rounds
+    )
+
+    # Equivalence spot check on the measured candidate.
+    rb = baseline.evaluate(fresh(), threshold)
+    re = engine_cold.evaluate(fresh(), threshold)
+    return {
+        "width": width,
+        "active_gates": len(net.gates),
+        "baseline_ms": round(baseline_ms, 4),
+        "engine_ms": round(engine_ms, 4),
+        "engine_cached_ms": round(cached_ms, 4),
+        "speedup": round(baseline_ms / engine_ms, 2),
+        "cached_speedup": round(baseline_ms / cached_ms, 2),
+        "bit_identical": rb == re,
+    }
+
+
+def bench_evolve(width: int, generations: int, seed: int = 2024) -> dict:
+    net = build_array_multiplier(width)
+    params = params_for_netlist(net, extra_columns=8)
+    seed_chrom = netlist_to_chromosome(net, params)
+    dist = uniform(width, signed=False)
+    cfg = EvolutionConfig(generations=generations, history_every=1)
+    threshold = 0.01
+
+    runs = {}
+    for name, evaluator in (
+        ("baseline", MultiplierFitness(width, dist)),
+        ("engine", CompiledMultiplierFitness(width, dist)),
+    ):
+        t0 = time.perf_counter()
+        result = evolve(
+            seed_chrom, evaluator, threshold, config=cfg,
+            rng=np.random.default_rng(seed),
+        )
+        elapsed = time.perf_counter() - t0
+        runs[name] = (result, elapsed, evaluator)
+
+    base_res, base_s, _ = runs["baseline"]
+    eng_res, eng_s, eng_eval = runs["engine"]
+    identical = (
+        base_res.history == eng_res.history
+        and base_res.best_eval == eng_res.best_eval
+        and np.array_equal(base_res.best.genes, eng_res.best.genes)
+    )
+    # Thin the archived trajectory to <= 50 points.
+    step = max(1, len(eng_res.history) // 50)
+    return {
+        "width": width,
+        "generations": generations,
+        "threshold": threshold,
+        "baseline_s": round(base_s, 3),
+        "engine_s": round(eng_s, 3),
+        "speedup": round(base_s / eng_s, 2),
+        "evaluations": eng_res.evaluations,
+        "baseline_evals_per_s": round(base_res.evaluations / base_s, 1),
+        "engine_evals_per_s": round(eng_res.evaluations / eng_s, 1),
+        "trajectories_identical": identical,
+        "final_wmed": eng_res.best_eval.wmed,
+        "final_area": eng_res.best_eval.area,
+        "engine_stats": eng_eval.stats(),
+        "trajectory": [
+            {"generation": g, "wmed": w, "area": a}
+            for g, w, a in eng_res.history[::step]
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--width", type=int, default=8)
+    ap.add_argument("--generations", type=int, default=300)
+    ap.add_argument("--reps", type=int, default=30)
+    ap.add_argument("--rounds", type=int, default=5)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: width 6, 30 generations, reduced reps",
+    )
+    ap.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit non-zero if the single-eval speedup falls below this",
+    )
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.width = min(args.width, 6)
+        args.generations = min(args.generations, 30)
+        args.reps = min(args.reps, 10)
+        args.rounds = min(args.rounds, 3)
+        if args.min_speedup is None:
+            args.min_speedup = 2.0
+
+    print(f"engine backend: {'native' if native_available() else 'numpy'}")
+    single = bench_single_eval(args.width, args.reps, args.rounds)
+    print(
+        f"single eval w={single['width']}: baseline {single['baseline_ms']} ms"
+        f" | engine {single['engine_ms']} ms ({single['speedup']}x)"
+        f" | cached {single['engine_cached_ms']} ms"
+        f" ({single['cached_speedup']}x)"
+    )
+    evo = bench_evolve(args.width, args.generations)
+    print(
+        f"evolve {evo['generations']} gens: baseline {evo['baseline_s']} s"
+        f" | engine {evo['engine_s']} s ({evo['speedup']}x)"
+        f" | trajectories identical: {evo['trajectories_identical']}"
+    )
+
+    record = {
+        "benchmark": "engine",
+        "config": {
+            "width": args.width,
+            "generations": args.generations,
+            "smoke": args.smoke,
+        },
+        "backend": "native" if native_available() else "numpy",
+        "single_eval": single,
+        "evolve": evo,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+    print(f"wrote {out}")
+
+    if not single["bit_identical"] or not evo["trajectories_identical"]:
+        print("FAIL: engine results diverge from the reference evaluator")
+        return 1
+    if args.min_speedup is not None and single["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: single-eval speedup {single['speedup']}x below "
+            f"required {args.min_speedup}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,16 +17,19 @@ Subpackages:
 * :mod:`repro.baselines` — truncated / broken-array / zero-guard shelves,
 * :mod:`repro.imaging` — the approximate Gaussian filter case study,
 * :mod:`repro.nn` — quantized NN inference with approximate multipliers,
-* :mod:`repro.analysis` — sweeps, heat maps, reporting.
+* :mod:`repro.analysis` — sweeps, heat maps, reporting,
+* :mod:`repro.engine` — compiled evaluation engine (phenotype compiler,
+  native/numpy kernels, phenotype cache) behind the CGP hot path.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "baselines",
     "circuits",
     "core",
+    "engine",
     "errors",
     "imaging",
     "nn",

@@ -13,7 +13,9 @@ from .sweep import (
     DesignPoint,
     characterize_multiplier,
     evolve_front,
+    make_evaluator,
     mac_summary,
+    parallel_front,
 )
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "DesignPoint",
     "characterize_multiplier",
     "evolve_front",
+    "parallel_front",
+    "make_evaluator",
     "mac_summary",
     "dominates",
     "hypervolume_2d",

@@ -4,12 +4,28 @@ This is the flow behind Fig. 3 and Fig. 6: for every target error level
 ``E_i``, run the (1 + lambda) CGP search seeded with an exact multiplier,
 keep the evolved circuit, and characterize it electrically and under
 every error metric of interest.
+
+Two sweep strategies are provided:
+
+* :func:`evolve_front` — sequential, optionally chaining each target's
+  run from the previous survivor (the paper's Pareto-sweep style);
+* :func:`parallel_front` — one independent run per target, fanned out
+  over a ``concurrent.futures`` executor.  Every run gets its own
+  :class:`numpy.random.SeedSequence`-derived generator, so results are
+  bit-reproducible for a given ``seed`` regardless of worker count,
+  scheduling order, or executor kind (``parallel_front(...,
+  max_workers=1)`` returns exactly what the pooled version does).
+
+Both route candidate evaluation through the compiled engine
+(:mod:`repro.engine`) by default; pass ``engine="off"`` for the
+interpreted evaluator (results are bit-identical either way).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +45,8 @@ __all__ = [
     "DesignPoint",
     "characterize_multiplier",
     "evolve_front",
+    "parallel_front",
+    "make_evaluator",
     "mac_summary",
     "PAPER_WMED_LEVELS",
 ]
@@ -174,6 +192,31 @@ def mac_summary(
     )
 
 
+def make_evaluator(
+    width: int,
+    design_dist: Distribution,
+    library: Optional[TechLibrary] = None,
+    engine: str = "auto",
+) -> MultiplierFitness:
+    """Build the candidate evaluator the sweeps run on.
+
+    ``engine`` selects the evaluation path: ``"auto"`` (compiled engine,
+    native backend when buildable), ``"native"`` / ``"numpy"`` (compiled
+    engine, forced backend) or ``"off"`` (the interpreted
+    :class:`MultiplierFitness`).  All produce bit-identical results; the
+    engine is just faster.
+    """
+    if engine == "off":
+        return MultiplierFitness(width, design_dist, library=library)
+    if engine not in ("auto", "native", "numpy"):
+        raise ValueError(f"unknown engine mode {engine!r}")
+    from ..engine import CompiledMultiplierFitness
+
+    return CompiledMultiplierFitness(
+        width, design_dist, library=library, backend=engine
+    )
+
+
 def evolve_front(
     seed_netlist: Netlist,
     width: int,
@@ -185,6 +228,7 @@ def evolve_front(
     library: Optional[TechLibrary] = None,
     extra_columns: int = 0,
     chain_targets: bool = True,
+    engine: str = "auto",
 ) -> List[DesignPoint]:
     """Sweep WMED targets, evolving one multiplier per target.
 
@@ -202,6 +246,7 @@ def evolve_front(
         chain_targets: Seed each target's run with the previous target's
             survivor (cheaper and mirrors how Pareto sweeps are run in
             practice); the first run always starts from the exact seed.
+        engine: Evaluation path, see :func:`make_evaluator`.
 
     Returns:
         One :class:`DesignPoint` per threshold, in sweep order.
@@ -211,29 +256,129 @@ def evolve_front(
         seed_netlist, extra_columns=extra_columns
     )
     seed = netlist_to_chromosome(seed_netlist, params)
-    evaluator = MultiplierFitness(width, design_dist, library=library)
+    evaluator = make_evaluator(width, design_dist, library, engine)
     points: List[DesignPoint] = []
     parent: Chromosome = seed
     for level in thresholds_percent:
         result = evolve(
             parent, evaluator, threshold=level / 100.0, config=config, rng=rng
         )
-        netlist = result.best.to_netlist(
-            name=f"mul{width}_{design_dist.name}_wmed{level:g}"
-        )
         points.append(
-            characterize_multiplier(
-                netlist,
-                width,
-                eval_dists,
-                name=netlist.name,
-                source=f"proposed ({design_dist.name})",
-                threshold_percent=level,
-                library=library,
-                activity_dist=design_dist,
-                evolution=result,
+            _characterize_evolved(
+                result, width, design_dist, eval_dists, level, library
             )
         )
         if chain_targets:
             parent = result.best
     return points
+
+
+def _characterize_evolved(
+    result: EvolutionResult,
+    width: int,
+    design_dist: Distribution,
+    eval_dists: Sequence[Distribution],
+    level: float,
+    library: Optional[TechLibrary],
+) -> DesignPoint:
+    """Name + characterize one evolved survivor (shared by both sweeps)."""
+    netlist = result.best.to_netlist(
+        name=f"mul{width}_{design_dist.name}_wmed{level:g}"
+    )
+    return characterize_multiplier(
+        netlist,
+        width,
+        eval_dists,
+        name=netlist.name,
+        source=f"proposed ({design_dist.name})",
+        threshold_percent=level,
+        library=library,
+        activity_dist=design_dist,
+        evolution=result,
+    )
+
+
+def _front_task(
+    args: Tuple,
+) -> DesignPoint:
+    """Evolve + characterize one WMED target (parallel-sweep worker).
+
+    Module-level (picklable) so it runs under both thread and process
+    executors.  Each task builds its own evaluator: engine arenas are not
+    thread-safe, and process workers cannot share them anyway.
+    """
+    (
+        seed_netlist, width, design_dist, level, eval_dists,
+        config, seed_seq, library, extra_columns, engine,
+    ) = args
+    params = params_for_netlist(seed_netlist, extra_columns=extra_columns)
+    seed = netlist_to_chromosome(seed_netlist, params)
+    evaluator = make_evaluator(width, design_dist, library, engine)
+    result = evolve(
+        seed,
+        evaluator,
+        threshold=level / 100.0,
+        config=config,
+        rng=np.random.default_rng(seed_seq),
+    )
+    return _characterize_evolved(
+        result, width, design_dist, eval_dists, level, library
+    )
+
+
+def parallel_front(
+    seed_netlist: Netlist,
+    width: int,
+    design_dist: Distribution,
+    thresholds_percent: Sequence[float],
+    eval_dists: Sequence[Distribution],
+    config: Optional[EvolutionConfig] = None,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    executor: str = "process",
+    library: Optional[TechLibrary] = None,
+    extra_columns: int = 0,
+    engine: str = "auto",
+) -> List[DesignPoint]:
+    """Evolve one multiplier per WMED target, targets in parallel.
+
+    Unlike :func:`evolve_front` the runs are independent (each seeded
+    from the exact circuit — ``chain_targets=False`` semantics), which is
+    what makes them embarrassingly parallel.  Reproducibility: run ``i``
+    draws its generator from ``SeedSequence(seed).spawn()[i]``, so the
+    returned front depends only on ``seed`` and the arguments — never on
+    worker count, executor kind, or completion order.
+
+    Args:
+        seed: Root entropy for the per-run generators.
+        max_workers: Pool size; ``None`` lets the executor choose, values
+            ``<= 1`` run serially in-process (no pool, same results).
+        executor: ``"process"`` (default; true parallelism, arguments
+            must be picklable) or ``"thread"`` (lighter; the native
+            engine backend releases the GIL during simulation).
+        (Other arguments as in :func:`evolve_front`.)
+
+    Returns:
+        One :class:`DesignPoint` per threshold, in input order.
+    """
+    if executor == "process":
+        pool_cls = concurrent.futures.ProcessPoolExecutor
+    elif executor == "thread":
+        pool_cls = concurrent.futures.ThreadPoolExecutor
+    else:
+        # Validate even when the pool is never built (max_workers <= 1),
+        # so a typo doesn't surface only once the sweep is scaled up.
+        raise ValueError(f"unknown executor {executor!r}")
+    levels = list(thresholds_percent)
+    children = np.random.SeedSequence(seed).spawn(len(levels))
+    tasks = [
+        (
+            seed_netlist, width, design_dist, level, tuple(eval_dists),
+            config, child, library, extra_columns, engine,
+        )
+        for level, child in zip(levels, children)
+    ]
+    if max_workers is not None and max_workers <= 1:
+        return [_front_task(t) for t in tasks]
+    with pool_cls(max_workers=max_workers) as pool:
+        return list(pool.map(_front_task, tasks))

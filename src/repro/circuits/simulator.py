@@ -65,9 +65,41 @@ def unpack_bits(words: np.ndarray, num_vectors: int) -> np.ndarray:
     return bits[:num_vectors]
 
 
+#: ``np.bitwise_count`` (NumPy >= 2) gives a hardware popcount; older
+#: NumPy falls back to unpacking bits.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
 def popcount(words: np.ndarray, num_vectors: int) -> int:
-    """Number of 1-bits among the first ``num_vectors`` positions."""
-    return int(unpack_bits(words, num_vectors).sum())
+    """Number of 1-bits among the first ``num_vectors`` positions.
+
+    Pad bits beyond ``num_vectors`` are ignored (gates like NOT can set
+    them), so the result only depends on the valid positions.
+    """
+    if num_vectors == 0:
+        return 0
+    n_words = words_for(num_vectors)
+    w = np.ascontiguousarray(words).ravel()[:n_words]
+    if not _HAS_BITWISE_COUNT:
+        return int(unpack_bits(w, num_vectors).sum())
+    rem = num_vectors % 64
+    if rem:
+        w = w.copy()
+        w[-1] &= np.uint64((1 << rem) - 1)
+    return int(np.bitwise_count(w).sum())
+
+
+#: Packed value of exhaustive-input row ``k`` for ``k < 6``: within one
+#: 64-vector word the bit pattern ``(v >> k) & 1`` repeats with period
+#: ``2**(k+1)``.
+_EXHAUSTIVE_WORD_MASKS = (
+    0xAAAAAAAAAAAAAAAA,
+    0xCCCCCCCCCCCCCCCC,
+    0xF0F0F0F0F0F0F0F0,
+    0xFF00FF00FF00FF00,
+    0xFFFF0000FFFF0000,
+    0xFFFFFFFF00000000,
+)
 
 
 def exhaustive_inputs(num_inputs: int) -> np.ndarray:
@@ -78,6 +110,11 @@ def exhaustive_inputs(num_inputs: int) -> np.ndarray:
     ``(v >> k) & 1``.  For a two-operand circuit whose inputs are laid out
     ``[x0..x(w-1), y0..y(w-1)]`` this enumerates ``x`` as the low half of
     the vector index and ``y`` as the high half.
+
+    The pattern is constructed analytically instead of packing
+    ``2**num_inputs`` explicit index rows: row ``k < 6`` is a constant
+    word, and row ``k >= 6`` alternates runs of ``2**(k-6)`` all-zero and
+    all-one words — no materialized index array, no per-row packing loop.
     """
     if num_inputs <= 0:
         raise ValueError("num_inputs must be positive")
@@ -86,13 +123,28 @@ def exhaustive_inputs(num_inputs: int) -> np.ndarray:
             f"exhaustive enumeration of {num_inputs} inputs is impractical"
         )
     n = 1 << num_inputs
-    idx = np.arange(n, dtype=np.uint64)
-    rows = [pack_bits((idx >> np.uint64(k)) & np.uint64(1)) for k in range(num_inputs)]
-    return np.stack(rows)
+    n_words = words_for(n)
+    out = np.empty((num_inputs, n_words), dtype=np.uint64)
+    for k in range(min(num_inputs, 6)):
+        out[k] = _EXHAUSTIVE_WORD_MASKS[k]
+    for k in range(6, num_inputs):
+        # Bit v of word w is (v >> k) & 1 = (w >> (k - 6)) & 1: whole
+        # words alternate in runs of 2**(k-6) zeros then ones.
+        half = 1 << (k - 6)
+        row = out[k].reshape(-1, 2 * half)
+        row[:, :half] = 0
+        row[:, half:] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    if n < 64:
+        out &= np.uint64((1 << n) - 1)  # zero the pad bits
+    return out
 
 
 def pack_input_vectors(vectors: np.ndarray, num_inputs: int) -> np.ndarray:
     """Pack explicit test vectors into per-input word rows.
+
+    All input rows are packed in one batched ``packbits`` call (bit
+    matrix of shape ``(num_inputs, N)``) instead of a Python loop of
+    per-row packs.
 
     Args:
         vectors: Integer array of shape (N,); bit ``k`` of each entry is
@@ -103,10 +155,12 @@ def pack_input_vectors(vectors: np.ndarray, num_inputs: int) -> np.ndarray:
         Array of shape ``(num_inputs, words_for(N))``.
     """
     vecs = np.asarray(vectors, dtype=np.uint64).ravel()
-    rows = [
-        pack_bits((vecs >> np.uint64(k)) & np.uint64(1)) for k in range(num_inputs)
-    ]
-    return np.stack(rows)
+    shifts = np.arange(num_inputs, dtype=np.uint64)[:, None]
+    bits = ((vecs[None, :] >> shifts) & np.uint64(1)).astype(np.uint8)
+    packed8 = np.packbits(bits, axis=1, bitorder="little")
+    out8 = np.zeros((num_inputs, words_for(vecs.size) * 8), dtype=np.uint8)
+    out8[:, : packed8.shape[1]] = packed8
+    return out8.view("<u8")
 
 
 def simulate(

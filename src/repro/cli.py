@@ -78,7 +78,9 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         seed_net = build_multiplier(args.width, signed=False)
     params = params_for_netlist(seed_net, extra_columns=args.extra_columns)
     seed = netlist_to_chromosome(seed_net, params)
-    evaluator = MultiplierFitness(args.width, dist)
+    from .analysis.sweep import make_evaluator
+
+    evaluator = make_evaluator(args.width, dist, engine=args.engine)
     result = evolve(
         seed,
         evaluator,
@@ -150,6 +152,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ev.add_argument("--extra-columns", type=int, default=20)
     p_ev.add_argument("--unsigned", action="store_true")
     p_ev.add_argument("--seed", type=int, default=0)
+    p_ev.add_argument(
+        "--engine",
+        choices=("auto", "native", "numpy", "off"),
+        default="auto",
+        help="candidate-evaluation path (results are identical; "
+        "'off' is the interpreted evaluator)",
+    )
     p_ev.add_argument("--output", help="chromosome file (stdout if omitted)")
     p_ev.set_defaults(func=_cmd_evolve)
 

@@ -70,6 +70,23 @@ class CGPParams:
             self, "_packed_fns", tuple(spec.packed for spec in specs)
         )
 
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields.
+
+        The derived ``_arities`` / ``_packed_fns`` tables hold lambdas
+        (unpicklable); they are rebuilt by ``__post_init__`` on load.
+        Needed so chromosomes can cross process boundaries in parallel
+        sweeps.
+        """
+        import dataclasses
+
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.__post_init__()
+
     @property
     def num_nodes(self) -> int:
         return self.columns * self.rows

@@ -6,12 +6,17 @@ evaluates them with Eq. (1), and promotes the best offspring whenever it
 is *at least as fit* as the parent — the neutral-drift rule that CGP
 relies on to traverse plateaus.
 
-Two standard accelerations are implemented, neither of which changes the
+Three standard accelerations are implemented, none of which changes the
 search semantics:
 
 * offspring whose mutations touch only inactive genes inherit the parent's
   evaluation without simulation (their phenotype is identical);
-* the evaluator precomputes stimulus / reference / weights once per run.
+* the evaluator precomputes stimulus / reference / weights once per run;
+* each generation's offspring are evaluated as one batch — through the
+  evaluator's ``evaluate_batch`` when it provides one (the compiled
+  engine of :mod:`repro.engine` does, with phenotype caching), else
+  sequentially.  Mutation draws happen before any evaluation, so the RNG
+  stream, and therefore the search trajectory, is identical either way.
 """
 
 from __future__ import annotations
@@ -108,21 +113,42 @@ def evolve(
             return (result.fitness, result.wmed)
         return (result.fitness,)
 
+    batch_eval = getattr(evaluator, "evaluate_batch", None)
+
     generation = 0
     for generation in range(1, cfg.generations + 1):
         active_positions = set(int(x) for x in parent.active_gene_positions())
-        best_child: Optional[Chromosome] = None
-        best_eval: Optional[EvalResult] = None
+        # Create the whole brood first (all RNG draws), then evaluate the
+        # non-neutral offspring as one batch.
+        children: List[Chromosome] = []
+        child_evals: List[Optional[EvalResult]] = []
+        pending: List[Chromosome] = []
         for _ in range(cfg.lam):
             child, changed = mutate(parent, cfg.h, rng)
+            children.append(child)
             neutral = cfg.skip_neutral_evaluations and not any(
                 pos in active_positions for pos in changed
             )
             if neutral:
-                child_eval = parent_eval
+                child_evals.append(parent_eval)
             else:
-                child_eval = evaluator.evaluate(child, threshold)
-                evaluations += 1
+                child_evals.append(None)
+                pending.append(child)
+        if pending:
+            if batch_eval is not None:
+                results = batch_eval(pending, threshold)
+            else:
+                results = [evaluator.evaluate(c, threshold) for c in pending]
+            evaluations += len(pending)
+            results_iter = iter(results)
+            child_evals = [
+                ev if ev is not None else next(results_iter)
+                for ev in child_evals
+            ]
+
+        best_child: Optional[Chromosome] = None
+        best_eval: Optional[EvalResult] = None
+        for child, child_eval in zip(children, child_evals):
             if best_eval is None or sort_key(child_eval) < sort_key(best_eval):
                 best_child, best_eval = child, child_eval
         assert best_child is not None and best_eval is not None

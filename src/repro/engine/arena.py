@@ -1,0 +1,80 @@
+"""Preallocated evaluation buffers reused across a whole search run.
+
+Candidate evaluation is called millions of times per CGP run; the arena
+owns every buffer the hot path needs — the packed signal matrix, the
+compiled-program slabs, the decode scratch and the error vector — so a
+single evaluation performs no heap allocation beyond tiny Python objects.
+
+Layout of the signal matrix ``buf`` (``slots x words`` of ``uint64``):
+
+* rows ``0 .. num_inputs-1``: the packed stimulus, written once at
+  construction (the stimulus of an exhaustive evaluator never changes);
+* remaining rows: operation destinations, assigned by the compiler's
+  liveness allocator (so the hot region is the circuit's live width,
+  typically far smaller than its gate count, and stays cache-resident).
+
+The arena is sized for the *worst case* (all nodes active, no slot
+reuse), so any phenotype of the associated
+:class:`~repro.core.chromosome.CGPParams` fits without reallocation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """Evaluation workspace for one (params-shape, stimulus) pair.
+
+    Args:
+        num_inputs: Primary input count (stimulus rows).
+        num_nodes: Maximum number of compiled operations.
+        num_outputs: Output bus width in bits.
+        stimulus: Packed input words, shape ``(num_inputs, words)``.
+        num_vectors: Number of valid test vectors in the stimulus.
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_nodes: int,
+        num_outputs: int,
+        stimulus: np.ndarray,
+        num_vectors: int,
+    ) -> None:
+        if stimulus.shape[0] != num_inputs:
+            raise ValueError(
+                f"stimulus has {stimulus.shape[0]} rows, expected {num_inputs}"
+            )
+        if num_outputs > 31:
+            # Decode accumulates into int32; 32 unsigned bits would wrap.
+            raise ValueError("engine decodes at most 31 output bits")
+        self.num_inputs = num_inputs
+        self.num_nodes = num_nodes
+        self.num_outputs = num_outputs
+        self.num_vectors = int(num_vectors)
+        self.words = int(stimulus.shape[1])
+
+        slots = num_inputs + num_nodes
+        self.buf = np.empty((slots, self.words), dtype=np.uint64)
+        self.buf[:num_inputs] = stimulus
+        #: Row views, prebuilt so the numpy kernel loop does no slicing.
+        self.rows: List[np.ndarray] = list(self.buf)
+
+        # Compiled-program slabs (the in-place compile target).
+        self.ops = np.empty(num_nodes, dtype=np.int32)
+        self.src_a = np.empty(num_nodes, dtype=np.int32)
+        self.src_b = np.empty(num_nodes, dtype=np.int32)
+        self.dst = np.empty(num_nodes, dtype=np.int32)
+        self.out_slots = np.empty(num_outputs, dtype=np.int32)
+
+        # Decode / reduction scratch.
+        ngroups = (self.num_vectors + 7) // 8
+        self.decode_scratch = np.empty(4 * max(ngroups, 1), dtype=np.uint64)
+        self.planes = np.empty((num_outputs, self.words), dtype=np.uint64)
+        self.values = np.empty(self.num_vectors, dtype=np.int32)
+        self.err = np.empty(self.num_vectors, dtype=np.float64)

@@ -1,0 +1,77 @@
+"""Phenotype-keyed evaluation cache.
+
+CGP's neutral drift means the search constantly re-creates genotypes
+whose *phenotype* — the compiled active cone — it has already evaluated:
+mutations that only touch inactive genes, or that rewire inactive nodes,
+produce byte-identical compiled programs.  The evolution loop already
+skips offspring whose mutations touch no active gene, but it cannot see
+convergent cases (e.g. a mutation undoing a previous one, or two parents
+drifting onto the same cone).  Caching ``(wmed, area)`` by compiled-
+program signature turns all of those into dictionary hits.
+
+Entries are threshold-independent: Eq. (1) fitness is re-derived from
+``(wmed, area)`` at lookup time, so one cache serves a whole multi-target
+sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+__all__ = ["EvalCache"]
+
+
+class EvalCache:
+    """Bounded LRU map: phenotype signature -> ``(wmed, area)``.
+
+    Args:
+        max_entries: Capacity; 0 disables caching entirely.
+    """
+
+    def __init__(self, max_entries: int = 1 << 16) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[bytes, Tuple[float, float]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> Optional[Tuple[float, float]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, wmed: float, area: float) -> None:
+        if self.max_entries == 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = (wmed, area)
+        while len(entries) > self.max_entries:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -1,0 +1,260 @@
+"""Drop-in compiled evaluator for the WMED-constrained fitness.
+
+:class:`CompiledMultiplierFitness` is a :class:`~repro.core.fitness
+.MultiplierFitness` whose hot path runs through the evaluation engine:
+
+1. the phenotype compiler lowers the candidate's active cone to a flat
+   opcode program (:mod:`repro.engine.compiler`),
+2. the program's signature is looked up in the phenotype cache
+   (:mod:`repro.engine.cache`) — CGP neutral drift makes hits frequent,
+3. on a miss, the program runs over the preallocated buffer arena on the
+   native C backend (:mod:`repro.engine.native`) or the numpy fallback
+   (:mod:`repro.engine.kernels`), followed by the fused decode/WMED
+   reduction.
+
+Results are bit-identical to the interpreted ``MultiplierFitness`` path:
+all simulation and decode arithmetic is integer-exact, and the final
+weighted reduction uses the same BLAS dot over the same operand order.
+The evaluator is not thread-safe (it owns one arena); use one instance
+per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.chromosome import CGPParams, Chromosome
+from ..core.fitness import EvalResult, MultiplierFitness
+from ..errors.distributions import Distribution
+from ..tech.library import TechLibrary
+from . import kernels
+from .arena import BufferArena
+from .cache import EvalCache
+from .compiler import compile_genes_into, phenotype_signature
+from .native import NativeLib, native_lib
+from .opcodes import OP_ARITY, OP_NAMES, function_opcode_table
+
+__all__ = ["CompiledMultiplierFitness"]
+
+
+class _Runtime:
+    """Per-:class:`CGPParams` compiled state: arena, tables, backend."""
+
+    def __init__(
+        self,
+        params: CGPParams,
+        stimulus: np.ndarray,
+        num_vectors: int,
+        library: TechLibrary,
+        native: Optional[NativeLib],
+    ) -> None:
+        self.params = params
+        fn2op = function_opcode_table(params.functions)  # may raise KeyError
+        self.fn2op = fn2op
+        self.fn2op_list = [int(x) for x in fn2op]
+        self.arena = BufferArena(
+            params.num_inputs,
+            params.num_nodes,
+            params.num_outputs,
+            stimulus,
+            num_vectors,
+        )
+        self.native = native
+        # Scratch used only by the C compile entry point.
+        self.needed = np.empty(params.num_nodes, dtype=np.uint8)
+        self.scratch_i32 = np.empty(
+            params.num_inputs + 3 * params.num_nodes, dtype=np.int32
+        )
+        # Area per opcode; equals the baseline's per-function-gene areas
+        # element-for-element, so the float sum is bit-identical.
+        self.area_by_op = np.zeros(len(OP_NAMES), dtype=np.float64)
+        for name, op in zip(params.functions, self.fn2op_list):
+            self.area_by_op[op] = library.cell(name).area
+        # Distinguishes phenotypes of structurally different evaluators
+        # in the shared cache (columns don't matter: equal programs are
+        # equal circuits regardless of grid size).
+        self.salt = repr(
+            (params.num_inputs, params.num_outputs, params.functions)
+        ).encode()
+
+    def compile(self, genes: np.ndarray) -> int:
+        """Lower ``genes`` into the arena slabs; return ``n_ops``."""
+        genes = np.ascontiguousarray(genes, dtype=np.int64)
+        a = self.arena
+        p = self.params
+        if self.native is not None:
+            return self.native.compile(
+                genes, p.num_nodes, p.num_inputs, p.num_outputs,
+                self.fn2op, OP_ARITY, a.ops, a.src_a, a.src_b, a.dst,
+                a.out_slots, self.needed, self.scratch_i32,
+            )
+        return compile_genes_into(
+            genes, p, self.fn2op_list,
+            a.ops, a.src_a, a.src_b, a.dst, a.out_slots,
+        )
+
+    def signature(self, n_ops: int) -> bytes:
+        a = self.arena
+        return phenotype_signature(
+            a.ops[:n_ops], a.src_a[:n_ops], a.src_b[:n_ops], a.dst[:n_ops],
+            a.out_slots, salt=self.salt,
+        )
+
+    def execute(self, n_ops: int) -> None:
+        a = self.arena
+        if self.native is not None:
+            self.native.kernel(
+                a.buf, a.words, n_ops, a.ops, a.src_a, a.src_b, a.dst
+            )
+        else:
+            kernels.run_program(a, n_ops)
+
+    def error(self, signed: bool, exact32: np.ndarray) -> np.ndarray:
+        a = self.arena
+        if self.native is not None:
+            self.native.decode_err(
+                a.buf, a.words, a.out_slots, a.num_outputs, a.num_vectors,
+                signed, a.decode_scratch, exact32, a.err,
+            )
+            return a.err
+        return kernels.decode_error(a, a.num_outputs, signed, exact32)
+
+    def values(self, signed: bool) -> np.ndarray:
+        a = self.arena
+        if self.native is not None:
+            self.native.decode(
+                a.buf, a.words, a.out_slots, a.num_outputs, a.num_vectors,
+                signed, a.decode_scratch, a.values,
+            )
+            return a.values
+        return kernels.decode_values(a, a.num_outputs, signed)
+
+
+class CompiledMultiplierFitness(MultiplierFitness):
+    """Engine-backed evaluator; see module docstring.
+
+    Args:
+        width: Operand bit width.
+        dist: Operand-``x`` distribution defining the WMED weights.
+        library: Technology library for the area term.
+        backend: ``"auto"`` (native when buildable, else numpy),
+            ``"native"`` (require the C backend) or ``"numpy"``.
+        cache_entries: Phenotype-cache capacity; 0 disables caching.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        dist: Distribution,
+        library: Optional[TechLibrary] = None,
+        backend: str = "auto",
+        cache_entries: int = 1 << 16,
+    ) -> None:
+        super().__init__(width, dist, library=library)
+        if backend not in ("auto", "native", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        native = None if backend == "numpy" else native_lib()
+        if backend == "native" and native is None:
+            raise RuntimeError(
+                "native engine backend requested but unavailable "
+                "(no C compiler, or REPRO_ENGINE forces numpy)"
+            )
+        self._native = native
+        self._exact32 = self.exact.astype(np.int32)
+        self._runtimes: Dict[CGPParams, Optional[_Runtime]] = {}
+        self.cache = EvalCache(cache_entries)
+
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend actually in use."""
+        return "native" if self._native is not None else "numpy"
+
+    def _runtime(self, params: CGPParams) -> Optional[_Runtime]:
+        rt = self._runtimes.get(params)
+        if rt is None and params not in self._runtimes:
+            try:
+                rt = _Runtime(
+                    params,
+                    self.stimulus,
+                    self.num_vectors,
+                    self.library,
+                    self._native,
+                )
+            except KeyError:
+                # A gate function without an engine opcode: remember the
+                # miss and serve this params via the interpreted path.
+                rt = None
+            self._runtimes[params] = rt
+        return rt
+
+    def _check_params(self, params: CGPParams) -> None:
+        if params.num_inputs != 2 * self.width:
+            raise ValueError(
+                f"chromosome has {params.num_inputs} inputs, evaluator "
+                f"expects {2 * self.width}"
+            )
+
+    # ------------------------------------------------------------------
+    def _measure(self, chromosome: Chromosome) -> tuple:
+        """(wmed, area) of a candidate, via cache or fresh execution."""
+        rt = self._runtime(chromosome.params)
+        if rt is None:
+            return (
+                MultiplierFitness.wmed(self, chromosome),
+                MultiplierFitness.area(self, chromosome),
+            )
+        n_ops = rt.compile(chromosome.genes)
+        caching = self.cache.max_entries > 0
+        if caching:
+            sig = rt.signature(n_ops)
+            cached = self.cache.get(sig)
+            if cached is not None:
+                return cached
+        rt.execute(n_ops)
+        err = rt.error(self.signed, self._exact32)
+        error = float(np.dot(self.weights, err)) / self.normalizer
+        area = float(rt.area_by_op[rt.arena.ops[:n_ops]].sum())
+        if caching:
+            self.cache.put(sig, error, area)
+        return error, area
+
+    def truth_table(self, chromosome: Chromosome) -> np.ndarray:
+        self._check_params(chromosome.params)
+        rt = self._runtime(chromosome.params)
+        if rt is None:
+            return MultiplierFitness.truth_table(self, chromosome)
+        n_ops = rt.compile(chromosome.genes)
+        rt.execute(n_ops)
+        return rt.values(self.signed).astype(np.int64)
+
+    def wmed(self, chromosome: Chromosome) -> float:
+        self._check_params(chromosome.params)
+        return self._measure(chromosome)[0]
+
+    def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
+        self._check_params(chromosome.params)
+        error, area = self._measure(chromosome)
+        fitness = area if error <= threshold else float("inf")
+        return EvalResult(fitness=fitness, wmed=error, area=area)
+
+    def evaluate_batch(
+        self, chromosomes: Sequence[Chromosome], threshold: float
+    ) -> List[EvalResult]:
+        """Evaluate a population slice.
+
+        Currently sequential — the arena is reused candidate to candidate
+        and the phenotype cache deduplicates within the batch; the method
+        exists so batching callers (the evolution loop, future sharded
+        runners) have a stable entry point.
+        """
+        return [self.evaluate(c, threshold) for c in chromosomes]
+
+    def stats(self) -> dict:
+        """Engine counters for logging and benchmarks."""
+        return {
+            "backend": self.backend,
+            "cache": self.cache.stats(),
+            "runtimes": len(self._runtimes),
+        }

@@ -1,0 +1,530 @@
+"""Native (C, via ctypes) execution backend for the evaluation engine.
+
+The exhaustive packed simulation is numpy-shaped but ufunc-call-bound: a
+width-8 multiplier phenotype is ~300 gates of 1024-word bitwise ops, so
+per-call dispatch overhead dominates the arithmetic.  This module embeds
+a ~150-line C implementation of the compile/execute/decode pipeline,
+builds it once with the system C compiler into a cached shared object,
+and drives it through ``ctypes`` over the same
+:class:`~repro.engine.arena.BufferArena` buffers the numpy backend uses.
+
+Everything stays optional: if no compiler is available (or compilation
+fails, or ``REPRO_ENGINE=numpy`` is set) callers fall back to the
+bit-identical numpy backend.  All arithmetic in C is integer, so results
+match numpy exactly regardless of optimization flags.
+
+The shared object is cached under ``$REPRO_ENGINE_CACHE`` (default
+``~/.cache/repro-engine``) keyed by a digest of the source and compile
+flags; concurrent builds (e.g. a process-pool sweep) are safe because
+the compiled artifact is moved into place atomically.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NativeLib", "native_lib", "native_available"]
+
+#: Bump when C_SOURCE changes incompatibly (part of the .so cache key).
+_ABI_VERSION = 2
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+/* Opcodes: must match repro.engine.opcodes.OP_NAMES. */
+
+static uint64_t SPREAD[256];
+
+void cgp_init(void) {
+    for (int b = 0; b < 256; ++b) {
+        uint64_t x = 0;
+        for (int k = 0; k < 8; ++k)
+            if ((b >> k) & 1) x |= 1ULL << (8 * k);
+        SPREAD[b] = x;
+    }
+}
+
+/* Active-cone sweep + liveness-allocated lowering; mirrors
+   compiler.compile_genes_into (both must stay byte-identical).
+   scratch_i32 needs ni + 3*nn entries; returns the emitted op count. */
+int32_t cgp_compile(const int64_t* genes, int32_t nn, int32_t ni, int32_t no,
+                    const int32_t* fn2op, const int32_t* op_arity,
+                    int32_t* ops, int32_t* sa, int32_t* sb, int32_t* dst,
+                    int32_t* out_slots, uint8_t* needed, int32_t* scratch_i32)
+{
+    const int64_t* outg = genes + (int64_t)nn * 3;
+    int32_t* slot = scratch_i32;            /* ni + nn */
+    int32_t* last_use = slot + ni + nn;     /* nn */
+    int32_t* free_stack = last_use + nn;    /* nn */
+
+    /* Pass 1: transitive fan-in of the outputs (reverse sweep). */
+    memset(needed, 0, (size_t)nn);
+    for (int32_t j = 0; j < no; ++j) {
+        int64_t o = outg[j];
+        if (o >= ni) needed[o - ni] = 1;
+    }
+    for (int32_t node = nn - 1; node >= 0; --node) {
+        if (!needed[node]) continue;
+        const int64_t* g = genes + (int64_t)node * 3;
+        int32_t ar = op_arity[fn2op[g[2]]];
+        if (ar >= 1 && g[0] >= ni) needed[g[0] - ni] = 1;
+        if (ar >= 2 && g[1] >= ni) needed[g[1] - ni] = 1;
+    }
+
+    /* Pass 2: last consumer (emit index) per node; outputs never die. */
+    memset(last_use, 0, (size_t)nn * 4);
+    int32_t e = 0;
+    for (int32_t node = 0; node < nn; ++node) {
+        if (!needed[node]) continue;
+        const int64_t* g = genes + (int64_t)node * 3;
+        int32_t ar = op_arity[fn2op[g[2]]];
+        if (ar >= 1 && g[0] >= ni) last_use[g[0] - ni] = e;
+        if (ar >= 2 && g[1] >= ni) last_use[g[1] - ni] = e;
+        ++e;
+    }
+    int32_t n_total = e;
+    for (int32_t j = 0; j < no; ++j) {
+        int64_t o = outg[j];
+        if (o >= ni) last_use[o - ni] = n_total;
+    }
+
+    /* Pass 3: emission with LIFO slot recycling.  Dead operand slots are
+       released only after the destination is allocated, so a destination
+       never aliases its own operands. */
+    for (int32_t k = 0; k < ni; ++k) slot[k] = k;
+    int32_t n_free = 0, next_new = ni;
+    e = 0;
+    for (int32_t node = 0; node < nn; ++node) {
+        if (!needed[node]) continue;
+        const int64_t* g = genes + (int64_t)node * 3;
+        int32_t opc = fn2op[g[2]];
+        int32_t ar = op_arity[opc];
+        int64_t ga = g[0], gb = g[1];
+        ops[e] = opc;
+        sa[e] = ar >= 1 ? slot[ga] : 0;
+        sb[e] = ar >= 2 ? slot[gb] : 0;
+        int32_t d = n_free ? free_stack[--n_free] : next_new++;
+        dst[e] = d;
+        slot[ni + node] = d;
+        if (ar >= 1 && ga >= ni && last_use[ga - ni] == e)
+            free_stack[n_free++] = slot[ga];
+        if (ar >= 2 && gb >= ni && gb != ga && last_use[gb - ni] == e)
+            free_stack[n_free++] = slot[gb];
+        ++e;
+    }
+    for (int32_t j = 0; j < no; ++j) out_slots[j] = slot[outg[j]];
+    return n_total;
+}
+
+/* Tight interpreter over the compiled program and the word arena. */
+void cgp_kernel(uint64_t* arena, int32_t W, int32_t n_ops,
+                const int32_t* ops, const int32_t* sa, const int32_t* sb,
+                const int32_t* dst)
+{
+    size_t w8 = (size_t)W * 8;
+    for (int32_t i = 0; i < n_ops; ++i) {
+        const uint64_t* restrict a = arena + (size_t)sa[i] * W;
+        const uint64_t* restrict b = arena + (size_t)sb[i] * W;
+        uint64_t* restrict o = arena + (size_t)dst[i] * W;
+        switch (ops[i]) {
+        case 0: memset(o, 0, w8); break;
+        case 1: memset(o, 0xFF, w8); break;
+        case 2: memcpy(o, a, w8); break;
+        case 3: for (int32_t w = 0; w < W; ++w) o[w] = ~a[w]; break;
+        case 4: for (int32_t w = 0; w < W; ++w) o[w] = a[w] & b[w]; break;
+        case 5: for (int32_t w = 0; w < W; ++w) o[w] = a[w] | b[w]; break;
+        case 6: for (int32_t w = 0; w < W; ++w) o[w] = a[w] ^ b[w]; break;
+        case 7: for (int32_t w = 0; w < W; ++w) o[w] = ~(a[w] & b[w]); break;
+        case 8: for (int32_t w = 0; w < W; ++w) o[w] = ~(a[w] | b[w]); break;
+        case 9: for (int32_t w = 0; w < W; ++w) o[w] = ~(a[w] ^ b[w]); break;
+        case 10: for (int32_t w = 0; w < W; ++w) o[w] = a[w] & ~b[w]; break;
+        case 11: for (int32_t w = 0; w < W; ++w) o[w] = a[w] | ~b[w]; break;
+        }
+    }
+}
+
+/* Bit-transpose the output planes into per-vector byte groups.
+   scratch needs (n_bits+7)/8 * ceil(num_vectors/8) uint64 entries.
+   All (up to) 8 planes of a byte group are combined in one pass, so
+   each accumulator word is stored exactly once. */
+static int64_t transpose_planes(const uint64_t* arena, int32_t W,
+                                const int32_t* out_slots, int32_t n_bits,
+                                int64_t num_vectors, uint64_t* scratch)
+{
+    int64_t ngroups = (num_vectors + 7) >> 3;
+    int32_t n_acc = (n_bits + 7) >> 3;
+    for (int32_t gi = 0; gi < n_acc; ++gi) {
+        uint64_t* restrict acc = scratch + (size_t)gi * ngroups;
+        int32_t j0 = gi * 8;
+        int32_t k = n_bits - j0;
+        if (k > 8) k = 8;
+        const uint8_t* pb[8];
+        for (int32_t j = 0; j < k; ++j)
+            pb[j] = (const uint8_t*)(arena + (size_t)out_slots[j0 + j] * W);
+        int64_t m0 = 0;
+        if (k == 8) {
+#ifdef __AVX2__
+            /* 32 vectors (= 4 bytes of each plane) per iteration: spread
+               a broadcast 32-bit chunk to bytes with a shuffle, pick each
+               byte's bit with cmpeq against a bit mask, OR the planes. */
+            const __m256i repl = _mm256_setr_epi8(
+                0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1,
+                2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+            const __m256i bits = _mm256_setr_epi8(
+                1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+                1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128);
+            int64_t chunks = ngroups / 4;   /* 4 acc words = 32 vectors */
+            uint8_t* accb = (uint8_t*)acc;
+            for (int64_t c = 0; c < chunks; ++c) {
+                __m256i a = _mm256_setzero_si256();
+                for (int32_t j = 0; j < 8; ++j) {
+                    uint32_t chunk;
+                    memcpy(&chunk, pb[j] + 4 * c, 4);
+                    __m256i x = _mm256_set1_epi32((int32_t)chunk);
+                    x = _mm256_shuffle_epi8(x, repl);
+                    x = _mm256_cmpeq_epi8(_mm256_and_si256(x, bits), bits);
+                    x = _mm256_and_si256(x, _mm256_set1_epi8((char)(1 << j)));
+                    a = _mm256_or_si256(a, x);
+                }
+                _mm256_storeu_si256((__m256i*)(accb + 32 * c), a);
+            }
+            m0 = chunks * 4;
+#endif
+            for (int64_t m = m0; m < ngroups; ++m)
+                acc[m] = SPREAD[pb[0][m]]
+                       | (SPREAD[pb[1][m]] << 1)
+                       | (SPREAD[pb[2][m]] << 2)
+                       | (SPREAD[pb[3][m]] << 3)
+                       | (SPREAD[pb[4][m]] << 4)
+                       | (SPREAD[pb[5][m]] << 5)
+                       | (SPREAD[pb[6][m]] << 6)
+                       | (SPREAD[pb[7][m]] << 7);
+        } else {
+            (void)m0;
+            for (int64_t m = 0; m < ngroups; ++m) {
+                uint64_t x = 0;
+                for (int32_t j = 0; j < k; ++j)
+                    x |= SPREAD[pb[j][m]] << j;
+                acc[m] = x;
+            }
+        }
+    }
+    return ngroups;
+}
+
+void cgp_decode(const uint64_t* arena, int32_t W, const int32_t* out_slots,
+                int32_t n_bits, int64_t num_vectors, int32_t do_sign,
+                uint64_t* scratch, int32_t* restrict values)
+{
+    int64_t ngroups =
+        transpose_planes(arena, W, out_slots, n_bits, num_vectors, scratch);
+    int32_t n_acc = (n_bits + 7) >> 3;
+    const uint8_t* a0 = (const uint8_t*)scratch;
+    const uint8_t* a1 = (const uint8_t*)(scratch + ngroups);
+    const uint8_t* a2 = (const uint8_t*)(scratch + 2 * ngroups);
+    const uint8_t* a3 = (const uint8_t*)(scratch + 3 * ngroups);
+    int32_t half = (do_sign && n_bits > 0 && n_bits < 32)
+                       ? (int32_t)(1U << (n_bits - 1)) : 0;
+    for (int64_t v = 0; v < num_vectors; ++v) {
+        int32_t val = a0[v];
+        if (n_acc > 1) val |= (int32_t)a1[v] << 8;
+        if (n_acc > 2) val |= (int32_t)a2[v] << 16;
+        if (n_acc > 3) val |= (int32_t)a3[v] << 24;
+        if (do_sign && val >= half) val -= half << 1;
+        values[v] = val;
+    }
+}
+
+/* Fused decode + |exact - value| (the WMED error vector).  The
+   n_bits <= 16 case — every paper width — is a separate loop of purely
+   lane-wise ops (byte interleave, sign-extend shifts, subtract,
+   absolute value, int->double) that compilers auto-vectorize. */
+void cgp_decode_err(const uint64_t* arena, int32_t W,
+                    const int32_t* out_slots, int32_t n_bits,
+                    int64_t num_vectors, int32_t do_sign, uint64_t* scratch,
+                    const int32_t* exact, double* restrict err)
+{
+    int64_t ngroups =
+        transpose_planes(arena, W, out_slots, n_bits, num_vectors, scratch);
+    int32_t n_acc = (n_bits + 7) >> 3;
+    const uint8_t* restrict a0 = (const uint8_t*)scratch;
+    const uint8_t* restrict a1 = (const uint8_t*)(scratch + ngroups);
+    const uint8_t* a2 = (const uint8_t*)(scratch + 2 * ngroups);
+    const uint8_t* a3 = (const uint8_t*)(scratch + 3 * ngroups);
+    if (n_bits <= 16) {
+        int32_t ext = 32 - n_bits;
+        if (n_acc > 1 && do_sign && n_bits > 0) {
+            for (int64_t v = 0; v < num_vectors; ++v) {
+                int32_t val = a0[v] | ((int32_t)a1[v] << 8);
+                val = (int32_t)((uint32_t)val << ext) >> ext;
+                int32_t d = exact[v] - val;
+                err[v] = (double)(d < 0 ? -d : d);
+            }
+        } else if (n_acc > 1) {
+            for (int64_t v = 0; v < num_vectors; ++v) {
+                int32_t d = exact[v] - (a0[v] | ((int32_t)a1[v] << 8));
+                err[v] = (double)(d < 0 ? -d : d);
+            }
+        } else if (do_sign && n_bits > 0) {
+            for (int64_t v = 0; v < num_vectors; ++v) {
+                int32_t val = (int32_t)((uint32_t)a0[v] << ext) >> ext;
+                int32_t d = exact[v] - val;
+                err[v] = (double)(d < 0 ? -d : d);
+            }
+        } else {
+            for (int64_t v = 0; v < num_vectors; ++v) {
+                int32_t d = exact[v] - a0[v];
+                err[v] = (double)(d < 0 ? -d : d);
+            }
+        }
+        return;
+    }
+    int32_t half = (do_sign && n_bits < 32)
+                       ? (int32_t)(1U << (n_bits - 1)) : 0;
+    for (int64_t v = 0; v < num_vectors; ++v) {
+        int32_t val = a0[v] | ((int32_t)a1[v] << 8);
+        if (n_acc > 2) val |= (int32_t)a2[v] << 16;
+        if (n_acc > 3) val |= (int32_t)a3[v] << 24;
+        if (do_sign && val >= half) val -= half << 1;
+        int64_t d = (int64_t)exact[v] - (int64_t)val;
+        err[v] = (double)(d < 0 ? -d : d);
+    }
+}
+"""
+
+_I32 = ctypes.c_int32
+_I64 = ctypes.c_int64
+_P = ctypes.c_void_p
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_ENGINE_CACHE")
+    if override:
+        return override
+    home = os.path.expanduser("~")
+    if home and home != "~" and os.path.isdir(home):
+        return os.path.join(home, ".cache", "repro-engine")
+    return os.path.join(
+        tempfile.gettempdir(), f"repro-engine-{os.getuid()}"
+    )
+
+
+def _find_compiler() -> Optional[str]:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _host_tag() -> str:
+    """Identifies the host ISA for the .so cache key.
+
+    ``-march=native`` bakes the build host's instruction set into the
+    binary, so a cached artifact must never be reused on a different
+    CPU (e.g. a shared NFS home across heterogeneous cluster nodes —
+    loading an AVX-512 build on an older node would SIGILL).  The CPU
+    feature flags are the discriminator; fall back to coarse platform
+    identity where /proc/cpuinfo is unavailable.
+    """
+    ident = [platform.system(), platform.machine()]
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith(("flags", "features")):
+                    ident.append(line.strip())
+                    break
+    except OSError:
+        ident.append(platform.processor())
+    return "|".join(ident)
+
+
+def _build_shared_object() -> Optional[str]:
+    """Compile C_SOURCE into a cached .so; return its path or None."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    flag_sets = (
+        ["-O3", "-march=native", "-shared", "-fPIC"],
+        ["-O3", "-shared", "-fPIC"],
+    )
+    cache = _cache_dir()
+    for flags in flag_sets:
+        tag = hashlib.blake2b(
+            (
+                C_SOURCE + repr(flags) + str(_ABI_VERSION) + _host_tag()
+            ).encode(),
+            digest_size=8,
+        ).hexdigest()
+        so_path = os.path.join(cache, f"engine_{tag}.so")
+        if os.path.exists(so_path):
+            return so_path
+        try:
+            os.makedirs(cache, exist_ok=True)
+            with tempfile.TemporaryDirectory(dir=cache) as tmp:
+                src = os.path.join(tmp, "engine.c")
+                out = os.path.join(tmp, "engine.so")
+                with open(src, "w") as fh:
+                    fh.write(C_SOURCE)
+                proc = subprocess.run(
+                    [compiler, *flags, "-o", out, src],
+                    capture_output=True,
+                    timeout=120,
+                )
+                if proc.returncode != 0:
+                    continue
+                os.replace(out, so_path)  # atomic: safe under races
+            return so_path
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+class NativeLib:
+    """ctypes facade over the compiled engine library."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        lib = ctypes.CDLL(path)
+        lib.cgp_init.restype = None
+        lib.cgp_compile.restype = _I32
+        lib.cgp_compile.argtypes = [
+            _P, _I32, _I32, _I32, _P, _P, _P, _P, _P, _P, _P, _P, _P
+        ]
+        lib.cgp_kernel.restype = None
+        lib.cgp_kernel.argtypes = [_P, _I32, _I32, _P, _P, _P, _P]
+        lib.cgp_decode.restype = None
+        lib.cgp_decode.argtypes = [_P, _I32, _P, _I32, _I64, _I32, _P, _P]
+        lib.cgp_decode_err.restype = None
+        lib.cgp_decode_err.argtypes = [
+            _P, _I32, _P, _I32, _I64, _I32, _P, _P, _P
+        ]
+        lib.cgp_init()
+        self._lib = lib
+
+    @staticmethod
+    def _ptr(arr: np.ndarray) -> int:
+        return arr.ctypes.data
+
+    def compile(
+        self,
+        genes: np.ndarray,
+        num_nodes: int,
+        num_inputs: int,
+        num_outputs: int,
+        fn2op: np.ndarray,
+        op_arity: np.ndarray,
+        ops: np.ndarray,
+        src_a: np.ndarray,
+        src_b: np.ndarray,
+        dst: np.ndarray,
+        out_slots: np.ndarray,
+        needed: np.ndarray,
+        scratch_i32: np.ndarray,
+    ) -> int:
+        return int(
+            self._lib.cgp_compile(
+                self._ptr(genes), num_nodes, num_inputs, num_outputs,
+                self._ptr(fn2op), self._ptr(op_arity), self._ptr(ops),
+                self._ptr(src_a), self._ptr(src_b), self._ptr(dst),
+                self._ptr(out_slots), self._ptr(needed),
+                self._ptr(scratch_i32),
+            )
+        )
+
+    def kernel(
+        self,
+        buf: np.ndarray,
+        words: int,
+        n_ops: int,
+        ops: np.ndarray,
+        src_a: np.ndarray,
+        src_b: np.ndarray,
+        dst: np.ndarray,
+    ) -> None:
+        self._lib.cgp_kernel(
+            self._ptr(buf), words, n_ops,
+            self._ptr(ops), self._ptr(src_a), self._ptr(src_b),
+            self._ptr(dst),
+        )
+
+    def decode(
+        self,
+        buf: np.ndarray,
+        words: int,
+        out_slots: np.ndarray,
+        n_bits: int,
+        num_vectors: int,
+        signed: bool,
+        scratch: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        self._lib.cgp_decode(
+            self._ptr(buf), words, self._ptr(out_slots), n_bits,
+            num_vectors, int(signed), self._ptr(scratch), self._ptr(values),
+        )
+
+    def decode_err(
+        self,
+        buf: np.ndarray,
+        words: int,
+        out_slots: np.ndarray,
+        n_bits: int,
+        num_vectors: int,
+        signed: bool,
+        scratch: np.ndarray,
+        exact: np.ndarray,
+        err: np.ndarray,
+    ) -> None:
+        self._lib.cgp_decode_err(
+            self._ptr(buf), words, self._ptr(out_slots), n_bits,
+            num_vectors, int(signed), self._ptr(scratch),
+            self._ptr(exact), self._ptr(err),
+        )
+
+
+_lock = threading.Lock()
+_cached: Optional[NativeLib] = None
+_build_attempted = False
+
+
+def native_lib() -> Optional[NativeLib]:
+    """The loaded native library, or ``None`` when unavailable.
+
+    Build + load happen once per process; failures are remembered so a
+    missing compiler costs one probe, not one per evaluator.
+    """
+    global _cached, _build_attempted
+    if os.environ.get("REPRO_ENGINE", "").lower() in ("numpy", "py", "off"):
+        return None
+    with _lock:
+        if _cached is not None or _build_attempted:
+            return _cached
+        _build_attempted = True
+        path = _build_shared_object()
+        if path is None:
+            return None
+        try:
+            _cached = NativeLib(path)
+        except OSError:
+            _cached = None
+        return _cached
+
+
+def native_available() -> bool:
+    """Whether the C backend can be (or has been) built and loaded."""
+    return native_lib() is not None

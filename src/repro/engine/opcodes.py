@@ -1,0 +1,146 @@
+"""The engine's fixed opcode set and its numpy kernel implementations.
+
+The phenotype compiler lowers every gate function to a small integer
+opcode so the execution backends (the ctypes C kernel and the numpy
+fallback) can dispatch without string or dict lookups.  The opcode order
+is part of the engine ABI: the embedded C source in
+:mod:`repro.engine.native` switches on the same numbers, and cached
+evaluation results are keyed by opcode arrays, so it must never be
+reordered — only appended to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.gates import ALL_ONES
+
+__all__ = [
+    "OP_NAMES",
+    "OP_ARITY",
+    "NUMPY_KERNELS",
+    "opcode_of",
+    "function_opcode_table",
+]
+
+#: Canonical opcode order (engine ABI; append-only).
+OP_NAMES: Tuple[str, ...] = (
+    "CONST0",
+    "CONST1",
+    "BUF",
+    "NOT",
+    "AND",
+    "OR",
+    "XOR",
+    "NAND",
+    "NOR",
+    "XNOR",
+    "ANDN",
+    "ORN",
+)
+
+#: Operand count actually read by each opcode, opcode order.
+OP_ARITY: np.ndarray = np.array(
+    [0, 0, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2], dtype=np.int32
+)
+
+_OP_INDEX = {name: op for op, name in enumerate(OP_NAMES)}
+
+_ONES = ALL_ONES
+
+
+def _k_const0(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    o.fill(0)
+
+
+def _k_const1(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    o.fill(_ONES)
+
+
+def _k_buf(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    o[:] = a
+
+
+def _k_not(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_xor(a, _ONES, out=o)
+
+
+def _k_and(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_and(a, b, out=o)
+
+
+def _k_or(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_or(a, b, out=o)
+
+
+def _k_xor(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_xor(a, b, out=o)
+
+
+def _k_nand(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_and(a, b, out=o)
+    np.bitwise_xor(o, _ONES, out=o)
+
+
+def _k_nor(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_or(a, b, out=o)
+    np.bitwise_xor(o, _ONES, out=o)
+
+
+def _k_xnor(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_xor(a, b, out=o)
+    np.bitwise_xor(o, _ONES, out=o)
+
+
+def _k_andn(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_xor(b, _ONES, out=o)
+    np.bitwise_and(a, o, out=o)
+
+
+def _k_orn(a: np.ndarray, b: np.ndarray, o: np.ndarray) -> None:
+    np.bitwise_xor(b, _ONES, out=o)
+    np.bitwise_or(a, o, out=o)
+
+
+#: In-place packed-word kernels, opcode order.  Each writes its result
+#: into the preallocated output row ``o`` (no per-eval allocations).
+NUMPY_KERNELS: List[Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = [
+    _k_const0,
+    _k_const1,
+    _k_buf,
+    _k_not,
+    _k_and,
+    _k_or,
+    _k_xor,
+    _k_nand,
+    _k_nor,
+    _k_xnor,
+    _k_andn,
+    _k_orn,
+]
+
+
+def opcode_of(name: str) -> Optional[int]:
+    """Opcode of a gate-function name, or ``None`` if unsupported."""
+    return _OP_INDEX.get(name)
+
+
+def function_opcode_table(functions: Tuple[str, ...]) -> np.ndarray:
+    """Map a CGP function tuple to per-function-gene opcodes.
+
+    Raises:
+        KeyError: if any function has no engine opcode (callers should
+            fall back to the interpreted simulator in that case).
+    """
+    table = np.empty(len(functions), dtype=np.int32)
+    for idx, name in enumerate(functions):
+        op = _OP_INDEX.get(name)
+        if op is None:
+            raise KeyError(
+                f"gate function {name!r} has no engine opcode; "
+                f"supported: {OP_NAMES}"
+            )
+        table[idx] = op
+    return table
