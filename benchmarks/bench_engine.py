@@ -177,6 +177,11 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=None,
         help="exit non-zero if the single-eval speedup falls below this",
     )
+    ap.add_argument(
+        "--require-backend", choices=("native", "numpy"), default=None,
+        help="exit non-zero unless this backend is actually in use "
+        "(CI uses it so a silently broken C build cannot pass as native)",
+    )
     ap.add_argument("--out", default=DEFAULT_OUT)
     args = ap.parse_args(argv)
 
@@ -188,7 +193,14 @@ def main(argv=None) -> int:
         if args.min_speedup is None:
             args.min_speedup = 2.0
 
-    print(f"engine backend: {'native' if native_available() else 'numpy'}")
+    backend = "native" if native_available() else "numpy"
+    print(f"engine backend: {backend}")
+    if args.require_backend and backend != args.require_backend:
+        print(
+            f"FAIL: engine backend is {backend}, "
+            f"required {args.require_backend}"
+        )
+        return 1
     single = bench_single_eval(args.width, args.reps, args.rounds)
     print(
         f"single eval w={single['width']}: baseline {single['baseline_ms']} ms"
@@ -210,7 +222,7 @@ def main(argv=None) -> int:
             "generations": args.generations,
             "smoke": args.smoke,
         },
-        "backend": "native" if native_available() else "numpy",
+        "backend": backend,
         "single_eval": single,
         "evolve": evo,
     }

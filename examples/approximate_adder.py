@@ -3,9 +3,10 @@
 The paper presents the method on multipliers, but nothing in it is
 multiplier-specific.  This example approximates an 8-bit ripple-carry
 adder whose x operand follows a half-normal distribution (small addends
-dominate), using the generic :class:`repro.core.CircuitFitness`, and
-compares the result against the classic manual approximations (truncated
-adder, lower-part OR adder) at matched error.
+dominate), using the objective layer (:func:`repro.core.adder_objective`
+routed through the compiled engine), and compares the result against the
+classic manual approximations (truncated adder, lower-part OR adder) at
+matched error.
 
 Usage::
 
@@ -20,12 +21,13 @@ from repro.circuits.generators import build_ripple_carry_adder
 from repro.circuits.simulator import truth_table
 from repro.circuits.verify import reference_sums
 from repro.core import (
-    CircuitFitness,
     EvolutionConfig,
+    adder_objective,
     evolve,
     netlist_to_chromosome,
     params_for_netlist,
 )
+from repro.engine import CompiledObjective
 from repro.errors import discretized_half_normal, mean_error_distance
 from repro.errors.truth_tables import vector_weights
 from repro.tech import characterize
@@ -44,13 +46,9 @@ def main() -> None:
     seed = netlist_to_chromosome(
         seed_net, params_for_netlist(seed_net, extra_columns=15)
     )
-    evaluator = CircuitFitness(
-        num_inputs=2 * WIDTH,
-        reference=reference,
-        weights=weights,
-        signed=False,
-        normalizer=float(reference.max()),
-    )
+    # The adder objective through the compiled engine — bit-identical to
+    # the interpreted path, just faster.
+    evaluator = CompiledObjective(adder_objective(WIDTH, dist))
     print(f"evolving an approximate {WIDTH}-bit adder "
           f"({GENERATIONS} generations) ...")
     result = evolve(

@@ -1,16 +1,5 @@
-from setuptools import find_packages, setup
+"""Shim for legacy tooling; all metadata lives in pyproject.toml."""
 
-setup(
-    name="repro-wmed-cgp",
-    version="1.1.0",
-    description=(
-        "Reproduction of data-distribution-driven automated circuit "
-        "approximation (WMED-constrained CGP over gate-level multipliers), "
-        "with a compiled evaluation engine"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages("src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-    extras_require={"test": ["pytest"]},
-)
+from setuptools import setup
+
+setup()

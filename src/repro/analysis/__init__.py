@@ -11,9 +11,12 @@ from ..core.pareto import dominates, hypervolume_2d, pareto_indices, pareto_poin
 from .sweep import (
     PAPER_WMED_LEVELS,
     DesignPoint,
+    characterize_design,
     characterize_multiplier,
     evolve_front,
+    grid_front,
     make_evaluator,
+    make_objective,
     mac_summary,
     parallel_front,
 )
@@ -29,10 +32,13 @@ __all__ = [
     "format_table",
     "PAPER_WMED_LEVELS",
     "DesignPoint",
+    "characterize_design",
     "characterize_multiplier",
     "evolve_front",
+    "grid_front",
     "parallel_front",
     "make_evaluator",
+    "make_objective",
     "mac_summary",
     "dominates",
     "hypervolume_2d",

@@ -1,11 +1,12 @@
-"""Experiment orchestration: WMED-target sweeps producing trade-off fronts.
+"""Experiment orchestration: error-target sweeps producing trade-off fronts.
 
-This is the flow behind Fig. 3 and Fig. 6: for every target error level
-``E_i``, run the (1 + lambda) CGP search seeded with an exact multiplier,
-keep the evolved circuit, and characterize it electrically and under
-every error metric of interest.
+This is the flow behind Fig. 3 and Fig. 6, generalized over the
+objective layer: for every target error level ``E_i``, run the
+(1 + lambda) CGP search seeded with an exact component (multiplier,
+adder, MAC, ...), keep the evolved circuit, and characterize it
+electrically and under every error metric of interest.
 
-Two sweep strategies are provided:
+Three sweep strategies are provided:
 
 * :func:`evolve_front` — sequential, optionally chaining each target's
   run from the previous survivor (the paper's Pareto-sweep style);
@@ -14,11 +15,13 @@ Two sweep strategies are provided:
   :class:`numpy.random.SeedSequence`-derived generator, so results are
   bit-reproducible for a given ``seed`` regardless of worker count,
   scheduling order, or executor kind (``parallel_front(...,
-  max_workers=1)`` returns exactly what the pooled version does).
+  max_workers=1)`` returns exactly what the pooled version does);
+* :func:`grid_front` — the full ``component x metric x threshold``
+  grid through the same reproducible fan-out machinery.
 
-Both route candidate evaluation through the compiled engine
+All route candidate evaluation through the compiled engine
 (:mod:`repro.engine`) by default; pass ``engine="off"`` for the
-interpreted evaluator (results are bit-identical either way).
+interpreted objective (results are bit-identical either way).
 """
 
 from __future__ import annotations
@@ -32,20 +35,24 @@ import numpy as np
 from ..circuits.netlist import Netlist
 from ..circuits.simulator import truth_table
 from ..core.chromosome import Chromosome
+from ..core.components import get_component
 from ..core.evolution import EvolutionConfig, EvolutionResult, evolve
-from ..core.fitness import MultiplierFitness
+from ..core.objective import CircuitObjective
 from ..core.seeding import netlist_to_chromosome, params_for_netlist
 from ..errors.distributions import Distribution
-from ..errors.metrics import wmed
-from ..errors.truth_tables import exact_product_table, vector_weights
+from ..errors.metrics import get_metric, mean_error_distance
+from ..errors.truth_tables import operand_weights
 from ..tech.library import TechLibrary, default_library
 from ..tech.timing import TimingPowerSummary, characterize
 
 __all__ = [
     "DesignPoint",
+    "characterize_design",
     "characterize_multiplier",
     "evolve_front",
     "parallel_front",
+    "grid_front",
+    "make_objective",
     "make_evaluator",
     "mac_summary",
     "PAPER_WMED_LEVELS",
@@ -57,12 +64,13 @@ PAPER_WMED_LEVELS = (0.0, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
 
 @dataclass
 class DesignPoint:
-    """One multiplier design: circuit, truth table and measured figures.
+    """One evolved design: circuit, truth table and measured figures.
 
-    ``wmed_by_dist`` maps distribution names to normalized WMED values —
-    the cross-evaluation the paper performs in Fig. 3 (each multiplier is
-    "also evaluated using the remaining WMEDs that were not considered
-    during the design").
+    ``wmed_by_dist`` maps distribution names to normalized weighted-MED
+    values against the component's reference — the cross-evaluation the
+    paper performs in Fig. 3 (each design is "also evaluated using the
+    remaining WMEDs that were not considered during the design").
+    ``component`` / ``metric`` record which objective produced it.
     """
 
     name: str
@@ -73,6 +81,8 @@ class DesignPoint:
     summary: TimingPowerSummary
     wmed_by_dist: Dict[str, float]
     evolution: Optional[EvolutionResult] = None
+    component: str = "multiplier"
+    metric: str = "wmed"
 
     @property
     def power_mw(self) -> float:
@@ -90,6 +100,75 @@ class DesignPoint:
         return 100.0 * self.wmed_by_dist[dist_name]
 
 
+def characterize_design(
+    netlist: Netlist,
+    width: int,
+    dists: Sequence[Distribution],
+    component: str = "multiplier",
+    metric: str = "wmed",
+    name: str = "",
+    source: str = "",
+    threshold_percent: float = float("nan"),
+    library: Optional[TechLibrary] = None,
+    activity_dist: Optional[Distribution] = None,
+    evolution: Optional[EvolutionResult] = None,
+) -> DesignPoint:
+    """Measure a component netlist under all metrics and cost models.
+
+    Args:
+        netlist: Circuit with the component's standard interface.
+        width: Operand width.
+        dists: Distributions to cross-evaluate the weighted error under
+            (all must share the signedness of the design).
+        component: Registered component name (selects the reference).
+        metric: Metric tag recorded on the point.
+        name: Design label.
+        source: Family/source tag (e.g. ``"proposed (D2)"``).
+        threshold_percent: Error target this design was evolved for.
+        library: Technology library.
+        activity_dist: Distribution shaping the power model's switching
+            activity; defaults to the first entry of ``dists``.
+        evolution: Optional provenance (the CGP run that produced it).
+    """
+    if not dists:
+        raise ValueError("at least one distribution required")
+    comp = get_component(component)
+    _check_component_signedness(comp, dists[0])
+    signed = dists[0].signed
+    if any(d.signed != signed for d in dists):
+        raise ValueError("distributions disagree on signedness")
+    act = activity_dist or dists[0]
+    for d in (*dists, act):
+        if d.width != width:
+            raise ValueError(
+                f"distribution width {d.width} != component width {width}"
+            )
+    table = truth_table(netlist, signed=signed)
+    reference = comp.reference(width, signed)
+    normalizer = float(np.abs(reference).max()) or 1.0
+    ni = netlist.num_inputs
+    weights = operand_weights(act, ni)
+    summary = characterize(netlist, library, weights=weights / weights.sum())
+    return DesignPoint(
+        name=name or netlist.name,
+        source=source,
+        threshold_percent=threshold_percent,
+        netlist=netlist,
+        table=table,
+        summary=summary,
+        wmed_by_dist={
+            d.name: mean_error_distance(
+                reference, table, operand_weights(d, ni)
+            )
+            / normalizer
+            for d in dists
+        },
+        evolution=evolution,
+        component=comp.name,
+        metric=get_metric(metric).name,
+    )
+
+
 def characterize_multiplier(
     netlist: Netlist,
     width: int,
@@ -101,39 +180,17 @@ def characterize_multiplier(
     activity_dist: Optional[Distribution] = None,
     evolution: Optional[EvolutionResult] = None,
 ) -> DesignPoint:
-    """Measure a multiplier netlist under all metrics and cost models.
-
-    Args:
-        netlist: Multiplier with the standard interface.
-        width: Operand width.
-        dists: Distributions to cross-evaluate WMED under (all must share
-            the signedness of the design).
-        name: Design label.
-        source: Family/source tag (e.g. ``"proposed (D2)"``).
-        threshold_percent: WMED target this design was evolved for.
-        library: Technology library.
-        activity_dist: Distribution shaping the power model's switching
-            activity; defaults to the first entry of ``dists``.
-        evolution: Optional provenance (the CGP run that produced it).
-    """
-    if not dists:
-        raise ValueError("at least one distribution required")
-    signed = dists[0].signed
-    if any(d.signed != signed for d in dists):
-        raise ValueError("distributions disagree on signedness")
-    table = truth_table(netlist, signed=signed)
-    exact = exact_product_table(width, signed)
-    act = activity_dist or dists[0]
-    weights = vector_weights(act, width)
-    summary = characterize(netlist, library, weights=weights / weights.sum())
-    return DesignPoint(
-        name=name or netlist.name,
+    """Multiplier instance of :func:`characterize_design` (legacy name)."""
+    return characterize_design(
+        netlist,
+        width,
+        dists,
+        component="multiplier",
+        name=name,
         source=source,
         threshold_percent=threshold_percent,
-        netlist=netlist,
-        table=table,
-        summary=summary,
-        wmed_by_dist={d.name: wmed(exact, table, d) for d in dists},
+        library=library,
+        activity_dist=activity_dist,
         evolution=evolution,
     )
 
@@ -192,33 +249,93 @@ def mac_summary(
     )
 
 
+def make_objective(
+    width: int,
+    design_dist: Distribution,
+    library: Optional[TechLibrary] = None,
+    engine: str = "auto",
+    component: str = "multiplier",
+    metric: str = "wmed",
+) -> CircuitObjective:
+    """Build the candidate objective the sweeps run on.
+
+    ``engine`` selects the evaluation path: ``"auto"`` (compiled engine,
+    native backend when buildable), ``"native"`` / ``"numpy"`` (compiled
+    engine, forced backend) or ``"off"`` (the interpreted
+    :class:`~repro.core.objective.CircuitObjective`).  All produce
+    bit-identical results; the engine is just faster.
+    """
+    from ..core.components import component_objective, get_component
+
+    comp = get_component(component)
+    if engine == "off":
+        return component_objective(
+            comp.name, width, design_dist, metric=metric, library=library
+        )
+    if engine not in ("auto", "native", "numpy"):
+        raise ValueError(f"unknown engine mode {engine!r}")
+    from ..engine import CompiledMultiplierFitness, CompiledObjective
+
+    if comp.name == "multiplier":
+        # Keep the legacy class identity (isinstance checks, `.exact`)
+        # that pre-objective-layer callers of make_evaluator rely on.
+        return CompiledMultiplierFitness(
+            width, design_dist, library=library, backend=engine,
+            metric=metric,
+        )
+    return CompiledObjective(
+        component_objective(
+            comp.name, width, design_dist, metric=metric, library=library
+        ),
+        backend=engine,
+    )
+
+
 def make_evaluator(
     width: int,
     design_dist: Distribution,
     library: Optional[TechLibrary] = None,
     engine: str = "auto",
-) -> MultiplierFitness:
-    """Build the candidate evaluator the sweeps run on.
+) -> CircuitObjective:
+    """Deprecated alias: the multiplier/WMED case of :func:`make_objective`."""
+    return make_objective(width, design_dist, library=library, engine=engine)
 
-    ``engine`` selects the evaluation path: ``"auto"`` (compiled engine,
-    native backend when buildable), ``"native"`` / ``"numpy"`` (compiled
-    engine, forced backend) or ``"off"`` (the interpreted
-    :class:`MultiplierFitness`).  All produce bit-identical results; the
-    engine is just faster.
+
+def _check_component_signedness(comp, dist: Distribution) -> None:
+    """Fail fast when a signed distribution meets an unsigned component.
+
+    Silently clamping would weight unsigned bit patterns by a signed
+    PMF (pattern ``0b1000`` carrying the mass of value -8 while the
+    tables treat it as +8) — plausible-looking but wrong numbers.
     """
-    if engine == "off":
-        return MultiplierFitness(width, design_dist, library=library)
-    if engine not in ("auto", "native", "numpy"):
-        raise ValueError(f"unknown engine mode {engine!r}")
-    from ..engine import CompiledMultiplierFitness
+    if dist.signed and not comp.supports_signed:
+        raise ValueError(
+            f"the {comp.name} component is unsigned; pass unsigned "
+            f"distributions"
+        )
 
-    return CompiledMultiplierFitness(
-        width, design_dist, library=library, backend=engine
-    )
+
+def _resolve_seed_netlist(
+    seed_netlist: Optional[Netlist],
+    component: str,
+    design_dist: Distribution,
+    width: int,
+) -> Netlist:
+    """Resolve + validate one sweep cell's seed before any work runs.
+
+    Both guards fail fast in the caller: raising only inside a pool
+    worker would discard every other cell's completed work.
+    """
+    comp = get_component(component)
+    _check_component_signedness(comp, design_dist)
+    comp.check_width(width)
+    if seed_netlist is not None:
+        return seed_netlist
+    return comp.build_seed(width, design_dist.signed)
 
 
 def evolve_front(
-    seed_netlist: Netlist,
+    seed_netlist: Optional[Netlist],
     width: int,
     design_dist: Distribution,
     thresholds_percent: Sequence[float],
@@ -229,15 +346,18 @@ def evolve_front(
     extra_columns: int = 0,
     chain_targets: bool = True,
     engine: str = "auto",
+    component: str = "multiplier",
+    metric: str = "wmed",
 ) -> List[DesignPoint]:
-    """Sweep WMED targets, evolving one multiplier per target.
+    """Sweep error targets, evolving one design per target.
 
     Args:
-        seed_netlist: Exact multiplier seeding the first run.
+        seed_netlist: Exact circuit seeding the first run; ``None``
+            builds the component's standard exact seed.
         width: Operand width.
-        design_dist: Distribution used in the WMED fitness (the "driving"
-            distribution of the proposed method).
-        thresholds_percent: Target WMED levels in percent, ascending.
+        design_dist: Distribution used in the weighted fitness (the
+            "driving" distribution of the proposed method).
+        thresholds_percent: Target error levels in percent, ascending.
         eval_dists: Distributions to cross-evaluate each result under.
         config: Evolution budget per target.
         rng: Random source.
@@ -246,17 +366,25 @@ def evolve_front(
         chain_targets: Seed each target's run with the previous target's
             survivor (cheaper and mirrors how Pareto sweeps are run in
             practice); the first run always starts from the exact seed.
-        engine: Evaluation path, see :func:`make_evaluator`.
+        engine: Evaluation path, see :func:`make_objective`.
+        component: Registered component name (``multiplier``, ``adder``,
+            ``mac``).
+        metric: Error metric driving Eq. (1).
 
     Returns:
         One :class:`DesignPoint` per threshold, in sweep order.
     """
     rng = rng or np.random.default_rng()
+    seed_netlist = _resolve_seed_netlist(
+        seed_netlist, component, design_dist, width
+    )
     params = params_for_netlist(
         seed_netlist, extra_columns=extra_columns
     )
     seed = netlist_to_chromosome(seed_netlist, params)
-    evaluator = make_evaluator(width, design_dist, library, engine)
+    evaluator = make_objective(
+        width, design_dist, library, engine, component, metric
+    )
     points: List[DesignPoint] = []
     parent: Chromosome = seed
     for level in thresholds_percent:
@@ -265,7 +393,8 @@ def evolve_front(
         )
         points.append(
             _characterize_evolved(
-                result, width, design_dist, eval_dists, level, library
+                result, width, design_dist, eval_dists, level, library,
+                component, metric,
             )
         )
         if chain_targets:
@@ -280,15 +409,21 @@ def _characterize_evolved(
     eval_dists: Sequence[Distribution],
     level: float,
     library: Optional[TechLibrary],
+    component: str = "multiplier",
+    metric: str = "wmed",
 ) -> DesignPoint:
-    """Name + characterize one evolved survivor (shared by both sweeps)."""
+    """Name + characterize one evolved survivor (shared by all sweeps)."""
+    comp = get_component(component)
+    prefix = {"multiplier": "mul"}.get(comp.name, comp.name)
     netlist = result.best.to_netlist(
-        name=f"mul{width}_{design_dist.name}_wmed{level:g}"
+        name=f"{prefix}{width}_{design_dist.name}_{metric}{level:g}"
     )
-    return characterize_multiplier(
+    return characterize_design(
         netlist,
         width,
         eval_dists,
+        component=component,
+        metric=metric,
         name=netlist.name,
         source=f"proposed ({design_dist.name})",
         threshold_percent=level,
@@ -301,19 +436,22 @@ def _characterize_evolved(
 def _front_task(
     args: Tuple,
 ) -> DesignPoint:
-    """Evolve + characterize one WMED target (parallel-sweep worker).
+    """Evolve + characterize one error target (parallel-sweep worker).
 
     Module-level (picklable) so it runs under both thread and process
-    executors.  Each task builds its own evaluator: engine arenas are not
+    executors.  Each task builds its own objective: engine arenas are not
     thread-safe, and process workers cannot share them anyway.
     """
     (
         seed_netlist, width, design_dist, level, eval_dists,
         config, seed_seq, library, extra_columns, engine,
+        component, metric,
     ) = args
     params = params_for_netlist(seed_netlist, extra_columns=extra_columns)
     seed = netlist_to_chromosome(seed_netlist, params)
-    evaluator = make_evaluator(width, design_dist, library, engine)
+    evaluator = make_objective(
+        width, design_dist, library, engine, component, metric
+    )
     result = evolve(
         seed,
         evaluator,
@@ -322,12 +460,36 @@ def _front_task(
         rng=np.random.default_rng(seed_seq),
     )
     return _characterize_evolved(
-        result, width, design_dist, eval_dists, level, library
+        result, width, design_dist, eval_dists, level, library,
+        component, metric,
     )
 
 
+def _pool_class(executor: str):
+    if executor == "process":
+        return concurrent.futures.ProcessPoolExecutor
+    if executor == "thread":
+        return concurrent.futures.ThreadPoolExecutor
+    raise ValueError(f"unknown executor {executor!r}")
+
+
+def _run_tasks(
+    tasks: List[Tuple],
+    executor: str,
+    max_workers: Optional[int],
+) -> List[DesignPoint]:
+    # Resolve (and thereby validate) the executor even when the pool is
+    # never built (max_workers <= 1), so a typo doesn't surface only
+    # once the sweep is scaled up.
+    pool_cls = _pool_class(executor)
+    if max_workers is not None and max_workers <= 1:
+        return [_front_task(t) for t in tasks]
+    with pool_cls(max_workers=max_workers) as pool:
+        return list(pool.map(_front_task, tasks))
+
+
 def parallel_front(
-    seed_netlist: Netlist,
+    seed_netlist: Optional[Netlist],
     width: int,
     design_dist: Distribution,
     thresholds_percent: Sequence[float],
@@ -339,8 +501,10 @@ def parallel_front(
     library: Optional[TechLibrary] = None,
     extra_columns: int = 0,
     engine: str = "auto",
+    component: str = "multiplier",
+    metric: str = "wmed",
 ) -> List[DesignPoint]:
-    """Evolve one multiplier per WMED target, targets in parallel.
+    """Evolve one design per error target, targets in parallel.
 
     Unlike :func:`evolve_front` the runs are independent (each seeded
     from the exact circuit — ``chain_targets=False`` semantics), which is
@@ -361,24 +525,80 @@ def parallel_front(
     Returns:
         One :class:`DesignPoint` per threshold, in input order.
     """
-    if executor == "process":
-        pool_cls = concurrent.futures.ProcessPoolExecutor
-    elif executor == "thread":
-        pool_cls = concurrent.futures.ThreadPoolExecutor
-    else:
-        # Validate even when the pool is never built (max_workers <= 1),
-        # so a typo doesn't surface only once the sweep is scaled up.
-        raise ValueError(f"unknown executor {executor!r}")
+    seed_netlist = _resolve_seed_netlist(
+        seed_netlist, component, design_dist, width
+    )
     levels = list(thresholds_percent)
     children = np.random.SeedSequence(seed).spawn(len(levels))
     tasks = [
         (
             seed_netlist, width, design_dist, level, tuple(eval_dists),
             config, child, library, extra_columns, engine,
+            component, metric,
         )
         for level, child in zip(levels, children)
     ]
-    if max_workers is not None and max_workers <= 1:
-        return [_front_task(t) for t in tasks]
-    with pool_cls(max_workers=max_workers) as pool:
-        return list(pool.map(_front_task, tasks))
+    return _run_tasks(tasks, executor, max_workers)
+
+
+def grid_front(
+    width: int,
+    design_dist: Distribution,
+    thresholds_percent: Sequence[float],
+    eval_dists: Sequence[Distribution],
+    components: Sequence[str] = ("multiplier",),
+    metrics: Sequence[str] = ("wmed",),
+    config: Optional[EvolutionConfig] = None,
+    seed: int = 0,
+    max_workers: Optional[int] = None,
+    executor: str = "process",
+    library: Optional[TechLibrary] = None,
+    extra_columns: int = 0,
+    engine: str = "auto",
+) -> Dict[Tuple[str, str], List[DesignPoint]]:
+    """Sweep the full ``component x metric x threshold`` grid.
+
+    Every cell of the grid is an independent run fanned out over one
+    executor pool, with the same :class:`~numpy.random.SeedSequence`
+    reproducibility contract as :func:`parallel_front`: the result
+    depends only on ``seed`` and the arguments.
+
+    Returns:
+        ``{(component, metric): [DesignPoint per threshold]}`` with
+        thresholds in input order.
+    """
+    # Canonicalize and de-duplicate: aliases like "mre" and "mred" must
+    # not silently run (then overwrite) the same cell twice.
+    combos: List[Tuple[str, str]] = []
+    for c in components:
+        for m in metrics:
+            combo = (get_component(c).name, get_metric(m).name)
+            if combo not in combos:
+                combos.append(combo)
+    # Fail fast, before any cell runs: a signed distribution with an
+    # unsigned component in the grid would otherwise only raise in a
+    # worker after the other cells' work is done — and discard it all.
+    for component, _ in combos:
+        _check_component_signedness(get_component(component), design_dist)
+    levels = list(thresholds_percent)
+    if not levels:
+        return {combo: [] for combo in combos}
+    children = np.random.SeedSequence(seed).spawn(len(combos) * len(levels))
+    tasks = []
+    for i, (component, metric) in enumerate(combos):
+        seed_net = _resolve_seed_netlist(
+            None, component, design_dist, width
+        )
+        for j, level in enumerate(levels):
+            tasks.append(
+                (
+                    seed_net, width, design_dist, level, tuple(eval_dists),
+                    config, children[i * len(levels) + j], library,
+                    extra_columns, engine, component, metric,
+                )
+            )
+    points = _run_tasks(tasks, executor, max_workers)
+    grid: Dict[Tuple[str, str], List[DesignPoint]] = {}
+    for combo, chunk_start in zip(combos, range(0, len(points), len(levels))):
+        grid[combo] = points[chunk_start:chunk_start + len(levels)]
+    return grid

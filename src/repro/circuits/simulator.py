@@ -65,9 +65,23 @@ def unpack_bits(words: np.ndarray, num_vectors: int) -> np.ndarray:
     return bits[:num_vectors]
 
 
-#: ``np.bitwise_count`` (NumPy >= 2) gives a hardware popcount; older
-#: NumPy falls back to unpacking bits.
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+def _use_bitwise_count() -> bool:
+    """Whether to popcount via ``np.bitwise_count`` (NumPy >= 2).
+
+    Older NumPy falls back to unpacking bits; ``REPRO_POPCOUNT=portable``
+    forces that fallback so CI can exercise the pre-NumPy-2 path on any
+    NumPy version (both paths are bit-identical).  The knob is read once
+    at import time (``popcount`` sits on hot loops): set it before the
+    process starts, or monkeypatch ``_HAS_BITWISE_COUNT`` in tests.
+    """
+    import os
+
+    if os.environ.get("REPRO_POPCOUNT", "").lower() in ("portable", "unpack"):
+        return False
+    return hasattr(np, "bitwise_count")
+
+
+_HAS_BITWISE_COUNT = _use_bitwise_count()
 
 
 def popcount(words: np.ndarray, num_vectors: int) -> int:

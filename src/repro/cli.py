@@ -2,39 +2,51 @@
 
 Subcommands:
 
-* ``evolve`` — run the WMED-driven CGP approximation of a multiplier and
-  write the result as a CGP chromosome string (plus a summary line),
-* ``characterize`` — electrical + error report for a saved chromosome,
+* ``evolve`` — run the error-constrained CGP approximation of a
+  component (``--component {multiplier,adder,mac}``, ``--metric
+  {wmed,med,mred,error-rate,worst-case}``) and write the result as a CGP
+  chromosome string (plus a summary line),
+* ``characterize`` — electrical + error report for a saved chromosome;
+  the component kind and operand width are detected from the chromosome
+  interface (override with ``--component``),
 * ``export-verilog`` — emit structural Verilog for a saved chromosome.
 
 Distributions are named on the command line: ``uniform``, ``d1``, ``d2``,
-``half-normal:<sigma>`` or ``normal:<mean>:<std>``.
+``half-normal:<sigma>`` or ``normal:<mean>:<std>``; they weight the
+``x`` operand (the low input bits) of any component.
+
+Component notes: the ``adder`` component is unsigned (``--unsigned`` is
+implied); the ``mac`` objective is exhaustive over ``2**(4w+1)``
+vectors, so it supports ``--width`` up to 5.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .circuits.generators import build_baugh_wooley_multiplier, build_multiplier
+from .circuits.netlist import Netlist
 from .circuits.verilog import to_verilog
 from .core import (
     EvolutionConfig,
-    MultiplierFitness,
     evolve,
+    get_component,
+    infer_component,
     netlist_to_chromosome,
     params_for_netlist,
 )
+from .core.components import COMPONENTS, ComponentSpec, component_objective
 from .core.serialization import chromosome_from_string, chromosome_to_string
 from .errors import (
     Distribution,
     discretized_half_normal,
     discretized_normal,
-    evaluate_errors,
-    exact_product_table,
+    evaluate_errors_against,
+    metric_names,
+    operand_weights,
     paper_d1,
     paper_d2,
     uniform,
@@ -70,17 +82,25 @@ def parse_distribution(spec: str, width: int, signed: bool) -> Distribution:
 
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
-    signed = not args.unsigned
+    comp = get_component(args.component)
+    try:
+        comp.check_width(args.width)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    signed = comp.resolve_signed(not args.unsigned)
     dist = parse_distribution(args.dist, args.width, signed)
-    if signed:
-        seed_net = build_baugh_wooley_multiplier(args.width)
-    else:
-        seed_net = build_multiplier(args.width, signed=False)
+    seed_net = comp.build_seed(args.width, signed)
     params = params_for_netlist(seed_net, extra_columns=args.extra_columns)
     seed = netlist_to_chromosome(seed_net, params)
-    from .analysis.sweep import make_evaluator
+    from .analysis.sweep import make_objective
 
-    evaluator = make_evaluator(args.width, dist, engine=args.engine)
+    evaluator = make_objective(
+        args.width,
+        dist,
+        engine=args.engine,
+        component=comp.name,
+        metric=args.metric,
+    )
     result = evolve(
         seed,
         evaluator,
@@ -95,7 +115,8 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
     else:
         print(text)
     print(
-        f"# wmed={100 * result.best_eval.wmed:.4f}% "
+        f"# component={comp.name} metric={evaluator.metric.name} "
+        f"error={100 * result.best_eval.wmed:.4f}% "
         f"area={result.best_eval.area:.1f}um2 "
         f"evaluations={result.evaluations}",
         file=sys.stderr,
@@ -108,15 +129,54 @@ def _load_chromosome(path: str):
         return chromosome_from_string(fh.read())
 
 
+def _resolve_component(
+    net: Netlist, override: str
+) -> Tuple[ComponentSpec, int]:
+    """Component spec + operand width for a loaded chromosome's netlist."""
+    if override != "auto":
+        comp = get_component(override)
+        width = comp.infer_width(net.num_inputs, net.num_outputs)
+        if width is None:
+            raise SystemExit(
+                f"chromosome interface {net.num_inputs} -> "
+                f"{net.num_outputs} bits does not match the "
+                f"{comp.name} component"
+            )
+    else:
+        match = infer_component(net.num_inputs, net.num_outputs)
+        if match is None:
+            raise SystemExit(
+                f"cannot infer a component from the {net.num_inputs} -> "
+                f"{net.num_outputs}-bit interface; pass --component "
+                f"{{{','.join(COMPONENTS)}}}"
+            )
+        comp, width = match
+    # Same guard as evolve: an exhaustive table over this interface must
+    # be practical before we build it.
+    try:
+        comp.check_width(width)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    return comp, width
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     chromosome = _load_chromosome(args.chromosome)
-    width = chromosome.params.num_inputs // 2
-    signed = not args.unsigned
-    dist = parse_distribution(args.dist, width, signed)
     net = chromosome.to_netlist()
+    comp, width = _resolve_component(net, args.component)
+    signed = comp.resolve_signed(not args.unsigned)
+    dist = parse_distribution(args.dist, width, signed)
     summary = characterize(net)
-    table = MultiplierFitness(width, dist).truth_table(chromosome)
-    report = evaluate_errors(exact_product_table(width, signed), table, dist)
+    objective = component_objective(comp.name, width, dist)
+    table = objective.truth_table(chromosome)
+    report = evaluate_errors_against(
+        objective.reference,
+        table,
+        weights=operand_weights(dist, objective.num_inputs),
+        normalizer=objective.normalizer,
+    )
+    print(f"component: {comp.name} (width {width}, "
+          f"{'signed' if signed else 'unsigned'})")
     print(f"gates:  {len(net.active_gate_indices())}")
     print(f"area:   {summary.area:.1f} um2")
     print(f"power:  {summary.power.total / 1000:.4f} mW")
@@ -144,10 +204,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_ev = sub.add_parser("evolve", help="evolve an approximate multiplier")
+    p_ev = sub.add_parser("evolve", help="evolve an approximate component")
     p_ev.add_argument("--width", type=int, default=8)
+    p_ev.add_argument(
+        "--component",
+        choices=tuple(COMPONENTS),
+        default="multiplier",
+        help="datapath component to approximate (adder is unsigned; "
+        "mac supports width <= 5)",
+    )
+    p_ev.add_argument(
+        "--metric",
+        choices=metric_names(),
+        default="wmed",
+        help="error metric constraining Eq. (1)",
+    )
     p_ev.add_argument("--dist", default="uniform")
-    p_ev.add_argument("--wmed-percent", type=float, default=0.5)
+    p_ev.add_argument(
+        "--wmed-percent", type=float, default=0.5,
+        help="error budget in percent (under --metric, not only WMED)",
+    )
     p_ev.add_argument("--generations", type=int, default=10_000)
     p_ev.add_argument("--extra-columns", type=int, default=20)
     p_ev.add_argument("--unsigned", action="store_true")
@@ -164,6 +240,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_ch = sub.add_parser("characterize", help="report on a saved chromosome")
     p_ch.add_argument("chromosome", help="chromosome string file")
+    p_ch.add_argument(
+        "--component",
+        choices=("auto",) + tuple(COMPONENTS),
+        default="auto",
+        help="component kind (auto = detect from the chromosome "
+        "interface shape)",
+    )
     p_ch.add_argument("--dist", default="uniform")
     p_ch.add_argument("--unsigned", action="store_true")
     p_ch.set_defaults(func=_cmd_characterize)

@@ -2,10 +2,23 @@
 
 from .annealing import AnnealingConfig, anneal
 from .chromosome import CGP_FUNCTION_SET, CGPParams, Chromosome
+from .components import (
+    COMPONENTS,
+    ComponentSpec,
+    adder_objective,
+    component_names,
+    component_objective,
+    get_component,
+    infer_component,
+    mac_objective,
+    multiplier_objective,
+    netlist_objective,
+)
 from .evolution import EvolutionConfig, EvolutionResult, evolve
 from .fitness import EvalResult, MultiplierFitness
 from .generic_fitness import CircuitFitness
 from .mutation import mutate, random_gene_value
+from .objective import CircuitObjective
 from .pareto import dominates, hypervolume_2d, pareto_indices, pareto_points
 from .seeding import netlist_to_chromosome, params_for_netlist, random_chromosome
 from .serialization import chromosome_from_string, chromosome_to_string
@@ -14,6 +27,17 @@ __all__ = [
     "AnnealingConfig",
     "anneal",
     "CircuitFitness",
+    "CircuitObjective",
+    "COMPONENTS",
+    "ComponentSpec",
+    "adder_objective",
+    "component_names",
+    "component_objective",
+    "get_component",
+    "infer_component",
+    "mac_objective",
+    "multiplier_objective",
+    "netlist_objective",
     "CGP_FUNCTION_SET",
     "CGPParams",
     "Chromosome",

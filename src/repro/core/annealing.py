@@ -21,7 +21,7 @@ import numpy as np
 
 from .chromosome import Chromosome
 from .evolution import EvolutionResult
-from .fitness import EvalResult
+from .objective import EvalResult
 from .mutation import mutate
 
 __all__ = ["AnnealingConfig", "anneal"]
@@ -62,9 +62,9 @@ def anneal(
     Args:
         seed: Starting chromosome (typically the exact seed circuit).
         evaluator: Any object with ``evaluate(chromosome, threshold)``
-            returning an :class:`~repro.core.fitness.EvalResult`
-            (:class:`MultiplierFitness`, :class:`CircuitFitness`).
-        threshold: WMED budget.
+            returning an :class:`~repro.core.objective.EvalResult`
+            (any :class:`~repro.core.objective.CircuitObjective`).
+        threshold: Error budget.
         config: Schedule parameters.
         rng: Random source.
 

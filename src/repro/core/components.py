@@ -1,0 +1,366 @@
+"""Component builders: one objective constructor per datapath block.
+
+The objective layer (:mod:`repro.core.objective`) is function-agnostic;
+this module knows the concrete components — how to build an exact seed
+circuit, what its reference truth table is, and how a data distribution
+on the ``x`` operand maps to per-vector weights.  Everything the search
+stack needs to approximate a component is derived from one
+:class:`ComponentSpec`:
+
+* ``multiplier`` — ``2w -> 2w`` bits, products (the paper's component);
+* ``adder`` — ``2w -> w+1`` bits, unsigned sums with carry-out;
+* ``mac`` — ``[x, y, acc] -> acc'`` multiply-accumulate slice with a
+  ``2w+1``-bit accumulator (depth-2 sizing); exhaustive over
+  ``2**(4w+1)`` vectors, so it is practical for ``w <= 5``.
+
+``netlist_objective`` covers anything else: it takes an arbitrary exact
+netlist and uses its simulated truth table as the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Netlist
+from ..circuits.simulator import truth_table
+from ..errors.distributions import Distribution
+from ..errors.truth_tables import (
+    exact_product_table,
+    operand_values,
+    operand_weights,
+)
+from ..tech.library import TechLibrary
+from .objective import CircuitObjective
+
+__all__ = [
+    "ComponentSpec",
+    "COMPONENTS",
+    "component_names",
+    "get_component",
+    "infer_component",
+    "component_objective",
+    "multiplier_objective",
+    "adder_objective",
+    "mac_objective",
+    "netlist_objective",
+]
+
+#: MAC widths above this are rejected: the objective is exhaustive over
+#: ``2**(4w+1)`` vectors and 2**21 is the largest practical table.
+_MAC_MAX_WIDTH = 5
+
+
+def _mac_acc_width(width: int) -> int:
+    """Accumulator width for the standard MAC slice (depth-2 sizing)."""
+    return 2 * width + 1
+
+
+def _decode(patterns: np.ndarray, bits: int, signed: bool) -> np.ndarray:
+    """Numeric value of each ``bits``-wide pattern (shared decode table)."""
+    return operand_values(bits, signed)[patterns]
+
+
+def _wrap(values: np.ndarray, bits: int, signed: bool) -> np.ndarray:
+    """Wrap integers to a ``bits``-wide bus and re-decode."""
+    return _decode(values & ((1 << bits) - 1), bits, signed)
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Everything the search stack needs to know about one component.
+
+    Attributes:
+        name: Registry key (``"multiplier"``, ``"adder"``, ``"mac"``).
+        num_inputs: ``width -> ni`` of the standard interface.
+        num_outputs: ``width -> no`` of the standard interface.
+        build_seed: ``(width, signed) -> Netlist`` exact seed circuit.
+        reference: ``(width, signed) -> int64`` closed-form truth table
+            in vector order (always equal to simulating the seed).
+        supports_signed: Whether a two's-complement variant exists.
+        max_width: Largest practical operand width (exhaustive tables).
+    """
+
+    name: str
+    num_inputs: Callable[[int], int]
+    num_outputs: Callable[[int], int]
+    build_seed: Callable[[int, bool], Netlist]
+    reference: Callable[[int, bool], np.ndarray]
+    supports_signed: bool = True
+    max_width: int = 16
+
+    def check_width(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if width > self.max_width:
+            raise ValueError(
+                f"{self.name} objective is exhaustive over "
+                f"2**{self.num_inputs(width)} vectors; width must be "
+                f"<= {self.max_width}"
+            )
+
+    def resolve_signed(self, signed: bool) -> bool:
+        """Clamp a requested signedness to what the component supports."""
+        return signed and self.supports_signed
+
+    def infer_width(self, num_inputs: int, num_outputs: int) -> Optional[int]:
+        """Operand width matching an interface shape, or ``None``."""
+        for width in range(1, 65):
+            if (
+                self.num_inputs(width) == num_inputs
+                and self.num_outputs(width) == num_outputs
+            ):
+                return width
+            if self.num_inputs(width) > num_inputs:
+                return None
+        return None
+
+
+# ----------------------------------------------------------------------
+# Seed builders and closed-form references
+# ----------------------------------------------------------------------
+def _multiplier_seed(width: int, signed: bool) -> Netlist:
+    from ..circuits.generators import (
+        build_baugh_wooley_multiplier,
+        build_multiplier,
+    )
+
+    if signed:
+        return build_baugh_wooley_multiplier(width)
+    return build_multiplier(width, signed=False)
+
+
+def _adder_seed(width: int, signed: bool) -> Netlist:
+    from ..circuits.generators import build_ripple_carry_adder
+
+    return build_ripple_carry_adder(width)
+
+
+def _adder_reference(width: int, signed: bool) -> np.ndarray:
+    from ..circuits.verify import reference_sums
+
+    return reference_sums(width, signed=False)
+
+
+def _mac_seed(width: int, signed: bool) -> Netlist:
+    from ..circuits.generators.mac import build_mac
+
+    return build_mac(width, _mac_acc_width(width), signed=signed)
+
+
+def _mac_reference(width: int, signed: bool) -> np.ndarray:
+    """``acc + x * y`` wrapped to the accumulator width, vector order."""
+    acc_width = _mac_acc_width(width)
+    ni = 2 * width + acc_width
+    v = np.arange(1 << ni, dtype=np.int64)
+    mask = (1 << width) - 1
+    x = _decode(v & mask, width, signed)
+    y = _decode((v >> width) & mask, width, signed)
+    acc = _decode(v >> (2 * width), acc_width, signed)
+    return _wrap(acc + x * y, acc_width, signed)
+
+
+COMPONENTS: Dict[str, ComponentSpec] = {
+    "multiplier": ComponentSpec(
+        name="multiplier",
+        num_inputs=lambda w: 2 * w,
+        num_outputs=lambda w: 2 * w,
+        build_seed=_multiplier_seed,
+        reference=exact_product_table,
+        supports_signed=True,
+        max_width=10,
+    ),
+    "adder": ComponentSpec(
+        name="adder",
+        num_inputs=lambda w: 2 * w,
+        num_outputs=lambda w: w + 1,
+        build_seed=_adder_seed,
+        reference=_adder_reference,
+        supports_signed=False,
+        max_width=10,
+    ),
+    "mac": ComponentSpec(
+        name="mac",
+        num_inputs=lambda w: 2 * w + _mac_acc_width(w),
+        num_outputs=lambda w: _mac_acc_width(w),
+        build_seed=_mac_seed,
+        reference=_mac_reference,
+        supports_signed=True,
+        max_width=_MAC_MAX_WIDTH,
+    ),
+}
+
+
+def component_names() -> Tuple[str, ...]:
+    """Registered component names, stable order (CLI choices, grids)."""
+    return tuple(COMPONENTS)
+
+
+def get_component(spec) -> ComponentSpec:
+    """Resolve a component name (or pass a :class:`ComponentSpec`)."""
+    if isinstance(spec, ComponentSpec):
+        return spec
+    comp = COMPONENTS.get(str(spec).strip().lower())
+    if comp is None:
+        raise ValueError(
+            f"unknown component {spec!r}; known: {', '.join(COMPONENTS)}"
+        )
+    return comp
+
+
+def infer_component(
+    num_inputs: int, num_outputs: int
+) -> Optional[Tuple[ComponentSpec, int]]:
+    """Guess ``(component, width)`` from an interface shape.
+
+    Checked in registry order (multiplier, adder, mac); returns ``None``
+    when no registered component matches.  The degenerate ``2 -> 2``-bit
+    shape is ambiguous between a 1-bit multiplier and a 1-bit adder —
+    registry order picks the multiplier; pass the component explicitly
+    (e.g. ``--component adder`` on the CLI) to override.
+    """
+    for comp in COMPONENTS.values():
+        width = comp.infer_width(num_inputs, num_outputs)
+        if width is not None:
+            return comp, width
+    return None
+
+
+# ----------------------------------------------------------------------
+# Objective constructors
+# ----------------------------------------------------------------------
+def multiplier_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for ``width``-bit multipliers (the paper's component).
+
+    Signedness follows ``dist.signed``; the normalizer is the maximum
+    exact product magnitude so thresholds keep the paper's percent
+    semantics.  With ``metric="wmed"`` this is exactly the historical
+    ``MultiplierFitness`` — bit-identical trajectories.
+    """
+    # The legacy class (kept as a deprecated alias) *is* the multiplier
+    # objective; constructing it here keeps one canonical code path.
+    from .fitness import MultiplierFitness
+
+    return MultiplierFitness(width, dist, library=library, metric=metric)
+
+
+def adder_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for unsigned ``width``-bit adders (sum with carry-out)."""
+    comp = COMPONENTS["adder"]
+    comp.check_width(width)
+    if dist.width != width:
+        raise ValueError("distribution width must match operand width")
+    if dist.signed:
+        raise ValueError("the adder component is unsigned")
+    reference = comp.reference(width, False)
+    return CircuitObjective(
+        num_inputs=comp.num_inputs(width),
+        reference=reference,
+        weights=operand_weights(dist, comp.num_inputs(width)),
+        signed=False,
+        normalizer=float(reference.max()),
+        metric=metric,
+        library=library,
+        component="adder",
+    )
+
+
+def mac_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for ``[x, y, acc] -> acc + x*y`` MAC slices.
+
+    The ``x`` operand follows ``dist`` (the application's data
+    distribution, e.g. NN weights); ``y`` and the accumulator are
+    uniform.  Exhaustive over ``2**(4w+1)`` vectors — practical for
+    ``width <= 5``.
+    """
+    comp = COMPONENTS["mac"]
+    comp.check_width(width)
+    if dist.width != width:
+        raise ValueError("distribution width must match operand width")
+    reference = comp.reference(width, dist.signed)
+    return CircuitObjective(
+        num_inputs=comp.num_inputs(width),
+        reference=reference,
+        weights=operand_weights(dist, comp.num_inputs(width)),
+        signed=dist.signed,
+        normalizer=float(np.abs(reference).max()),
+        metric=metric,
+        library=library,
+        component="mac",
+    )
+
+
+_OBJECTIVE_BUILDERS = {
+    "multiplier": multiplier_objective,
+    "adder": adder_objective,
+    "mac": mac_objective,
+}
+
+
+def component_objective(
+    component: str,
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Dispatch to the named component's objective constructor."""
+    comp = get_component(component)
+    return _OBJECTIVE_BUILDERS[comp.name](
+        width, dist, metric=metric, library=library
+    )
+
+
+def netlist_objective(
+    netlist: Netlist,
+    dist: Optional[Distribution] = None,
+    metric: object = "wmed",
+    signed: bool = False,
+    normalizer: Optional[float] = None,
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective whose reference is an arbitrary exact netlist.
+
+    The netlist is simulated exhaustively once; its truth table becomes
+    the reference.  ``dist``, if given, weights the low ``dist.width``
+    input bits (``None`` means uniform) and must agree with ``signed`` —
+    a signed PMF over unsigned patterns (or vice versa) would put each
+    pattern's mass on the wrong value.  This is the escape hatch for
+    custom datapath blocks with no registered :class:`ComponentSpec`.
+    """
+    if dist is not None and dist.signed != signed:
+        raise ValueError(
+            f"distribution signedness ({dist.signed}) must match the "
+            f"objective's ({signed})"
+        )
+    reference = truth_table(netlist, signed=signed)
+    weights = (
+        operand_weights(dist, netlist.num_inputs) if dist is not None else None
+    )
+    return CircuitObjective(
+        num_inputs=netlist.num_inputs,
+        reference=reference,
+        weights=weights,
+        signed=signed,
+        normalizer=normalizer,
+        metric=metric,
+        library=library,
+        component=netlist.name or "netlist",
+    )

@@ -28,8 +28,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .chromosome import Chromosome
-from .fitness import EvalResult, MultiplierFitness
 from .mutation import mutate
+from .objective import CircuitObjective, EvalResult
 
 __all__ = ["EvolutionConfig", "EvolutionResult", "evolve"]
 
@@ -75,19 +75,21 @@ class EvolutionResult:
 
 def evolve(
     seed: Chromosome,
-    evaluator: MultiplierFitness,
+    evaluator: CircuitObjective,
     threshold: float,
     config: Optional[EvolutionConfig] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> EvolutionResult:
-    """Run (1 + lambda) CGP minimizing Eq. (1) at one WMED target.
+    """Run (1 + lambda) CGP minimizing Eq. (1) at one error target.
 
     Args:
-        seed: Initial parent (typically a seeded exact multiplier, whose
-            WMED of 0 satisfies any threshold).
-        evaluator: Precomputed :class:`MultiplierFitness`.
-        threshold: WMED target ``E_i`` (normalized units, e.g. 0.005 for
-            the paper's 0.5 %).
+        seed: Initial parent (typically a seeded exact circuit, whose
+            error of 0 satisfies any threshold).
+        evaluator: Precomputed :class:`~repro.core.objective
+            .CircuitObjective` (any component, any metric) — or the
+            engine-backed :class:`~repro.engine.CompiledObjective`.
+        threshold: Error target ``E_i`` (normalized units, e.g. 0.005
+            for the paper's 0.5 %).
         config: Search hyper-parameters.
         rng: Random source (fresh default generator when omitted).
 

@@ -1,4 +1,14 @@
-"""Fitness evaluation for WMED-constrained circuit approximation.
+"""Fitness evaluation for WMED-constrained multiplier approximation.
+
+.. deprecated::
+    :class:`MultiplierFitness` is kept as a thin alias for the
+    multiplier instance of the component-agnostic objective layer — new
+    code should build objectives through
+    :func:`repro.core.components.multiplier_objective` (or
+    :func:`~repro.core.components.component_objective` /
+    :class:`~repro.core.objective.CircuitObjective` directly).  Results
+    are bit-identical to the historical class, so existing trajectories
+    do not change.
 
 Implements the paper's Eq. (1):
 
@@ -12,53 +22,37 @@ WMED term requires one exhaustive packed simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from ..circuits.simulator import exhaustive_inputs, words_to_values
 from ..errors.distributions import Distribution
 from ..errors.truth_tables import (
     exact_product_table,
     max_product_magnitude,
     vector_weights,
 )
-from ..tech.library import TechLibrary, default_library
-from .chromosome import Chromosome
+from ..tech.library import TechLibrary
+from .objective import CircuitObjective, EvalResult
 
 __all__ = ["EvalResult", "MultiplierFitness"]
 
 
-@dataclass(frozen=True)
-class EvalResult:
-    """Outcome of one candidate evaluation.
+class MultiplierFitness(CircuitObjective):
+    """Evaluator for ``width``-bit approximate multipliers.
 
-    ``fitness`` is Eq. (1): area when the WMED constraint holds, else
-    ``inf``.  ``wmed`` is normalized to [0, ~1] (multiply by 100 for the
-    paper's percent figures).
-    """
-
-    fitness: float
-    wmed: float
-    area: float
-
-    def feasible(self) -> bool:
-        return np.isfinite(self.fitness)
-
-
-class MultiplierFitness:
-    """Evaluator for ``width``-bit approximate multipliers under WMED.
-
-    Precomputes the exhaustive stimulus, the exact product table and the
-    WMED weight vector once; each candidate costs one packed simulation
-    plus two vector reductions.
+    The multiplier instance of :class:`~repro.core.objective
+    .CircuitObjective`: reference = exact product table, weights = the
+    WMED weights of ``dist``, normalizer = maximum product magnitude.
+    Precomputes all three once; each candidate costs one packed
+    simulation plus two vector reductions.
 
     Args:
         width: Operand bit width ``w``.
         dist: Operand-``x`` distribution defining the WMED weights (its
             ``signed`` flag selects the product semantics).
         library: Technology library for the area term.
+        metric: Error metric; the paper's ``"wmed"`` by default.
     """
 
     def __init__(
@@ -66,76 +60,24 @@ class MultiplierFitness:
         width: int,
         dist: Distribution,
         library: Optional[TechLibrary] = None,
+        metric: object = "wmed",
     ) -> None:
         if dist.width != width:
             raise ValueError("distribution width must match operand width")
+        super().__init__(
+            num_inputs=2 * width,
+            reference=exact_product_table(width, dist.signed),
+            weights=vector_weights(dist, width),
+            signed=dist.signed,
+            normalizer=float(max_product_magnitude(width, dist.signed)),
+            metric=metric,
+            library=library,
+            component="multiplier",
+        )
         self.width = width
-        self.signed = dist.signed
         self.dist = dist
-        self.library = library or default_library()
-        self.stimulus = exhaustive_inputs(2 * width)
-        self.num_vectors = 1 << (2 * width)
-        self.exact = exact_product_table(width, self.signed)
-        weights = vector_weights(dist, width)
-        # Normalize to a probability distribution over vectors so that the
-        # weighted sum is an expectation — keeps this evaluator's WMED
-        # identical to :func:`repro.errors.metrics.wmed`.
-        self.weights = weights / weights.sum()
-        self.normalizer = float(max_product_magnitude(width, self.signed))
-        self._area_cache: Dict[Tuple[str, ...], np.ndarray] = {}
 
-    # ------------------------------------------------------------------
-    def truth_table(self, chromosome: Chromosome) -> np.ndarray:
-        """Decoded integer outputs of the candidate over all vectors.
-
-        Equivalent to :func:`repro.circuits.simulator.words_to_values`
-        but decodes all output bits in one vectorized bit-transpose (this
-        sits on the search's hot path): unpack each output plane, stack
-        them as the bit columns of one integer per vector, and repack.
-        """
-        words = chromosome.simulate(self.stimulus)
-        n_bits = len(words)
-        dtype = np.uint16 if n_bits <= 16 else np.uint64
-        acc = np.zeros(self.num_vectors, dtype=dtype)
-        for j, plane in enumerate(words):
-            bits = np.unpackbits(plane.view(np.uint8), bitorder="little")[
-                : self.num_vectors
-            ].astype(dtype)
-            acc |= bits << dtype(j)
-        values = acc.astype(np.int64)
-        if self.signed:
-            values[values >= 1 << (n_bits - 1)] -= 1 << n_bits
-        return values
-
-    def wmed(self, chromosome: Chromosome) -> float:
-        """Normalized WMED of the candidate (0 = exact)."""
-        table = self.truth_table(chromosome)
-        err = np.abs(self.exact - table).astype(np.float64)
-        return float(np.dot(self.weights, err)) / self.normalizer
-
-    def _areas_by_fn_index(self, functions: Tuple[str, ...]) -> np.ndarray:
-        areas = self._area_cache.get(functions)
-        if areas is None:
-            areas = np.array(
-                [self.library.cell(fn).area for fn in functions],
-                dtype=np.float64,
-            )
-            self._area_cache[functions] = areas
-        return areas
-
-    def area(self, chromosome: Chromosome) -> float:
-        """Active-cone cell area of the candidate in um^2."""
-        p = chromosome.params
-        active = chromosome.active_nodes()
-        if active.size == 0:
-            return 0.0
-        fn_genes = chromosome.genes[active * p.genes_per_node + p.arity]
-        areas = self._areas_by_fn_index(p.functions)
-        return float(areas[fn_genes].sum())
-
-    def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
-        """Eq. (1) fitness of a candidate at WMED target ``threshold``."""
-        error = self.wmed(chromosome)
-        area = self.area(chromosome)
-        fitness = area if error <= threshold else float("inf")
-        return EvalResult(fitness=fitness, wmed=error, area=area)
+    @property
+    def exact(self) -> np.ndarray:
+        """Historical name for the reference product table."""
+        return self.reference

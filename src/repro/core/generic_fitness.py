@@ -1,41 +1,31 @@
-"""WMED-constrained fitness for arbitrary combinational functions.
+"""Backward-compatible alias for the generic objective.
 
-The paper presents the method on multipliers "for the sake of
-simplicity" (Section III) but the machinery is function-agnostic:
-:class:`CircuitFitness` evaluates any candidate against any reference
-truth table under any per-vector weight vector.  This is the entry point
-for approximating adders, MAC slices or custom datapath blocks with the
-same WMED-driven search.
+.. deprecated::
+    :class:`CircuitFitness` predates the objective layer; it is now a
+    thin subclass of :class:`~repro.core.objective.CircuitObjective`
+    kept so existing callers (and serialized experiment scripts) keep
+    working.  New code should use :class:`CircuitObjective` or the
+    component constructors in :mod:`repro.core.components` directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from ..circuits.simulator import exhaustive_inputs
-from ..tech.library import TechLibrary, default_library
-from .chromosome import Chromosome
-from .fitness import EvalResult
+from ..tech.library import TechLibrary
+from .objective import CircuitObjective
 
 __all__ = ["CircuitFitness"]
 
 
-class CircuitFitness:
+class CircuitFitness(CircuitObjective):
     """Eq. (1) fitness against an arbitrary reference function.
 
-    Args:
-        num_inputs: Primary input count of the candidates; the reference
-            table must enumerate all ``2**num_inputs`` vectors.
-        reference: Exact outputs in vector order (``int64``).
-        weights: Per-vector importance; normalized internally.  ``None``
-            means uniform (plain MED).
-        signed: Decode candidate output buses as two's complement.
-        normalizer: Error scale so the metric lands in [0, ~1]; defaults
-            to ``max |reference|`` (falling back to 1 for the all-zero
-            function).
-        library: Technology library for the area term.
+    Same constructor as the historical class; see
+    :class:`~repro.core.objective.CircuitObjective` for the semantics
+    (this subclass adds nothing beyond the name).
     """
 
     def __init__(
@@ -46,66 +36,14 @@ class CircuitFitness:
         signed: bool = False,
         normalizer: Optional[float] = None,
         library: Optional[TechLibrary] = None,
+        metric: object = "wmed",
     ) -> None:
-        reference = np.asarray(reference, dtype=np.int64).ravel()
-        expected = 1 << num_inputs
-        if reference.shape != (expected,):
-            raise ValueError(
-                f"reference must have {expected} entries, got {reference.shape}"
-            )
-        self.num_inputs = num_inputs
-        self.num_vectors = expected
-        self.reference = reference
-        self.signed = signed
-        self.stimulus = exhaustive_inputs(num_inputs)
-        if weights is None:
-            weights = np.full(expected, 1.0 / expected)
-        else:
-            weights = np.asarray(weights, dtype=np.float64).ravel()
-            if weights.shape != (expected,):
-                raise ValueError("weights length must match the vector count")
-            total = weights.sum()
-            if total <= 0:
-                raise ValueError("weights must have positive mass")
-            weights = weights / total
-        self.weights = weights
-        if normalizer is None:
-            normalizer = float(np.abs(reference).max()) or 1.0
-        if normalizer <= 0:
-            raise ValueError("normalizer must be positive")
-        self.normalizer = float(normalizer)
-        self.library = library or default_library()
-        self._area_cache: Dict[Tuple[str, ...], np.ndarray] = {}
-
-    # The decode / area / evaluate machinery is identical to the
-    # multiplier evaluator's; shared via small delegating methods so the
-    # hot path stays in one place.
-    def truth_table(self, chromosome: Chromosome) -> np.ndarray:
-        """Decoded integer outputs of the candidate over all vectors."""
-        from .fitness import MultiplierFitness
-
-        return MultiplierFitness.truth_table(self, chromosome)  # type: ignore[arg-type]
-
-    def wmed(self, chromosome: Chromosome) -> float:
-        """Weighted, normalized mean error distance of the candidate."""
-        table = self.truth_table(chromosome)
-        err = np.abs(self.reference - table).astype(np.float64)
-        return float(np.dot(self.weights, err)) / self.normalizer
-
-    def area(self, chromosome: Chromosome) -> float:
-        """Active-cone cell area in um^2."""
-        from .fitness import MultiplierFitness
-
-        return MultiplierFitness.area(self, chromosome)  # type: ignore[arg-type]
-
-    def _areas_by_fn_index(self, functions: Tuple[str, ...]) -> np.ndarray:
-        from .fitness import MultiplierFitness
-
-        return MultiplierFitness._areas_by_fn_index(self, functions)  # type: ignore[arg-type]
-
-    def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
-        """Eq. (1): area when the error constraint holds, else inf."""
-        error = self.wmed(chromosome)
-        area = self.area(chromosome)
-        fitness = area if error <= threshold else float("inf")
-        return EvalResult(fitness=fitness, wmed=error, area=area)
+        super().__init__(
+            num_inputs=num_inputs,
+            reference=reference,
+            weights=weights,
+            signed=signed,
+            normalizer=normalizer,
+            metric=metric,
+            library=library,
+        )

@@ -1,0 +1,211 @@
+"""The component-agnostic objective: Eq. (1) over any reference function.
+
+The paper presents its method on multipliers "for the sake of
+simplicity" (Section III), but the machinery is function-agnostic: a
+candidate circuit is scored by
+
+``F(C~) = area(C~)   if  error_metric(C~) <= E_i``
+``F(C~) = infinity   otherwise``
+
+where the error metric compares the candidate's exhaustive truth table
+against a *reference* table under a per-vector *weight* vector.  This
+module is the single home of that machinery:
+
+* :class:`CircuitObjective` — reference table + normalized weight vector
+  + pluggable :class:`~repro.errors.metrics.ErrorMetric` (WMED, MED,
+  MRED, error rate, worst case) + technology-library area term.  It owns
+  the decode/area/evaluate hot path that every evaluator in the repo —
+  including the compiled engine's
+  :class:`~repro.engine.evaluator.CompiledObjective` — inherits, so
+  there is exactly one implementation of each.
+* :class:`EvalResult` — the outcome record shared by all evaluators.
+
+Component-specific constructors (multiplier, adder, MAC, arbitrary
+netlist) live in :mod:`repro.core.components`; the legacy
+``MultiplierFitness`` / ``CircuitFitness`` classes are thin subclasses
+kept for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..circuits.simulator import exhaustive_inputs
+from ..errors.metrics import ErrorMetric, get_metric
+from ..tech.library import TechLibrary, default_library
+from .chromosome import Chromosome
+
+__all__ = ["EvalResult", "CircuitObjective"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of one candidate evaluation.
+
+    ``fitness`` is Eq. (1): area when the error constraint holds, else
+    ``inf``.  ``wmed`` holds the objective's error-metric value — named
+    for the paper's central metric, it is the WMED only when the
+    objective's metric is ``"wmed"`` (use the :attr:`error` alias in
+    metric-generic code).  Magnitude metrics are normalized to [0, ~1]
+    (multiply by 100 for the paper's percent figures).
+    """
+
+    fitness: float
+    wmed: float
+    area: float
+
+    @property
+    def error(self) -> float:
+        """Metric-agnostic alias for the error term."""
+        return self.wmed
+
+    def feasible(self) -> bool:
+        return np.isfinite(self.fitness)
+
+
+class CircuitObjective:
+    """Eq. (1) objective against an arbitrary reference function.
+
+    Precomputes the exhaustive stimulus and normalizes the weight vector
+    once; each candidate costs one packed simulation, one vectorized
+    truth-table decode and one metric reduction.
+
+    Args:
+        num_inputs: Primary input count of the candidates; the reference
+            table must enumerate all ``2**num_inputs`` vectors.
+        reference: Exact outputs in vector order (``int64``).
+        weights: Per-vector importance; normalized internally to sum
+            to 1.  ``None`` means uniform.
+        signed: Decode candidate output buses as two's complement.
+        normalizer: Error scale so magnitude metrics land in [0, ~1];
+            defaults to ``max |reference|`` (falling back to 1 for the
+            all-zero function).
+        metric: :class:`~repro.errors.metrics.ErrorMetric` or registry
+            name (``"wmed"``, ``"med"``, ``"mred"``, ``"error-rate"``,
+            ``"worst-case"``).
+        library: Technology library for the area term.
+        component: Optional tag naming the component family (used in
+            reports and engine cache identity).
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        reference: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        signed: bool = False,
+        normalizer: Optional[float] = None,
+        metric: object = "wmed",
+        library: Optional[TechLibrary] = None,
+        component: str = "",
+    ) -> None:
+        reference = np.asarray(reference, dtype=np.int64).ravel()
+        expected = 1 << num_inputs
+        if reference.shape != (expected,):
+            raise ValueError(
+                f"reference must have {expected} entries, got {reference.shape}"
+            )
+        self.num_inputs = num_inputs
+        self.num_vectors = expected
+        self.reference = reference
+        self.signed = signed
+        self.component = component
+        self.stimulus = exhaustive_inputs(num_inputs)
+        if weights is None:
+            weights = np.full(expected, 1.0 / expected)
+        else:
+            weights = np.asarray(weights, dtype=np.float64).ravel()
+            if weights.shape != (expected,):
+                raise ValueError("weights length must match the vector count")
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError("weights must have positive mass")
+            weights = weights / total
+        self.weights = weights
+        if normalizer is None:
+            normalizer = float(np.abs(reference).max()) or 1.0
+        if normalizer <= 0:
+            raise ValueError("normalizer must be positive")
+        self.normalizer = float(normalizer)
+        self.metric: ErrorMetric = get_metric(metric)
+        self.library = library or default_library()
+        self._area_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Decode hot path
+    # ------------------------------------------------------------------
+    def truth_table(self, chromosome: Chromosome) -> np.ndarray:
+        """Decoded integer outputs of the candidate over all vectors.
+
+        Equivalent to :func:`repro.circuits.simulator.words_to_values`
+        but decodes all output bits in one vectorized bit-transpose (this
+        sits on the search's hot path): unpack each output plane, stack
+        them as the bit columns of one integer per vector, and repack.
+        """
+        words = chromosome.simulate(self.stimulus)
+        n_bits = len(words)
+        dtype = np.uint16 if n_bits <= 16 else np.uint64
+        acc = np.zeros(self.num_vectors, dtype=dtype)
+        for j, plane in enumerate(words):
+            bits = np.unpackbits(plane.view(np.uint8), bitorder="little")[
+                : self.num_vectors
+            ].astype(dtype)
+            acc |= bits << dtype(j)
+        values = acc.astype(np.int64)
+        if self.signed:
+            values[values >= 1 << (n_bits - 1)] -= 1 << n_bits
+        return values
+
+    def error_distances(self, chromosome: Chromosome) -> np.ndarray:
+        """Per-vector ``|reference - candidate|`` as ``float64``."""
+        table = self.truth_table(chromosome)
+        return np.abs(self.reference - table).astype(np.float64)
+
+    def error(self, chromosome: Chromosome) -> float:
+        """The objective's error-metric value for a candidate."""
+        return self.metric.from_distances(
+            self.error_distances(chromosome),
+            self.weights,
+            self.normalizer,
+            self.reference,
+        )
+
+    def wmed(self, chromosome: Chromosome) -> float:
+        """Historical alias for :meth:`error` (the paper's metric name)."""
+        return self.error(chromosome)
+
+    # ------------------------------------------------------------------
+    # Area term
+    # ------------------------------------------------------------------
+    def _areas_by_fn_index(self, functions: Tuple[str, ...]) -> np.ndarray:
+        areas = self._area_cache.get(functions)
+        if areas is None:
+            areas = np.array(
+                [self.library.cell(fn).area for fn in functions],
+                dtype=np.float64,
+            )
+            self._area_cache[functions] = areas
+        return areas
+
+    def area(self, chromosome: Chromosome) -> float:
+        """Active-cone cell area of the candidate in um^2."""
+        p = chromosome.params
+        active = chromosome.active_nodes()
+        if active.size == 0:
+            return 0.0
+        fn_genes = chromosome.genes[active * p.genes_per_node + p.arity]
+        areas = self._areas_by_fn_index(p.functions)
+        return float(areas[fn_genes].sum())
+
+    # ------------------------------------------------------------------
+    # Eq. (1)
+    # ------------------------------------------------------------------
+    def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
+        """Eq. (1): area when the error constraint holds, else inf."""
+        error = self.error(chromosome)
+        area = self.area(chromosome)
+        fitness = area if error <= threshold else float("inf")
+        return EvalResult(fitness=fitness, wmed=error, area=area)

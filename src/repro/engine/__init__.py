@@ -21,17 +21,22 @@ into a compiled pipeline:
 * :mod:`repro.engine.cache` memoizes ``(wmed, area)`` by compiled-program
   signature, exploiting CGP neutral drift.
 
-:class:`~repro.engine.evaluator.CompiledMultiplierFitness` packages the
-pipeline as a drop-in replacement for
-:class:`~repro.core.fitness.MultiplierFitness`; results are bit-identical
-so evolved trajectories do not change.  Select the backend with the
-``REPRO_ENGINE`` environment variable (``numpy`` forces the fallback).
+:class:`~repro.engine.evaluator.CompiledObjective` packages the pipeline
+behind the component-agnostic objective layer: it wraps *any*
+:class:`~repro.core.objective.CircuitObjective` — multiplier, adder,
+MAC, custom netlist, under any error metric — and produces bit-identical
+results, so evolved trajectories do not change.
+:class:`~repro.engine.evaluator.CompiledMultiplierFitness` remains the
+drop-in replacement for the legacy
+:class:`~repro.core.fitness.MultiplierFitness`.  Select the backend with
+the ``REPRO_ENGINE`` environment variable (``numpy`` forces the
+fallback).
 """
 
 from .arena import BufferArena
 from .cache import EvalCache
 from .compiler import CompiledPhenotype, compile_netlist, compile_phenotype
-from .evaluator import CompiledMultiplierFitness
+from .evaluator import CompiledMultiplierFitness, CompiledObjective
 from .native import native_available
 from .opcodes import OP_ARITY, OP_NAMES
 
@@ -42,6 +47,7 @@ __all__ = [
     "compile_netlist",
     "compile_phenotype",
     "CompiledMultiplierFitness",
+    "CompiledObjective",
     "native_available",
     "OP_ARITY",
     "OP_NAMES",

@@ -1,7 +1,10 @@
-"""Drop-in compiled evaluator for the WMED-constrained fitness.
+"""Engine-backed evaluation of any circuit objective.
 
-:class:`CompiledMultiplierFitness` is a :class:`~repro.core.fitness
-.MultiplierFitness` whose hot path runs through the evaluation engine:
+:class:`CompiledObjective` wraps a
+:class:`~repro.core.objective.CircuitObjective` — any component
+(multiplier, adder, MAC, custom netlist), any
+:class:`~repro.errors.metrics.ErrorMetric` — so its hot path runs
+through the evaluation engine:
 
 1. the phenotype compiler lowers the candidate's active cone to a flat
    opcode program (:mod:`repro.engine.compiler`),
@@ -9,24 +12,32 @@
    (:mod:`repro.engine.cache`) — CGP neutral drift makes hits frequent,
 3. on a miss, the program runs over the preallocated buffer arena on the
    native C backend (:mod:`repro.engine.native`) or the numpy fallback
-   (:mod:`repro.engine.kernels`), followed by the fused decode/WMED
-   reduction.
+   (:mod:`repro.engine.kernels`), followed by the fused decode/error
+   reduction and the objective's metric.
 
-Results are bit-identical to the interpreted ``MultiplierFitness`` path:
-all simulation and decode arithmetic is integer-exact, and the final
-weighted reduction uses the same BLAS dot over the same operand order.
-The evaluator is not thread-safe (it owns one arena); use one instance
+Results are bit-identical to the interpreted objective: all simulation
+and decode arithmetic is integer-exact, both paths produce the same
+``float64`` per-vector distance vector, and the metric reduction is the
+same code (:meth:`ErrorMetric.from_distances`) over the same operand
+order.  The cache key folds in the objective's identity (reference,
+weights, metric, signedness), so caches never alias across objectives.
+Evaluators are not thread-safe (each owns one arena); use one instance
 per worker.
+
+:class:`CompiledMultiplierFitness` remains the drop-in
+``MultiplierFitness`` subclass from the original engine PR.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.chromosome import CGPParams, Chromosome
-from ..core.fitness import EvalResult, MultiplierFitness
+from ..core.fitness import MultiplierFitness
+from ..core.objective import CircuitObjective, EvalResult
 from ..errors.distributions import Distribution
 from ..tech.library import TechLibrary
 from . import kernels
@@ -36,7 +47,7 @@ from .compiler import compile_genes_into, phenotype_signature
 from .native import NativeLib, native_lib
 from .opcodes import OP_ARITY, OP_NAMES, function_opcode_table
 
-__all__ = ["CompiledMultiplierFitness"]
+__all__ = ["CompiledObjective", "CompiledMultiplierFitness"]
 
 
 class _Runtime:
@@ -49,11 +60,14 @@ class _Runtime:
         num_vectors: int,
         library: TechLibrary,
         native: Optional[NativeLib],
+        salt_extra: bytes = b"",
     ) -> None:
         self.params = params
         fn2op = function_opcode_table(params.functions)  # may raise KeyError
         self.fn2op = fn2op
         self.fn2op_list = [int(x) for x in fn2op]
+        # May raise ValueError (e.g. an output bus wider than the decoder
+        # supports) — the evaluator then serves this params interpreted.
         self.arena = BufferArena(
             params.num_inputs,
             params.num_nodes,
@@ -73,11 +87,15 @@ class _Runtime:
         for name, op in zip(params.functions, self.fn2op_list):
             self.area_by_op[op] = library.cell(name).area
         # Distinguishes phenotypes of structurally different evaluators
-        # in the shared cache (columns don't matter: equal programs are
-        # equal circuits regardless of grid size).
-        self.salt = repr(
-            (params.num_inputs, params.num_outputs, params.functions)
-        ).encode()
+        # and of different objectives (reference / weights / metric) in
+        # the cache (columns don't matter: equal programs are equal
+        # circuits regardless of grid size).
+        self.salt = (
+            repr(
+                (params.num_inputs, params.num_outputs, params.functions)
+            ).encode()
+            + salt_extra
+        )
 
     def compile(self, genes: np.ndarray) -> int:
         """Lower ``genes`` into the arena slabs; return ``n_ops``."""
@@ -132,27 +150,17 @@ class _Runtime:
         return kernels.decode_values(a, a.num_outputs, signed)
 
 
-class CompiledMultiplierFitness(MultiplierFitness):
-    """Engine-backed evaluator; see module docstring.
+class _EngineEvalMixin:
+    """Engine-backed hot path over :class:`CircuitObjective` state.
 
-    Args:
-        width: Operand bit width.
-        dist: Operand-``x`` distribution defining the WMED weights.
-        library: Technology library for the area term.
-        backend: ``"auto"`` (native when buildable, else numpy),
-            ``"native"`` (require the C backend) or ``"numpy"``.
-        cache_entries: Phenotype-cache capacity; 0 disables caching.
+    Mixed into a concrete objective class (``CompiledObjective``,
+    ``CompiledMultiplierFitness``); expects the base objective's
+    attributes (``num_inputs``, ``num_vectors``, ``stimulus``,
+    ``reference``, ``weights``, ``normalizer``, ``signed``, ``metric``,
+    ``library``) to be initialized before :meth:`_init_engine` runs.
     """
 
-    def __init__(
-        self,
-        width: int,
-        dist: Distribution,
-        library: Optional[TechLibrary] = None,
-        backend: str = "auto",
-        cache_entries: int = 1 << 16,
-    ) -> None:
-        super().__init__(width, dist, library=library)
+    def _init_engine(self, backend: str, cache_entries: int) -> None:
         if backend not in ("auto", "native", "numpy"):
             raise ValueError(f"unknown backend {backend!r}")
         native = None if backend == "numpy" else native_lib()
@@ -162,8 +170,29 @@ class CompiledMultiplierFitness(MultiplierFitness):
                 "(no C compiler, or REPRO_ENGINE forces numpy)"
             )
         self._native = native
-        self._exact32 = self.exact.astype(np.int32)
+        # The engine decodes into int32 and (for <= 16 output bits) forms
+        # `exact - value` in int32 too, so the reference must leave
+        # headroom for the largest decodable output magnitude (2**16) or
+        # the native subtraction could overflow.  Wider references
+        # (possible for a custom netlist objective) are served via the
+        # interpreted path instead.
+        self._engine_decodable = bool(
+            np.abs(self.reference).max(initial=0) < (1 << 31) - (1 << 17)
+        )
+        self._exact32 = (
+            self.reference.astype(np.int32) if self._engine_decodable else None
+        )
         self._runtimes: Dict[CGPParams, Optional[_Runtime]] = {}
+        # Objective identity folded into every phenotype signature: the
+        # same compiled program scores differently under a different
+        # reference, weight vector or metric.
+        h = hashlib.blake2b(digest_size=8)
+        h.update(self.metric.name.encode())
+        h.update(b"s" if self.signed else b"u")
+        h.update(repr(self.normalizer).encode())
+        h.update(self.reference.tobytes())
+        h.update(self.weights.tobytes())
+        self._objective_salt = h.digest()
         self.cache = EvalCache(cache_entries)
 
     @property
@@ -175,35 +204,39 @@ class CompiledMultiplierFitness(MultiplierFitness):
         rt = self._runtimes.get(params)
         if rt is None and params not in self._runtimes:
             try:
+                if not self._engine_decodable:
+                    raise ValueError("reference exceeds int32 decode range")
                 rt = _Runtime(
                     params,
                     self.stimulus,
                     self.num_vectors,
                     self.library,
                     self._native,
+                    salt_extra=self._objective_salt,
                 )
-            except KeyError:
-                # A gate function without an engine opcode: remember the
-                # miss and serve this params via the interpreted path.
+            except (KeyError, ValueError):
+                # A gate function without an engine opcode, or a shape
+                # the engine cannot decode: remember the miss and serve
+                # this params via the interpreted path.
                 rt = None
             self._runtimes[params] = rt
         return rt
 
     def _check_params(self, params: CGPParams) -> None:
-        if params.num_inputs != 2 * self.width:
+        if params.num_inputs != self.num_inputs:
             raise ValueError(
                 f"chromosome has {params.num_inputs} inputs, evaluator "
-                f"expects {2 * self.width}"
+                f"expects {self.num_inputs}"
             )
 
     # ------------------------------------------------------------------
     def _measure(self, chromosome: Chromosome) -> tuple:
-        """(wmed, area) of a candidate, via cache or fresh execution."""
+        """(error, area) of a candidate, via cache or fresh execution."""
         rt = self._runtime(chromosome.params)
         if rt is None:
             return (
-                MultiplierFitness.wmed(self, chromosome),
-                MultiplierFitness.area(self, chromosome),
+                CircuitObjective.error(self, chromosome),
+                CircuitObjective.area(self, chromosome),
             )
         n_ops = rt.compile(chromosome.genes)
         caching = self.cache.max_entries > 0
@@ -214,7 +247,9 @@ class CompiledMultiplierFitness(MultiplierFitness):
                 return cached
         rt.execute(n_ops)
         err = rt.error(self.signed, self._exact32)
-        error = float(np.dot(self.weights, err)) / self.normalizer
+        error = self.metric.from_distances(
+            err, self.weights, self.normalizer, self.reference
+        )
         area = float(rt.area_by_op[rt.arena.ops[:n_ops]].sum())
         if caching:
             self.cache.put(sig, error, area)
@@ -224,14 +259,17 @@ class CompiledMultiplierFitness(MultiplierFitness):
         self._check_params(chromosome.params)
         rt = self._runtime(chromosome.params)
         if rt is None:
-            return MultiplierFitness.truth_table(self, chromosome)
+            return CircuitObjective.truth_table(self, chromosome)
         n_ops = rt.compile(chromosome.genes)
         rt.execute(n_ops)
         return rt.values(self.signed).astype(np.int64)
 
-    def wmed(self, chromosome: Chromosome) -> float:
+    def error(self, chromosome: Chromosome) -> float:
         self._check_params(chromosome.params)
         return self._measure(chromosome)[0]
+
+    def wmed(self, chromosome: Chromosome) -> float:
+        return self.error(chromosome)
 
     def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
         self._check_params(chromosome.params)
@@ -258,3 +296,68 @@ class CompiledMultiplierFitness(MultiplierFitness):
             "cache": self.cache.stats(),
             "runtimes": len(self._runtimes),
         }
+
+
+class CompiledObjective(_EngineEvalMixin, CircuitObjective):
+    """Engine-backed evaluator for *any* circuit objective.
+
+    Wraps an existing :class:`~repro.core.objective.CircuitObjective`
+    (sharing its precomputed reference / weights / stimulus arrays) and
+    routes every evaluation through the compiled pipeline; see the
+    module docstring.
+
+    Args:
+        objective: The interpreted objective to accelerate — anything
+            built by :mod:`repro.core.components` (or a legacy
+            ``MultiplierFitness`` / ``CircuitFitness``).
+        backend: ``"auto"`` (native when buildable, else numpy),
+            ``"native"`` (require the C backend) or ``"numpy"``.
+        cache_entries: Phenotype-cache capacity; 0 disables caching.
+    """
+
+    def __init__(
+        self,
+        objective: CircuitObjective,
+        backend: str = "auto",
+        cache_entries: int = 1 << 16,
+    ) -> None:
+        if not isinstance(objective, CircuitObjective):
+            raise TypeError(
+                f"expected a CircuitObjective, got {type(objective).__name__}"
+            )
+        # Adopt the objective's precomputed state wholesale (reference,
+        # weights, stimulus, area cache...); arrays are shared, not
+        # copied — the wrapper only adds engine state on top.
+        self.__dict__.update(objective.__dict__)
+        self._init_engine(backend, cache_entries)
+
+
+class CompiledMultiplierFitness(_EngineEvalMixin, MultiplierFitness):
+    """Engine-backed drop-in for the legacy ``MultiplierFitness``.
+
+    Equivalent to ``CompiledObjective(MultiplierFitness(...))`` but keeps
+    the historical class identity and constructor.
+
+    Args:
+        width: Operand bit width.
+        dist: Operand-``x`` distribution defining the WMED weights.
+        library: Technology library for the area term.
+        backend: ``"auto"`` (native when buildable, else numpy),
+            ``"native"`` (require the C backend) or ``"numpy"``.
+        cache_entries: Phenotype-cache capacity; 0 disables caching.
+        metric: Error metric; the paper's ``"wmed"`` by default.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        dist: Distribution,
+        library: Optional[TechLibrary] = None,
+        backend: str = "auto",
+        cache_entries: int = 1 << 16,
+        metric: object = "wmed",
+    ) -> None:
+        MultiplierFitness.__init__(
+            self, width, dist, library=library, metric=metric
+        )
+        self._init_engine(backend, cache_entries)

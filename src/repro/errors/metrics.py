@@ -23,7 +23,7 @@ the paper's threshold semantics.  Both conventions are exposed:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from .truth_tables import max_product_magnitude, vector_weights
 
 __all__ = [
     "error_distances",
+    "relative_error_distances",
     "mean_error_distance",
     "normalized_med",
     "wmed",
@@ -40,8 +41,13 @@ __all__ = [
     "error_rate",
     "worst_case_error",
     "error_bias",
+    "ErrorMetric",
+    "METRICS",
+    "metric_names",
+    "get_metric",
     "ErrorReport",
     "evaluate_errors",
+    "evaluate_errors_against",
 ]
 
 
@@ -61,6 +67,21 @@ def error_distances(exact: np.ndarray, approx: np.ndarray) -> np.ndarray:
     """Absolute error ``|exact - approx|`` per input vector."""
     exact, approx = _check(exact, approx)
     return np.abs(exact - approx)
+
+
+def relative_error_distances(
+    distances: np.ndarray,
+    reference: np.ndarray,
+    epsilon: float = 1.0,
+) -> np.ndarray:
+    """Per-vector relative error ``|err| / max(|reference|, epsilon)``.
+
+    Distance-domain primitive shared by :func:`mean_relative_error` and
+    the ``mred`` :class:`ErrorMetric` (objective hot path), so both
+    compute the identical quantity.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    return distances / np.maximum(np.abs(reference), epsilon)
 
 
 def mean_error_distance(
@@ -142,7 +163,7 @@ def mean_relative_error(
 ) -> float:
     """Mean relative error ``|err| / max(|exact|, epsilon)``."""
     exact, approx = _check(exact, approx)
-    rel = np.abs(exact - approx) / np.maximum(np.abs(exact), epsilon)
+    rel = relative_error_distances(np.abs(exact - approx), exact, epsilon)
     if weights is None:
         return float(rel.mean())
     weights = np.asarray(weights, dtype=np.float64).ravel()
@@ -182,6 +203,104 @@ def error_bias(
     return float(np.dot(weights, signed_err) / weights.sum())
 
 
+# ----------------------------------------------------------------------
+# Pluggable metric objects (the objective layer's error term)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorMetric:
+    """A named reduction from per-vector error distances to one scalar.
+
+    This is the pluggable error term of
+    :class:`repro.core.objective.CircuitObjective`: both the interpreted
+    path and the compiled engine produce the same per-vector ``float64``
+    distance vector ``|reference - candidate|`` and hand it to
+    :meth:`from_distances`, so a metric implemented here is automatically
+    bit-identical across evaluation paths.
+
+    Conventions: ``weights`` is already normalized to sum to 1 (the
+    objective normalizes once at construction), and ``normalizer`` is the
+    objective's error scale (max ``|reference|`` by default) so
+    magnitude-based metrics land in [0, ~1] and Eq. (1) thresholds keep
+    the paper's percent semantics.  ``mred`` and ``error-rate`` are
+    intrinsically scale-free and ignore ``normalizer``.
+    """
+
+    name: str
+    #: (distances, weights, normalizer, reference) -> float
+    _fn: Callable[[np.ndarray, np.ndarray, float, np.ndarray], float]
+
+    def from_distances(
+        self,
+        distances: np.ndarray,
+        weights: np.ndarray,
+        normalizer: float,
+        reference: np.ndarray,
+    ) -> float:
+        """Reduce a per-vector ``|reference - candidate|`` vector."""
+        return self._fn(distances, weights, normalizer, reference)
+
+
+def _metric_wmed(err, weights, normalizer, reference) -> float:
+    # Identical operand order to the historical MultiplierFitness.wmed
+    # (BLAS dot then scalar divide) — trajectories must stay bit-stable.
+    return float(np.dot(weights, err)) / normalizer
+
+
+def _metric_med(err, weights, normalizer, reference) -> float:
+    return float(err.mean()) / normalizer
+
+
+def _metric_mred(err, weights, normalizer, reference) -> float:
+    return float(np.dot(weights, relative_error_distances(err, reference)))
+
+
+def _metric_error_rate(err, weights, normalizer, reference) -> float:
+    return float(np.dot(weights, (err != 0).astype(np.float64)))
+
+
+def _metric_worst_case(err, weights, normalizer, reference) -> float:
+    return float(err.max()) / normalizer
+
+
+#: Registry of the standard metrics, by canonical name.
+METRICS = {
+    "wmed": ErrorMetric("wmed", _metric_wmed),
+    "med": ErrorMetric("med", _metric_med),
+    "mred": ErrorMetric("mred", _metric_mred),
+    "error-rate": ErrorMetric("error-rate", _metric_error_rate),
+    "worst-case": ErrorMetric("worst-case", _metric_worst_case),
+}
+
+_METRIC_ALIASES = {
+    "mre": "mred",
+    "er": "error-rate",
+    "errorrate": "error-rate",
+    "error_rate": "error-rate",
+    "wce": "worst-case",
+    "worstcase": "worst-case",
+    "worst_case": "worst-case",
+}
+
+
+def metric_names() -> tuple:
+    """Canonical metric names, stable order (CLI choices, sweep grids)."""
+    return tuple(METRICS)
+
+
+def get_metric(spec) -> ErrorMetric:
+    """Resolve a metric name (or pass an :class:`ErrorMetric` through)."""
+    if isinstance(spec, ErrorMetric):
+        return spec
+    key = str(spec).strip().lower()
+    key = _METRIC_ALIASES.get(key, key)
+    metric = METRICS.get(key)
+    if metric is None:
+        raise ValueError(
+            f"unknown error metric {spec!r}; known: {', '.join(METRICS)}"
+        )
+    return metric
+
+
 @dataclass(frozen=True)
 class ErrorReport:
     """Bundle of standard error figures for one candidate circuit."""
@@ -202,20 +321,43 @@ class ErrorReport:
         )
 
 
+def evaluate_errors_against(
+    reference: np.ndarray,
+    approx: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    normalizer: Optional[float] = None,
+) -> ErrorReport:
+    """Full :class:`ErrorReport` against an arbitrary reference table.
+
+    Component-agnostic sibling of :func:`evaluate_errors`: ``weights``
+    is any per-vector importance vector (``None`` = uniform) and
+    ``normalizer`` scales the weighted MED into the report's ``wmed``
+    slot (``max |reference|`` when omitted).
+    """
+    reference = np.asarray(reference, dtype=np.int64).ravel()
+    if normalizer is None:
+        normalizer = float(np.abs(reference).max()) or 1.0
+    w = mean_error_distance(reference, approx, weights) / normalizer
+    return ErrorReport(
+        med=mean_error_distance(reference, approx),
+        wmed=w,
+        wmed_percent=100.0 * w,
+        mre=mean_relative_error(reference, approx, weights),
+        error_rate=error_rate(reference, approx, weights),
+        worst_case=worst_case_error(reference, approx),
+        bias=error_bias(reference, approx, weights),
+    )
+
+
 def evaluate_errors(
     exact: np.ndarray,
     approx: np.ndarray,
     dist: Distribution,
 ) -> ErrorReport:
-    """Compute the full :class:`ErrorReport` for a candidate truth table."""
-    weights = vector_weights(dist, dist.width)
-    w = wmed(exact, approx, dist)
-    return ErrorReport(
-        med=mean_error_distance(exact, approx),
-        wmed=w,
-        wmed_percent=100.0 * w,
-        mre=mean_relative_error(exact, approx, weights),
-        error_rate=error_rate(exact, approx, weights),
-        worst_case=worst_case_error(exact, approx),
-        bias=error_bias(exact, approx, weights),
+    """Compute the full :class:`ErrorReport` for a multiplier table."""
+    return evaluate_errors_against(
+        exact,
+        approx,
+        weights=vector_weights(dist, dist.width),
+        normalizer=float(max_product_magnitude(dist.width, dist.signed)),
     )

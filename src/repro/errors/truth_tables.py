@@ -18,6 +18,7 @@ __all__ = [
     "operand_values",
     "operand_index_grids",
     "exact_product_table",
+    "operand_weights",
     "vector_weights",
     "vector_weights_joint",
     "weight_matrix",
@@ -48,6 +49,26 @@ def exact_product_table(width: int, signed: bool) -> np.ndarray:
     vals = operand_values(width, signed)
     x_idx, y_idx = operand_index_grids(width)
     return vals[x_idx] * vals[y_idx]
+
+
+def operand_weights(dist: Distribution, num_inputs: int) -> np.ndarray:
+    """Per-vector weights ``alpha[v] = D(x(v))`` for any input count.
+
+    The distribution applies to the ``x`` operand — the low ``dist.width``
+    input bits of the standard layout — while the remaining inputs
+    (second operand, accumulator bus, ...) are weighted uniformly.  Since
+    ``x`` occupies the lowest bits of the vector index, its pattern
+    cycles fastest and the weight vector is the PMF tiled across the
+    ``2**(num_inputs - dist.width)`` settings of the other inputs.
+
+    This generalizes :func:`vector_weights` beyond two equal-width
+    operands (e.g. a MAC's ``[x, y, acc]`` input space).
+    """
+    if dist.width > num_inputs:
+        raise ValueError(
+            f"distribution width {dist.width} exceeds input count {num_inputs}"
+        )
+    return np.tile(dist.pmf, 1 << (num_inputs - dist.width))
 
 
 def vector_weights(dist: Distribution, width: int) -> np.ndarray:

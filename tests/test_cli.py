@@ -73,3 +73,63 @@ def test_cli_evolve_stdout(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert out.startswith("{4,4,")
+
+
+def test_cli_evolve_and_characterize_adder(tmp_path, capsys):
+    out = tmp_path / "add.cgp"
+    code = main(
+        [
+            "evolve",
+            "--component", "adder",
+            "--metric", "med",
+            "--width", "4",
+            "--wmed-percent", "2",
+            "--generations", "120",
+            "--output", str(out),
+        ]
+    )
+    assert code == 0
+    # Adder interface: 8 inputs -> 5 outputs (the old multiplier-only
+    # characterize assumed no == ni and produced garbage here).
+    assert out.read_text().startswith("{8,5,")
+    code = main(["characterize", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "component: adder (width 4, unsigned)" in captured
+    assert "WMED=" in captured
+
+
+def test_cli_evolve_and_characterize_mac(tmp_path, capsys):
+    out = tmp_path / "mac.cgp"
+    code = main(
+        [
+            "evolve",
+            "--component", "mac",
+            "--width", "2",
+            "--wmed-percent", "3",
+            "--generations", "60",
+            "--output", str(out),
+        ]
+    )
+    assert code == 0
+    assert out.read_text().startswith("{9,5,")  # 2w + (2w+1) -> 2w+1
+    code = main(["characterize", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "component: mac (width 2, signed)" in captured
+
+
+def test_cli_characterize_component_mismatch(tmp_path):
+    out = tmp_path / "add.cgp"
+    main(
+        ["evolve", "--component", "adder", "--width", "3",
+         "--wmed-percent", "0", "--generations", "5", "--output", str(out)]
+    )
+    with pytest.raises(SystemExit):
+        main(["characterize", str(out), "--component", "multiplier"])
+
+
+def test_cli_rejects_oversized_mac():
+    with pytest.raises(SystemExit, match="width must be <= 5"):
+        main(["evolve", "--component", "mac", "--width", "8",
+              "--generations", "1"])

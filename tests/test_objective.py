@@ -1,0 +1,397 @@
+"""The component-agnostic objective layer (core + engine + metrics).
+
+The layer's contract mirrors the engine's: one objective API for every
+component (multiplier, adder, MAC, arbitrary netlist) and every error
+metric, with the compiled engine producing *bit-identical* results to
+the interpreted path.  Most tests here are equivalence properties over
+random candidates, plus the component registry's closed-form references
+against simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.simulator import truth_table
+from repro.core import (
+    CircuitFitness,
+    CircuitObjective,
+    EvolutionConfig,
+    MultiplierFitness,
+    adder_objective,
+    component_objective,
+    evolve,
+    get_component,
+    infer_component,
+    mac_objective,
+    multiplier_objective,
+    netlist_objective,
+    netlist_to_chromosome,
+    params_for_netlist,
+)
+from repro.core.components import COMPONENTS
+from repro.core.mutation import mutate
+from repro.engine import CompiledObjective, native_available
+from repro.errors import (
+    get_metric,
+    mean_error_distance,
+    metric_names,
+    operand_weights,
+    uniform,
+    vector_weights,
+    worst_case_error,
+)
+from repro.errors.distributions import discretized_half_normal
+
+BACKENDS = ["numpy"] + (["native"] if native_available() else [])
+
+#: (component, width, signed) cases small enough for exhaustive tests.
+CASES = [
+    ("multiplier", 4, True),
+    ("multiplier", 4, False),
+    ("adder", 4, False),
+    ("mac", 2, True),
+    ("mac", 2, False),
+]
+
+
+def _seed_chromosome(component: str, width: int, signed: bool, extra: int = 8):
+    comp = get_component(component)
+    net = comp.build_seed(width, comp.resolve_signed(signed))
+    return netlist_to_chromosome(net, params_for_netlist(net, extra_columns=extra))
+
+
+def _dist(width: int, signed: bool):
+    return discretized_half_normal(width, sigma=max(2.0, (1 << width) / 4),
+                                   signed=signed, name="Dh")
+
+
+# ----------------------------------------------------------------------
+# Component registry
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("component,width,signed", CASES)
+def test_closed_form_reference_matches_simulated_seed(component, width, signed):
+    """Property: every component's reference == its exact seed circuit."""
+    comp = get_component(component)
+    signed = comp.resolve_signed(signed)
+    ref = comp.reference(width, signed)
+    sim = truth_table(comp.build_seed(width, signed), signed=signed)
+    assert np.array_equal(ref, sim)
+
+
+def test_infer_component_round_trips_interface_shapes():
+    for name, width in [("multiplier", 4), ("multiplier", 8),
+                        ("adder", 4), ("adder", 8), ("mac", 2), ("mac", 3)]:
+        comp = get_component(name)
+        got = infer_component(comp.num_inputs(width), comp.num_outputs(width))
+        assert got is not None
+        assert got[0].name == name and got[1] == width
+    assert infer_component(7, 13) is None
+
+
+def test_component_width_guards():
+    with pytest.raises(ValueError):
+        get_component("mac").check_width(8)  # 2**33 vectors: rejected
+    with pytest.raises(ValueError):
+        get_component("multiplier").check_width(0)
+    with pytest.raises(ValueError):
+        get_component("bogus")
+
+
+def test_adder_component_is_unsigned():
+    assert not get_component("adder").supports_signed
+    with pytest.raises(ValueError):
+        adder_objective(4, uniform(4, signed=True))
+
+
+def test_operand_weights_generalizes_vector_weights():
+    d = _dist(3, False)
+    assert np.array_equal(operand_weights(d, 6), vector_weights(d, 3))
+    w = operand_weights(d, 8)  # e.g. a 3-bit MAC x operand in 8 inputs
+    assert w.shape == (256,)
+    assert w[:8] == pytest.approx(d.pmf)
+    with pytest.raises(ValueError):
+        operand_weights(d, 2)
+
+
+# ----------------------------------------------------------------------
+# Metric registry
+# ----------------------------------------------------------------------
+def test_metric_registry_names_and_aliases():
+    assert set(metric_names()) == {
+        "wmed", "med", "mred", "error-rate", "worst-case"
+    }
+    assert get_metric("mre").name == "mred"
+    assert get_metric("er").name == "error-rate"
+    assert get_metric("WCE").name == "worst-case"
+    assert get_metric(get_metric("wmed")) is get_metric("wmed")
+    with pytest.raises(ValueError):
+        get_metric("psnr")
+
+
+def test_metric_values_have_expected_semantics(rng):
+    """Each metric on a mutated adder matches its table-level definition."""
+    chrom = _seed_chromosome("adder", 4, False)
+    for _ in range(40):
+        chrom, _ = mutate(chrom, 6, rng)
+    base = adder_objective(4, uniform(4))
+    table = base.truth_table(chrom)
+    ref = base.reference
+    w = base.weights
+    err = np.abs(ref - table)
+    assert base.error(chrom) == pytest.approx(
+        mean_error_distance(ref, table, w) / base.normalizer
+    )
+    med = component_objective("adder", 4, uniform(4), metric="med")
+    assert med.error(chrom) == pytest.approx(
+        err.mean() / base.normalizer
+    )
+    er = component_objective("adder", 4, uniform(4), metric="error-rate")
+    assert er.error(chrom) == pytest.approx(float(np.dot(w, err != 0)))
+    wce = component_objective("adder", 4, uniform(4), metric="worst-case")
+    assert wce.error(chrom) == pytest.approx(
+        worst_case_error(ref, table) / base.normalizer
+    )
+    mred = component_objective("adder", 4, uniform(4), metric="mred")
+    rel = err / np.maximum(np.abs(ref), 1.0)
+    assert mred.error(chrom) == pytest.approx(float(np.dot(w, rel)))
+
+
+# ----------------------------------------------------------------------
+# Compiled engine == interpreted path, bit-for-bit, all metrics/components
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("component,width,signed", CASES)
+def test_every_metric_compiled_matches_interpreted_bitwise(
+    rng, backend, component, width, signed
+):
+    """Property: engine == interpreted for random candidates, float ==."""
+    signed = get_component(component).resolve_signed(signed)
+    chrom = _seed_chromosome(component, width, signed)
+    dist = _dist(width, signed)
+    for metric in metric_names():
+        base = component_objective(component, width, dist, metric=metric)
+        eng = CompiledObjective(
+            component_objective(component, width, dist, metric=metric),
+            backend=backend,
+        )
+        assert eng.backend == backend
+        c = chrom
+        for _ in range(12):
+            c, _ = mutate(c, 5, rng)
+            rb = base.evaluate(c, 0.02)
+            re = eng.evaluate(c, 0.02)
+            assert rb.wmed == re.wmed  # bit-exact, not approx
+            assert rb.area == re.area
+            assert rb.fitness == re.fitness
+        assert np.array_equal(eng.truth_table(c), base.truth_table(c))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "component,width,signed", [("adder", 8, False), ("mac", 2, True)]
+)
+def test_evolve_trajectory_identical_through_engine(
+    backend, component, width, signed
+):
+    """8-bit adder and MAC objectives evolve bit-identically compiled."""
+    dist = _dist(width, signed)
+    comp = get_component(component)
+    net = comp.build_seed(width, comp.resolve_signed(signed))
+    seed = netlist_to_chromosome(net, params_for_netlist(net, extra_columns=6))
+    cfg = EvolutionConfig(generations=60, history_every=1)
+    runs = {}
+    for name, ev in (
+        ("base", component_objective(component, width, dist)),
+        ("engine", CompiledObjective(
+            component_objective(component, width, dist), backend=backend
+        )),
+    ):
+        runs[name] = evolve(
+            seed, ev, threshold=0.01, config=cfg,
+            rng=np.random.default_rng(99),
+        )
+    assert runs["base"].history == runs["engine"].history
+    assert runs["base"].best_eval == runs["engine"].best_eval
+    assert np.array_equal(runs["base"].best.genes, runs["engine"].best.genes)
+
+
+def test_compiled_objective_rejects_non_objective():
+    with pytest.raises(TypeError):
+        CompiledObjective("not an objective")
+
+
+def test_compiled_objective_rejects_mismatched_inputs():
+    chrom = _seed_chromosome("adder", 4, False)
+    eng = CompiledObjective(adder_objective(8, uniform(8)))
+    with pytest.raises(ValueError):
+        eng.evaluate(chrom, 0.1)
+
+
+def test_cache_key_distinguishes_objectives(rng):
+    """Same phenotype, different objective -> different cache signature."""
+    chrom = _seed_chromosome("adder", 4, False)
+    evaluators = [
+        CompiledObjective(adder_objective(4, uniform(4), metric=m))
+        for m in ("wmed", "med")
+    ] + [CompiledObjective(adder_objective(4, _dist(4, False)))]
+    sigs = set()
+    for eng in evaluators:
+        rt = eng._runtime(chrom.params)
+        if rt is None:  # pragma: no cover - engine unavailable
+            pytest.skip("engine runtime unavailable")
+        n_ops = rt.compile(chrom.genes)
+        sigs.add(rt.signature(n_ops))
+    assert len(sigs) == len(evaluators)
+
+
+def test_wide_reference_falls_back_to_interpreted(rng):
+    """References beyond int32 decode range use the interpreted path."""
+    chrom = _seed_chromosome("adder", 4, False)
+    ref = adder_objective(4, uniform(4)).reference + (1 << 40)
+    base = CircuitObjective(8, ref, signed=False)
+    eng = CompiledObjective(CircuitObjective(8, ref, signed=False))
+    assert eng._runtime(chrom.params) is None
+    for _ in range(5):
+        chrom, _ = mutate(chrom, 4, rng)
+        assert eng.evaluate(chrom, 0.5) == base.evaluate(chrom, 0.5)
+
+
+# ----------------------------------------------------------------------
+# Objective construction and compatibility aliases
+# ----------------------------------------------------------------------
+def test_multiplier_objective_is_legacy_fitness():
+    obj = multiplier_objective(4, uniform(4, signed=True))
+    assert isinstance(obj, MultiplierFitness)
+    assert isinstance(obj, CircuitObjective)
+    assert obj.component == "multiplier"
+    assert np.array_equal(obj.exact, obj.reference)
+
+
+def test_make_evaluator_engine_path_keeps_legacy_identity():
+    """make_evaluator's engine path still returns a MultiplierFitness."""
+    from repro.analysis import make_evaluator
+
+    ev = make_evaluator(4, uniform(4, signed=True))
+    assert isinstance(ev, MultiplierFitness)
+    assert np.array_equal(ev.exact, ev.reference)  # legacy accessor
+    assert hasattr(ev, "evaluate_batch")
+
+
+def test_netlist_objective_rejects_signedness_mismatch():
+    net = get_component("adder").build_seed(4, False)
+    with pytest.raises(ValueError, match="signedness"):
+        netlist_objective(net, dist=uniform(4, signed=True), signed=False)
+
+
+def test_circuit_fitness_is_objective_without_type_ignore():
+    fit = CircuitFitness(8, np.zeros(256))
+    assert isinstance(fit, CircuitObjective)
+    # The shared hot path is inherited, not delegated via casts.
+    assert CircuitFitness.truth_table is CircuitObjective.truth_table
+    assert CircuitFitness.area is CircuitObjective.area
+
+
+def test_netlist_objective_matches_component_objective(rng):
+    comp = get_component("adder")
+    net = comp.build_seed(4, False)
+    dist = _dist(4, False)
+    a = adder_objective(4, dist)
+    b = netlist_objective(net, dist=dist, normalizer=a.normalizer)
+    chrom = _seed_chromosome("adder", 4, False)
+    for _ in range(8):
+        chrom, _ = mutate(chrom, 4, rng)
+        assert a.evaluate(chrom, 0.05) == b.evaluate(chrom, 0.05)
+
+
+def test_eval_result_error_alias():
+    obj = adder_objective(3, uniform(3))
+    chrom = _seed_chromosome("adder", 3, False)
+    res = obj.evaluate(chrom, 0.0)
+    assert res.error == res.wmed == 0.0
+    assert res.feasible()
+
+
+def test_mac_objective_weights_follow_x_operand():
+    dist = _dist(2, False)
+    obj = mac_objective(2, dist)
+    comp = COMPONENTS["mac"]
+    ni = comp.num_inputs(2)
+    assert obj.num_inputs == ni
+    w = obj.weights * (1 << (ni - 2))  # undo tiling normalization
+    assert w[:4] == pytest.approx(dist.pmf)
+
+
+# ----------------------------------------------------------------------
+# Sweep-layer signedness guards (fail fast, never clamp silently)
+# ----------------------------------------------------------------------
+def test_sweeps_reject_signed_dist_for_unsigned_component():
+    from repro.analysis import characterize_design, grid_front, parallel_front
+
+    signed_dist = uniform(4, signed=True)
+    net = get_component("adder").build_seed(4, False)
+    with pytest.raises(ValueError, match="unsigned"):
+        characterize_design(net, 4, [signed_dist], component="adder")
+    # Before any cell runs, not mid-sweep in a worker:
+    with pytest.raises(ValueError, match="unsigned"):
+        grid_front(4, signed_dist, [1.0], [signed_dist],
+                   components=("multiplier", "adder"), max_workers=1)
+    with pytest.raises(ValueError, match="unsigned"):
+        parallel_front(None, 4, signed_dist, [1.0], [signed_dist],
+                       component="adder", max_workers=1)
+
+
+def test_grid_front_empty_thresholds():
+    from repro.analysis import grid_front
+
+    assert grid_front(3, uniform(3), [], [uniform(3)], max_workers=1) == {
+        ("multiplier", "wmed"): []
+    }
+
+
+def test_sweeps_fail_fast_on_oversized_width():
+    """Width guards fire before any grid cell runs, not in a worker."""
+    from repro.analysis import grid_front, parallel_front
+
+    du = uniform(6)
+    with pytest.raises(ValueError, match="width must be <= 5"):
+        grid_front(6, du, [1.0], [du],
+                   components=("multiplier", "mac"), max_workers=1)
+    with pytest.raises(ValueError, match="width must be <= 5"):
+        parallel_front(None, 6, du, [1.0], [du],
+                       component="mac", max_workers=1)
+
+
+def test_characterize_design_rejects_width_mismatch():
+    from repro.analysis import characterize_design
+
+    net = get_component("adder").build_seed(4, False)
+    with pytest.raises(ValueError, match="width"):
+        characterize_design(net, 4, [uniform(2)], component="adder")
+    with pytest.raises(ValueError, match="width"):
+        characterize_design(net, 4, [uniform(4)], component="adder",
+                            activity_dist=uniform(2))
+
+
+# ----------------------------------------------------------------------
+# Portable popcount path (REPRO_POPCOUNT)
+# ----------------------------------------------------------------------
+def test_portable_popcount_bit_identical(rng, monkeypatch):
+    from repro.circuits import simulator
+
+    words = rng.integers(0, 1 << 63, size=64, dtype=np.uint64)
+    for nv in (1, 63, 64, 1000, 64 * 64):
+        fast = simulator.popcount(words, nv)
+        monkeypatch.setattr(simulator, "_HAS_BITWISE_COUNT", False)
+        assert simulator.popcount(words, nv) == fast
+        monkeypatch.undo()
+
+
+def test_popcount_env_override(monkeypatch):
+    from repro.circuits import simulator
+
+    monkeypatch.setenv("REPRO_POPCOUNT", "portable")
+    assert simulator._use_bitwise_count() is False
+    monkeypatch.delenv("REPRO_POPCOUNT")
+    assert simulator._use_bitwise_count() == hasattr(np, "bitwise_count")
