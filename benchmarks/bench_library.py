@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Benchmark the design-library subsystem: build throughput + query latency.
+
+Measures, over a small multiplier+adder grid at width 4:
+
+* **build throughput** — grid cells evolved/characterized/admitted per
+  second through :func:`repro.library.build_library` (one process, the
+  engine's default backend);
+* **resume** — a second identical build must be a no-op (0 cells run);
+* **query latency** — median microseconds per
+  :func:`repro.library.query.best` call against the built store, the
+  operation a serving layer issues per user request;
+* **integrity** — the best design re-characterizes bit-for-bit from its
+  stored chromosome text.
+
+Results go to ``BENCH_library.json`` at the repo root (``--out``
+overrides).  Exits non-zero when any integrity check fails or when
+``--max-query-us`` is exceeded — CI smoke-runs this exactly like
+``bench_engine.py``.
+
+Usage::
+
+    python benchmarks/bench_library.py            # full, 300 generations
+    python benchmarks/bench_library.py --smoke    # CI: short budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.core.serialization import chromosome_from_string  # noqa: E402
+from repro.engine import native_available  # noqa: E402
+from repro.errors.distributions import distribution_from_spec  # noqa: E402
+from repro.library import (  # noqa: E402
+    BuildSpec,
+    DesignStore,
+    best,
+    build_library,
+    characterize_record,
+    front,
+)
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_library.json"
+)
+
+
+def bench_build(spec: BuildSpec, db_path: str) -> dict:
+    store = DesignStore(db_path)
+    t0 = time.perf_counter()
+    report = build_library(store, spec, max_workers=1, executor="thread")
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    resumed = build_library(store, spec, max_workers=1, executor="thread")
+    resume_s = time.perf_counter() - t0
+    return {
+        "cells": report.cells_run,
+        "designs_added": report.added,
+        "build_s": round(build_s, 3),
+        "cells_per_s": round(report.cells_run / build_s, 2),
+        "designs_per_s": round(report.added / build_s, 2),
+        "resume_cells_run": resumed.cells_run,
+        "resume_s": round(resume_s, 4),
+    }
+
+
+def bench_query(db_path: str, width: int, reps: int, rounds: int) -> dict:
+    store = DesignStore(db_path)
+
+    def one_query():
+        return best(
+            store, "multiplier", width, "wmed",
+            max_error_percent=5.0, minimize="area",
+        )
+
+    record = one_query()  # warmup + the smoke-gate witness
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            one_query()
+        samples.append((time.perf_counter() - t0) / reps * 1e6)
+    latency_us = statistics.median(samples)
+    curve = front(store, "multiplier", width, "wmed")
+    return {
+        "queryable": record is not None,
+        "best_error_percent": None if record is None else record.error_percent,
+        "best_area": None if record is None else record.area,
+        "front_points": len(curve),
+        "query_us": round(latency_us, 1),
+        "queries_per_s": round(1e6 / latency_us, 1),
+    }
+
+
+def check_integrity(db_path: str, spec: BuildSpec, width: int) -> bool:
+    """Stored record == fresh characterization of its chromosome text."""
+    store = DesignStore(db_path)
+    record = best(store, "multiplier", width, "wmed", minimize="area")
+    if record is None:
+        return False
+    dist = distribution_from_spec(spec.dist_spec(), width, record.signed)
+    again = characterize_record(
+        chromosome_from_string(record.chromosome),
+        record.component, record.width, dist, record.metric,
+        threshold_percent=record.threshold_percent, name=record.name,
+        seed_key=record.seed_key, generations=record.generations,
+        evaluations=record.evaluations,
+    )
+    return again == record
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--width", type=int, default=4)
+    ap.add_argument("--generations", type=int, default=300)
+    ap.add_argument("--reps", type=int, default=50)
+    ap.add_argument("--rounds", type=int, default=5)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: short search budget, reduced reps",
+    )
+    ap.add_argument(
+        "--max-query-us", type=float, default=None,
+        help="exit non-zero if median best() latency exceeds this",
+    )
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.generations = min(args.generations, 40)
+        args.reps = min(args.reps, 20)
+        args.rounds = min(args.rounds, 3)
+
+    spec = BuildSpec(
+        components=("multiplier", "adder"),
+        metrics=("wmed",),
+        widths=(args.width,),
+        thresholds_percent=(0.5, 2.0, 5.0),
+        dist="uniform",
+        signed=False,
+        generations=args.generations,
+        seed=2024,
+    )
+    backend = "native" if native_available() else "numpy"
+    print(f"engine backend: {backend}")
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = os.path.join(tmp, "bench.sqlite")
+        build = bench_build(spec, db_path)
+        print(
+            f"build w={args.width}: {build['cells']} cells in "
+            f"{build['build_s']} s ({build['designs_per_s']} designs/s)"
+            f" | resume ran {build['resume_cells_run']} cells"
+        )
+        query = bench_query(db_path, args.width, args.reps, args.rounds)
+        print(
+            f"query: {query['query_us']} us/best() "
+            f"({query['queries_per_s']} queries/s), "
+            f"front of {query['front_points']}"
+        )
+        intact = check_integrity(db_path, spec, args.width)
+        print(f"stored record re-characterizes bit-for-bit: {intact}")
+
+    record = {
+        "benchmark": "library",
+        "config": {
+            "width": args.width,
+            "generations": args.generations,
+            "smoke": args.smoke,
+        },
+        "backend": backend,
+        "build": build,
+        "query": query,
+        "recharacterization_identical": intact,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+    print(f"wrote {out}")
+
+    if not query["queryable"]:
+        print("FAIL: built store is not queryable")
+        return 1
+    if build["resume_cells_run"] != 0:
+        print("FAIL: identical re-build re-ran cells (resume is broken)")
+        return 1
+    if not intact:
+        print("FAIL: stored record diverges from re-characterization")
+        return 1
+    if args.max_query_us is not None and query["query_us"] > args.max_query_us:
+        print(
+            f"FAIL: query latency {query['query_us']} us above "
+            f"{args.max_query_us} us"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

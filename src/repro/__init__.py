@@ -19,10 +19,12 @@ Subpackages:
 * :mod:`repro.nn` — quantized NN inference with approximate multipliers,
 * :mod:`repro.analysis` — sweeps, heat maps, reporting,
 * :mod:`repro.engine` — compiled evaluation engine (phenotype compiler,
-  native/numpy kernels, phenotype cache) behind the CGP hot path.
+  native/numpy kernels, phenotype cache) behind the CGP hot path,
+* :mod:`repro.library` — persistent design library (SQLite Pareto
+  store, resumable grid builder, query/selection API, export pipeline).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -32,6 +34,7 @@ __all__ = [
     "engine",
     "errors",
     "imaging",
+    "library",
     "nn",
     "tech",
 ]

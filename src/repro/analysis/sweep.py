@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from ..tech.timing import TimingPowerSummary, characterize
 
 __all__ = [
     "DesignPoint",
+    "canonical_combos",
     "characterize_design",
     "characterize_multiplier",
     "evolve_front",
@@ -57,6 +58,25 @@ __all__ = [
     "mac_summary",
     "PAPER_WMED_LEVELS",
 ]
+
+
+def canonical_combos(
+    components: Sequence[str], metrics: Sequence[str]
+) -> List[Tuple[str, str]]:
+    """Canonicalized, de-duplicated (component, metric) grid cells.
+
+    Aliases like ``mre`` and ``mred`` must not silently run (then
+    overwrite) the same cell twice.  Shared by :func:`grid_front` and
+    the library builder's resume accounting, which must agree on the
+    cell set exactly.
+    """
+    combos: List[Tuple[str, str]] = []
+    for c in components:
+        for m in metrics:
+            combo = (get_component(c).name, get_metric(m).name)
+            if combo not in combos:
+                combos.append(combo)
+    return combos
 
 #: The WMED levels of Table I (percent).
 PAPER_WMED_LEVELS = (0.0, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
@@ -86,7 +106,7 @@ class DesignPoint:
 
     @property
     def power_mw(self) -> float:
-        return self.summary.power.total / 1000.0
+        return self.summary.power_mw
 
     @property
     def area(self) -> float:
@@ -477,15 +497,41 @@ def _run_tasks(
     tasks: List[Tuple],
     executor: str,
     max_workers: Optional[int],
+    on_result: Optional[Callable[[int, DesignPoint], None]] = None,
 ) -> List[DesignPoint]:
+    """Run sweep tasks, optionally reporting each completion as it lands.
+
+    ``on_result(index, point)`` fires in the caller's process the moment
+    task ``index`` finishes (completion order, not input order) — the
+    hook the design-library builder uses to checkpoint each grid cell
+    before the rest of the sweep is done.  Results are still returned in
+    input order.
+    """
     # Resolve (and thereby validate) the executor even when the pool is
     # never built (max_workers <= 1), so a typo doesn't surface only
     # once the sweep is scaled up.
     pool_cls = _pool_class(executor)
     if max_workers is not None and max_workers <= 1:
-        return [_front_task(t) for t in tasks]
+        points = []
+        for i, t in enumerate(tasks):
+            point = _front_task(t)
+            if on_result is not None:
+                on_result(i, point)
+            points.append(point)
+        return points
     with pool_cls(max_workers=max_workers) as pool:
-        return list(pool.map(_front_task, tasks))
+        if on_result is None:
+            return list(pool.map(_front_task, tasks))
+        futures = {
+            pool.submit(_front_task, t): i for i, t in enumerate(tasks)
+        }
+        results: List[Optional[DesignPoint]] = [None] * len(tasks)
+        for future in concurrent.futures.as_completed(futures):
+            i = futures[future]
+            point = future.result()
+            on_result(i, point)
+            results[i] = point
+        return results  # type: ignore[return-value]
 
 
 def parallel_front(
@@ -549,13 +595,15 @@ def grid_front(
     components: Sequence[str] = ("multiplier",),
     metrics: Sequence[str] = ("wmed",),
     config: Optional[EvolutionConfig] = None,
-    seed: int = 0,
+    seed: Union[int, np.random.SeedSequence] = 0,
     max_workers: Optional[int] = None,
     executor: str = "process",
     library: Optional[TechLibrary] = None,
     extra_columns: int = 0,
     engine: str = "auto",
-) -> Dict[Tuple[str, str], List[DesignPoint]]:
+    skip_cell: Optional[Callable[[str, str, float], bool]] = None,
+    on_point: Optional[Callable[[str, str, float, DesignPoint], None]] = None,
+) -> Dict[Tuple[str, str], List[Optional[DesignPoint]]]:
     """Sweep the full ``component x metric x threshold`` grid.
 
     Every cell of the grid is an independent run fanned out over one
@@ -563,18 +611,21 @@ def grid_front(
     reproducibility contract as :func:`parallel_front`: the result
     depends only on ``seed`` and the arguments.
 
+    ``skip_cell(component, metric, level)`` (when given) excludes a cell
+    from the sweep without disturbing the others' generators: per-cell
+    seed children are allocated for the *full* grid before filtering, so
+    a cell evolves identically whether its neighbours run or are skipped.
+    Skipped cells come back as ``None``.  ``on_point(component, metric,
+    level, point)`` fires in the caller's process as each cell completes
+    (completion order) — together these two hooks are the checkpoint /
+    resume surface the design-library builder
+    (:mod:`repro.library.builder`) drives.
+
     Returns:
         ``{(component, metric): [DesignPoint per threshold]}`` with
-        thresholds in input order.
+        thresholds in input order (``None`` where ``skip_cell`` hit).
     """
-    # Canonicalize and de-duplicate: aliases like "mre" and "mred" must
-    # not silently run (then overwrite) the same cell twice.
-    combos: List[Tuple[str, str]] = []
-    for c in components:
-        for m in metrics:
-            combo = (get_component(c).name, get_metric(m).name)
-            if combo not in combos:
-                combos.append(combo)
+    combos = canonical_combos(components, metrics)
     # Fail fast, before any cell runs: a signed distribution with an
     # unsigned component in the grid would otherwise only raise in a
     # worker after the other cells' work is done — and discard it all.
@@ -583,13 +634,25 @@ def grid_front(
     levels = list(thresholds_percent)
     if not levels:
         return {combo: [] for combo in combos}
-    children = np.random.SeedSequence(seed).spawn(len(combos) * len(levels))
+    seed_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    children = seed_seq.spawn(len(combos) * len(levels))
     tasks = []
+    cell_of_task: List[Tuple[int, int]] = []
     for i, (component, metric) in enumerate(combos):
+        if skip_cell is not None and all(
+            skip_cell(component, metric, level) for level in levels
+        ):
+            continue  # the seed netlist build is not free; skip it too
         seed_net = _resolve_seed_netlist(
             None, component, design_dist, width
         )
         for j, level in enumerate(levels):
+            if skip_cell is not None and skip_cell(component, metric, level):
+                continue
             tasks.append(
                 (
                     seed_net, width, design_dist, level, tuple(eval_dists),
@@ -597,8 +660,16 @@ def grid_front(
                     extra_columns, engine, component, metric,
                 )
             )
-    points = _run_tasks(tasks, executor, max_workers)
-    grid: Dict[Tuple[str, str], List[DesignPoint]] = {}
-    for combo, chunk_start in zip(combos, range(0, len(points), len(levels))):
-        grid[combo] = points[chunk_start:chunk_start + len(levels)]
+            cell_of_task.append((i, j))
+    on_result = None
+    if on_point is not None:
+        def on_result(task_index: int, point: DesignPoint) -> None:
+            i, j = cell_of_task[task_index]
+            on_point(combos[i][0], combos[i][1], levels[j], point)
+    points = _run_tasks(tasks, executor, max_workers, on_result=on_result)
+    grid: Dict[Tuple[str, str], List[Optional[DesignPoint]]] = {
+        combo: [None] * len(levels) for combo in combos
+    }
+    for (i, j), point in zip(cell_of_task, points):
+        grid[combos[i]][j] = point
     return grid

@@ -9,7 +9,15 @@ Subcommands:
 * ``characterize`` — electrical + error report for a saved chromosome;
   the component kind and operand width are detected from the chromosome
   interface (override with ``--component``),
-* ``export-verilog`` — emit structural Verilog for a saved chromosome.
+* ``export-verilog`` — emit structural Verilog for a saved chromosome,
+* ``library`` — the persistent design library
+  (:mod:`repro.library`): ``library build`` runs or resumes a grid
+  build into an SQLite store, ``library query`` selects the cheapest
+  design inside an error budget (``--max-error``, ``--minimize
+  {area,power,pdp}``, ``--front`` for the whole curve), ``library
+  show`` prints one design in full, ``library export`` writes
+  Verilog / netlist JSON / catalog tables, ``library stats``
+  summarizes the store.
 
 Distributions are named on the command line: ``uniform``, ``d1``, ``d2``,
 ``half-normal:<sigma>`` or ``normal:<mean>:<std>``; they weight the
@@ -42,14 +50,10 @@ from .core.components import COMPONENTS, ComponentSpec, component_objective
 from .core.serialization import chromosome_from_string, chromosome_to_string
 from .errors import (
     Distribution,
-    discretized_half_normal,
-    discretized_normal,
+    distribution_from_spec,
     evaluate_errors_against,
     metric_names,
     operand_weights,
-    paper_d1,
-    paper_d2,
-    uniform,
 )
 from .tech import characterize
 
@@ -58,27 +62,7 @@ __all__ = ["main", "parse_distribution"]
 
 def parse_distribution(spec: str, width: int, signed: bool) -> Distribution:
     """Parse a distribution spec string (see module docstring)."""
-    spec = spec.strip().lower()
-    if spec in ("uniform", "du"):
-        return uniform(width, signed=signed, name="Du")
-    if spec == "d1":
-        return paper_d1(width)
-    if spec == "d2":
-        return paper_d2(width)
-    if spec.startswith("half-normal:"):
-        sigma = float(spec.split(":", 1)[1])
-        return discretized_half_normal(
-            width, sigma=sigma, signed=signed, name=spec
-        )
-    if spec.startswith("normal:"):
-        parts = spec.split(":")
-        if len(parts) != 3:
-            raise ValueError("normal spec is normal:<mean>:<std>")
-        return discretized_normal(
-            width, mean=float(parts[1]), std=float(parts[2]),
-            signed=signed, name=spec,
-        )
-    raise ValueError(f"unknown distribution spec {spec!r}")
+    return distribution_from_spec(spec, width, signed)
 
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
@@ -186,6 +170,176 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(value: str) -> List[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _cmd_library_build(args: argparse.Namespace) -> int:
+    from .library import BuildSpec, DesignStore, build_library
+
+    spec = BuildSpec(
+        components=tuple(_split_csv(args.components)),
+        metrics=tuple(_split_csv(args.metrics)),
+        widths=tuple(int(w) for w in _split_csv(args.widths)),
+        thresholds_percent=tuple(
+            float(t) for t in _split_csv(args.thresholds)
+        ),
+        dist=args.dist,
+        signed=not args.unsigned,
+        generations=args.generations,
+        extra_columns=args.extra_columns,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    store = DesignStore(args.db)
+
+    def progress(cell, status):
+        width, component, metric, level = cell
+        print(
+            f"[cell] {component}/{metric} w={width} @{level:g}%: {status}",
+            file=sys.stderr,
+        )
+
+    report = build_library(
+        store, spec,
+        max_workers=args.max_workers,
+        executor=args.executor,
+        progress=progress if args.verbose else None,
+    )
+    print(report)
+    return 0
+
+
+def _library_cmd(fn):
+    """Surface expected errors as one-line messages, not tracebacks."""
+
+    def run(args: argparse.Namespace) -> int:
+        try:
+            return fn(args)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
+    return run
+
+
+def _canonical_dist_name(spec: str, width: int) -> str:
+    """Resolve a --dist filter to the name designs are stored under.
+
+    ``library build --dist uniform`` stores rows under the
+    distribution's *name* (``Du``); accept the same spec vocabulary on
+    the query side (unrecognized strings pass through as literal stored
+    names).
+    """
+    try:
+        return distribution_from_spec(spec, width, False).name
+    except ValueError:
+        return spec
+
+
+def _library_records(args: argparse.Namespace):
+    """Shared record selection for the query/export subcommands."""
+    from .library import DesignStore, best, front
+
+    store = DesignStore(args.db)
+    if args.dist is not None:
+        args.dist = _canonical_dist_name(args.dist, args.width)
+    signed = None
+    if args.signed:
+        signed = True
+    elif args.unsigned:
+        signed = False
+    if getattr(args, "front", False):
+        return store, front(
+            store, args.component, args.width, args.metric,
+            minimize=args.minimize, dist=args.dist, signed=signed,
+            max_error_percent=args.max_error,
+        )
+    record = best(
+        store, args.component, args.width, args.metric,
+        max_error_percent=args.max_error, minimize=args.minimize,
+        dist=args.dist, signed=signed,
+    )
+    return store, ([record] if record is not None else [])
+
+
+def _cmd_library_query(args: argparse.Namespace) -> int:
+    from .library import catalog_table
+
+    _, records = _library_records(args)
+    if not records:
+        print("no stored design matches the query", file=sys.stderr)
+        return 1
+    print(catalog_table(records))
+    return 0
+
+
+def _cmd_library_show(args: argparse.Namespace) -> int:
+    from .library import DesignStore
+
+    store = DesignStore(args.db)
+    matches = store.select(design_id_prefix=args.design_id)
+    if not matches:
+        print(f"no design with id prefix {args.design_id!r}", file=sys.stderr)
+        return 1
+    for r in matches:
+        print(f"design:     {r.design_id}")
+        print(f"component:  {r.component} (width {r.width}, "
+              f"{'signed' if r.signed else 'unsigned'})")
+        print(f"objective:  {r.metric} @ {r.threshold_percent:g}% "
+              f"under {r.dist}")
+        print(f"error:      {r.error_percent:.4f}%  (wmed={r.wmed:.6g} "
+              f"med={r.med:.6g} mred={r.mred:.6g} er={r.error_rate:.4f} "
+              f"wce={r.worst_case})")
+        print(f"electrical: area={r.area:.1f} um2  "
+              f"power={r.power_uw / 1000:.4f} mW  delay={r.delay_ps:.0f} ps  "
+              f"pdp={r.pdp:.1f} fJ  gates={r.gates}")
+        print(f"provenance: {r.seed_key}  generations={r.generations}  "
+              f"evaluations={r.evaluations}")
+        print(f"chromosome: {r.chromosome}")
+    return 0
+
+
+def _cmd_library_export(args: argparse.Namespace) -> int:
+    from .library import export_records
+
+    _, records = _library_records(args)
+    if not records:
+        print("no stored design matches the query", file=sys.stderr)
+        return 1
+    written = export_records(
+        records, args.out, formats=tuple(_split_csv(args.formats))
+    )
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_library_stats(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .library import DesignStore, stats
+
+    summary = stats(DesignStore(args.db))
+    print(f"designs: {summary['designs']}  "
+          f"(from {summary['cells_completed']} completed build cells)")
+    groups = summary["groups"]
+    if groups:
+        print(format_table(
+            ("component", "width", "sign", "metric", "dist", "designs",
+             "error span (%)", "area span (um2)"),
+            [
+                [
+                    g["component"], g["width"],
+                    "s" if g["signed"] else "u", g["metric"], g["dist"],
+                    g["designs"],
+                    f"{g['min_error_percent']:.4g}..{g['max_error_percent']:.4g}",
+                    f"{g['min_area']:.4g}..{g['max_area']:.4g}",
+                ]
+                for g in groups
+            ],
+        ))
+    return 0
+
+
 def _cmd_export_verilog(args: argparse.Namespace) -> int:
     chromosome = _load_chromosome(args.chromosome)
     text = to_verilog(chromosome.to_netlist(), module_name=args.module)
@@ -256,6 +410,99 @@ def _build_parser() -> argparse.ArgumentParser:
     p_vl.add_argument("--module", default="approx_circuit")
     p_vl.add_argument("--output", help="verilog file (stdout if omitted)")
     p_vl.set_defaults(func=_cmd_export_verilog)
+
+    p_lib = sub.add_parser(
+        "library",
+        help="persistent design library (build / query / show / export / stats)",
+    )
+    lib_sub = p_lib.add_subparsers(dest="library_command", required=True)
+
+    def add_db(p):
+        p.add_argument("--db", required=True, help="design store SQLite file")
+
+    p_lb = lib_sub.add_parser(
+        "build", help="run (or resume) a grid build into the store"
+    )
+    add_db(p_lb)
+    p_lb.add_argument(
+        "--components", default="multiplier",
+        help="comma list, e.g. multiplier,adder (adder needs --unsigned)",
+    )
+    p_lb.add_argument(
+        "--metrics", default="wmed",
+        help=f"comma list from {{{','.join(metric_names())}}}",
+    )
+    p_lb.add_argument("--widths", default="4", help="comma list of widths")
+    p_lb.add_argument(
+        "--thresholds", default="0.5,1,2",
+        help="comma list of error budgets in percent",
+    )
+    p_lb.add_argument("--dist", default="uniform")
+    p_lb.add_argument("--unsigned", action="store_true")
+    p_lb.add_argument("--generations", type=int, default=2000)
+    p_lb.add_argument("--extra-columns", type=int, default=20)
+    p_lb.add_argument("--seed", type=int, default=0)
+    p_lb.add_argument(
+        "--engine", choices=("auto", "native", "numpy", "off"), default="auto"
+    )
+    p_lb.add_argument("--max-workers", type=int, default=None)
+    p_lb.add_argument(
+        "--executor", choices=("process", "thread"), default="process"
+    )
+    p_lb.add_argument(
+        "--verbose", action="store_true", help="log each completed cell"
+    )
+    p_lb.set_defaults(func=_library_cmd(_cmd_library_build))
+
+    def add_query_args(p, with_front: bool):
+        add_db(p)
+        p.add_argument("--component", default="multiplier")
+        p.add_argument("--width", type=int, required=True)
+        p.add_argument("--metric", default="wmed")
+        p.add_argument("--dist", default=None, help="distribution name filter")
+        p.add_argument(
+            "--max-error", type=float, default=None,
+            help="error budget in percent",
+        )
+        p.add_argument(
+            "--minimize", choices=("area", "power", "pdp"), default="area"
+        )
+        sign = p.add_mutually_exclusive_group()
+        sign.add_argument(
+            "--signed", action="store_true",
+            help="only signed designs (default: either signedness)",
+        )
+        sign.add_argument(
+            "--unsigned", action="store_true",
+            help="only unsigned designs (default: either signedness)",
+        )
+        if with_front:
+            p.add_argument(
+                "--front", action="store_true",
+                help="return the whole Pareto front instead of one design",
+            )
+
+    p_lq = lib_sub.add_parser("query", help="select designs by error budget")
+    add_query_args(p_lq, with_front=True)
+    p_lq.set_defaults(func=_library_cmd(_cmd_library_query))
+
+    p_ls = lib_sub.add_parser("show", help="print one design in full")
+    add_db(p_ls)
+    p_ls.add_argument("design_id", help="design id (prefix accepted)")
+    p_ls.set_defaults(func=_library_cmd(_cmd_library_show))
+
+    p_le = lib_sub.add_parser("export", help="write design artifacts")
+    add_query_args(p_le, with_front=True)
+    p_le.add_argument("--out", required=True, help="output directory")
+    p_le.add_argument(
+        "--formats", default="verilog,netlist,catalog",
+        help="comma subset of verilog,netlist,catalog",
+    )
+    p_le.set_defaults(func=_library_cmd(_cmd_library_export))
+
+    p_lt = lib_sub.add_parser("stats", help="summarize the store")
+    add_db(p_lt)
+    p_lt.set_defaults(func=_library_cmd(_cmd_library_stats))
     return parser
 
 

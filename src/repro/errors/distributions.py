@@ -35,6 +35,7 @@ __all__ = [
     "discretized_half_normal",
     "empirical",
     "from_pmf",
+    "distribution_from_spec",
     "paper_d1",
     "paper_d2",
 ]
@@ -216,6 +217,37 @@ def empirical(
     if counts.sum() == 0:
         raise ValueError("no samples and no smoothing: empty distribution")
     return Distribution(width, signed, counts, name)
+
+
+def distribution_from_spec(spec: str, width: int, signed: bool) -> Distribution:
+    """Build a distribution from a compact command-line spec string.
+
+    Recognized specs: ``uniform`` (or ``du``), ``d1``, ``d2``,
+    ``half-normal:<sigma>`` and ``normal:<mean>:<std>``.  This is the
+    parser behind the CLI's ``--dist`` option and the design-library
+    builder's grid specs.
+    """
+    spec = spec.strip().lower()
+    if spec in ("uniform", "du"):
+        return uniform(width, signed=signed, name="Du")
+    if spec == "d1":
+        return paper_d1(width)
+    if spec == "d2":
+        return paper_d2(width)
+    if spec.startswith("half-normal:"):
+        sigma = float(spec.split(":", 1)[1])
+        return discretized_half_normal(
+            width, sigma=sigma, signed=signed, name=spec
+        )
+    if spec.startswith("normal:"):
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValueError("normal spec is normal:<mean>:<std>")
+        return discretized_normal(
+            width, mean=float(parts[1]), std=float(parts[2]),
+            signed=signed, name=spec,
+        )
+    raise ValueError(f"unknown distribution spec {spec!r}")
 
 
 def paper_d1(width: int = 8) -> Distribution:

@@ -1,0 +1,53 @@
+"""Design library: persistent storage for evolved approximate circuits.
+
+The search stack (objective layer + compiled engine + sweeps) produces
+characterized approximate designs; this package is where they stop being
+ephemeral.  It is the repo's equivalent of the paper group's published
+EvoApprox-style libraries — a queryable catalog of Pareto-optimal
+approximate components that downstream users select from by error
+budget:
+
+* :mod:`repro.library.store` — an SQLite-backed, content-addressed
+  :class:`DesignStore` (keyed by the engine's compiled-phenotype
+  signature) holding the chromosome text plus a full characterization
+  record, admitting only Pareto-nondominated designs per
+  ``(component, width, metric)`` group;
+* :mod:`repro.library.builder` — :func:`build_library`, a resumable
+  pipeline driving :func:`repro.analysis.sweep.grid_front` over
+  ``component x metric x threshold x width`` grids with per-cell
+  checkpointing (a killed build restarts where it left off and never
+  re-evolves a finished cell);
+* :mod:`repro.library.query` — the selection API (:func:`best`,
+  :func:`front`, :func:`stats`) a serving layer can sit on;
+* :mod:`repro.library.export` — batch export of query results to
+  structural Verilog, netlist JSON and catalog tables.
+
+CLI: ``python -m repro.cli library build|query|show|export|stats``.
+"""
+
+from .builder import BuildReport, BuildSpec, build_library, characterize_record
+from .export import (
+    catalog_table,
+    export_records,
+    record_netlist,
+    record_verilog,
+)
+from .query import best, front, stats
+from .store import DesignRecord, DesignStore, design_signature
+
+__all__ = [
+    "BuildReport",
+    "BuildSpec",
+    "DesignRecord",
+    "DesignStore",
+    "best",
+    "build_library",
+    "catalog_table",
+    "characterize_record",
+    "design_signature",
+    "export_records",
+    "front",
+    "record_netlist",
+    "record_verilog",
+    "stats",
+]

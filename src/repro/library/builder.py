@@ -1,0 +1,352 @@
+"""Resumable library builds over component x metric x threshold x width grids.
+
+:func:`build_library` drives :func:`repro.analysis.sweep.grid_front`
+once per operand width and checkpoints every grid cell into the
+:class:`~repro.library.store.DesignStore` the moment it completes (the
+sweep layer's ``on_point`` hook fires in the builder's process as each
+pool worker finishes).  Two properties follow:
+
+* **Resumability** — a killed build restarts where it left off: cells
+  already checkpointed are excluded via the sweep's ``skip_cell`` hook,
+  and because :func:`~repro.analysis.sweep.grid_front` allocates its
+  per-cell :class:`~numpy.random.SeedSequence` children for the *full*
+  grid before filtering, the remaining cells evolve exactly the circuits
+  they would have in an uninterrupted run.  A finished cell is never
+  re-evolved; re-running a completed build is a no-op.
+* **Pareto admission** — each completed cell's design is characterized
+  (:func:`characterize_record`) and offered to the store, which admits
+  only per-``(component, width, metric)``-group non-dominated rows and
+  prunes any incumbents the newcomer dominates.
+
+Cell identity (:func:`cell_id`) digests everything that determines a
+cell's result — component, metric, width, distribution spec,
+signedness, threshold, root seed, budget — so changing any search
+parameter makes a fresh grid rather than silently reusing stale cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.sweep import DesignPoint, canonical_combos, grid_front
+from ..circuits.simulator import truth_table
+from ..core.chromosome import Chromosome
+from ..core.components import component_objective, get_component
+from ..core.evolution import EvolutionConfig
+from ..core.serialization import chromosome_to_string
+from ..errors.distributions import Distribution, distribution_from_spec
+from ..errors.metrics import evaluate_errors_against, get_metric
+from ..errors.truth_tables import operand_weights
+from ..tech.library import TechLibrary, default_library
+from ..tech.timing import characterize
+from .store import DesignRecord, DesignStore, design_signature
+
+__all__ = [
+    "BuildSpec",
+    "BuildReport",
+    "build_library",
+    "cell_id",
+    "characterize_record",
+    "library_fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """One reproducible library build: the grid and the search budget.
+
+    ``dist`` is a distribution spec string (``uniform``, ``d1``, ``d2``,
+    ``half-normal:<sigma>``, ``normal:<mean>:<std>``) instantiated per
+    width.  ``signed`` selects two's-complement operands — only legal
+    when every component in the grid supports it (the adder does not).
+    The build's results are a pure function of this spec: same spec,
+    same designs, bit for bit.
+    """
+
+    components: Tuple[str, ...] = ("multiplier",)
+    metrics: Tuple[str, ...] = ("wmed",)
+    widths: Tuple[int, ...] = (4,)
+    thresholds_percent: Tuple[float, ...] = (0.5, 1.0, 2.0)
+    dist: str = "uniform"
+    signed: bool = False
+    generations: int = 2000
+    extra_columns: int = 20
+    seed: int = 0
+    engine: str = "auto"
+
+    def combos(self) -> List[Tuple[str, str]]:
+        """Canonical, de-duplicated (component, metric) pairs, grid order.
+
+        Shares :func:`~repro.analysis.sweep.canonical_combos` with
+        :func:`~repro.analysis.sweep.grid_front`, so resume accounting
+        and the cells that actually run can never disagree.
+        """
+        return canonical_combos(self.components, self.metrics)
+
+    def dist_spec(self) -> str:
+        """Normalized distribution spec (part of every cell identity)."""
+        return self.dist.strip().lower()
+
+    def cells(self) -> List[Tuple[int, str, str, float]]:
+        """Every grid cell as ``(width, component, metric, threshold)``,
+        in deterministic build order."""
+        return [
+            (width, component, metric, level)
+            for width in self.widths
+            for component, metric in self.combos()
+            for level in self.thresholds_percent
+        ]
+
+
+@dataclass
+class BuildReport:
+    """Outcome counters of one :func:`build_library` invocation."""
+
+    cells_total: int = 0
+    cells_skipped: int = 0
+    cells_run: int = 0
+    added: int = 0
+    dominated: int = 0
+    duplicate: int = 0
+    store_designs: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"cells: {self.cells_run} run, {self.cells_skipped} resumed "
+            f"(of {self.cells_total}); designs: {self.added} added, "
+            f"{self.dominated} dominated, {self.duplicate} duplicate; "
+            f"store now holds {self.store_designs}"
+        )
+
+
+def library_fingerprint(library: Optional[TechLibrary]) -> str:
+    """Digest of a technology library's search-relevant constants.
+
+    The evolved circuits themselves depend on the library (Eq. (1)
+    minimizes library-derived area), so it is part of every cell
+    identity — resuming a build under different cell constants must
+    re-run, not silently reuse stale rows.
+    """
+    lib = library or default_library()
+    payload = repr((
+        lib.name, lib.vdd, lib.clock_ghz,
+        sorted(lib.cells.items()),
+    ))
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+def cell_id(
+    component: str,
+    metric: str,
+    width: int,
+    dist_spec: str,
+    signed: bool,
+    threshold_percent: float,
+    seed: int,
+    generations: int,
+    extra_columns: int,
+    library_fp: str = "",
+) -> str:
+    """Digest identifying one grid cell's full parameterization.
+
+    ``library_fp`` is the :func:`library_fingerprint` of the technology
+    library the cell evolves under (empty falls back to the default
+    library's).  The evaluation ``engine`` is deliberately excluded:
+    engine backends are bit-identical, so a build may resume on a
+    machine without the C toolchain and still skip its finished cells.
+    """
+    payload = repr((
+        get_component(component).name,
+        get_metric(metric).name,
+        int(width),
+        dist_spec,
+        bool(signed),
+        float(threshold_percent),
+        int(seed),
+        int(generations),
+        int(extra_columns),
+        library_fp or library_fingerprint(None),
+    ))
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def characterize_record(
+    chromosome: Chromosome,
+    component: str,
+    width: int,
+    dist: Distribution,
+    metric: str,
+    library: Optional[TechLibrary] = None,
+    threshold_percent: float = float("nan"),
+    name: str = "",
+    seed_key: str = "",
+    generations: int = 0,
+    evaluations: int = 0,
+) -> DesignRecord:
+    """Full, deterministic characterization of one evolved chromosome.
+
+    This is the single code path producing a store row's numeric fields
+    — the builder uses it at admission time and verification re-runs it
+    from the stored chromosome text, so "re-characterization matches the
+    stored record bit-for-bit" is checkable by plain equality.
+
+    ``error`` reduces the same float64 distance vector with the same
+    :meth:`~repro.errors.metrics.ErrorMetric.from_distances` code (and
+    operand order) as the search objective, so it equals the evolution's
+    final ``best_eval.error`` exactly, engine or no engine.
+    """
+    comp = get_component(component)
+    objective = component_objective(
+        comp.name, width, dist, metric=metric, library=library
+    )
+    netlist = chromosome.to_netlist(name=name)
+    table = truth_table(netlist, signed=objective.signed)
+    distances = np.abs(objective.reference - table).astype(np.float64)
+    error = objective.metric.from_distances(
+        distances, objective.weights, objective.normalizer,
+        objective.reference,
+    )
+    raw_weights = operand_weights(dist, objective.num_inputs)
+    report = evaluate_errors_against(
+        objective.reference, table,
+        weights=raw_weights, normalizer=objective.normalizer,
+    )
+    # Same activity weighting as analysis.sweep.characterize_design, so
+    # the electrical figures agree with the sweep-layer DesignPoints.
+    summary = characterize(
+        netlist, library, weights=raw_weights / raw_weights.sum()
+    )
+    mred = get_metric("mred").from_distances(
+        distances, objective.weights, objective.normalizer,
+        objective.reference,
+    )
+    return DesignRecord(
+        design_id=design_signature(netlist),
+        component=comp.name,
+        width=width,
+        signed=objective.signed,
+        metric=objective.metric.name,
+        dist=dist.name,
+        threshold_percent=float(threshold_percent),
+        error=float(error),
+        area=float(summary.area),
+        power_uw=float(summary.power.total),
+        delay_ps=float(summary.delay),
+        pdp=float(summary.pdp),
+        wmed=report.wmed,
+        med=report.med,
+        mred=mred,
+        error_rate=report.error_rate,
+        worst_case=report.worst_case,
+        bias=report.bias,
+        gates=len(netlist.active_gate_indices()),
+        chromosome=chromosome_to_string(chromosome),
+        name=name,
+        seed_key=seed_key,
+        generations=generations,
+        evaluations=evaluations,
+    )
+
+
+def build_library(
+    store: DesignStore,
+    spec: BuildSpec,
+    max_workers: Optional[int] = None,
+    executor: str = "process",
+    library: Optional[TechLibrary] = None,
+    progress: Optional[Callable[[Tuple[int, str, str, float], str], None]] = None,
+) -> BuildReport:
+    """Run (or resume) one library build; see the module docstring.
+
+    Args:
+        store: Destination store; also holds the cell checkpoints.
+        spec: The grid + budget.  Identical spec against the same store
+            is a no-op (every cell resumes as complete).
+        max_workers: Pool width per grid; ``<= 1`` runs serially.
+        executor: ``"process"`` or ``"thread"`` (see
+            :func:`~repro.analysis.sweep.parallel_front`).
+        library: Technology library for area/power/delay.
+        progress: Optional ``progress((width, component, metric, level),
+            status)`` hook, fired per completed cell after its checkpoint
+            commits; an exception here aborts the build *between* cells,
+            which is exactly the kill point resumption is tested against.
+
+    Returns:
+        A :class:`BuildReport` of cells run/resumed and admission counts.
+    """
+    report = BuildReport(cells_total=len(spec.cells()))
+    done = set(store.completed_cells())
+    dist_spec = spec.dist_spec()
+    library_fp = library_fingerprint(library)
+
+    def cid(width: int, component: str, metric: str, level: float) -> str:
+        return cell_id(
+            component, metric, width, dist_spec, spec.signed, level,
+            spec.seed, spec.generations, spec.extra_columns,
+            library_fp=library_fp,
+        )
+
+    config = EvolutionConfig(generations=spec.generations)
+    for width in spec.widths:
+        dist = distribution_from_spec(dist_spec, width, spec.signed)
+
+        def skip(component: str, metric: str, level: float) -> bool:
+            return cid(width, component, metric, level) in done
+
+        def on_point(
+            component: str, metric: str, level: float, point: DesignPoint
+        ) -> None:
+            record = characterize_record(
+                point.evolution.best,
+                component,
+                width,
+                dist,
+                metric,
+                library=library,
+                threshold_percent=level,
+                name=point.name,
+                seed_key=f"seed={spec.seed} width={width}",
+                generations=spec.generations,
+                evaluations=point.evolution.evaluations,
+            )
+            search_error = point.evolution.best_eval.error
+            if record.error != search_error:
+                raise RuntimeError(
+                    f"characterization diverged from the search objective "
+                    f"({record.error!r} != {search_error!r}) for "
+                    f"{component}/{metric}/w{width}@{level}"
+                )
+            status = store.add(record)
+            store.mark_cell(
+                cid(width, component, metric, level), component, metric,
+                width, dist.name, level, status, record.design_id,
+            )
+            report.cells_run += 1
+            setattr(report, status, getattr(report, status) + 1)
+            if progress is not None:
+                progress((width, component, metric, level), status)
+
+        grid_front(
+            width,
+            dist,
+            spec.thresholds_percent,
+            eval_dists=(dist,),
+            components=spec.components,
+            metrics=spec.metrics,
+            config=config,
+            seed=np.random.SeedSequence(entropy=(spec.seed, width)),
+            max_workers=max_workers,
+            executor=executor,
+            library=library,
+            extra_columns=spec.extra_columns,
+            engine=spec.engine,
+            skip_cell=skip,
+            on_point=on_point,
+        )
+    report.cells_skipped = report.cells_total - report.cells_run
+    report.store_designs = store.count()
+    return report

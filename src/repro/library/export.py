@@ -1,0 +1,146 @@
+"""Batch export of stored designs: Verilog, netlist JSON, catalog tables.
+
+The library's delivery formats mirror how published approximate-circuit
+libraries ship: synthesizable structural Verilog per design (via
+:mod:`repro.circuits.verilog`), the repo's archival netlist JSON (via
+:mod:`repro.circuits.io`), and a catalog table (CSV for tooling,
+Markdown/text for humans, rendered through
+:func:`repro.analysis.reporting.format_table`) that downstream users
+browse to pick a design before pulling its artifact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import re
+from typing import Iterable, List, Sequence
+
+from ..analysis.reporting import format_table
+from ..circuits.io import save_netlist
+from ..circuits.netlist import Netlist
+from ..circuits.verilog import to_verilog
+from ..core.serialization import chromosome_from_string
+from .store import DesignRecord
+
+__all__ = [
+    "catalog_table",
+    "export_records",
+    "record_netlist",
+    "record_stem",
+    "record_verilog",
+]
+
+_CATALOG_HEADERS = (
+    "design_id", "component", "width", "sign", "metric", "dist",
+    "threshold_%", "error_%", "area_um2", "power_uW", "delay_ps",
+    "pdp_fJ", "gates",
+)
+
+
+def record_stem(record: DesignRecord) -> str:
+    """Filesystem/module-safe base name for one design's artifacts.
+
+    Covers the full store group key (component, width, signedness,
+    metric, dist) plus the content address: one phenotype stored under
+    several groups exports distinct artifacts instead of overwriting.
+    """
+    stem = (
+        f"{record.component}{record.width}{'s' if record.signed else 'u'}"
+        f"_{record.metric}_{record.dist}_{record.design_id[:10]}"
+    )
+    return re.sub(r"[^A-Za-z0-9_]", "_", stem)
+
+
+def record_netlist(record: DesignRecord) -> Netlist:
+    """Rebuild the design's netlist from its stored chromosome text."""
+    netlist = chromosome_from_string(record.chromosome).to_netlist(
+        name=record.name or record_stem(record)
+    )
+    return netlist
+
+
+def record_verilog(record: DesignRecord, module_name: str = "") -> str:
+    """Structural Verilog for one stored design."""
+    return to_verilog(
+        record_netlist(record), module_name=module_name or record_stem(record)
+    )
+
+
+def _catalog_rows(records: Sequence[DesignRecord]) -> List[List[object]]:
+    return [
+        [
+            r.design_id[:10], r.component, r.width,
+            "s" if r.signed else "u", r.metric, r.dist,
+            r.threshold_percent, r.error_percent, r.area, r.power_uw,
+            r.delay_ps, r.pdp, r.gates,
+        ]
+        for r in records
+    ]
+
+
+def catalog_table(records: Sequence[DesignRecord], fmt: str = "text") -> str:
+    """Render a catalog of designs as ``text``, ``markdown`` or ``csv``."""
+    rows = _catalog_rows(records)
+    if fmt == "text":
+        return format_table(_CATALOG_HEADERS, rows, title="design catalog")
+    if fmt == "markdown":
+        lines = [
+            "| " + " | ".join(_CATALOG_HEADERS) + " |",
+            "|" + "|".join("---" for _ in _CATALOG_HEADERS) + "|",
+        ]
+        for row in rows:
+            cells = [
+                f"{c:.4g}" if isinstance(c, float) else str(c) for c in row
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines) + "\n"
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(_CATALOG_HEADERS)
+        writer.writerows(rows)
+        return buffer.getvalue()
+    raise ValueError(f"unknown catalog format {fmt!r}")
+
+
+def export_records(
+    records: Iterable[DesignRecord],
+    out_dir: str,
+    formats: Sequence[str] = ("verilog", "netlist", "catalog"),
+) -> List[str]:
+    """Write every selected design's artifacts under ``out_dir``.
+
+    ``formats`` picks any subset of:
+
+    * ``verilog`` — ``<stem>.v`` per design,
+    * ``netlist`` — ``<stem>.json`` per design,
+    * ``catalog`` — one ``catalog.csv`` + ``catalog.md`` over the batch.
+
+    Returns the written paths (catalog files last), deterministic order.
+    """
+    records = list(records)
+    unknown = set(formats) - {"verilog", "netlist", "catalog"}
+    if unknown:
+        raise ValueError(f"unknown export formats: {sorted(unknown)}")
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for record in records:
+        stem = record_stem(record)
+        if "verilog" in formats:
+            path = os.path.join(out_dir, f"{stem}.v")
+            with open(path, "w") as fh:
+                fh.write(record_verilog(record))
+            written.append(path)
+        if "netlist" in formats:
+            path = os.path.join(out_dir, f"{stem}.json")
+            save_netlist(record_netlist(record), path)
+            written.append(path)
+    if "catalog" in formats:
+        for name, fmt in (("catalog.csv", "csv"), ("catalog.md", "markdown")):
+            path = os.path.join(out_dir, name)
+            with open(path, "w") as fh:
+                fh.write(catalog_table(records, fmt=fmt))
+            written.append(path)
+    return written

@@ -1,0 +1,148 @@
+"""Selection API over a design store: the surface a serving layer sits on.
+
+Downstream users of an approximate-component library ask one question:
+*"cheapest design meeting my error budget"*.  :func:`best` answers it;
+:func:`front` returns the whole stored trade-off curve for plotting or
+client-side selection; :func:`stats` summarizes what the library holds.
+All three are pure reads — safe to call concurrently with a running
+build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.components import get_component
+from ..core.pareto import pareto_indices
+from ..errors.metrics import get_metric
+from .store import DesignRecord, DesignStore
+
+__all__ = ["COST_COLUMNS", "best", "front", "stats"]
+
+#: CLI/API cost names -> record attribute minimized by the selection.
+COST_COLUMNS = {"area": "area", "power": "power_uw", "pdp": "pdp"}
+
+
+def _cost_column(minimize: str) -> str:
+    column = COST_COLUMNS.get(str(minimize).strip().lower())
+    if column is None:
+        raise ValueError(
+            f"unknown cost {minimize!r}; choose from "
+            f"{', '.join(COST_COLUMNS)}"
+        )
+    return column
+
+
+def _canonical(component: str, metric: str) -> Tuple[str, str]:
+    """Resolve component/metric aliases to the names designs are stored
+    under (the builder canonicalizes on admission; queries must match)."""
+    return get_component(component).name, get_metric(metric).name
+
+
+def best(
+    store: DesignStore,
+    component: str,
+    width: int,
+    metric: str = "wmed",
+    max_error_percent: Optional[float] = None,
+    minimize: str = "area",
+    dist: Optional[str] = None,
+    signed: Optional[bool] = None,
+) -> Optional[DesignRecord]:
+    """Cheapest stored design within an error budget.
+
+    Args:
+        store: The library.
+        component: Component kind (``multiplier``, ``adder``, ``mac``).
+        width: Operand width.
+        metric: The error metric the budget is expressed in; only
+            designs *evolved under* that metric are considered, so the
+            stored ``error`` column is directly comparable.
+        max_error_percent: Error budget in the paper's percent units
+            (``None`` = unconstrained).
+        minimize: ``"area"``, ``"power"`` or ``"pdp"``.
+        dist: Restrict to designs driven by this distribution name
+            (e.g. ``"Du"``, ``"D2"``).
+        signed: Restrict signedness; ``None`` accepts either.
+
+    Returns:
+        The minimal-cost record (ties broken by lower error, then
+        content address — fully deterministic), or ``None`` when nothing
+        fits the budget.
+    """
+    column = _cost_column(minimize)
+    component, metric = _canonical(component, metric)
+    rows = store.select(
+        component=component, width=width, metric=metric, dist=dist,
+        signed=signed,
+        max_error=(
+            None if max_error_percent is None else max_error_percent / 100.0
+        ),
+    )
+    if not rows:
+        return None
+    return min(rows, key=lambda r: (getattr(r, column), r.error, r.design_id))
+
+
+def front(
+    store: DesignStore,
+    component: str,
+    width: int,
+    metric: str = "wmed",
+    minimize: str = "area",
+    dist: Optional[str] = None,
+    signed: Optional[bool] = None,
+    max_error_percent: Optional[float] = None,
+) -> List[DesignRecord]:
+    """The stored Pareto front over ``(error, cost)``, ascending error.
+
+    The store already admits only group-wise non-dominated rows over the
+    full objective vector; projecting onto one cost axis can still leave
+    2-D-dominated points (a design may be kept for its power while losing
+    on area), so the front is recomputed for the requested ``minimize``
+    axis.  ``max_error_percent`` truncates the curve at an error budget
+    (filtering by error commutes with taking the front, so the result is
+    the front of the budget-constrained set).
+    """
+    column = _cost_column(minimize)
+    component, metric = _canonical(component, metric)
+    rows = store.select(
+        component=component, width=width, metric=metric, dist=dist,
+        signed=signed,
+        max_error=(
+            None if max_error_percent is None else max_error_percent / 100.0
+        ),
+    )
+    if not rows:
+        return []
+    keep = pareto_indices(
+        [r.error for r in rows], [getattr(r, column) for r in rows]
+    )
+    return [rows[i] for i in keep]
+
+
+def stats(store: DesignStore) -> Dict[str, object]:
+    """Library-wide summary: sizes, groups, and per-group error spans."""
+    groups = []
+    for (component, width, signed, metric, dist), count in store.groups():
+        rows = store.select(
+            component=component, width=width, metric=metric, dist=dist,
+            signed=signed,
+        )
+        groups.append({
+            "component": component,
+            "width": width,
+            "signed": signed,
+            "metric": metric,
+            "dist": dist,
+            "designs": count,
+            "min_error_percent": 100.0 * rows[0].error,
+            "max_error_percent": 100.0 * rows[-1].error,
+            "min_area": min(r.area for r in rows),
+            "max_area": max(r.area for r in rows),
+        })
+    return {
+        "designs": store.count(),
+        "groups": groups,
+        "cells_completed": len(store.completed_cells()),
+    }

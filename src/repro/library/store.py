@@ -1,0 +1,402 @@
+"""SQLite-backed, content-addressed store of evolved designs.
+
+Each row of the ``designs`` table is one approximate circuit with its
+full characterization: the CGP chromosome text (the persistence format of
+:mod:`repro.core.serialization`), the component kind / width /
+signedness, search provenance (seed entropy, budget, driving
+distribution), all five :class:`~repro.errors.metrics.ErrorMetric`
+figures, and the :mod:`repro.tech` electrical record (area, power,
+critical-path delay, PDP).
+
+**Content addressing.**  The primary identity of a design is
+:func:`design_signature` — the evaluation engine's compiled-phenotype
+digest (:meth:`repro.engine.compiler.CompiledPhenotype.signature`) over
+the circuit's active cone, salted with the input count.  Two chromosomes
+with the same phenotype (CGP neutral drift produces these constantly)
+map to the same address, so re-discovering a known circuit is a
+duplicate, not a new row.
+
+**Pareto admission.**  Within a *group* — ``(component, width, signed,
+metric, dist)``; error values are only comparable when all five agree —
+the store keeps exclusively non-dominated rows over the objective vector
+``(error, area, power, pdp)``.  :meth:`DesignStore.add` rejects a
+candidate dominated by (or duplicating) an existing row and prunes rows
+the candidate dominates, so the stored set *is* the library's Pareto
+front at every moment.
+
+**Concurrency.**  Every operation opens its own short-lived connection;
+writes run inside ``BEGIN IMMEDIATE`` transactions.  The database is
+safe for any number of concurrent readers alongside one writer (the
+builder), which is the serving-layer shape the ROADMAP aims at.
+
+The schema is versioned via ``PRAGMA user_version``; opening a store
+written by an incompatible schema fails loudly instead of misreading it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Netlist
+from ..engine.compiler import compile_netlist
+
+__all__ = ["SCHEMA_VERSION", "DesignRecord", "DesignStore", "design_signature"]
+
+#: Bump on incompatible schema changes; checked on every open.
+SCHEMA_VERSION = 1
+
+#: Columns a design must win on (any one, losing none) to be admitted.
+_OBJECTIVE_COLUMNS = ("error", "area", "power_uw", "pdp")
+
+
+def design_signature(netlist: Netlist) -> str:
+    """Content address of a design: the compiled-phenotype digest.
+
+    The netlist's active cone is lowered by the engine's phenotype
+    compiler — canonical per phenotype, so any genotype (or gate-list
+    permutation) with the same active circuit hashes identically.  The
+    input count is folded in because the compiled program of a circuit
+    that ignores its upper inputs is otherwise indistinguishable from a
+    narrower interface.
+    """
+    phenotype = compile_netlist(netlist)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(netlist.num_inputs.to_bytes(4, "little"))
+    h.update(phenotype.signature())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """One stored design: identity, provenance and characterization.
+
+    ``error`` is the design's value under its *own* objective metric
+    (``metric``), in the normalized [0, ~1] units the search thresholds
+    use; ``wmed`` / ``med`` / ``mred`` / ``error_rate`` / ``worst_case``
+    are the full cross-metric report.  Electrical figures follow
+    :class:`repro.tech.timing.TimingPowerSummary` conventions (um^2, uW,
+    ps, fJ).
+    """
+
+    design_id: str
+    component: str
+    width: int
+    signed: bool
+    metric: str
+    dist: str
+    threshold_percent: float
+    error: float
+    area: float
+    power_uw: float
+    delay_ps: float
+    pdp: float
+    wmed: float
+    med: float
+    mred: float
+    error_rate: float
+    worst_case: int
+    bias: float
+    gates: int
+    chromosome: str
+    name: str = ""
+    seed_key: str = ""
+    generations: int = 0
+    evaluations: int = 0
+
+    @property
+    def error_percent(self) -> float:
+        """Objective error in the percent units the paper quotes."""
+        return 100.0 * self.error
+
+    def group(self) -> Tuple[str, int, bool, str, str]:
+        """The Pareto-comparability group this design competes in."""
+        return (self.component, self.width, self.signed, self.metric,
+                self.dist)
+
+    def objectives(self) -> Tuple[float, ...]:
+        """The minimized vector used for dominance tests."""
+        return tuple(
+            float(getattr(self, c)) for c in _OBJECTIVE_COLUMNS
+        )
+
+
+_FIELDS = tuple(f.name for f in fields(DesignRecord))
+
+_DESIGNS_DDL = f"""
+CREATE TABLE IF NOT EXISTS designs (
+    design_id TEXT NOT NULL,
+    component TEXT NOT NULL,
+    width INTEGER NOT NULL,
+    signed INTEGER NOT NULL,
+    metric TEXT NOT NULL,
+    dist TEXT NOT NULL,
+    threshold_percent REAL NOT NULL,
+    error REAL NOT NULL,
+    area REAL NOT NULL,
+    power_uw REAL NOT NULL,
+    delay_ps REAL NOT NULL,
+    pdp REAL NOT NULL,
+    wmed REAL NOT NULL,
+    med REAL NOT NULL,
+    mred REAL NOT NULL,
+    error_rate REAL NOT NULL,
+    worst_case INTEGER NOT NULL,
+    bias REAL NOT NULL,
+    gates INTEGER NOT NULL,
+    chromosome TEXT NOT NULL,
+    name TEXT NOT NULL DEFAULT '',
+    seed_key TEXT NOT NULL DEFAULT '',
+    generations INTEGER NOT NULL DEFAULT 0,
+    evaluations INTEGER NOT NULL DEFAULT 0,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (design_id, component, width, signed, metric, dist)
+);
+"""
+
+_CELLS_DDL = """
+CREATE TABLE IF NOT EXISTS cells (
+    cell_id TEXT PRIMARY KEY,
+    component TEXT NOT NULL,
+    metric TEXT NOT NULL,
+    width INTEGER NOT NULL,
+    dist TEXT NOT NULL,
+    threshold_percent REAL NOT NULL,
+    status TEXT NOT NULL,
+    design_id TEXT,
+    completed_at REAL NOT NULL
+);
+"""
+
+_GROUP_INDEX_DDL = """
+CREATE INDEX IF NOT EXISTS idx_designs_group
+    ON designs (component, width, signed, metric, dist, error);
+"""
+
+
+class DesignStore:
+    """Persistent design library over one SQLite file (see module doc).
+
+    Args:
+        path: Database file; created (with schema) when absent.
+            ``":memory:"`` is rejected — a memory store would silently
+            lose the library on every connection, defeating the point.
+    """
+
+    def __init__(self, path: str) -> None:
+        if path == ":memory:":
+            raise ValueError(
+                "DesignStore is a persistence layer; ':memory:' would "
+                "drop the library on every operation"
+            )
+        self.path = path
+        with self._connect() as conn:
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute(_DESIGNS_DDL)
+                conn.execute(_CELLS_DDL)
+                conn.execute(_GROUP_INDEX_DDL)
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+                conn.commit()
+            elif version != SCHEMA_VERSION:
+                raise ValueError(
+                    f"design store {path!r} has schema version {version}; "
+                    f"this build reads version {SCHEMA_VERSION}"
+                )
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            yield conn
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Designs
+    # ------------------------------------------------------------------
+    def add(self, record: DesignRecord) -> str:
+        """Admit a design under the group's Pareto rule.
+
+        Returns one of:
+
+        * ``"added"`` — non-dominated; inserted (dominated incumbents of
+          the same group are pruned in the same transaction),
+        * ``"duplicate"`` — the same phenotype (or an exactly equal
+          objective vector) is already stored for this group,
+        * ``"dominated"`` — an incumbent is at least as good on every
+          objective and better on one; nothing changes.
+        """
+        group = record.group()
+        candidate = record.objectives()
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute(
+                "SELECT design_id, "
+                + ", ".join(_OBJECTIVE_COLUMNS)
+                + " FROM designs WHERE component=? AND width=? AND signed=?"
+                " AND metric=? AND dist=?",
+                (group[0], group[1], int(group[2]), group[3], group[4]),
+            ).fetchall()
+            pruned: List[str] = []
+            for design_id, *vector in rows:
+                vector = tuple(float(v) for v in vector)
+                if design_id == record.design_id or vector == candidate:
+                    conn.rollback()
+                    return "duplicate"
+                if _dominates(vector, candidate):
+                    conn.rollback()
+                    return "dominated"
+                if _dominates(candidate, vector):
+                    pruned.append(design_id)
+            for design_id in pruned:
+                conn.execute(
+                    "DELETE FROM designs WHERE design_id=? AND component=?"
+                    " AND width=? AND signed=? AND metric=? AND dist=?",
+                    (design_id, group[0], group[1], int(group[2]),
+                     group[3], group[4]),
+                )
+            values = [getattr(record, f) for f in _FIELDS]
+            values[_FIELDS.index("signed")] = int(record.signed)
+            conn.execute(
+                f"INSERT INTO designs ({', '.join(_FIELDS)}, created_at)"
+                f" VALUES ({', '.join('?' * len(_FIELDS))}, ?)",
+                (*values, time.time()),
+            )
+            conn.commit()
+        return "added"
+
+    def get(self, design_id: str) -> List[DesignRecord]:
+        """All rows stored under one content address.
+
+        Usually one; a phenotype that is Pareto-optimal under several
+        metrics (the exact seed at threshold 0, typically) appears once
+        per group.
+        """
+        return self.select(design_id=design_id)
+
+    def select(
+        self,
+        component: Optional[str] = None,
+        width: Optional[int] = None,
+        metric: Optional[str] = None,
+        dist: Optional[str] = None,
+        signed: Optional[bool] = None,
+        design_id: Optional[str] = None,
+        design_id_prefix: Optional[str] = None,
+        max_error: Optional[float] = None,
+    ) -> List[DesignRecord]:
+        """Fetch records matching every given filter, cheapest-error first.
+
+        ``max_error`` filters on the normalized objective ``error``
+        column (the same units thresholds use); ``design_id_prefix``
+        matches a leading substring of the content address (a SQL
+        prefix scan, so ``library show`` stays cheap on large stores).
+        """
+        clauses: List[str] = []
+        args: List[object] = []
+        for column, value in (
+            ("component", component),
+            ("width", width),
+            ("metric", metric),
+            ("dist", dist),
+            ("design_id", design_id),
+        ):
+            if value is not None:
+                clauses.append(f"{column}=?")
+                args.append(value)
+        if design_id_prefix is not None:
+            escaped = re.sub(r"([\\%_])", r"\\\1", design_id_prefix)
+            clauses.append(r"design_id LIKE ? ESCAPE '\'")
+            args.append(escaped + "%")
+        if signed is not None:
+            clauses.append("signed=?")
+            args.append(int(signed))
+        if max_error is not None:
+            clauses.append("error<=?")
+            args.append(float(max_error))
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        # The trailing columns complete the primary key, making the
+        # order total: one phenotype stored under two groups would
+        # otherwise tie on (error, area, design_id) and come back in
+        # arbitrary SQLite scan order.
+        sql = (
+            f"SELECT {', '.join(_FIELDS)} FROM designs{where}"
+            " ORDER BY error, area, design_id, component, width, signed,"
+            " metric, dist"
+        )
+        with self._connect() as conn:
+            rows = conn.execute(sql, args).fetchall()
+        return [_row_to_record(row) for row in rows]
+
+    def count(self) -> int:
+        with self._connect() as conn:
+            return int(conn.execute("SELECT COUNT(*) FROM designs").fetchone()[0])
+
+    def groups(self) -> List[Tuple[Tuple[str, int, bool, str, str], int]]:
+        """Every ``(component, width, signed, metric, dist)`` group + size."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT component, width, signed, metric, dist, COUNT(*)"
+                " FROM designs GROUP BY component, width, signed, metric,"
+                " dist ORDER BY component, width, metric, dist"
+            ).fetchall()
+        return [
+            ((c, int(w), bool(s), m, d), int(n)) for c, w, s, m, d, n in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # Build-cell checkpoints
+    # ------------------------------------------------------------------
+    def mark_cell(
+        self,
+        cell_id: str,
+        component: str,
+        metric: str,
+        width: int,
+        dist: str,
+        threshold_percent: float,
+        status: str,
+        design_id: Optional[str],
+    ) -> None:
+        """Checkpoint one completed grid cell (idempotent)."""
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "INSERT OR REPLACE INTO cells (cell_id, component, metric,"
+                " width, dist, threshold_percent, status, design_id,"
+                " completed_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (cell_id, component, metric, width, dist, threshold_percent,
+                 status, design_id, time.time()),
+            )
+            conn.commit()
+
+    def completed_cells(self) -> Dict[str, str]:
+        """``{cell_id: status}`` of every checkpointed cell."""
+        with self._connect() as conn:
+            rows = conn.execute("SELECT cell_id, status FROM cells").fetchall()
+        return {cell_id: status for cell_id, status in rows}
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance over equal-length minimized vectors."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def _row_to_record(row: Sequence[object]) -> DesignRecord:
+    data = dict(zip(_FIELDS, row))
+    data["signed"] = bool(data["signed"])
+    data["width"] = int(data["width"])
+    data["worst_case"] = int(data["worst_case"])
+    data["gates"] = int(data["gates"])
+    data["generations"] = int(data["generations"])
+    data["evaluations"] = int(data["evaluations"])
+    return DesignRecord(**data)

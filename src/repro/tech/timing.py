@@ -80,6 +80,11 @@ class TimingPowerSummary:
     def pdp(self) -> float:
         return pdp(self.power.total, self.delay)
 
+    @property
+    def power_mw(self) -> float:
+        """Total power in mW (``power.total`` is uW)."""
+        return self.power.total / 1000.0
+
 
 def characterize(
     netlist: Netlist,

@@ -1,0 +1,21 @@
+module multiplier2_seed (
+    input  wire in_0, in_1, in_2, in_3,
+    output wire out_0, out_1, out_2, out_3
+);
+    wire w4 = in_0 & in_2;
+    wire w5 = in_1 & in_2;
+    wire w6 = in_0 & in_3;
+    wire w7 = in_1 & in_3;
+    wire w8 = 1'b0;
+    wire w9 = w5 ^ w6;
+    wire w10 = w5 & w6;
+    wire w11 = w8 ^ w7;
+    wire w12 = w11 ^ w10;
+    wire w13 = w8 & w7;
+    wire w14 = w11 & w10;
+    wire w15 = w13 | w14;
+    assign out_0 = w4;
+    assign out_1 = w9;
+    assign out_2 = w12;
+    assign out_3 = w15;
+endmodule

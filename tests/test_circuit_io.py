@@ -68,6 +68,44 @@ def test_from_dict_unknown_function():
         netlist_from_dict(data)
 
 
+def test_roundtrip_random_netlists_property(rng, tmp_path):
+    """File round-trip is exact for arbitrary valid netlists.
+
+    These are the persistence primitives the design library's export
+    path builds on, so the contract is structural equality (gates,
+    outputs, name), not just functional equivalence.
+    """
+    from repro.core.chromosome import CGPParams
+    from repro.core.seeding import random_chromosome
+
+    functions = (
+        "AND", "OR", "XOR", "NAND", "NOR", "XNOR", "NOT", "BUF",
+        "CONST0", "CONST1", "ANDN", "ORN",
+    )
+    path = str(tmp_path / "net.json")
+    for k in range(25):
+        p = CGPParams(
+            num_inputs=int(rng.integers(1, 6)),
+            num_outputs=int(rng.integers(1, 5)),
+            columns=int(rng.integers(1, 15)),
+            rows=1,
+            functions=functions,
+        )
+        net = random_chromosome(p, rng).to_netlist(name=f"rand{k}")
+        save_netlist(net, path)
+        back = load_netlist(path)
+        assert back.name == net.name
+        assert back.num_inputs == net.num_inputs
+        assert back.outputs == net.outputs
+        assert [(g.fn, g.inputs) for g in back.gates] == \
+            [(g.fn, g.inputs) for g in net.gates]
+        if net.num_inputs <= 8:
+            assert np.array_equal(
+                truth_table(back, signed=False),
+                truth_table(net, signed=False),
+            )
+
+
 def test_outputs_on_inputs_roundtrip():
     net = Netlist(num_inputs=3)
     net.set_outputs([2, 0])

@@ -1,0 +1,479 @@
+"""Design library subsystem: store, builder, query, export, CLI."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import build_multiplier
+from repro.circuits.io import load_netlist
+from repro.circuits.simulator import truth_table
+from repro.cli import main
+from repro.core.serialization import chromosome_from_string
+from repro.errors.distributions import distribution_from_spec
+from repro.library import (
+    BuildSpec,
+    DesignRecord,
+    DesignStore,
+    best,
+    build_library,
+    catalog_table,
+    characterize_record,
+    design_signature,
+    export_records,
+    front,
+    record_netlist,
+    record_verilog,
+    stats,
+)
+from repro.library.builder import cell_id
+from repro.library.store import SCHEMA_VERSION
+
+# The acceptance grid: 4-bit multiplier + adder, two metrics, three
+# budgets (kept fast by the short search budget).
+W = 4
+SPEC = BuildSpec(
+    components=("multiplier", "adder"),
+    metrics=("wmed", "mred"),
+    widths=(W,),
+    thresholds_percent=(0.5, 2.0, 5.0),
+    dist="uniform",
+    signed=False,
+    generations=60,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    """One completed build shared by the read-only tests."""
+    db = str(tmp_path_factory.mktemp("lib") / "lib.sqlite")
+    store = DesignStore(db)
+    report = build_library(store, SPEC, max_workers=1, executor="thread")
+    return store, report
+
+
+def _record(design_id="a" * 32, error=0.01, area=10.0, power=5.0, pdp=2.0,
+            metric="wmed", **kw) -> DesignRecord:
+    defaults = dict(
+        component="multiplier", width=3, signed=False, metric=metric,
+        dist="Du", threshold_percent=1.0, error=error, area=area,
+        power_uw=power, delay_ps=100.0, pdp=pdp, wmed=error, med=error,
+        mred=error, error_rate=0.5, worst_case=3, bias=0.0, gates=12,
+        chromosome="{stub}", name="r",
+    )
+    defaults.update(kw)
+    return DesignRecord(design_id=design_id, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_rejects_memory_db():
+    with pytest.raises(ValueError, match="memory"):
+        DesignStore(":memory:")
+
+
+def test_store_schema_version_mismatch(tmp_path):
+    db = str(tmp_path / "old.sqlite")
+    DesignStore(db)
+    import sqlite3
+
+    with sqlite3.connect(db) as conn:
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+    with pytest.raises(ValueError, match="schema version"):
+        DesignStore(db)
+
+
+def test_store_pareto_admission(tmp_path):
+    store = DesignStore(str(tmp_path / "s.sqlite"))
+    assert store.add(_record("a" * 32, error=0.01, area=10)) == "added"
+    # Dominated on every objective: rejected.
+    assert (
+        store.add(_record("b" * 32, error=0.02, area=11, power=6, pdp=3))
+        == "dominated"
+    )
+    # Dominates the incumbent: admitted, incumbent pruned.
+    assert (
+        store.add(_record("c" * 32, error=0.005, area=9, power=4, pdp=1))
+        == "added"
+    )
+    assert store.count() == 1
+    assert store.select()[0].design_id == "c" * 32
+    # Same content address: duplicate.
+    assert store.add(_record("c" * 32, error=0.005, area=9, power=4, pdp=1)) \
+        == "duplicate"
+    # Trade-off (worse error, better area): both kept.
+    assert (
+        store.add(_record("d" * 32, error=0.03, area=5, power=3, pdp=0.5))
+        == "added"
+    )
+    assert store.count() == 2
+
+
+def test_store_groups_isolate_metrics(tmp_path):
+    store = DesignStore(str(tmp_path / "s.sqlite"))
+    store.add(_record("a" * 32, metric="wmed", error=0.01, area=10))
+    # Identical vector under another metric competes in its own group.
+    assert store.add(_record("a" * 32, metric="mred", error=0.01, area=10)) \
+        == "added"
+    assert store.count() == 2
+    assert len(store.get("a" * 32)) == 2
+
+
+def test_design_signature_is_phenotype_canonical():
+    net = build_multiplier(3, signed=False)
+    # A gate outside the output cone must not change the address.
+    padded = net.copy()
+    padded.add_gate("NOR", 0, 1)
+    assert design_signature(net) == design_signature(padded)
+    assert design_signature(net) != design_signature(
+        build_multiplier(3, signed=True)
+    )
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+def test_build_populates_queryable_store(built):
+    store, report = built
+    assert report.cells_total == 12
+    assert report.cells_run == 12
+    assert report.added == store.count() > 0
+    # Every stored row is Pareto-nondominated within its group: no row
+    # dominates another on (error, area, power, pdp).
+    for (component, width, signed, metric, dist), _ in store.groups():
+        rows = store.select(component=component, width=width, metric=metric,
+                            dist=dist, signed=signed)
+        for a in rows:
+            for b in rows:
+                if a is b:
+                    continue
+                assert not all(
+                    x <= y for x, y in zip(a.objectives(), b.objectives())
+                )
+
+
+def test_second_identical_build_is_noop(built, tmp_path):
+    store, _ = built
+    report = build_library(store, SPEC, max_workers=1, executor="thread")
+    assert report.cells_run == 0
+    assert report.cells_skipped == report.cells_total == 12
+    assert report.added == report.dominated == report.duplicate == 0
+
+
+def test_killed_build_resumes_without_reevolving(tmp_path):
+    spec = BuildSpec(components=("multiplier",), metrics=("wmed",),
+                     widths=(3,), thresholds_percent=(0.5, 2.0, 5.0),
+                     generations=60, seed=7)
+    killed = DesignStore(str(tmp_path / "killed.sqlite"))
+
+    class Kill(Exception):
+        pass
+
+    cells = []
+
+    def killer(cell, status):
+        cells.append(cell)
+        if len(cells) == 2:
+            raise Kill
+
+    with pytest.raises(Kill):
+        build_library(killed, spec, max_workers=1, executor="thread",
+                      progress=killer)
+    resumed_cells = []
+    report = build_library(
+        killed, spec, max_workers=1, executor="thread",
+        progress=lambda cell, status: resumed_cells.append(cell),
+    )
+    # Only the cell that never checkpointed re-runs...
+    assert report.cells_run == len(resumed_cells) == 1
+    assert report.cells_skipped == 2
+    assert resumed_cells[0] not in cells
+    # ...and the resulting store is bit-identical to an uninterrupted
+    # build (same SeedSequence children per cell, skipped or not).
+    clean = DesignStore(str(tmp_path / "clean.sqlite"))
+    build_library(clean, spec, max_workers=1, executor="thread")
+    assert killed.select() == clean.select()
+
+
+def test_changed_seed_changes_cells(tmp_path):
+    assert cell_id("multiplier", "wmed", 3, "uniform", False, 1.0, 0, 60, 20) \
+        != cell_id("multiplier", "wmed", 3, "uniform", False, 1.0, 1, 60, 20)
+    # Aliases canonicalize to the same cell.
+    assert cell_id("multiplier", "mre", 3, "uniform", False, 1.0, 0, 60, 20) \
+        == cell_id("multiplier", "mred", 3, "uniform", False, 1.0, 0, 60, 20)
+
+
+def test_cell_id_folds_in_tech_library():
+    """A different technology library must re-run cells, not reuse them."""
+    from dataclasses import replace
+
+    from repro.library.builder import library_fingerprint
+    from repro.tech.library import default_library
+
+    lib = default_library()
+    other = replace(lib, vdd=lib.vdd * 2)
+    assert library_fingerprint(lib) == library_fingerprint(None)
+    assert library_fingerprint(lib) != library_fingerprint(other)
+    base = cell_id("multiplier", "wmed", 3, "uniform", False, 1.0, 0, 60, 20)
+    assert base == cell_id(
+        "multiplier", "wmed", 3, "uniform", False, 1.0, 0, 60, 20,
+        library_fp=library_fingerprint(lib),
+    )
+    assert base != cell_id(
+        "multiplier", "wmed", 3, "uniform", False, 1.0, 0, 60, 20,
+        library_fp=library_fingerprint(other),
+    )
+
+
+def test_recharacterization_matches_stored_record(built):
+    """The acceptance contract: stored rows reproduce bit-for-bit."""
+    store, _ = built
+    for record in store.select():
+        dist = distribution_from_spec(
+            SPEC.dist, record.width, record.signed
+        )
+        again = characterize_record(
+            chromosome_from_string(record.chromosome),
+            record.component,
+            record.width,
+            dist,
+            record.metric,
+            threshold_percent=record.threshold_percent,
+            name=record.name,
+            seed_key=record.seed_key,
+            generations=record.generations,
+            evaluations=record.evaluations,
+        )
+        assert again == record
+
+
+def test_builder_rejects_signed_grid_with_adder(tmp_path):
+    store = DesignStore(str(tmp_path / "s.sqlite"))
+    spec = BuildSpec(components=("adder",), signed=True, widths=(3,),
+                     thresholds_percent=(1.0,), generations=5)
+    with pytest.raises(ValueError, match="unsigned"):
+        build_library(store, spec, max_workers=1, executor="thread")
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+def test_best_returns_pareto_optimal_within_budget(built):
+    store, _ = built
+    record = best(store, "multiplier", W, "wmed", max_error_percent=5.0,
+                  minimize="area")
+    assert record is not None
+    assert record.error <= 0.05
+    # Pareto-optimal: no stored design has error and area both at least
+    # as good (and one strictly better).
+    for other in store.select(component="multiplier", width=W, metric="wmed"):
+        if other.design_id == record.design_id:
+            continue
+        assert not (
+            other.error <= record.error and other.area <= record.area
+            and (other.error < record.error or other.area < record.area)
+        )
+    # Minimal area among budget-satisfying rows.
+    for other in store.select(component="multiplier", width=W, metric="wmed",
+                              max_error=0.05):
+        assert record.area <= other.area
+
+
+def test_best_respects_budget_and_cost_axis(built):
+    store, _ = built
+    assert best(store, "multiplier", W, "wmed",
+                max_error_percent=-1.0) is None
+    by_pdp = best(store, "multiplier", W, "wmed", minimize="pdp")
+    assert all(
+        by_pdp.pdp <= r.pdp
+        for r in store.select(component="multiplier", width=W, metric="wmed")
+    )
+    with pytest.raises(ValueError, match="unknown cost"):
+        best(store, "multiplier", W, "wmed", minimize="delay")
+
+
+def test_front_is_sorted_and_nondominated(built):
+    store, _ = built
+    curve = front(store, "multiplier", W, "wmed")
+    assert len(curve) >= 2
+    errors = [r.error for r in curve]
+    areas = [r.area for r in curve]
+    assert errors == sorted(errors)
+    # Strictly improving cost along the curve.
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+
+
+def test_front_respects_error_budget(built):
+    store, _ = built
+    full = front(store, "multiplier", W, "wmed")
+    budget = full[0].error_percent  # only the cheapest-error point fits
+    truncated = front(
+        store, "multiplier", W, "wmed", max_error_percent=budget
+    )
+    assert truncated == [r for r in full if r.error_percent <= budget]
+    assert front(
+        store, "multiplier", W, "wmed", max_error_percent=-1.0
+    ) == []
+
+
+def test_query_canonicalizes_aliases(built):
+    store, _ = built
+    canonical = best(store, "multiplier", W, "mred")
+    assert canonical is not None
+    # Alias spellings hit the same canonical group as the builder used.
+    assert best(store, "Multiplier", W, "mre") == canonical
+    assert front(store, "multiplier", W, "mre") == \
+        front(store, "multiplier", W, "mred")
+    with pytest.raises(ValueError, match="unknown error metric"):
+        best(store, "multiplier", W, "psnr")
+
+
+def test_select_by_design_id_prefix(built):
+    store, _ = built
+    record = store.select()[0]
+    assert store.select(design_id_prefix=record.design_id[:8]) \
+        == store.get(record.design_id)
+    # LIKE wildcards in the prefix are literals, not patterns.
+    assert store.select(design_id_prefix="%") == []
+
+
+def test_stats_shape(built):
+    store, _ = built
+    summary = stats(store)
+    assert summary["designs"] == store.count()
+    assert summary["cells_completed"] == 12
+    assert {g["component"] for g in summary["groups"]} == \
+        {"multiplier", "adder"}
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def test_export_emits_valid_artifacts(built, tmp_path):
+    store, _ = built
+    records = front(store, "multiplier", W, "wmed")
+    out = str(tmp_path / "artifacts")
+    written = export_records(records, out)
+    assert len(written) == 2 * len(records) + 2
+    for record in records:
+        net = record_netlist(record)
+        # The archived netlist JSON reloads to the same function.
+        json_path = [p for p in written if p.endswith(".json")
+                     and record.design_id[:10] in p][0]
+        assert np.array_equal(
+            truth_table(load_netlist(json_path), signed=False),
+            truth_table(net, signed=False),
+        )
+        text = record_verilog(record)
+        assert text.startswith("module ")
+        assert text.rstrip().endswith("endmodule")
+    catalog = open(os.path.join(out, "catalog.csv")).read()
+    assert catalog.splitlines()[0].startswith("design_id,component,width")
+    assert len(catalog.splitlines()) == len(records) + 1
+    markdown = open(os.path.join(out, "catalog.md")).read()
+    assert markdown.count("\n") == len(records) + 2
+
+
+def test_catalog_table_formats(built):
+    store, _ = built
+    records = store.select()[:2]
+    assert "design catalog" in catalog_table(records, fmt="text")
+    assert catalog_table(records, fmt="markdown").startswith("| design_id")
+    with pytest.raises(ValueError, match="unknown catalog"):
+        catalog_table(records, fmt="html")
+
+
+def test_export_rejects_unknown_format(built, tmp_path):
+    store, _ = built
+    with pytest.raises(ValueError, match="unknown export"):
+        export_records(store.select()[:1], str(tmp_path), formats=("rtl",))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_library_workflow(tmp_path, capsys):
+    db = str(tmp_path / "lib.sqlite")
+    code = main([
+        "library", "build", "--db", db,
+        "--components", "multiplier", "--metrics", "wmed",
+        "--widths", "3", "--thresholds", "2,5", "--unsigned",
+        "--generations", "40", "--seed", "3",
+        "--max-workers", "1", "--executor", "thread",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cells: " in out
+
+    code = main([
+        "library", "query", "--db", db, "--component", "multiplier",
+        "--width", "3", "--max-error", "5", "--minimize", "area",
+    ])
+    assert code == 0
+    table = capsys.readouterr().out
+    assert "design catalog" in table
+    assert "multiplier" in table
+
+    # --dist accepts the same spec vocabulary as build (stored as "Du").
+    code = main([
+        "library", "query", "--db", db, "--component", "multiplier",
+        "--width", "3", "--dist", "uniform",
+    ])
+    assert code == 0
+    assert "Du" in capsys.readouterr().out
+
+    # Expected errors surface as one-line messages, not tracebacks.
+    with pytest.raises(SystemExit, match="unknown export formats"):
+        main([
+            "library", "export", "--db", db, "--component", "multiplier",
+            "--width", "3", "--out", str(tmp_path / "bad"),
+            "--formats", "rtl",
+        ])
+
+    # --front honors the error budget and the signedness filter.
+    code = main([
+        "library", "query", "--db", db, "--component", "multiplier",
+        "--width", "3", "--front", "--max-error", "2",
+    ])
+    assert code == 0
+    for row in capsys.readouterr().out.splitlines()[3:]:
+        assert float(row.split()[7]) <= 2.0  # error_% column
+    code = main([
+        "library", "query", "--db", db, "--component", "multiplier",
+        "--width", "3", "--signed",
+    ])
+    assert code == 1  # the store was built --unsigned
+    capsys.readouterr()
+
+    design_id = table.splitlines()[3].split()[0]
+    code = main(["library", "show", "--db", db, design_id])
+    assert code == 0
+    shown = capsys.readouterr().out
+    assert "chromosome: {" in shown
+
+    out_dir = str(tmp_path / "artifacts")
+    code = main([
+        "library", "export", "--db", db, "--component", "multiplier",
+        "--width", "3", "--front", "--out", out_dir,
+    ])
+    assert code == 0
+    paths = capsys.readouterr().out.splitlines()
+    assert any(p.endswith(".v") for p in paths)
+    assert os.path.exists(os.path.join(out_dir, "catalog.md"))
+
+    code = main(["library", "stats", "--db", db])
+    assert code == 0
+    assert "designs:" in capsys.readouterr().out
+
+
+def test_cli_library_query_no_match(tmp_path, capsys):
+    db = str(tmp_path / "lib.sqlite")
+    DesignStore(db)
+    code = main([
+        "library", "query", "--db", db, "--component", "multiplier",
+        "--width", "8",
+    ])
+    assert code == 1
+    assert "no stored design" in capsys.readouterr().err

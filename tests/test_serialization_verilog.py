@@ -1,10 +1,14 @@
 """CGP string serialization and Verilog export."""
 
+import os
+import re
+
 import numpy as np
 import pytest
 
 from repro.circuits.generators import (
     build_baugh_wooley_multiplier,
+    build_multiplier,
     build_ripple_carry_adder,
 )
 from repro.circuits.simulator import truth_table
@@ -128,6 +132,102 @@ def test_verilog_output_wired_to_input():
     net.set_outputs([1])
     text = to_verilog(net)
     assert "assign out_0 = in_1;" in text
+
+
+def test_roundtrip_random_chromosomes_property(rng):
+    """String round-trip is exact for arbitrary valid chromosomes."""
+    from repro.core import CGPParams
+    from repro.core.seeding import random_chromosome
+
+    for _ in range(25):
+        p = CGPParams(
+            num_inputs=int(rng.integers(2, 6)),
+            num_outputs=int(rng.integers(1, 5)),
+            columns=int(rng.integers(1, 12)),
+            rows=int(rng.integers(1, 3)),
+            levels_back=(
+                None if rng.integers(0, 2) else int(rng.integers(1, 4))
+            ),
+            functions=("AND", "OR", "XOR", "NAND", "NOT", "CONST0"),
+        )
+        ch = random_chromosome(p, rng)
+        back = chromosome_from_string(chromosome_to_string(ch))
+        assert back.params == ch.params
+        assert np.array_equal(back.genes, ch.genes)
+
+
+def test_verilog_golden_seed_multiplier():
+    """The export the library ships through, pinned against a golden file."""
+    golden = os.path.join(
+        os.path.dirname(__file__), "golden", "multiplier2_seed.v"
+    )
+    text = to_verilog(
+        build_multiplier(2, signed=False), module_name="multiplier2_seed"
+    )
+    assert text == open(golden).read()
+
+
+_IDENT_RE = re.compile(r"\b(?:in_\d+|w\d+)\b")
+
+
+def _check_verilog_wellformed(net, text):
+    """Every wire is an active-cone signal; every reference is declared."""
+    active = net.active_signals()
+    declared = {f"in_{k}" for k in range(net.num_inputs)}
+    emitted_wires = set()
+    assignments = 0
+    for line in text.splitlines():
+        line = line.strip().rstrip(";")
+        if line.startswith("wire "):
+            name, expr = line[5:].split(" = ", 1)
+            name = name.strip()
+            for ref in _IDENT_RE.findall(expr):
+                assert ref in declared, f"{ref} used before declaration"
+            assert name not in declared, f"{name} declared twice"
+            declared.add(name)
+            emitted_wires.add(int(name[1:]))
+        elif line.startswith("assign "):
+            _, expr = line[7:].split(" = ", 1)
+            for ref in _IDENT_RE.findall(expr):
+                assert ref in declared, f"output reads undeclared {ref}"
+            assignments += 1
+    # Emitted wires are exactly the active gate outputs (inactive gates
+    # must not leak into the artifact), and every output is assigned.
+    assert emitted_wires == {
+        net.gate_signal(k) for k in net.active_gate_indices()
+    }
+    assert emitted_wires <= active
+    assert assignments == net.num_outputs
+
+
+def test_verilog_wellformed_property(rng):
+    """Random phenotypes (mostly inactive nodes) export well-formed RTL."""
+    from repro.core import CGPParams
+    from repro.core.seeding import random_chromosome
+
+    functions = (
+        "AND", "OR", "XOR", "NAND", "NOR", "XNOR", "NOT", "BUF",
+        "CONST0", "CONST1",
+    )
+    for _ in range(25):
+        p = CGPParams(
+            num_inputs=int(rng.integers(2, 6)),
+            num_outputs=int(rng.integers(1, 5)),
+            columns=int(rng.integers(1, 15)),
+            rows=1,
+            functions=functions,
+        )
+        net = random_chromosome(p, rng).to_netlist()
+        _check_verilog_wellformed(net, to_verilog(net))
+
+
+def test_verilog_wellformed_seed_circuits():
+    for net in (
+        build_multiplier(3, signed=False),
+        build_baugh_wooley_multiplier(3),
+        build_ripple_carry_adder(4),
+    ):
+        _check_verilog_wellformed(net, to_verilog(net))
 
 
 def test_verilog_semantics_by_reference_eval():
