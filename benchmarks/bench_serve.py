@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Benchmark the HTTP serving layer: latency, cache effect, scaling.
+
+Builds a small design store, starts a real :class:`repro.serve.server.
+DesignServer` on an ephemeral localhost port, and measures over actual
+HTTP round trips:
+
+* **cached vs uncached latency** — p50/p99 microseconds per
+  ``GET /v1/best``: *uncached* forces a response-cache miss per request
+  (a unique ``max_error_percent`` each time, so every request runs the
+  full SQLite + JSON path), *cached* repeats one hot query;
+* **throughput** — sequential hot requests per second, plus concurrent
+  client scaling (1/4/8 clients hammering the hot query);
+* **correctness gates** — ``/healthz`` is ok, the served best design
+  matches :func:`repro.library.query.best` against the same store, and
+  ``/openapi.json`` equals the spec generated from the route table.
+
+Results go to ``BENCH_serve.json`` at the repo root (``--out``
+overrides).  Exits non-zero when any gate fails or the cached p50
+exceeds ``--max-cached-p50-ms`` (default 1.0 ms — the acceptance
+floor); CI smoke-runs this like the other benchmarks.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full
+    python benchmarks/bench_serve.py --smoke    # CI: short budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.library import BuildSpec, DesignStore, best, build_library  # noqa: E402
+from repro.serve import create_server, record_to_json  # noqa: E402
+from repro.serve.openapi import generate_openapi  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serve.json"
+)
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path) as resp:
+        return resp.status, resp.read(), dict(resp.headers)
+
+
+def _percentiles(samples_us):
+    ordered = sorted(samples_us)
+    return {
+        "p50_us": round(statistics.median(ordered), 1),
+        "p99_us": round(ordered[min(len(ordered) - 1,
+                                    int(0.99 * len(ordered)))], 1),
+        "mean_us": round(statistics.fmean(ordered), 1),
+    }
+
+
+def bench_latency(base: str, requests: int) -> dict:
+    hot = "/v1/best?width=4&max_error_percent=5&minimize=area"
+    _get(base, hot)  # warm the cache (and the connection machinery)
+
+    cached = []
+    for _ in range(requests):
+        t0 = time.perf_counter()
+        status, _, headers = _get(base, hot)
+        cached.append((time.perf_counter() - t0) * 1e6)
+        assert status == 200
+    hot_headers = headers
+
+    uncached = []
+    for i in range(requests):
+        # A unique budget each round: a distinct validated query = a
+        # distinct cache key = a guaranteed miss through SQLite.
+        path = f"/v1/best?width=4&max_error_percent={5 + (i + 1) * 1e-6:.7f}"
+        t0 = time.perf_counter()
+        status, _, headers = _get(base, path)
+        uncached.append((time.perf_counter() - t0) * 1e6)
+        assert status == 200 and headers.get("X-Cache") == "miss"
+
+    c, u = _percentiles(cached), _percentiles(uncached)
+    return {
+        "requests": requests,
+        "cached": c,
+        "uncached": u,
+        "cache_speedup_p50": round(u["p50_us"] / c["p50_us"], 2),
+        "last_hot_x_cache": hot_headers.get("X-Cache"),
+    }
+
+
+def bench_scaling(base: str, requests: int, clients=(1, 4, 8)) -> dict:
+    hot = "/v1/front?width=4"
+    _get(base, hot)
+    results = {}
+    for n in clients:
+        per_client = max(1, requests // n)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(per_client):
+                    status, _, _ = _get(base, hot)
+                    if status != 200:
+                        errors.append(status)
+            except Exception as exc:  # noqa: BLE001 - recorded, reraised below
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        if errors:
+            raise RuntimeError(f"client errors at {n} clients: {errors[:3]}")
+        results[str(n)] = {
+            "requests": per_client * n,
+            "requests_per_s": round(per_client * n / elapsed, 1),
+        }
+    return results
+
+
+def check_correctness(base: str, db: str) -> dict:
+    status, body, _ = _get(base, "/healthz")
+    health_ok = status == 200 and json.loads(body)["status"] == "ok"
+
+    status, body, _ = _get(base, "/v1/best?width=4&max_error_percent=5")
+    served = json.loads(body)["design"] if status == 200 else None
+    local = best(DesignStore(db), "multiplier", 4, "wmed",
+                 max_error_percent=5.0, minimize="area")
+    best_ok = served is not None and local is not None \
+        and served == json.loads(json.dumps(record_to_json(local)))
+
+    status, body, _ = _get(base, "/openapi.json")
+    openapi_ok = status == 200 and json.loads(body) == generate_openapi()
+    return {
+        "health_ok": health_ok,
+        "best_matches_query_api": best_ok,
+        "openapi_matches_routes": openapi_ok,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--width", type=int, default=4)
+    ap.add_argument("--generations", type=int, default=200)
+    ap.add_argument("--requests", type=int, default=300)
+    ap.add_argument("--workers", type=int, default=8)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: short search budget, fewer requests",
+    )
+    ap.add_argument(
+        "--max-cached-p50-ms", type=float, default=1.0,
+        help="exit non-zero if cached p50 latency exceeds this",
+    )
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.generations = min(args.generations, 40)
+        args.requests = min(args.requests, 100)
+
+    spec = BuildSpec(
+        components=("multiplier",),
+        metrics=("wmed",),
+        widths=(args.width,),
+        thresholds_percent=(0.5, 2.0, 5.0),
+        generations=args.generations,
+        seed=2024,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "bench.sqlite")
+        build_library(DesignStore(db), spec, max_workers=1, executor="thread")
+
+        server = create_server(db, port=0, workers=args.workers, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_port}"
+        try:
+            correctness = check_correctness(base, db)
+            latency = bench_latency(base, args.requests)
+            scaling = bench_scaling(base, args.requests)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    print(
+        f"latency: cached p50 {latency['cached']['p50_us']} us "
+        f"(p99 {latency['cached']['p99_us']} us) | uncached p50 "
+        f"{latency['uncached']['p50_us']} us | cache speedup "
+        f"{latency['cache_speedup_p50']}x"
+    )
+    for n, r in scaling.items():
+        print(f"scaling {n} clients: {r['requests_per_s']} req/s")
+    print(f"correctness: {correctness}")
+
+    record = {
+        "benchmark": "serve",
+        "config": {
+            "width": args.width,
+            "generations": args.generations,
+            "requests": args.requests,
+            "workers": args.workers,
+            "smoke": args.smoke,
+        },
+        "latency": latency,
+        "scaling": scaling,
+        "correctness": correctness,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+    print(f"wrote {out}")
+
+    failed = [k for k, ok in correctness.items() if not ok]
+    if failed:
+        print(f"FAIL: correctness gates failed: {failed}")
+        return 1
+    cached_p50_ms = latency["cached"]["p50_us"] / 1000.0
+    if cached_p50_ms > args.max_cached_p50_ms:
+        print(
+            f"FAIL: cached p50 {cached_p50_ms:.3f} ms above "
+            f"{args.max_cached_p50_ms} ms"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,11 @@ Subcommands:
   {area,power,pdp}``, ``--front`` for the whole curve), ``library
   show`` prints one design in full, ``library export`` writes
   Verilog / netlist JSON / catalog tables, ``library stats``
-  summarizes the store.
+  summarizes the store,
+* ``serve`` — the HTTP serving layer (:mod:`repro.serve`) over a built
+  store: ``repro serve --db designs.sqlite --port 8080`` answers
+  ``/v1/best``, ``/v1/front``, ``/v1/stats``,
+  ``/v1/designs/{id}`` and ``/openapi.json`` (see ``docs/serving.md``).
 
 Distributions are named on the command line: ``uniform``, ``d1``, ``d2``,
 ``half-normal:<sigma>`` or ``normal:<mean>:<std>``; they weight the
@@ -340,6 +344,33 @@ def _cmd_library_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .serve import serve
+
+    if not os.path.exists(args.db):
+        raise SystemExit(
+            f"no design store at {args.db!r}; build one first with "
+            "`repro library build --db ...`"
+        )
+    try:
+        return serve(
+            args.db,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            quiet=args.quiet,
+        )
+    except OSError as exc:
+        # Bind failures (port in use, privileged port, bad host) are
+        # operator mistakes, not bugs: one line, no traceback.
+        raise SystemExit(
+            f"cannot serve on {args.host}:{args.port}: {exc}"
+        ) from None
+
+
 def _cmd_export_verilog(args: argparse.Namespace) -> int:
     chromosome = _load_chromosome(args.chromosome)
     text = to_verilog(chromosome.to_netlist(), module_name=args.module)
@@ -503,6 +534,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lt = lib_sub.add_parser("stats", help="summarize the store")
     add_db(p_lt)
     p_lt.set_defaults(func=_library_cmd(_cmd_library_stats))
+
+    p_sv = sub.add_parser(
+        "serve", help="HTTP API over a built design store"
+    )
+    add_db(p_sv)
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8080)
+    p_sv.add_argument(
+        "--workers", type=int, default=8,
+        help="request-handling thread pool size",
+    )
+    p_sv.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="response-cache entries (0 disables caching)",
+    )
+    p_sv.add_argument(
+        "--quiet", action="store_true", help="suppress access logging"
+    )
+    p_sv.set_defaults(func=_library_cmd(_cmd_serve))
     return parser
 
 

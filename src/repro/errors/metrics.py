@@ -217,12 +217,23 @@ class ErrorMetric:
     :meth:`from_distances`, so a metric implemented here is automatically
     bit-identical across evaluation paths.
 
-    Conventions: ``weights`` is already normalized to sum to 1 (the
-    objective normalizes once at construction), and ``normalizer`` is the
-    objective's error scale (max ``|reference|`` by default) so
-    magnitude-based metrics land in [0, ~1] and Eq. (1) thresholds keep
-    the paper's percent semantics.  ``mred`` and ``error-rate`` are
-    intrinsically scale-free and ignore ``normalizer``.
+    Attributes
+    ----------
+    name : str
+        Canonical registry name (``wmed``, ``med``, ``mred``,
+        ``error-rate``, ``worst-case``); aliases resolve through
+        :func:`get_metric`.
+
+    Notes
+    -----
+    Conventions every metric function relies on: ``weights`` is already
+    normalized to sum to 1 (the objective normalizes once at
+    construction), and ``normalizer`` is the objective's error scale
+    (max ``|reference|`` by default), so magnitude-based metrics land
+    in [0, ~1] — multiply by 100 for the percent units the paper (and
+    every ``max_error_percent``/``threshold_percent`` knob in this
+    repo) quotes.  ``mred`` and ``error-rate`` are intrinsically
+    scale-free and ignore ``normalizer``.
     """
 
     name: str
@@ -236,7 +247,26 @@ class ErrorMetric:
         normalizer: float,
         reference: np.ndarray,
     ) -> float:
-        """Reduce a per-vector ``|reference - candidate|`` vector."""
+        """Reduce a per-vector distance vector to the metric scalar.
+
+        Parameters
+        ----------
+        distances : numpy.ndarray
+            Per-vector ``|reference - candidate|`` in absolute output
+            units, ``float64``, vector order.
+        weights : numpy.ndarray
+            Per-vector importance, normalized to unit mass.
+        normalizer : float
+            The objective's error scale (max ``|reference|``), mapping
+            absolute distances into the normalized [0, ~1] range.
+        reference : numpy.ndarray
+            The exact truth table (needed by relative-error metrics).
+
+        Returns
+        -------
+        float
+            The scalar the search thresholds compare against.
+        """
         return self._fn(distances, weights, normalizer, reference)
 
 
@@ -262,7 +292,11 @@ def _metric_worst_case(err, weights, normalizer, reference) -> float:
     return float(err.max()) / normalizer
 
 
-#: Registry of the standard metrics, by canonical name.
+#: Registry of the standard metrics, by canonical name.  This is the
+#: closed vocabulary every ``--metric`` flag, sweep grid, library
+#: group key and serving-layer query validates against; extend it here
+#: and the whole stack (CLI choices, ``metric_names()``, stored
+#: designs, ``/v1/best?metric=...``) picks the new metric up.
 METRICS = {
     "wmed": ErrorMetric("wmed", _metric_wmed),
     "med": ErrorMetric("med", _metric_med),
@@ -288,7 +322,26 @@ def metric_names() -> tuple:
 
 
 def get_metric(spec) -> ErrorMetric:
-    """Resolve a metric name (or pass an :class:`ErrorMetric` through)."""
+    """Resolve a metric name (or pass an :class:`ErrorMetric` through).
+
+    Parameters
+    ----------
+    spec : str or ErrorMetric
+        A canonical name, a registered alias (``mre`` -> ``mred``,
+        ``er``/``error_rate`` -> ``error-rate``, ``wce``/``worst_case``
+        -> ``worst-case``; case-insensitive), or an already-resolved
+        metric object.
+
+    Returns
+    -------
+    ErrorMetric
+
+    Raises
+    ------
+    ValueError
+        For anything outside the registry — the message lists the
+        known names (surfaced verbatim as a 422 by the serving layer).
+    """
     if isinstance(spec, ErrorMetric):
         return spec
     key = str(spec).strip().lower()

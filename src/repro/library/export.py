@@ -81,7 +81,26 @@ def _catalog_rows(records: Sequence[DesignRecord]) -> List[List[object]]:
 
 
 def catalog_table(records: Sequence[DesignRecord], fmt: str = "text") -> str:
-    """Render a catalog of designs as ``text``, ``markdown`` or ``csv``."""
+    """Render a catalog of designs as ``text``, ``markdown`` or ``csv``.
+
+    Column units are carried in the headers: ``threshold_%`` /
+    ``error_%`` in percent, ``area_um2`` in um^2, ``power_uW`` in uW,
+    ``delay_ps`` in ps, ``pdp_fJ`` in fJ.
+
+    Parameters
+    ----------
+    records : sequence of DesignRecord
+        Rows, rendered in the given order (queries return
+        cheapest-error first).
+    fmt : str
+        ``"text"`` (aligned, human-readable), ``"markdown"`` (a GFM
+        table) or ``"csv"`` (for tooling).
+
+    Returns
+    -------
+    str
+        The rendered table, trailing newline included.
+    """
     rows = _catalog_rows(records)
     if fmt == "text":
         return format_table(_CATALOG_HEADERS, rows, title="design catalog")
@@ -112,13 +131,25 @@ def export_records(
 ) -> List[str]:
     """Write every selected design's artifacts under ``out_dir``.
 
-    ``formats`` picks any subset of:
+    Parameters
+    ----------
+    records : iterable of DesignRecord
+        The selection to ship (typically a :func:`repro.library.query.
+        best` singleton or a :func:`~repro.library.query.front` curve).
+    out_dir : str
+        Output directory, created if absent.
+    formats : sequence of str
+        Any subset of:
 
-    * ``verilog`` — ``<stem>.v`` per design,
-    * ``netlist`` — ``<stem>.json`` per design,
-    * ``catalog`` — one ``catalog.csv`` + ``catalog.md`` over the batch.
+        * ``verilog`` — ``<stem>.v`` per design (structural Verilog),
+        * ``netlist`` — ``<stem>.json`` per design (archival JSON),
+        * ``catalog`` — one ``catalog.csv`` + ``catalog.md`` over the
+          batch (see :func:`catalog_table` for column units).
 
-    Returns the written paths (catalog files last), deterministic order.
+    Returns
+    -------
+    list of str
+        The written paths (catalog files last), deterministic order.
     """
     records = list(records)
     unknown = set(formats) - {"verilog", "netlist", "catalog"}

@@ -51,24 +51,39 @@ def best(
 ) -> Optional[DesignRecord]:
     """Cheapest stored design within an error budget.
 
-    Args:
-        store: The library.
-        component: Component kind (``multiplier``, ``adder``, ``mac``).
-        width: Operand width.
-        metric: The error metric the budget is expressed in; only
-            designs *evolved under* that metric are considered, so the
-            stored ``error`` column is directly comparable.
-        max_error_percent: Error budget in the paper's percent units
-            (``None`` = unconstrained).
-        minimize: ``"area"``, ``"power"`` or ``"pdp"``.
-        dist: Restrict to designs driven by this distribution name
-            (e.g. ``"Du"``, ``"D2"``).
-        signed: Restrict signedness; ``None`` accepts either.
+    Parameters
+    ----------
+    store : DesignStore
+        The library.
+    component : str
+        Component kind (``multiplier``, ``adder``, ``mac``); aliases
+        are canonicalized via the component registry.
+    width : int
+        Operand width in bits.
+    metric : str
+        The error metric the budget is expressed in; only designs
+        *evolved under* that metric are considered, so the stored
+        ``error`` column is directly comparable.
+    max_error_percent : float, optional
+        Error budget in the paper's percent units — 100 x the
+        normalized objective error, so ``1.0`` means 1 % of the
+        objective normalizer (max reference magnitude).  ``None``
+        means unconstrained.
+    minimize : str
+        Cost axis: ``"area"`` (um^2), ``"power"`` (uW) or
+        ``"pdp"`` (fJ).
+    dist : str, optional
+        Restrict to designs driven by this stored distribution name
+        (e.g. ``"Du"``, ``"D2"``).
+    signed : bool, optional
+        Restrict signedness; ``None`` accepts either.
 
-    Returns:
+    Returns
+    -------
+    DesignRecord or None
         The minimal-cost record (ties broken by lower error, then
-        content address — fully deterministic), or ``None`` when nothing
-        fits the budget.
+        content address — fully deterministic), or ``None`` when
+        nothing fits the budget.
     """
     column = _cost_column(minimize)
     component, metric = _canonical(component, metric)
@@ -103,6 +118,18 @@ def front(
     axis.  ``max_error_percent`` truncates the curve at an error budget
     (filtering by error commutes with taking the front, so the result is
     the front of the budget-constrained set).
+
+    Parameters
+    ----------
+    store, component, width, metric, minimize, dist, signed, max_error_percent
+        As for :func:`best` (same vocabulary, same units: error budgets
+        in percent, ``minimize`` over area um^2 / power uW / pdp fJ).
+
+    Returns
+    -------
+    list of DesignRecord
+        Ascending ``error``, strictly improving cost; empty when the
+        selection matches nothing.
     """
     column = _cost_column(minimize)
     component, metric = _canonical(component, metric)
@@ -122,7 +149,20 @@ def front(
 
 
 def stats(store: DesignStore) -> Dict[str, object]:
-    """Library-wide summary: sizes, groups, and per-group error spans."""
+    """Library-wide summary: sizes, groups, and per-group error spans.
+
+    Returns
+    -------
+    dict
+        ``designs`` (total stored rows), ``cells_completed``
+        (checkpointed build cells — resume bookkeeping), and
+        ``groups``: one entry per ``(component, width, signed, metric,
+        dist)`` group with its design count, error span in percent
+        (``min_error_percent`` / ``max_error_percent``) and area span
+        in um^2 (``min_area`` / ``max_area``).  JSON-serializable as
+        is — this is the ``/v1/stats`` response body of
+        :mod:`repro.serve`.
+    """
     groups = []
     for (component, width, signed, metric, dist), count in store.groups():
         rows = store.select(

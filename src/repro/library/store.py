@@ -76,12 +76,44 @@ def design_signature(netlist: Netlist) -> str:
 class DesignRecord:
     """One stored design: identity, provenance and characterization.
 
-    ``error`` is the design's value under its *own* objective metric
-    (``metric``), in the normalized [0, ~1] units the search thresholds
-    use; ``wmed`` / ``med`` / ``mred`` / ``error_rate`` / ``worst_case``
-    are the full cross-metric report.  Electrical figures follow
-    :class:`repro.tech.timing.TimingPowerSummary` conventions (um^2, uW,
-    ps, fJ).
+    Attributes
+    ----------
+    design_id : str
+        Content address — the compiled-phenotype digest
+        (:func:`design_signature`), hex.
+    component, width, signed, metric, dist
+        The Pareto-comparability group key: component kind, operand
+        width in bits, signedness, objective error metric, and the
+        driving distribution's stored name.
+    threshold_percent : float
+        The search budget the design was evolved at, in percent of the
+        objective normalizer.
+    error : float
+        The design's value under its *own* objective ``metric``, in
+        the normalized [0, ~1] units search thresholds use; multiply
+        by 100 (or read :attr:`error_percent`) for the paper's
+        percent figures.
+    area : float
+        Cell area in um^2.
+    power_uw : float
+        Total power in uW (divide by 1000 for mW — the serving layer
+        exports this as ``power_mw``).
+    delay_ps : float
+        Critical-path delay in ps.
+    pdp : float
+        Power-delay product in fJ.
+    wmed, med, mred, error_rate, worst_case, bias
+        The full cross-metric report: normalized WMED/MED, mean
+        relative error distance, weighted error probability, largest
+        absolute error in output units, and signed mean error.
+    gates : int
+        Active gate count.
+    chromosome : str
+        CGP chromosome text (the persistence format of
+        :mod:`repro.core.serialization`); the record re-characterizes
+        bit-for-bit from it.
+    name, seed_key, generations, evaluations
+        Provenance: design name, SeedSequence key, and search budget.
     """
 
     design_id: str
@@ -224,14 +256,22 @@ class DesignStore:
     def add(self, record: DesignRecord) -> str:
         """Admit a design under the group's Pareto rule.
 
-        Returns one of:
+        Parameters
+        ----------
+        record : DesignRecord
+            Fully characterized candidate (see the class docstring for
+            field units).
 
-        * ``"added"`` — non-dominated; inserted (dominated incumbents of
-          the same group are pruned in the same transaction),
-        * ``"duplicate"`` — the same phenotype (or an exactly equal
-          objective vector) is already stored for this group,
-        * ``"dominated"`` — an incumbent is at least as good on every
-          objective and better on one; nothing changes.
+        Returns
+        -------
+        str
+            * ``"added"`` — non-dominated; inserted (dominated
+              incumbents of the same group are pruned in the same
+              transaction),
+            * ``"duplicate"`` — the same phenotype (or an exactly equal
+              objective vector) is already stored for this group,
+            * ``"dominated"`` — an incumbent is at least as good on
+              every objective and better on one; nothing changes.
         """
         group = record.group()
         candidate = record.objectives()
@@ -294,10 +334,26 @@ class DesignStore:
     ) -> List[DesignRecord]:
         """Fetch records matching every given filter, cheapest-error first.
 
-        ``max_error`` filters on the normalized objective ``error``
-        column (the same units thresholds use); ``design_id_prefix``
-        matches a leading substring of the content address (a SQL
-        prefix scan, so ``library show`` stays cheap on large stores).
+        Parameters
+        ----------
+        component, width, metric, dist, signed : optional
+            Group-key equality filters; ``None`` means "any".
+        design_id : str, optional
+            Exact content address.
+        design_id_prefix : str, optional
+            Leading substring of the content address (a SQL prefix
+            scan, so ``library show`` stays cheap on large stores);
+            ``LIKE`` wildcards in the prefix are treated literally.
+        max_error : float, optional
+            Inclusive cap on the *normalized* objective ``error``
+            column — the same [0, ~1] units search thresholds use,
+            i.e. percent / 100, **not** percent.
+
+        Returns
+        -------
+        list of DesignRecord
+            Totally ordered: ``(error, area, design_id, …group key)``,
+            so results are deterministic across SQLite versions.
         """
         clauses: List[str] = []
         args: List[object] = []

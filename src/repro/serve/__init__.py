@@ -1,0 +1,50 @@
+"""HTTP serving layer over the design library.
+
+The ROADMAP's "millions of users" surface: a dependency-free HTTP JSON
+API over :mod:`repro.library.query`, so downstream users select
+Pareto-optimal approximate circuits by error budget with a ``curl``
+instead of a Python environment.  ``repro serve --db designs.sqlite``
+on the CLI; see ``docs/serving.md`` for the cookbook and ``docs/api.md``
+for the generated endpoint reference.
+
+* :mod:`repro.serve.routes` — the route table (:class:`Route`,
+  :class:`Param`): the single source of truth the dispatcher, the
+  OpenAPI spec and the docs are all generated from;
+* :mod:`repro.serve.api` — HTTP-independent handlers + dispatch
+  (:func:`handle`): request validation, canonical error envelopes,
+  read-through response caching;
+* :mod:`repro.serve.cache` — the LRU response cache, keyed on the store
+  file state so any ``library build`` write invalidates for free;
+* :mod:`repro.serve.openapi` — ``/openapi.json`` + the Markdown API
+  reference, generated (and CI-verified) from the route table;
+* :mod:`repro.serve.server` — the threaded stdlib HTTP server
+  (:func:`create_server` for embedding, :func:`serve` for the CLI).
+
+Endpoints: ``/healthz``, ``/v1/best``, ``/v1/front``, ``/v1/stats``,
+``/v1/designs/{design_id}`` (JSON / Verilog / netlist export),
+``/openapi.json``.
+"""
+
+from .api import ROUTES, Response, ServeContext, handle, record_to_json
+from .cache import ResponseCache, store_state
+from .routes import Param, Route
+from .server import DesignServer, create_server, serve
+
+# NOTE: repro.serve.openapi is deliberately not imported here — it is a
+# runnable module (`python -m repro.serve.openapi`), and importing it
+# from the package __init__ would trip runpy's double-import warning.
+
+__all__ = [
+    "DesignServer",
+    "Param",
+    "ROUTES",
+    "Response",
+    "ResponseCache",
+    "Route",
+    "ServeContext",
+    "create_server",
+    "handle",
+    "record_to_json",
+    "serve",
+    "store_state",
+]

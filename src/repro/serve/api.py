@@ -1,0 +1,392 @@
+"""Endpoint handlers + dispatch: the HTTP-independent core of serving.
+
+Everything here speaks plain Python — :func:`handle` takes a method, a
+path and a raw query string and returns a rendered :class:`Response` —
+so the whole API surface is testable (and benchmarkable) without a
+socket.  :mod:`repro.serve.server` is only the HTTP plumbing around
+this function.
+
+Request lifecycle::
+
+    match path against ROUTES ──► 404 unknown path
+    check method               ──► 405 with Allow
+    validate + coerce query    ──► 422 canonical error
+    response cache lookup      ──► hit: return, X-Cache: hit
+    handler (library.query)    ──► 404 no design / 422 bad vocabulary
+    cache fill                 ──► X-Cache: miss
+
+Canonical errors: every non-200 body is
+``{"error": {"code": <int>, "status": "<reason>", "message": "<why>"}}``
+— one shape for clients to branch on, whatever went wrong.
+
+The response cache (:class:`repro.serve.cache.ResponseCache`) is keyed
+on ``(route, path params, validated query params, store file state)``;
+see :mod:`repro.serve.cache` for why that makes invalidation free.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from http.client import responses as _REASONS
+from typing import Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..circuits.io import netlist_to_dict
+from ..errors.metrics import metric_names
+from ..library.export import record_netlist, record_verilog
+from ..library.query import COST_COLUMNS, best, front, stats
+from ..library.store import SCHEMA_VERSION, DesignRecord, DesignStore
+from .cache import ResponseCache, store_state
+from .routes import UNSET, Param, Route, match_path
+
+__all__ = [
+    "ROUTES",
+    "Response",
+    "ServeContext",
+    "handle",
+    "record_to_json",
+]
+
+_JSON = "application/json"
+
+
+@dataclass(frozen=True)
+class Response:
+    """One rendered response: status, body bytes, content type, headers."""
+
+    status: int
+    body: bytes
+    content_type: str = _JSON
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def reason(self) -> str:
+        return _REASONS.get(self.status, "Unknown")
+
+    def json(self) -> object:
+        """Decode the body as JSON (test/benchmark convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def json_response(status: int, payload: object) -> Response:
+    """Serialize ``payload`` as a canonical JSON response."""
+    body = json.dumps(payload, indent=1, sort_keys=True).encode("utf-8")
+    return Response(status=status, body=body)
+
+
+def text_response(status: int, text: str, content_type: str) -> Response:
+    return Response(
+        status=status, body=text.encode("utf-8"), content_type=content_type
+    )
+
+
+def error_response(status: int, message: str) -> Response:
+    """The one error shape every non-200 response uses."""
+    return json_response(status, {
+        "error": {
+            "code": status,
+            "status": _REASONS.get(status, "Unknown"),
+            "message": message,
+        },
+    })
+
+
+@dataclass
+class ServeContext:
+    """Everything a handler needs: the store, the cache, identity."""
+
+    store: DesignStore
+    cache: ResponseCache = field(default_factory=ResponseCache)
+
+    def state(self) -> Tuple[int, int]:
+        """Freshness token of the backing store file (cache key part)."""
+        return store_state(self.store.path)
+
+
+# ----------------------------------------------------------------------
+# Record serialization
+# ----------------------------------------------------------------------
+def record_to_json(record: DesignRecord) -> Dict[str, object]:
+    """One stored design as a JSON-compatible dict.
+
+    All :class:`~repro.library.store.DesignRecord` fields, plus the two
+    derived figures clients always recompute otherwise:
+    ``error_percent`` (objective error x 100, the paper's units) and
+    ``power_mw`` (``power_uw`` / 1000).  Electrical units are fixed by
+    :mod:`repro.tech`: ``area`` um^2, ``power_uw`` uW, ``delay_ps`` ps,
+    ``pdp`` fJ.
+    """
+    data = {f: getattr(record, f) for f in record.__dataclass_fields__}
+    data["error_percent"] = record.error_percent
+    data["power_mw"] = record.power_uw / 1000.0
+    return data
+
+
+# ----------------------------------------------------------------------
+# Handlers: (ctx, path_params, query) -> Response
+# ----------------------------------------------------------------------
+def _select_kwargs(query: Dict[str, object]) -> Dict[str, object]:
+    """Map validated query params onto ``library.query`` keywords."""
+    return {
+        "component": query["component"],
+        "width": query["width"],
+        "metric": query["metric"],
+        "max_error_percent": query.get("max_error_percent"),
+        "minimize": query["minimize"],
+        "dist": query.get("dist"),
+        "signed": query.get("signed"),
+    }
+
+
+def _h_health(ctx: ServeContext, path_params, query) -> Response:
+    return json_response(200, {
+        "status": "ok",
+        "version": __version__,
+        "store": ctx.store.path,
+        "schema_version": SCHEMA_VERSION,
+        "designs": ctx.store.count(),
+        "cache": ctx.cache.stats(),
+    })
+
+
+def _h_best(ctx: ServeContext, path_params, query) -> Response:
+    record = best(ctx.store, **_select_kwargs(query))
+    if record is None:
+        return error_response(404, "no stored design matches the query")
+    return json_response(200, {"design": record_to_json(record)})
+
+
+def _h_front(ctx: ServeContext, path_params, query) -> Response:
+    records = front(ctx.store, **_select_kwargs(query))
+    return json_response(200, {
+        "count": len(records),
+        "designs": [record_to_json(r) for r in records],
+    })
+
+
+def _h_stats(ctx: ServeContext, path_params, query) -> Response:
+    return json_response(200, stats(ctx.store))
+
+
+def _h_design(ctx: ServeContext, path_params, query) -> Response:
+    prefix = path_params["design_id"]
+    records = ctx.store.select(design_id_prefix=prefix)
+    if not records:
+        return error_response(
+            404, f"no design with id prefix {prefix!r}"
+        )
+    fmt = query["format"]
+    if fmt == "json":
+        return json_response(200, {
+            "count": len(records),
+            "designs": [record_to_json(r) for r in records],
+        })
+    # One content address = one phenotype: rows under several groups
+    # share their circuit, so any row yields the artifact.  Distinct
+    # addresses sharing the prefix are a different story — returning
+    # one of several circuits would be silently wrong, so ask the
+    # client to disambiguate.
+    distinct = sorted({r.design_id for r in records})
+    if len(distinct) > 1:
+        shown = ", ".join(d[:12] for d in distinct[:8])
+        return error_response(
+            409,
+            f"prefix {prefix!r} is ambiguous for format={fmt}: it "
+            f"matches {len(distinct)} designs ({shown}); use a longer "
+            "prefix (format=json lists all matches)",
+        )
+    if fmt == "verilog":
+        return text_response(
+            200, record_verilog(records[0]), "text/x-verilog; charset=utf-8"
+        )
+    return json_response(200, netlist_to_dict(record_netlist(records[0])))
+
+
+@lru_cache(maxsize=1)
+def _openapi_response() -> Response:
+    # The spec only changes with the code: render once per process.
+    from .openapi import generate_openapi  # lazy: openapi imports ROUTES
+
+    return json_response(200, generate_openapi())
+
+
+def _h_openapi(ctx: ServeContext, path_params, query) -> Response:
+    return _openapi_response()
+
+
+# ----------------------------------------------------------------------
+# The route table (single source of truth; see routes.py module doc)
+# ----------------------------------------------------------------------
+_SELECT_PARAMS = (
+    Param("component", "string", default="multiplier",
+          description="Component kind: multiplier, adder or mac "
+          "(aliases accepted, canonicalized server-side)."),
+    Param("width", "integer", required=True,
+          description="Operand width in bits."),
+    Param("metric", "string", default="wmed",
+          description="Error metric the budget is expressed in "
+          f"({', '.join(metric_names())}); only designs evolved under "
+          "it are considered."),
+    Param("max_error_percent", "number",
+          description="Error budget in percent of the objective "
+          "normalizer (the paper's units); omit for unconstrained."),
+    Param("minimize", "string", default="area",
+          enum=tuple(COST_COLUMNS),
+          description="Cost axis to minimize: area (um^2), "
+          "power (uW) or pdp (fJ)."),
+    Param("dist", "string",
+          description="Restrict to designs driven by this stored "
+          "distribution name (e.g. Du, D2)."),
+    Param("signed", "boolean",
+          description="Restrict signedness; omit to accept either."),
+)
+
+ROUTES: Tuple[Route, ...] = (
+    Route(
+        "GET", "/healthz", "health",
+        "Liveness + store/cache status.",
+        _h_health, cached=False, response_schema="Health",
+        description="Always uncached; reports the store path, design "
+        "count, schema version and response-cache counters.",
+    ),
+    Route(
+        "GET", "/v1/best", "best",
+        "Cheapest stored design within an error budget.",
+        _h_best, params=_SELECT_PARAMS, response_schema="BestResponse",
+        description="The serving form of repro.library.query.best: "
+        "minimal-cost Pareto design under max_error_percent, "
+        "deterministic tie-breaking. 404 when nothing fits the budget.",
+    ),
+    Route(
+        "GET", "/v1/front", "front",
+        "The stored Pareto front over (error, cost).",
+        _h_front, params=_SELECT_PARAMS, response_schema="FrontResponse",
+        description="2-D re-projection of the stored group front onto "
+        "the requested cost axis, ascending error; an empty selection "
+        "is a 200 with count 0, not an error.",
+    ),
+    Route(
+        "GET", "/v1/stats", "stats",
+        "Library-wide summary: sizes, groups, error spans.",
+        _h_stats, response_schema="StatsResponse",
+        description="The serving form of repro.library.query.stats.",
+    ),
+    Route(
+        "GET", "/v1/designs/{design_id}", "design",
+        "One design (by content-address prefix) + its artifacts.",
+        _h_design,
+        params=(
+            Param("format", "string", default="json",
+                  enum=("json", "verilog", "netlist"),
+                  description="json: full records; verilog: structural "
+                  "Verilog (text/x-verilog); netlist: archival netlist "
+                  "JSON."),
+        ),
+        response_schema="DesignResponse",
+        description="design_id is a prefix of the compiled-phenotype "
+        "content address (as printed by the catalog endpoints); one "
+        "phenotype stored under several groups returns one record per "
+        "group.  A prefix matching several distinct designs is a 409 "
+        "for the artifact formats (format=json lists all matches).",
+    ),
+    Route(
+        "GET", "/openapi.json", "openapi",
+        "This specification, generated from the live route table.",
+        _h_openapi, cached=False, response_schema="Object",
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Validation + dispatch
+# ----------------------------------------------------------------------
+def validate_query(
+    route: Route, pairs: List[Tuple[str, str]]
+) -> Dict[str, object]:
+    """Coerce raw query pairs against the route's parameter spec.
+
+    Raises ``ValueError`` (mapped to 422 by :func:`handle`) on unknown
+    or repeated parameters, type/enum violations, or a missing required
+    parameter.  Defaults are applied; parameters without a default stay
+    absent from the result.
+    """
+    spec = {p.name: p for p in route.params}
+    values: Dict[str, object] = {}
+    for name, raw in pairs:
+        param = spec.get(name)
+        if param is None:
+            known = ", ".join(spec) if spec else "none"
+            raise ValueError(
+                f"unknown parameter {name!r}; this endpoint takes: {known}"
+            )
+        if name in values:
+            raise ValueError(f"parameter {name!r} given more than once")
+        values[name] = param.coerce(raw)
+    for param in route.params:
+        if param.name in values:
+            continue
+        if param.required:
+            raise ValueError(f"missing required parameter {param.name!r}")
+        if param.default is not UNSET:
+            values[param.name] = param.default
+    return values
+
+
+def handle(
+    ctx: ServeContext,
+    method: str,
+    path: str,
+    query_string: str = "",
+    routes: Tuple[Route, ...] = ROUTES,
+) -> Response:
+    """Dispatch one request; never raises (500s are rendered, not thrown)."""
+    from urllib.parse import parse_qsl, unquote
+
+    route, path_params = match_path(routes, path)
+    if route is None:
+        return error_response(404, f"unknown path {path!r}")
+    if method == "HEAD":  # RFC 9110: HEAD is GET without the body
+        method = "GET"
+    if method != route.method:
+        return replace(
+            error_response(405, f"{route.path} only supports {route.method}"),
+            headers=(("Allow", route.method),),
+        )
+    path_params = {k: unquote(v) for k, v in path_params.items()}
+    try:
+        pairs = parse_qsl(
+            query_string, keep_blank_values=True, strict_parsing=False
+        )
+        query = validate_query(route, pairs)
+    except ValueError as exc:
+        return error_response(422, str(exc))
+
+    key = None
+    if route.cached and ctx.cache.maxsize:
+        key = (
+            route.name,
+            tuple(sorted(path_params.items())),
+            tuple(sorted(query.items())),
+            ctx.state(),
+        )
+        hit = ctx.cache.get(key)
+        if hit is not None:
+            return replace(hit, headers=hit.headers + (("X-Cache", "hit"),))
+    try:
+        response = route.handler(ctx, path_params, query)
+    except ValueError as exc:
+        # The library layer's vocabulary errors (unknown metric,
+        # component, cost axis) — client mistakes, not server faults.
+        response = error_response(422, str(exc))
+    except Exception as exc:  # noqa: BLE001 - the server must not die
+        response = error_response(
+            500, f"internal error ({type(exc).__name__}): {exc}"
+        )
+    if key is not None and response.status < 500:
+        ctx.cache.put(key, response)
+        response = replace(
+            response, headers=response.headers + (("X-Cache", "miss"),)
+        )
+    return response

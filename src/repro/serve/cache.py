@@ -1,0 +1,114 @@
+"""In-process read-through response cache for the serving layer.
+
+Hot queries ("best 8-bit multiplier under 1 % WMED") repeat endlessly
+in a serving workload while the store changes only when a build admits
+a design.  The cache exploits that asymmetry: rendered HTTP responses
+are memoized under a key that folds in the **store file state**
+(``st_mtime_ns`` + ``st_size``), so
+
+* a repeated query skips SQLite, JSON encoding, everything — it is one
+  dictionary hit under a lock (~1 us), and
+* any write to the store changes the file state, which changes every
+  key, which makes every cached entry unreachable — invalidation needs
+  no notification channel between builder and server.
+
+Stale entries (dead store states) age out by LRU eviction; the cache
+is bounded by entry count, not bytes, because responses are small
+(records, fronts and stats of a Pareto store — tens of rows, not
+megabytes).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["ResponseCache", "store_state"]
+
+
+def store_state(path: str) -> Tuple[int, int]:
+    """Freshness token of the store file: ``(st_mtime_ns, st_size)``.
+
+    SQLite rewrites the database file on every committed transaction,
+    so any admitted design, pruned row or checkpointed cell bumps
+    ``st_mtime_ns``.  Size is folded in as a belt-and-braces guard for
+    filesystems with coarse timestamps.  A missing file maps to
+    ``(-1, -1)`` (distinct from every real state) instead of raising,
+    so a store swapped out from under the server degrades to cache
+    misses, not 500s.
+    """
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return (-1, -1)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+class ResponseCache:
+    """Bounded, thread-safe LRU memo of rendered responses.
+
+    Parameters
+    ----------
+    maxsize : int
+        Entry cap; ``0`` disables caching entirely (every ``get``
+        misses, ``put`` is a no-op) — used by benchmarks to measure
+        the uncached path through the same code.
+
+    Notes
+    -----
+    Keys are built by the dispatcher as ``(route name, sorted query
+    items, store_state(db))`` — see :func:`repro.serve.api.handle`.
+    ``hits``/``misses`` counters are exposed in ``/healthz`` so cache
+    effectiveness is observable in production.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """Cached value for ``key`` (refreshing its LRU position)."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert ``key``, evicting least-recently-used entries."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for ``/healthz``: size, capacity, hits, misses."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

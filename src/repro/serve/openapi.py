@@ -1,0 +1,357 @@
+"""OpenAPI spec + Markdown API reference, generated from the route table.
+
+``/openapi.json`` is not hand-written: :func:`generate_openapi` renders
+:data:`repro.serve.api.ROUTES` — the same table the dispatcher matches
+requests against — into an OpenAPI 3.0 document, and
+:func:`generate_markdown` renders the same table into the committed API
+reference (``docs/api.md``).  A handler cannot gain, lose or change a
+parameter without the spec and the docs following, and CI enforces the
+committed copy::
+
+    python -m repro.serve.openapi --check docs/api.md   # exit 1 on drift
+    python -m repro.serve.openapi --markdown            # regenerate
+    python -m repro.serve.openapi                       # print the JSON spec
+
+Both renderings are deterministic (sorted keys, no timestamps), so the
+check is a byte comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Tuple
+
+from .. import __version__
+from .routes import UNSET, Param, Route
+
+__all__ = ["generate_openapi", "generate_markdown", "main"]
+
+#: DesignRecord wire fields -> (JSON type, description).  Units are
+#: spelled out here once and flow into the spec and docs/api.md.
+_RECORD_FIELDS: Tuple[Tuple[str, str, str], ...] = (
+    ("design_id", "string",
+     "Content address: compiled-phenotype digest (hex)."),
+    ("component", "string", "Component kind (multiplier, adder, mac)."),
+    ("width", "integer", "Operand width in bits."),
+    ("signed", "boolean", "Signed operand encoding."),
+    ("metric", "string", "Error metric the design was evolved under."),
+    ("dist", "string", "Driving operand-distribution name (e.g. Du)."),
+    ("threshold_percent", "number",
+     "Search error budget, percent of the objective normalizer."),
+    ("error", "number",
+     "Objective error under `metric`, normalized to [0, ~1]."),
+    ("error_percent", "number",
+     "`error` x 100 — the units the paper quotes."),
+    ("area", "number", "Cell area in um^2."),
+    ("power_uw", "number", "Total power in uW."),
+    ("power_mw", "number", "Total power in mW (= power_uw / 1000)."),
+    ("delay_ps", "number", "Critical-path delay in ps."),
+    ("pdp", "number", "Power-delay product in fJ."),
+    ("wmed", "number", "Weighted mean error distance, normalized."),
+    ("med", "number", "Mean error distance, normalized."),
+    ("mred", "number", "Mean relative error distance."),
+    ("error_rate", "number", "Weighted probability of any error."),
+    ("worst_case", "integer", "Largest absolute error, output units."),
+    ("bias", "number", "Signed mean error E[approx - exact]."),
+    ("gates", "integer", "Active gate count."),
+    ("chromosome", "string", "CGP chromosome text (persistence format)."),
+    ("name", "string", "Human-readable design name."),
+    ("seed_key", "string", "SeedSequence provenance of the search run."),
+    ("generations", "integer", "Search budget that produced the design."),
+    ("evaluations", "integer", "Candidate evaluations spent."),
+)
+
+
+def _record_schema() -> dict:
+    return {
+        "type": "object",
+        "description": "One stored design: identity, provenance and "
+        "full characterization (all five error metrics + electrical "
+        "figures).",
+        "properties": {
+            name: {"type": type_, "description": desc}
+            for name, type_, desc in _RECORD_FIELDS
+        },
+        "required": [name for name, _, _ in _RECORD_FIELDS],
+    }
+
+
+def _schemas() -> dict:
+    record_ref = {"$ref": "#/components/schemas/DesignRecord"}
+    return {
+        "Error": {
+            "type": "object",
+            "description": "Canonical error envelope: every non-200 "
+            "response has this shape.",
+            "properties": {
+                "error": {
+                    "type": "object",
+                    "properties": {
+                        "code": {"type": "integer",
+                                 "description": "HTTP status code."},
+                        "status": {"type": "string",
+                                   "description": "HTTP reason phrase."},
+                        "message": {"type": "string",
+                                    "description": "What went wrong."},
+                    },
+                    "required": ["code", "status", "message"],
+                },
+            },
+            "required": ["error"],
+        },
+        "Health": {
+            "type": "object",
+            "properties": {
+                "status": {"type": "string"},
+                "version": {"type": "string"},
+                "store": {"type": "string",
+                          "description": "Backing SQLite file path."},
+                "schema_version": {"type": "integer"},
+                "designs": {"type": "integer",
+                            "description": "Stored design count."},
+                "cache": {"type": "object",
+                          "description": "Response-cache counters "
+                          "(entries, maxsize, hits, misses)."},
+            },
+            "required": ["status", "version", "store", "schema_version",
+                         "designs", "cache"],
+        },
+        "DesignRecord": _record_schema(),
+        "BestResponse": {
+            "type": "object",
+            "properties": {"design": record_ref},
+            "required": ["design"],
+        },
+        "FrontResponse": {
+            "type": "object",
+            "properties": {
+                "count": {"type": "integer"},
+                "designs": {"type": "array", "items": record_ref,
+                            "description": "Ascending error; strictly "
+                            "improving cost."},
+            },
+            "required": ["count", "designs"],
+        },
+        "StatsResponse": {
+            "type": "object",
+            "properties": {
+                "designs": {"type": "integer"},
+                "cells_completed": {"type": "integer"},
+                "groups": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "description": "One (component, width, signed, "
+                        "metric, dist) group: design count, error span "
+                        "in percent, area span in um^2.",
+                    },
+                },
+            },
+            "required": ["designs", "cells_completed", "groups"],
+        },
+        "DesignResponse": {
+            "type": "object",
+            "description": "format=json response; format=verilog "
+            "returns text/x-verilog, format=netlist returns the "
+            "archival netlist JSON document.",
+            "properties": {
+                "count": {"type": "integer"},
+                "designs": {"type": "array", "items": record_ref},
+            },
+            "required": ["count", "designs"],
+        },
+        "Object": {"type": "object"},
+    }
+
+
+def _param_to_openapi(param: Param, location: str = "query") -> dict:
+    schema: Dict[str, object] = {"type": param.type}
+    if param.enum is not None:
+        schema["enum"] = list(param.enum)
+    if param.default is not UNSET:
+        schema["default"] = param.default
+    return {
+        "name": param.name,
+        "in": location,
+        "required": param.required or location == "path",
+        "description": param.description,
+        "schema": schema,
+    }
+
+
+def generate_openapi(routes: Optional[Tuple[Route, ...]] = None) -> dict:
+    """The OpenAPI 3.0 document for ``routes`` (default: the live table)."""
+    if routes is None:
+        from .api import ROUTES as routes  # noqa: N811
+
+    paths: Dict[str, dict] = {}
+    for route in routes:
+        parameters = [
+            _param_to_openapi(Param(name, "string",
+                                    description="Path parameter."),
+                              location="path")
+            for name in route.path_param_names()
+        ]
+        parameters += [_param_to_openapi(p) for p in route.params]
+        operation = {
+            "operationId": route.name,
+            "summary": route.summary,
+            "description": route.description,
+            "parameters": parameters,
+            "responses": {
+                "200": {
+                    "description": route.summary,
+                    "content": {
+                        "application/json": {
+                            "schema": {
+                                "$ref": "#/components/schemas/"
+                                + route.response_schema,
+                            },
+                        },
+                    },
+                },
+                "default": {
+                    "description": "Canonical error envelope "
+                    "(404 unknown path/design, 405 wrong method, "
+                    "422 invalid parameters, 500 internal).",
+                    "content": {
+                        "application/json": {
+                            "schema": {
+                                "$ref": "#/components/schemas/Error",
+                            },
+                        },
+                    },
+                },
+            },
+        }
+        paths.setdefault(route.path, {})[route.method.lower()] = operation
+    return {
+        "openapi": "3.0.3",
+        "info": {
+            "title": "repro design-library API",
+            "version": __version__,
+            "description": "Read-only serving layer over the persistent "
+            "design library: Pareto-optimal approximate circuits "
+            "selected by error budget.",
+        },
+        "paths": paths,
+        "components": {"schemas": _schemas()},
+    }
+
+
+def generate_markdown(routes: Optional[Tuple[Route, ...]] = None) -> str:
+    """The committed API reference (``docs/api.md``), deterministically."""
+    if routes is None:
+        from .api import ROUTES as routes  # noqa: N811
+
+    lines = [
+        "# HTTP API reference",
+        "",
+        "<!-- GENERATED by `python -m repro.serve.openapi --markdown` "
+        "from the route table in src/repro/serve/api.py. Do not edit "
+        "by hand; CI checks this file against the live routes. -->",
+        "",
+        "Serving layer over the design library "
+        "(`repro serve --db <store> --port <port>`). All endpoints are "
+        "`GET`; every non-200 response is the canonical error envelope "
+        '`{"error": {"code", "status", "message"}}`.',
+        "",
+    ]
+    for route in routes:
+        lines += [f"## `{route.method} {route.path}`", "", route.summary, ""]
+        if route.description:
+            lines += [route.description, ""]
+        if route.path_param_names():
+            names = ", ".join(f"`{n}`" for n in route.path_param_names())
+            lines += [f"Path parameters: {names}.", ""]
+        if route.params:
+            lines += [
+                "| parameter | type | required | default | description |",
+                "|---|---|---|---|---|",
+            ]
+            for p in route.params:
+                type_ = p.type
+                if p.enum is not None:
+                    type_ += " (" + " \\| ".join(p.enum) + ")"
+                lines.append(
+                    f"| `{p.name}` | {type_} | "
+                    f"{'yes' if p.required else 'no'} | "
+                    f"{'—' if p.default is UNSET else f'`{p.default}`'} | "
+                    f"{p.description} |"
+                )
+            lines.append("")
+        caching = (
+            "Cached (read-through, invalidated by any store write)."
+            if route.cached else "Never cached."
+        )
+        lines += [
+            f"Response: `{route.response_schema}` "
+            f"(see `/openapi.json` schemas). {caching}",
+            "",
+        ]
+    lines += [
+        "## Design record fields",
+        "",
+        "| field | type | description |",
+        "|---|---|---|",
+    ]
+    for name, type_, desc in _RECORD_FIELDS:
+        lines.append(f"| `{name}` | {type_} | {desc} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.openapi",
+        description="Render (or verify) the API spec from the route table.",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="emit the Markdown API reference instead of the JSON spec",
+    )
+    parser.add_argument("--out", help="write to this file instead of stdout")
+    parser.add_argument(
+        "--check", metavar="PATH",
+        help="exit non-zero unless PATH matches the generated Markdown "
+        "reference (CI drift gate)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        expected = generate_markdown()
+        try:
+            with open(args.check) as fh:
+                actual = fh.read()
+        except OSError as exc:
+            print(f"cannot read {args.check}: {exc}", file=sys.stderr)
+            return 1
+        if actual != expected:
+            print(
+                f"{args.check} is out of date with the route table; "
+                "regenerate with: python -m repro.serve.openapi "
+                f"--markdown --out {args.check}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.check} matches the route table")
+        return 0
+
+    text = (
+        generate_markdown()
+        if args.markdown
+        else json.dumps(generate_openapi(), indent=2, sort_keys=True) + "\n"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

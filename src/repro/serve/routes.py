@@ -1,0 +1,176 @@
+"""The route table: the single source of truth for the HTTP API.
+
+Every endpoint of the serving layer is one :class:`Route` in
+:data:`repro.serve.api.ROUTES` — method, path template, typed query
+parameters, handler, and documentation strings.  Three consumers read
+the same table, which is what keeps them from drifting apart:
+
+* the request dispatcher (:func:`repro.serve.api.handle`) matches
+  paths and validates parameters against it,
+* the OpenAPI generator (:mod:`repro.serve.openapi`) renders it into
+  ``/openapi.json`` and the Markdown API reference in ``docs/api.md``,
+* CI re-renders the spec from this table and fails when the committed
+  reference differs (``python -m repro.serve.openapi --check``).
+
+Path templates use ``{name}`` segments (``/v1/designs/{design_id}``);
+a segment matches one path component, never across ``/``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["Param", "Route", "UNSET", "match_path", "compile_path"]
+
+#: JSON-schema scalar types a query/path parameter may declare.
+PARAM_TYPES = ("string", "integer", "number", "boolean")
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+class _Unset:
+    """Sentinel distinguishing "no default" from a falsy default."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+
+#: Default of a parameter with no default: an absent parameter stays
+#: absent from the validated query instead of binding a value.  A
+#: dedicated sentinel (not ``None``) so ``False``/``0``/``""`` work as
+#: real defaults.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed query (or path) parameter of a :class:`Route`.
+
+    Parameters
+    ----------
+    name : str
+        Wire name, exactly as it appears in the query string.
+    type : str
+        One of ``string``, ``integer``, ``number``, ``boolean``.
+    required : bool
+        Reject the request with 422 when the parameter is absent.
+    default : object
+        Value used when the parameter is absent (:data:`UNSET` = no
+        default; the handler sees the key omitted).
+    description : str
+        Human sentence for the OpenAPI spec; spell out units here.
+    enum : tuple of str, optional
+        Closed vocabulary; any other value is a 422.
+    """
+
+    name: str
+    type: str = "string"
+    required: bool = False
+    default: object = UNSET
+    description: str = ""
+    enum: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.type not in PARAM_TYPES:
+            raise ValueError(
+                f"parameter {self.name!r}: unknown type {self.type!r}"
+            )
+
+    def coerce(self, raw: str) -> object:
+        """Parse a raw query-string value; raise ``ValueError`` to 422."""
+        # Enum membership is checked on the raw wire value, before type
+        # dispatch, so it binds for every parameter type.
+        if self.enum is not None and raw not in self.enum:
+            raise ValueError(
+                f"parameter {self.name!r} must be one of "
+                f"{', '.join(self.enum)}; got {raw!r}"
+            )
+        if self.type == "integer":
+            try:
+                return int(raw, 10)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {self.name!r} must be an integer, "
+                    f"got {raw!r}"
+                ) from None
+        if self.type == "number":
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {self.name!r} must be a number, got {raw!r}"
+                ) from None
+            if value != value or value in (float("inf"), float("-inf")):
+                raise ValueError(
+                    f"parameter {self.name!r} must be finite, got {raw!r}"
+                )
+            return value
+        if self.type == "boolean":
+            lowered = raw.strip().lower()
+            if lowered in _TRUE:
+                return True
+            if lowered in _FALSE:
+                return False
+            raise ValueError(
+                f"parameter {self.name!r} must be a boolean "
+                f"(true/false), got {raw!r}"
+            )
+        return raw
+
+
+@dataclass(frozen=True)
+class Route:
+    """One endpoint: path template + typed parameters + handler.
+
+    ``cached`` marks responses as safe to memoize in the read-through
+    response cache (anything derived purely from the store contents);
+    liveness endpoints opt out so they always reflect this instant.
+    """
+
+    method: str
+    path: str
+    name: str
+    summary: str
+    handler: Callable
+    params: Tuple[Param, ...] = ()
+    cached: bool = True
+    description: str = ""
+    #: OpenAPI component schema name of the 200 response body.
+    response_schema: str = "Object"
+    pattern: re.Pattern = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pattern", compile_path(self.path))
+
+    def path_param_names(self) -> Tuple[str, ...]:
+        """Names of the ``{...}`` segments, in path order."""
+        return tuple(re.findall(r"\{(\w+)\}", self.path))
+
+
+def compile_path(template: str) -> re.Pattern:
+    """Compile a ``{name}``-style path template to an anchored regex."""
+    parts = []
+    for token in re.split(r"(\{\w+\})", template):
+        if token.startswith("{") and token.endswith("}"):
+            parts.append(f"(?P<{token[1:-1]}>[^/]+)")
+        else:
+            parts.append(re.escape(token))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+def match_path(
+    routes: Tuple[Route, ...], path: str
+) -> Tuple[Optional[Route], Dict[str, str]]:
+    """First route whose template matches ``path`` (+ path params).
+
+    Returns ``(None, {})`` when no template matches — a 404, regardless
+    of method.
+    """
+    for route in routes:
+        found = route.pattern.match(path)
+        if found:
+            return route, found.groupdict()
+    return None, {}

@@ -1,0 +1,210 @@
+"""Threaded stdlib HTTP server around :func:`repro.serve.api.handle`.
+
+Zero dependencies beyond the standard library: a
+:class:`http.server.ThreadingHTTPServer` subclass whose request
+concurrency is bounded by a worker pool (``--workers``) instead of the
+mixin's unbounded thread-per-request, dispatching every request through
+the HTTP-independent :func:`~repro.serve.api.handle`.
+
+The concurrency story mirrors the store's: SQLite with short-lived
+connections is safe for any number of reader threads alongside one
+builder process, so worker threads share one :class:`ServeContext`
+(and one response cache) without further locking.
+
+Programmatic use (tests, benchmarks)::
+
+    server = create_server("my.sqlite", port=0)   # 0 = ephemeral port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    ... requests against http://127.0.0.1:%d % server.server_port ...
+    server.shutdown(); server.server_close()
+"""
+
+from __future__ import annotations
+
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from .. import __version__
+from ..library.store import DesignStore
+from .api import ServeContext, handle
+from .cache import ResponseCache
+
+__all__ = ["DesignServer", "create_server", "serve"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-request plumbing; all semantics live in ``api.handle``."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    #: Largest request body drained to keep a keep-alive connection
+    #: usable; anything bigger forces the connection closed instead.
+    _MAX_DRAIN = 1 << 20
+
+    def _dispatch(self, method: str) -> None:
+        # Drain any request body first: on an HTTP/1.1 keep-alive
+        # connection an unread body would be parsed as the next
+        # request line, corrupting every pooled client.
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if self.headers.get("Transfer-Encoding") or length < 0 \
+                or length > self._MAX_DRAIN:
+            self.close_connection = True
+        elif length:
+            self.rfile.read(length)
+        url = urlsplit(self.path)
+        response = handle(
+            self.server.context, method, url.path, url.query
+        )
+        body = b"" if method == "HEAD" else response.body
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        self._dispatch("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    do_PUT = do_DELETE = do_PATCH = do_OPTIONS = do_POST
+
+    def send_error(self, code, message=None, explain=None) -> None:
+        """Canonical JSON envelope even for stdlib-generated errors.
+
+        BaseHTTPRequestHandler calls this for conditions the dispatch
+        never sees — an unknown verb (501), a malformed request line
+        (400), an over-long URI (414).  The API contract promises one
+        error shape for every non-200 response, so those must not fall
+        back to the stdlib's HTML error page.
+        """
+        from .api import error_response
+
+        response = error_response(code, message or explain or "")
+        self.log_error("code %d, message %s", code, message or "")
+        try:
+            self.send_response(code, response.reason)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if getattr(self, "command", None) != "HEAD":
+                self.wfile.write(response.body)
+        except OSError:  # pragma: no cover - client already gone
+            pass
+        self.close_connection = True
+
+    def log_message(self, format: str, *args) -> None:
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+
+class DesignServer(ThreadingHTTPServer):
+    """HTTP server with a bounded worker pool and a shared context."""
+
+    daemon_threads = True
+    # TCPServer's default listen backlog (5) drops connection bursts on
+    # the floor well below the worker pool's capacity; queue them instead.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address,
+        context: ServeContext,
+        workers: int = 8,
+        quiet: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        super().__init__(address, _Handler)
+        self.context = context
+        self.quiet = quiet
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+
+    def process_request(self, request, client_address) -> None:
+        # Bound concurrency: queue in the pool instead of one unbounded
+        # thread per connection (ThreadingMixIn's default).
+        self._pool.submit(self.process_request_thread, request, client_address)
+
+    def server_close(self) -> None:
+        super().server_close()
+        # A failed bind closes the server from inside super().__init__,
+        # before the pool exists.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+
+def create_server(
+    db: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 8,
+    cache_size: int = 1024,
+    quiet: bool = False,
+) -> DesignServer:
+    """Bind a :class:`DesignServer` over the store at ``db``.
+
+    Parameters
+    ----------
+    db : str
+        Design-store SQLite file (as written by ``repro library build``).
+        Opening validates the schema version; a missing file is created
+        empty, so point-at-wrong-path mistakes surface as ``designs: 0``
+        in ``/healthz`` rather than a crash.
+    host, port : str, int
+        Bind address; ``port=0`` picks an ephemeral port (the bound one
+        is ``server.server_port``).
+    workers : int
+        Size of the request-handling thread pool.
+    cache_size : int
+        Response-cache entry cap; ``0`` disables caching.
+    quiet : bool
+        Suppress per-request access logging.
+    """
+    context = ServeContext(
+        store=DesignStore(db), cache=ResponseCache(cache_size)
+    )
+    return DesignServer((host, port), context, workers=workers, quiet=quiet)
+
+
+def serve(
+    db: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: int = 8,
+    cache_size: int = 1024,
+    quiet: bool = False,
+) -> int:
+    """Run the server until interrupted (the ``repro serve`` command)."""
+    server = create_server(
+        db, host=host, port=port, workers=workers,
+        cache_size=cache_size, quiet=quiet,
+    )
+    print(
+        f"serving {db} on http://{host}:{server.server_port} "
+        f"({workers} workers, cache {cache_size}); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,452 @@
+"""Serving layer: dispatch, validation, caching, HTTP, OpenAPI."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.circuits.io import netlist_from_dict
+from repro.circuits.simulator import truth_table
+from repro.library import (
+    BuildSpec,
+    DesignRecord,
+    DesignStore,
+    best,
+    build_library,
+    front,
+    record_netlist,
+)
+from repro.serve import (
+    ROUTES,
+    ResponseCache,
+    ServeContext,
+    create_server,
+    handle,
+    record_to_json,
+)
+from repro.serve.openapi import generate_markdown, generate_openapi
+from repro.serve.routes import Param, match_path
+
+W = 3
+SPEC = BuildSpec(
+    components=("multiplier",),
+    metrics=("wmed",),
+    widths=(W,),
+    thresholds_percent=(2.0, 5.0),
+    generations=40,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """One built store + one live server shared by the read-only tests."""
+    db = str(tmp_path_factory.mktemp("serve") / "lib.sqlite")
+    store = DesignStore(db)
+    build_library(store, SPEC, max_workers=1, executor="thread")
+    server = create_server(db, port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield store, ServeContext(store=store), \
+        f"http://127.0.0.1:{server.server_port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), dict(err.headers)
+
+
+# ----------------------------------------------------------------------
+# Routing + validation primitives
+# ----------------------------------------------------------------------
+def test_match_path_templates():
+    route, params = match_path(ROUTES, "/v1/designs/abc123")
+    assert route.name == "design" and params == {"design_id": "abc123"}
+    assert match_path(ROUTES, "/v1/designs/a/b") == (None, {})
+    assert match_path(ROUTES, "/v1/designs/") == (None, {})
+    assert match_path(ROUTES, "/nope") == (None, {})
+
+
+def test_param_coercion():
+    assert Param("w", "integer").coerce("8") == 8
+    assert Param("e", "number").coerce("1.5") == 1.5
+    assert Param("s", "boolean").coerce("TRUE") is True
+    assert Param("s", "boolean").coerce("0") is False
+    for bad in [("w", "integer", "4.5"), ("e", "number", "nan"),
+                ("e", "number", "inf"), ("s", "boolean", "maybe")]:
+        with pytest.raises(ValueError, match=f"parameter '{bad[0]}'"):
+            Param(bad[0], bad[1]).coerce(bad[2])
+    with pytest.raises(ValueError, match="one of"):
+        Param("m", "string", enum=("a", "b")).coerce("c")
+    # Enum binds for non-string types too (checked on the wire value).
+    assert Param("w", "integer", enum=("4", "8")).coerce("8") == 8
+    with pytest.raises(ValueError, match="one of"):
+        Param("w", "integer", enum=("4", "8")).coerce("16")
+    with pytest.raises(ValueError, match="unknown type"):
+        Param("x", "float")
+
+
+# ----------------------------------------------------------------------
+# Endpoints (through the HTTP-independent dispatcher)
+# ----------------------------------------------------------------------
+def test_healthz(served):
+    store, ctx, _ = served
+    r = handle(ctx, "GET", "/healthz")
+    assert r.status == 200
+    body = r.json()
+    assert body["status"] == "ok"
+    assert body["designs"] == store.count() > 0
+    assert set(body["cache"]) == {"entries", "maxsize", "hits", "misses"}
+
+
+def test_best_round_trip(served):
+    store, ctx, _ = served
+    r = handle(ctx, "GET", "/v1/best",
+               f"width={W}&max_error_percent=5&minimize=area")
+    assert r.status == 200
+    design = r.json()["design"]
+    record = best(store, "multiplier", W, "wmed",
+                  max_error_percent=5.0, minimize="area")
+    assert design == json.loads(json.dumps(record_to_json(record)))
+    # Units-bearing derived fields are present and consistent.
+    assert design["error_percent"] == pytest.approx(100 * design["error"])
+    assert design["power_mw"] == pytest.approx(design["power_uw"] / 1000)
+
+
+def test_best_no_match_is_404(served):
+    _, ctx, _ = served
+    r = handle(ctx, "GET", "/v1/best", f"width={W}&max_error_percent=-1")
+    assert r.status == 404
+    err = r.json()["error"]
+    assert err["code"] == 404 and err["status"] == "Not Found"
+    # A different width with no designs at all is also a 404, not a 500.
+    assert handle(ctx, "GET", "/v1/best", "width=7").status == 404
+
+
+def test_front_round_trip_and_empty(served):
+    store, ctx, _ = served
+    r = handle(ctx, "GET", "/v1/front", f"width={W}")
+    assert r.status == 200
+    body = r.json()
+    records = front(store, "multiplier", W, "wmed")
+    assert body["count"] == len(records) >= 1
+    errors = [d["error"] for d in body["designs"]]
+    assert errors == sorted(errors)
+    # Empty selection: 200 with an empty collection, not an error.
+    r = handle(ctx, "GET", "/v1/front", "width=7")
+    assert r.status == 200 and r.json() == {"count": 0, "designs": []}
+
+
+def test_stats_endpoint(served):
+    store, ctx, _ = served
+    r = handle(ctx, "GET", "/v1/stats")
+    assert r.status == 200
+    body = r.json()
+    assert body["designs"] == store.count()
+    assert {g["component"] for g in body["groups"]} == {"multiplier"}
+
+
+def test_design_endpoint_formats(served):
+    store, ctx, _ = served
+    record = store.select()[0]
+    prefix = record.design_id[:10]
+    r = handle(ctx, "GET", f"/v1/designs/{prefix}")
+    assert r.status == 200
+    assert r.json()["designs"][0]["design_id"] == record.design_id
+
+    r = handle(ctx, "GET", f"/v1/designs/{prefix}", "format=verilog")
+    assert r.status == 200
+    assert r.content_type.startswith("text/x-verilog")
+    text = r.body.decode()
+    assert text.startswith("module ") and text.rstrip().endswith("endmodule")
+
+    r = handle(ctx, "GET", f"/v1/designs/{prefix}", "format=netlist")
+    assert r.status == 200
+    served_net = netlist_from_dict(r.json())
+    assert (truth_table(served_net, signed=False)
+            == truth_table(record_netlist(record), signed=False)).all()
+
+    assert handle(ctx, "GET", "/v1/designs/zzzz").status == 404
+    r = handle(ctx, "GET", f"/v1/designs/{prefix}", "format=vhdl")
+    assert r.status == 422
+
+
+def test_design_artifacts_reject_ambiguous_prefix(tmp_path):
+    """Artifact formats must not pick one of several distinct designs."""
+    db = str(tmp_path / "amb.sqlite")
+    store = DesignStore(db)
+    base = dict(
+        component="multiplier", width=W, signed=False, metric="wmed",
+        dist="Du", threshold_percent=1.0, delay_ps=1.0, wmed=0.1,
+        med=0.1, mred=0.1, error_rate=0.5, worst_case=1, bias=0.0,
+        gates=3, chromosome="{stub}",
+    )
+    store.add(DesignRecord(design_id="ab" + "0" * 30, error=0.01,
+                           area=10.0, power_uw=5.0, pdp=2.0, **base))
+    store.add(DesignRecord(design_id="ab" + "f" * 30, error=0.02,
+                           area=5.0, power_uw=2.0, pdp=1.0, **base))
+    ctx = ServeContext(store=store)
+    # json lists both; artifacts refuse the ambiguity.
+    assert handle(ctx, "GET", "/v1/designs/ab").json()["count"] == 2
+    r = handle(ctx, "GET", "/v1/designs/ab", "format=verilog")
+    assert r.status == 409
+    assert "ambiguous" in r.json()["error"]["message"]
+    # A full-length prefix is unambiguous again.
+    r = handle(ctx, "GET", "/v1/designs/" + "ab" + "0" * 30,
+               "format=netlist")
+    assert r.status != 409
+
+
+def test_validation_errors(served):
+    _, ctx, _ = served
+    cases = {
+        "width=abc": "must be an integer",
+        "width=3&max_error_percent=lots": "must be a number",
+        "width=3&signed=perhaps": "must be a boolean",
+        "width=3&minimize=delay": "must be one of area, power, pdp",
+        "width=3&metric=psnr": "unknown error metric",
+        "width=3&component=divider": "unknown component",
+        "width=3&bogus=1": "unknown parameter",
+        "width=3&width=4": "more than once",
+        "": "missing required parameter 'width'",
+    }
+    for query, fragment in cases.items():
+        r = handle(ctx, "GET", "/v1/best", query)
+        assert r.status == 422, query
+        assert fragment in r.json()["error"]["message"], query
+
+
+def test_unknown_path_and_method(served):
+    _, ctx, _ = served
+    assert handle(ctx, "GET", "/v2/best", "width=3").status == 404
+    r = handle(ctx, "POST", "/v1/best", "width=3")
+    assert r.status == 405 and ("Allow", "GET") in r.headers
+    # HEAD is GET without a body — not a 405.
+    assert handle(ctx, "HEAD", "/healthz").status == 200
+
+
+def test_exotic_methods_keep_the_json_envelope(served):
+    """OPTIONS and unknown verbs must not fall back to HTML errors."""
+    import http.client
+
+    _, _, base = served
+    host = base.split("//", 1)[1]
+    for method, expected in (("OPTIONS", 405), ("BREW", 501)):
+        conn = http.client.HTTPConnection(host, timeout=10)
+        try:
+            conn.request(method, "/v1/best?width=3")
+            resp = conn.getresponse()
+            assert resp.status == expected, method
+            assert resp.headers["Content-Type"] == "application/json"
+            assert json.loads(resp.read())["error"]["code"] == expected
+        finally:
+            conn.close()
+
+
+def test_falsy_param_defaults_are_applied():
+    from repro.serve.api import validate_query
+    from repro.serve.routes import Route
+
+    route = Route(
+        "GET", "/x", "x", "s", lambda *a: None,
+        params=(Param("flag", "boolean", default=False),
+                Param("n", "integer", default=0)),
+    )
+    assert validate_query(route, []) == {"flag": False, "n": 0}
+
+
+def test_openapi_matches_route_table(served):
+    _, ctx, _ = served
+    r = handle(ctx, "GET", "/openapi.json")
+    assert r.status == 200
+    spec = r.json()
+    assert spec == generate_openapi()
+    assert set(spec["paths"]) == {route.path for route in ROUTES}
+    for route in ROUTES:
+        operation = spec["paths"][route.path][route.method.lower()]
+        assert operation["operationId"] == route.name
+        wire_names = {p["name"] for p in operation["parameters"]
+                      if p["in"] == "query"}
+        assert wire_names == {p.name for p in route.params}
+    # The committed Markdown reference names every route too.
+    markdown = generate_markdown()
+    for route in ROUTES:
+        assert f"`{route.method} {route.path}`" in markdown
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+def test_response_cache_lru_and_disable():
+    cache = ResponseCache(maxsize=2)
+    cache.put("a", 1), cache.put("b", 2)
+    assert cache.get("a") == 1
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.get("b") is None and cache.get("a") == 1
+    assert cache.stats()["entries"] == 2
+    off = ResponseCache(maxsize=0)
+    off.put("a", 1)
+    assert off.get("a") is None and len(off) == 0
+    with pytest.raises(ValueError, match=">= 0"):
+        ResponseCache(maxsize=-1)
+
+
+def test_cache_hit_and_invalidation_on_write(tmp_path):
+    db = str(tmp_path / "lib.sqlite")
+    store = DesignStore(db)
+    build_library(store, SPEC, max_workers=1, executor="thread")
+    ctx = ServeContext(store=store)
+
+    query = f"width={W}&max_error_percent=5"
+    first = handle(ctx, "GET", "/v1/best", query)
+    again = handle(ctx, "GET", "/v1/best", query)
+    assert ("X-Cache", "miss") in first.headers
+    assert ("X-Cache", "hit") in again.headers
+    assert again.body == first.body
+
+    # A store write (here: a fabricated record that dominates the whole
+    # group) must invalidate without any notification to the server.
+    baseline = json.loads(first.body.decode())["design"]
+    dominator = DesignRecord(
+        design_id="f" * 32, component="multiplier", width=W, signed=False,
+        metric="wmed", dist=baseline["dist"], threshold_percent=1.0,
+        error=0.0, area=1.0, power_uw=1.0, delay_ps=1.0, pdp=0.001,
+        wmed=0.0, med=0.0, mred=0.0, error_rate=0.0, worst_case=0,
+        bias=0.0, gates=1, chromosome="{stub}",
+    )
+    assert store.add(dominator) == "added"
+    fresh = handle(ctx, "GET", "/v1/best", query)
+    assert ("X-Cache", "miss") in fresh.headers
+    assert fresh.json()["design"]["design_id"] == "f" * 32
+
+
+def test_uncached_routes_have_no_cache_header(served):
+    _, ctx, _ = served
+    assert not any(h == "X-Cache"
+                   for h, _ in handle(ctx, "GET", "/healthz").headers)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+def test_http_round_trip(served):
+    store, _, base = served
+    status, body, headers = _get(base, f"/v1/best?width={W}")
+    assert status == 200
+    assert headers["Content-Type"] == "application/json"
+    assert body["design"]["component"] == "multiplier"
+    status, body, _ = _get(base, f"/v1/best?width={W}&metric=nope")
+    assert status == 422 and body["error"]["code"] == 422
+    status, body, _ = _get(base, "/no/such/path")
+    assert status == 404
+
+
+def test_http_head_has_no_body(served):
+    _, _, base = served
+    request = urllib.request.Request(base + "/healthz", method="HEAD")
+    with urllib.request.urlopen(request) as resp:
+        assert resp.status == 200
+        assert int(resp.headers["Content-Length"]) > 0
+        assert resp.read() == b""
+
+
+def test_concurrent_reads_race_a_writer(tmp_path):
+    """GETs must stay clean while `library build` writes the same store."""
+    db = str(tmp_path / "race.sqlite")
+    store = DesignStore(db)
+    build_library(store, SPEC, max_workers=1, executor="thread")
+    server = create_server(db, port=0, quiet=True)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base = f"http://127.0.0.1:{server.server_port}"
+    failures = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            for path in (f"/v1/front?width={W}", "/v1/stats", "/healthz"):
+                status, body, _ = _get(base, path)
+                if status != 200:
+                    failures.append((path, status, body))
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    try:
+        # New cells (extra thresholds) force real writes into the store
+        # the readers are hammering.
+        more = BuildSpec(
+            components=("multiplier",), metrics=("wmed",), widths=(W,),
+            thresholds_percent=(2.0, 5.0, 1.0, 3.0), generations=40, seed=3,
+        )
+        report = build_library(store, more, max_workers=1, executor="thread")
+        assert report.cells_run == 2
+        # Post-build queries reflect the new store state (the cache
+        # invalidated itself off the file mtime).
+        status, body, _ = _get(base, "/v1/stats")
+        assert status == 200 and body["cells_completed"] == 4
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+        server.shutdown()
+        server.server_close()
+    assert failures == []
+
+
+def test_post_body_does_not_corrupt_keepalive_connection(served):
+    """An unread request body must not be parsed as the next request."""
+    import http.client
+
+    _, _, base = served
+    host = base.split("//", 1)[1]
+    conn = http.client.HTTPConnection(host, timeout=10)
+    try:
+        conn.request("POST", "/v1/best?width=3", body=b'{"x": 1}',
+                     headers={"Content-Type": "application/json"})
+        first = conn.getresponse()
+        assert first.status == 405
+        first.read()
+        # Same (kept-alive) connection: the next request must parse
+        # cleanly and return canonical JSON, not an HTML 400.
+        conn.request("GET", "/healthz")
+        second = conn.getresponse()
+        assert second.status == 200
+        assert json.loads(second.read())["status"] == "ok"
+    finally:
+        conn.close()
+
+
+def test_create_server_rejects_bad_workers(tmp_path):
+    with pytest.raises(ValueError, match="workers"):
+        create_server(str(tmp_path / "x.sqlite"), port=0, workers=0)
+    # The failed construction must not leave a bound socket behind:
+    # the same ephemeral-port request pattern keeps working.
+    server = create_server(str(tmp_path / "x.sqlite"), port=0, workers=1)
+    server.server_close()
+
+
+def test_cli_serve_requires_existing_store(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="no design store"):
+        main(["serve", "--db", str(tmp_path / "missing.sqlite"),
+              "--port", "0"])
+
+
+def test_cli_serve_bind_failure_is_one_line(served, tmp_path):
+    """A port conflict is an operator error: SystemExit, no traceback."""
+    from repro.cli import main
+
+    _, _, base = served
+    taken = int(base.rsplit(":", 1)[1])
+    db = str(tmp_path / "bind.sqlite")
+    DesignStore(db)
+    with pytest.raises(SystemExit, match="cannot serve on"):
+        main(["serve", "--db", db, "--port", str(taken)])
