@@ -388,7 +388,7 @@ def evolve_front(
             practice); the first run always starts from the exact seed.
         engine: Evaluation path, see :func:`make_objective`.
         component: Registered component name (``multiplier``, ``adder``,
-            ``mac``).
+            ``mac``, ``divider``, ``subtractor``, ``barrel-shifter``).
         metric: Error metric driving Eq. (1).
 
     Returns:
@@ -434,7 +434,12 @@ def _characterize_evolved(
 ) -> DesignPoint:
     """Name + characterize one evolved survivor (shared by all sweeps)."""
     comp = get_component(component)
-    prefix = {"multiplier": "mul"}.get(comp.name, comp.name)
+    prefix = {
+        "multiplier": "mul",
+        "subtractor": "sub",
+        "divider": "div",
+        "barrel-shifter": "shl",
+    }.get(comp.name, comp.name)
     netlist = result.best.to_netlist(
         name=f"{prefix}{width}_{design_dist.name}_{metric}{level:g}"
     )

@@ -1,4 +1,9 @@
-"""Exact arithmetic circuit generators (adders, multipliers, MAC units)."""
+"""Exact arithmetic circuit generators.
+
+Adders, subtractors, multipliers, dividers, barrel shifters and MAC
+units — the seed circuits of the component registry
+(:mod:`repro.core.components`) plus their reusable building blocks.
+"""
 
 from .adders import (
     build_ripple_carry_adder,
@@ -6,6 +11,7 @@ from .adders import (
     half_adder,
     ripple_carry_adder,
 )
+from .dividers import build_restoring_divider
 from .mac import accumulator_width, build_mac
 from .multipliers import (
     build_array_multiplier,
@@ -15,12 +21,26 @@ from .multipliers import (
     partial_product_columns,
     reduce_columns,
 )
+from .shifters import build_barrel_shifter, shift_amount_bits
+from .subtractors import (
+    borrow_ripple_subtractor,
+    build_borrow_ripple_subtractor,
+    full_subtractor,
+    half_subtractor,
+)
 
 __all__ = [
     "build_ripple_carry_adder",
     "full_adder",
     "half_adder",
     "ripple_carry_adder",
+    "borrow_ripple_subtractor",
+    "build_borrow_ripple_subtractor",
+    "full_subtractor",
+    "half_subtractor",
+    "build_restoring_divider",
+    "build_barrel_shifter",
+    "shift_amount_bits",
     "accumulator_width",
     "build_mac",
     "build_array_multiplier",

@@ -1,0 +1,66 @@
+"""Exact unsigned divider generator (restoring array).
+
+The classic combinational restoring-array divider: one row per quotient
+bit, each row shifting the next dividend bit into the partial remainder,
+trial-subtracting the divisor (:func:`.subtractors.borrow_ripple_subtractor`)
+and restoring the pre-subtraction remainder through a borrow-controlled
+mux when the trial goes negative.  The quotient bit is the complement of
+the row's borrow-out.
+
+Division by zero never borrows, so every quotient bit restores to 1 and
+the array naturally realizes the ``x / 0 := 2**width - 1`` (all-ones)
+convention that the ``divider`` component's closed-form reference
+(:mod:`repro.core.components`) encodes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist import Netlist
+from .subtractors import borrow_ripple_subtractor
+
+__all__ = ["build_restoring_divider"]
+
+
+def build_restoring_divider(width: int) -> Netlist:
+    """Standalone exact ``width``-bit unsigned restoring-array divider.
+
+    Inputs are laid out ``[x0..x(w-1), y0..y(w-1)]`` (dividend ``x``,
+    divisor ``y``, LSB first); the outputs are the ``width`` quotient
+    bits of ``x // y`` LSB first, with ``x / 0 = 2**width - 1``
+    (all-ones) for every ``x`` — the convention a restoring array
+    produces for free, since a zero divisor never borrows.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    net = Netlist(num_inputs=2 * width, name=f"div{width}")
+    x_bits = list(range(width))
+    y_bits = list(range(width, 2 * width))
+    zero = net.add_gate("CONST0")
+    # The trial subtraction runs over width + 1 bits: the shifted-in
+    # partial remainder is < 2 * divisor <= 2**(w+1) - 2.
+    divisor = y_bits + [zero]
+    remainder: List[int] = [zero] * width
+    quotient: List[int] = [0] * width
+    for i in reversed(range(width)):
+        shifted = [x_bits[i]] + remainder  # 2 * remainder + x_i
+        trial, borrow = borrow_ripple_subtractor(net, shifted, divisor)
+        q = net.add_gate("NOT", borrow)
+        quotient[i] = q
+        # Restore: keep the pre-subtraction remainder when the trial
+        # went negative — per bit ``borrow ? shifted : trial``, with the
+        # quotient bit doubling as the mux's inverted select.  The low
+        # ``width`` bits always suffice: a successful trial leaves
+        # remainder < divisor, a restored one the (< divisor) shifted
+        # value.
+        remainder = [
+            net.add_gate(
+                "OR",
+                net.add_gate("AND", shifted[j], borrow),
+                net.add_gate("AND", trial[j], q),
+            )
+            for j in range(width)
+        ]
+    net.set_outputs(quotient)
+    return net

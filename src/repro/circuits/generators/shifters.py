@@ -1,0 +1,63 @@
+"""Exact barrel shifter generator (logarithmic mux stages).
+
+A ``width``-bit logical-left barrel shifter as ``ceil(log2(width))``
+mux stages: stage ``k`` shifts by ``2**k`` when shift-amount bit ``k``
+is set, so any amount in ``[0, 2**sbits)`` resolves in ``sbits`` gate
+levels instead of a ``width``-deep shift chain.  Each stage bit is one
+2:1 mux (AND/AND/OR over a per-stage inverted select) choosing between
+the unshifted and the ``2**k``-shifted signal; positions below the
+shift distance select constant 0 (logical shift), realized as a single
+AND with the inverted select.
+
+The shift amount is taken from the low :func:`shift_amount_bits` bits
+of operand B — the convention the ``barrel-shifter``
+:class:`~repro.core.components.ComponentSpec` reference encodes; B's
+higher bits are ignored (they fall outside the output cone).
+"""
+
+from __future__ import annotations
+
+from ..netlist import Netlist
+
+__all__ = ["shift_amount_bits", "build_barrel_shifter"]
+
+
+def shift_amount_bits(width: int) -> int:
+    """Shift-amount bit count ``max(1, ceil(log2(width)))``.
+
+    Enough bits to express every distinct logical-left shift of a
+    ``width``-bit word (amounts ``>= width`` all yield 0, so more bits
+    add nothing); at least one bit so a 1-bit shifter still shifts.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return max(1, (width - 1).bit_length())
+
+
+def build_barrel_shifter(width: int) -> Netlist:
+    """Standalone exact ``width``-bit logical-left barrel shifter.
+
+    Inputs are laid out ``[a0..a(w-1), b0..b(w-1)]`` (LSB first); the
+    outputs are the ``width`` bits of ``(a << s) mod 2**width`` LSB
+    first, where ``s`` is the low :func:`shift_amount_bits` bits of
+    operand B.
+    """
+    sbits = shift_amount_bits(width)
+    net = Netlist(num_inputs=2 * width, name=f"shl{width}")
+    current = list(range(width))  # operand A
+    for k in range(sbits):
+        select = width + k  # shift-amount bit b_k
+        keep = net.add_gate("NOT", select)  # shared across the stage
+        step = 1 << k
+        current = [
+            net.add_gate(
+                "OR",
+                net.add_gate("AND", current[j - step], select),
+                net.add_gate("AND", current[j], keep),
+            )
+            if j >= step
+            else net.add_gate("AND", current[j], keep)  # 0 shifted in
+            for j in range(width)
+        ]
+    net.set_outputs(current)
+    return net

@@ -1,0 +1,103 @@
+"""Exact subtractor generators.
+
+Mirrors :mod:`.adders`: the cell builders (:func:`half_subtractor`,
+:func:`full_subtractor`, :func:`borrow_ripple_subtractor`) append gate
+structures to an existing netlist and return the produced signal
+addresses, and :func:`build_borrow_ripple_subtractor` wraps them into a
+standalone component with the standard two-operand interface.  The
+restoring-array divider (:mod:`.dividers`) reuses the ripple chain as
+its per-row trial subtractor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import Netlist
+
+__all__ = [
+    "half_subtractor",
+    "full_subtractor",
+    "borrow_ripple_subtractor",
+    "build_borrow_ripple_subtractor",
+]
+
+
+def half_subtractor(net: Netlist, a: int, b: int) -> Tuple[int, int]:
+    """Append ``a - b``; return ``(difference, borrow)`` addresses."""
+    d = net.add_gate("XOR", a, b)
+    na = net.add_gate("NOT", a)
+    borrow = net.add_gate("AND", na, b)  # ~a & b
+    return d, borrow
+
+
+def full_subtractor(net: Netlist, a: int, b: int, bin_: int) -> Tuple[int, int]:
+    """Append ``a - b - bin``; return ``(difference, borrow)`` addresses.
+
+    The dual of the full adder, built from the paper's function set
+    (identity/inversion/two-input gates):
+    ``borrow = (~a & b) | (~(a ^ b) & bin)``.
+    """
+    axb = net.add_gate("XOR", a, b)
+    d = net.add_gate("XOR", axb, bin_)
+    na = net.add_gate("NOT", a)
+    t1 = net.add_gate("AND", na, b)  # ~a & b
+    nx = net.add_gate("NOT", axb)
+    t2 = net.add_gate("AND", nx, bin_)  # ~(a ^ b) & bin
+    borrow = net.add_gate("OR", t1, t2)
+    return d, borrow
+
+
+def borrow_ripple_subtractor(
+    net: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    bin_: Optional[int] = None,
+) -> Tuple[List[int], int]:
+    """Append a borrow-ripple subtractor over two equal-width operands.
+
+    Args:
+        net: Netlist to extend.
+        a_bits: LSB-first signal addresses of the minuend A.
+        b_bits: LSB-first signal addresses of the subtrahend B.
+        bin_: Optional borrow-in signal; omitted means borrow-in of 0
+            (the first stage degenerates to a half subtractor).
+
+    Returns:
+        ``(difference_bits, borrow_out)`` where ``difference_bits`` is
+        LSB-first, same width as the operands, and holds
+        ``(A - B) mod 2**width``; ``borrow_out`` is 1 iff ``A < B``.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand widths differ")
+    if not a_bits:
+        raise ValueError("zero-width subtractor")
+    diffs: List[int] = []
+    borrow = bin_
+    for a, b in zip(a_bits, b_bits):
+        if borrow is None:
+            d, borrow = half_subtractor(net, a, b)
+        else:
+            d, borrow = full_subtractor(net, a, b, borrow)
+        diffs.append(d)
+    return diffs, borrow
+
+
+def build_borrow_ripple_subtractor(width: int) -> Netlist:
+    """Standalone exact ``width``-bit wrap-around subtractor netlist.
+
+    Inputs are laid out ``[a0..a(w-1), b0..b(w-1)]``; the outputs are
+    the difference bits LSB-first followed by the borrow-out.  Read as
+    one unsigned ``width + 1``-bit word, the output is
+    ``(a - b) mod 2**(width + 1)`` — the two's-complement encoding of
+    ``a - b`` wrapped to ``width + 1`` bits (the borrow-out doubles as
+    the sign bit).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    net = Netlist(num_inputs=2 * width, name=f"sub{width}")
+    a_bits = list(range(width))
+    b_bits = list(range(width, 2 * width))
+    diffs, borrow = borrow_ripple_subtractor(net, a_bits, b_bits)
+    net.set_outputs(list(diffs) + [borrow])
+    return net

@@ -3,12 +3,14 @@
 Subcommands:
 
 * ``evolve`` — run the error-constrained CGP approximation of a
-  component (``--component {multiplier,adder,mac}``, ``--metric
-  {wmed,med,mred,error-rate,worst-case}``) and write the result as a CGP
-  chromosome string (plus a summary line),
+  component (``--component
+  {multiplier,adder,mac,divider,subtractor,barrel-shifter}``,
+  ``--metric {wmed,med,mred,error-rate,worst-case}``) and write the
+  result as a CGP chromosome string (plus a summary line),
 * ``characterize`` — electrical + error report for a saved chromosome;
   the component kind and operand width are detected from the chromosome
-  interface (override with ``--component``),
+  interface when the shape is unambiguous (``--component`` is required
+  when several components share it, e.g. adder/subtractor),
 * ``export-verilog`` — emit structural Verilog for a saved chromosome,
 * ``library`` — the persistent design library
   (:mod:`repro.library`): ``library build`` runs or resumes a grid
@@ -27,9 +29,11 @@ Distributions are named on the command line: ``uniform``, ``d1``, ``d2``,
 ``half-normal:<sigma>`` or ``normal:<mean>:<std>``; they weight the
 ``x`` operand (the low input bits) of any component.
 
-Component notes: the ``adder`` component is unsigned (``--unsigned`` is
-implied); the ``mac`` objective is exhaustive over ``2**(4w+1)``
-vectors, so it supports ``--width`` up to 5.
+Component notes: the ``adder``, ``divider``, ``subtractor`` and
+``barrel-shifter`` components are unsigned (``--unsigned`` is implied);
+the ``divider`` uses the ``x / 0 := all-ones`` convention; the ``mac``
+objective is exhaustive over ``2**(4w+1)`` vectors, so it supports
+``--width`` up to 5.
 """
 
 from __future__ import annotations
@@ -131,14 +135,25 @@ def _resolve_component(
                 f"{comp.name} component"
             )
     else:
-        match = infer_component(net.num_inputs, net.num_outputs)
-        if match is None:
+        matches = infer_component(net.num_inputs, net.num_outputs)
+        if not matches:
             raise SystemExit(
                 f"cannot infer a component from the {net.num_inputs} -> "
                 f"{net.num_outputs}-bit interface; pass --component "
                 f"{{{','.join(COMPONENTS)}}}"
             )
-        comp, width = match
+        if len(matches) > 1:
+            # Shape collisions are real (adder/subtractor share
+            # 2w -> w+1, divider/barrel-shifter share 2w -> w):
+            # guessing would silently characterize against the wrong
+            # reference, so demand an explicit choice.
+            names = ", ".join(m.name for m, _ in matches)
+            raise SystemExit(
+                f"the {net.num_inputs} -> {net.num_outputs}-bit "
+                f"interface is ambiguous: it matches {len(matches)} "
+                f"components ({names}); pass --component to pick one"
+            )
+        comp, width = matches[0]
     # Same guard as evolve: an exhaustive table over this interface must
     # be practical before we build it.
     try:
@@ -395,8 +410,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--component",
         choices=tuple(COMPONENTS),
         default="multiplier",
-        help="datapath component to approximate (adder is unsigned; "
-        "mac supports width <= 5)",
+        help="datapath component to approximate (adder/divider/"
+        "subtractor/barrel-shifter are unsigned; mac supports "
+        "width <= 5)",
     )
     p_ev.add_argument(
         "--metric",
@@ -430,7 +446,8 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("auto",) + tuple(COMPONENTS),
         default="auto",
         help="component kind (auto = detect from the chromosome "
-        "interface shape)",
+        "interface shape; an ambiguous shape, e.g. adder/subtractor, "
+        "demands an explicit choice)",
     )
     p_ch.add_argument("--dist", default="uniform")
     p_ch.add_argument("--unsigned", action="store_true")
@@ -457,7 +474,9 @@ def _build_parser() -> argparse.ArgumentParser:
     add_db(p_lb)
     p_lb.add_argument(
         "--components", default="multiplier",
-        help="comma list, e.g. multiplier,adder (adder needs --unsigned)",
+        help="comma list from "
+        f"{{{','.join(COMPONENTS)}}} "
+        "(all but multiplier and mac need --unsigned)",
     )
     p_lb.add_argument(
         "--metrics", default="wmed",

@@ -6,13 +6,16 @@ from .components import (
     COMPONENTS,
     ComponentSpec,
     adder_objective,
+    barrel_shifter_objective,
     component_names,
     component_objective,
+    divider_objective,
     get_component,
     infer_component,
     mac_objective,
     multiplier_objective,
     netlist_objective,
+    subtractor_objective,
 )
 from .evolution import EvolutionConfig, EvolutionResult, evolve
 from .fitness import EvalResult, MultiplierFitness
@@ -31,13 +34,16 @@ __all__ = [
     "COMPONENTS",
     "ComponentSpec",
     "adder_objective",
+    "barrel_shifter_objective",
     "component_names",
     "component_objective",
+    "divider_objective",
     "get_component",
     "infer_component",
     "mac_objective",
     "multiplier_objective",
     "netlist_objective",
+    "subtractor_objective",
     "CGP_FUNCTION_SET",
     "CGPParams",
     "Chromosome",

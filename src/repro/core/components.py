@@ -11,10 +11,24 @@ stack needs to approximate a component is derived from one
 * ``adder`` — ``2w -> w+1`` bits, unsigned sums with carry-out;
 * ``mac`` — ``[x, y, acc] -> acc'`` multiply-accumulate slice with a
   ``2w+1``-bit accumulator (depth-2 sizing); exhaustive over
-  ``2**(4w+1)`` vectors, so it is practical for ``w <= 5``.
+  ``2**(4w+1)`` vectors, so it is practical for ``w <= 5``;
+* ``divider`` — ``2w -> w`` bits, unsigned quotients ``x // y`` with the
+  ``x / 0 := 2**w - 1`` (all-ones) convention;
+* ``subtractor`` — ``2w -> w+1`` bits, wrap-around two's-complement
+  differences ``(x - y) mod 2**(w+1)``;
+* ``barrel-shifter`` — ``2w -> w`` bits, logical left shifts
+  ``(x << s) mod 2**w`` with ``s`` the low ``max(1, ceil(log2(w)))``
+  bits of operand ``y``.
 
 ``netlist_objective`` covers anything else: it takes an arbitrary exact
 netlist and uses its simulated truth table as the reference.
+
+Interface shapes are not unique: the subtractor shares the adder's
+``2w -> w+1`` shape, the barrel shifter the divider's ``2w -> w``.
+:func:`infer_component` therefore returns *every* matching
+``(component, width)`` pair and callers that need exactly one (e.g. the
+CLI ``characterize`` command) must ask the user to disambiguate instead
+of silently picking the first.
 """
 
 from __future__ import annotations
@@ -45,6 +59,9 @@ __all__ = [
     "multiplier_objective",
     "adder_objective",
     "mac_objective",
+    "divider_objective",
+    "subtractor_objective",
+    "barrel_shifter_objective",
     "netlist_objective",
 ]
 
@@ -73,7 +90,8 @@ class ComponentSpec:
     """Everything the search stack needs to know about one component.
 
     Attributes:
-        name: Registry key (``"multiplier"``, ``"adder"``, ``"mac"``).
+        name: Registry key (``"multiplier"``, ``"adder"``, ``"mac"``,
+            ``"divider"``, ``"subtractor"``, ``"barrel-shifter"``).
         num_inputs: ``width -> ni`` of the standard interface.
         num_outputs: ``width -> no`` of the standard interface.
         build_seed: ``(width, signed) -> Netlist`` exact seed circuit.
@@ -162,6 +180,60 @@ def _mac_reference(width: int, signed: bool) -> np.ndarray:
     return _wrap(acc + x * y, acc_width, signed)
 
 
+def _operand_grids(width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Unsigned ``(x, y)`` operand values for every input vector."""
+    v = np.arange(1 << (2 * width), dtype=np.int64)
+    return v & ((1 << width) - 1), v >> width
+
+
+def _divider_seed(width: int, signed: bool) -> Netlist:
+    from ..circuits.generators import build_restoring_divider
+
+    return build_restoring_divider(width)
+
+
+def _divider_reference(width: int, signed: bool) -> np.ndarray:
+    """``x // y`` with ``x / 0 = 2**width - 1`` (all-ones), vector order.
+
+    The all-ones convention is what a restoring array produces for free
+    (a zero divisor never borrows, so every quotient bit restores to 1);
+    encoding it here keeps the closed form equal to the seed circuit.
+    """
+    x, y = _operand_grids(width)
+    return np.where(y == 0, (1 << width) - 1, x // np.maximum(y, 1))
+
+
+def _subtractor_seed(width: int, signed: bool) -> Netlist:
+    from ..circuits.generators import build_borrow_ripple_subtractor
+
+    return build_borrow_ripple_subtractor(width)
+
+
+def _subtractor_reference(width: int, signed: bool) -> np.ndarray:
+    """``(x - y) mod 2**(width + 1)``, vector order.
+
+    The two's-complement encoding of ``x - y`` wrapped to ``w + 1``
+    bits: the borrow-out doubles as the sign bit, read unsigned.
+    """
+    x, y = _operand_grids(width)
+    return (x - y) & ((1 << (width + 1)) - 1)
+
+
+def _shifter_seed(width: int, signed: bool) -> Netlist:
+    from ..circuits.generators import build_barrel_shifter
+
+    return build_barrel_shifter(width)
+
+
+def _shifter_reference(width: int, signed: bool) -> np.ndarray:
+    """``(x << s) mod 2**width``, ``s`` = low shift bits of ``y``."""
+    from ..circuits.generators import shift_amount_bits
+
+    x, y = _operand_grids(width)
+    s = y & ((1 << shift_amount_bits(width)) - 1)
+    return (x << s) & ((1 << width) - 1)
+
+
 COMPONENTS: Dict[str, ComponentSpec] = {
     "multiplier": ComponentSpec(
         name="multiplier",
@@ -190,6 +262,33 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         supports_signed=True,
         max_width=_MAC_MAX_WIDTH,
     ),
+    "divider": ComponentSpec(
+        name="divider",
+        num_inputs=lambda w: 2 * w,
+        num_outputs=lambda w: w,
+        build_seed=_divider_seed,
+        reference=_divider_reference,
+        supports_signed=False,
+        max_width=10,
+    ),
+    "subtractor": ComponentSpec(
+        name="subtractor",
+        num_inputs=lambda w: 2 * w,
+        num_outputs=lambda w: w + 1,
+        build_seed=_subtractor_seed,
+        reference=_subtractor_reference,
+        supports_signed=False,
+        max_width=10,
+    ),
+    "barrel-shifter": ComponentSpec(
+        name="barrel-shifter",
+        num_inputs=lambda w: 2 * w,
+        num_outputs=lambda w: w,
+        build_seed=_shifter_seed,
+        reference=_shifter_reference,
+        supports_signed=False,
+        max_width=10,
+    ),
 }
 
 
@@ -212,20 +311,24 @@ def get_component(spec) -> ComponentSpec:
 
 def infer_component(
     num_inputs: int, num_outputs: int
-) -> Optional[Tuple[ComponentSpec, int]]:
-    """Guess ``(component, width)`` from an interface shape.
+) -> Tuple[Tuple[ComponentSpec, int], ...]:
+    """Every ``(component, width)`` matching an interface shape.
 
-    Checked in registry order (multiplier, adder, mac); returns ``None``
-    when no registered component matches.  The degenerate ``2 -> 2``-bit
-    shape is ambiguous between a 1-bit multiplier and a 1-bit adder —
-    registry order picks the multiplier; pass the component explicitly
-    (e.g. ``--component adder`` on the CLI) to override.
+    Checked in registry order; returns an empty tuple when no
+    registered component matches.  Interface shapes are *not* unique —
+    a ``2w -> w+1`` netlist is both an adder and a subtractor, a
+    ``2w -> w`` netlist both a divider and a barrel shifter (and the
+    degenerate ``2 -> 2`` shape also fits a 1-bit multiplier) — so
+    callers that need exactly one component must treat a multi-element
+    result as ambiguous and ask for an explicit choice (e.g.
+    ``--component`` on the CLI) rather than silently picking the first.
     """
+    matches = []
     for comp in COMPONENTS.values():
         width = comp.infer_width(num_inputs, num_outputs)
         if width is not None:
-            return comp, width
-    return None
+            matches.append((comp, width))
+    return tuple(matches)
 
 
 # ----------------------------------------------------------------------
@@ -251,19 +354,26 @@ def multiplier_objective(
     return MultiplierFitness(width, dist, library=library, metric=metric)
 
 
-def adder_objective(
+def _unsigned_objective(
+    name: str,
     width: int,
     dist: Distribution,
-    metric: object = "wmed",
-    library: Optional[TechLibrary] = None,
+    metric: object,
+    library: Optional[TechLibrary],
 ) -> CircuitObjective:
-    """Objective for unsigned ``width``-bit adders (sum with carry-out)."""
-    comp = COMPONENTS["adder"]
+    """Shared constructor for the unsigned two-operand components.
+
+    Adder, subtractor, divider and barrel shifter all follow the same
+    recipe: closed-form reference over the standard ``[x, y]`` layout,
+    ``dist`` weighting the ``x`` operand, normalizer = max reference
+    value (the paper's percent semantics).
+    """
+    comp = COMPONENTS[name]
     comp.check_width(width)
     if dist.width != width:
         raise ValueError("distribution width must match operand width")
     if dist.signed:
-        raise ValueError("the adder component is unsigned")
+        raise ValueError(f"the {name} component is unsigned")
     reference = comp.reference(width, False)
     return CircuitObjective(
         num_inputs=comp.num_inputs(width),
@@ -273,8 +383,65 @@ def adder_objective(
         normalizer=float(reference.max()),
         metric=metric,
         library=library,
-        component="adder",
+        component=name,
     )
+
+
+def adder_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for unsigned ``width``-bit adders (sum with carry-out)."""
+    return _unsigned_objective("adder", width, dist, metric, library)
+
+
+def divider_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for unsigned ``width``-bit dividers (``x // y``).
+
+    The reference encodes the ``x / 0 := 2**width - 1`` (all-ones)
+    convention, matching the restoring-array seed circuit; ``dist``
+    weights the dividend ``x`` (the low input half).
+    """
+    return _unsigned_objective("divider", width, dist, metric, library)
+
+
+def subtractor_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for unsigned ``width``-bit wrap-around subtractors.
+
+    The ``w + 1``-bit reference is the two's-complement encoding of
+    ``x - y`` wrapped to ``2**(w+1)`` and read unsigned (borrow-out =
+    sign bit); error distances are therefore taken on the wrapped
+    encoding, not on the signed difference.
+    """
+    return _unsigned_objective("subtractor", width, dist, metric, library)
+
+
+def barrel_shifter_objective(
+    width: int,
+    dist: Distribution,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> CircuitObjective:
+    """Objective for ``width``-bit logical-left barrel shifters.
+
+    The shift amount is the low ``max(1, ceil(log2(width)))`` bits of
+    operand ``y`` (see
+    :func:`~repro.circuits.generators.shift_amount_bits`); ``dist``
+    weights the shifted operand ``x``.
+    """
+    return _unsigned_objective("barrel-shifter", width, dist, metric, library)
 
 
 def mac_objective(
@@ -311,6 +478,9 @@ _OBJECTIVE_BUILDERS = {
     "multiplier": multiplier_objective,
     "adder": adder_objective,
     "mac": mac_objective,
+    "divider": divider_objective,
+    "subtractor": subtractor_objective,
+    "barrel-shifter": barrel_shifter_objective,
 }
 
 

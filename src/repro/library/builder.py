@@ -62,7 +62,8 @@ class BuildSpec:
     ``dist`` is a distribution spec string (``uniform``, ``d1``, ``d2``,
     ``half-normal:<sigma>``, ``normal:<mean>:<std>``) instantiated per
     width.  ``signed`` selects two's-complement operands — only legal
-    when every component in the grid supports it (the adder does not).
+    when every component in the grid supports it (the adder, divider,
+    subtractor and barrel shifter do not).
     The build's results are a pure function of this spec: same spec,
     same designs, bit for bit.
     """

@@ -56,8 +56,9 @@ def best(
     store : DesignStore
         The library.
     component : str
-        Component kind (``multiplier``, ``adder``, ``mac``); aliases
-        are canonicalized via the component registry.
+        Component kind (``multiplier``, ``adder``, ``mac``,
+        ``divider``, ``subtractor``, ``barrel-shifter``); aliases are
+        canonicalized via the component registry.
     width : int
         Operand width in bits.
     metric : str

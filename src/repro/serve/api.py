@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import __version__
 from ..circuits.io import netlist_to_dict
+from ..core.components import component_names
 from ..errors.metrics import metric_names
 from ..library.export import record_netlist, record_verilog
 from ..library.query import COST_COLUMNS, best, front, stats
@@ -221,8 +222,9 @@ def _h_openapi(ctx: ServeContext, path_params, query) -> Response:
 # ----------------------------------------------------------------------
 _SELECT_PARAMS = (
     Param("component", "string", default="multiplier",
-          description="Component kind: multiplier, adder or mac "
-          "(aliases accepted, canonicalized server-side)."),
+          enum=component_names(),
+          description="Component kind; the closed vocabulary of the "
+          "component registry (anything else is a 422)."),
     Param("width", "integer", required=True,
           description="Operand width in bits."),
     Param("metric", "string", default="wmed",

@@ -33,7 +33,9 @@ __all__ = ["generate_openapi", "generate_markdown", "main"]
 _RECORD_FIELDS: Tuple[Tuple[str, str, str], ...] = (
     ("design_id", "string",
      "Content address: compiled-phenotype digest (hex)."),
-    ("component", "string", "Component kind (multiplier, adder, mac)."),
+    ("component", "string",
+     "Component kind (multiplier, adder, mac, divider, subtractor, "
+     "barrel-shifter)."),
     ("width", "integer", "Operand width in bits."),
     ("signed", "boolean", "Signed operand encoding."),
     ("metric", "string", "Error metric the design was evolved under."),

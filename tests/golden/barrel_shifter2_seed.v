@@ -1,0 +1,12 @@
+module barrel_shifter2_seed (
+    input  wire in_0, in_1, in_2, in_3,
+    output wire out_0, out_1
+);
+    wire w4 = ~in_2;
+    wire w5 = in_0 & w4;
+    wire w6 = in_0 & in_2;
+    wire w7 = in_1 & w4;
+    wire w8 = w6 | w7;
+    assign out_0 = w5;
+    assign out_1 = w8;
+endmodule

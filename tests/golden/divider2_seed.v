@@ -1,0 +1,46 @@
+module divider2_seed (
+    input  wire in_0, in_1, in_2, in_3,
+    output wire out_0, out_1
+);
+    wire w4 = 1'b0;
+    wire w5 = in_1 ^ in_2;
+    wire w6 = ~in_1;
+    wire w7 = w6 & in_2;
+    wire w8 = w4 ^ in_3;
+    wire w9 = w8 ^ w7;
+    wire w10 = ~w4;
+    wire w11 = w10 & in_3;
+    wire w12 = ~w8;
+    wire w13 = w12 & w7;
+    wire w14 = w11 | w13;
+    wire w15 = w4 ^ w4;
+    wire w17 = ~w4;
+    wire w18 = w17 & w4;
+    wire w19 = ~w15;
+    wire w20 = w19 & w14;
+    wire w21 = w18 | w20;
+    wire w22 = ~w21;
+    wire w23 = in_1 & w21;
+    wire w24 = w5 & w22;
+    wire w25 = w23 | w24;
+    wire w26 = w4 & w21;
+    wire w27 = w9 & w22;
+    wire w28 = w26 | w27;
+    wire w30 = ~in_0;
+    wire w31 = w30 & in_2;
+    wire w32 = w25 ^ in_3;
+    wire w34 = ~w25;
+    wire w35 = w34 & in_3;
+    wire w36 = ~w32;
+    wire w37 = w36 & w31;
+    wire w38 = w35 | w37;
+    wire w39 = w28 ^ w4;
+    wire w41 = ~w28;
+    wire w42 = w41 & w4;
+    wire w43 = ~w39;
+    wire w44 = w43 & w38;
+    wire w45 = w42 | w44;
+    wire w46 = ~w45;
+    assign out_0 = w46;
+    assign out_1 = w22;
+endmodule

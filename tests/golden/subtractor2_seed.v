@@ -1,0 +1,18 @@
+module subtractor2_seed (
+    input  wire in_0, in_1, in_2, in_3,
+    output wire out_0, out_1, out_2
+);
+    wire w4 = in_0 ^ in_2;
+    wire w5 = ~in_0;
+    wire w6 = w5 & in_2;
+    wire w7 = in_1 ^ in_3;
+    wire w8 = w7 ^ w6;
+    wire w9 = ~in_1;
+    wire w10 = w9 & in_3;
+    wire w11 = ~w7;
+    wire w12 = w11 & w6;
+    wire w13 = w10 | w12;
+    assign out_0 = w4;
+    assign out_1 = w8;
+    assign out_2 = w13;
+endmodule

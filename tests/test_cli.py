@@ -92,11 +92,45 @@ def test_cli_evolve_and_characterize_adder(tmp_path, capsys):
     # Adder interface: 8 inputs -> 5 outputs (the old multiplier-only
     # characterize assumed no == ni and produced garbage here).
     assert out.read_text().startswith("{8,5,")
-    code = main(["characterize", str(out)])
+    # The 2w -> w+1 shape is shared with the subtractor, so auto
+    # inference must refuse; the explicit component characterizes fine.
+    code = main(["characterize", str(out), "--component", "adder"])
     assert code == 0
     captured = capsys.readouterr().out
     assert "component: adder (width 4, unsigned)" in captured
     assert "WMED=" in captured
+
+
+def test_cli_characterize_rejects_ambiguous_interface(tmp_path):
+    """Regression: the adder/subtractor shape collision must not let
+    inference silently pick one — the error names both candidates."""
+    out = tmp_path / "add.cgp"
+    main(
+        ["evolve", "--component", "adder", "--width", "3",
+         "--wmed-percent", "0", "--generations", "5", "--output", str(out)]
+    )
+    with pytest.raises(SystemExit) as err:
+        main(["characterize", str(out)])
+    message = str(err.value)
+    assert "ambiguous" in message
+    assert "2 components" in message
+    assert "adder" in message and "subtractor" in message
+    assert "--component" in message
+
+
+def test_cli_characterize_rejects_ambiguous_divider_shifter(tmp_path):
+    """The divider and barrel shifter share 2w -> w the same way."""
+    out = tmp_path / "div.cgp"
+    main(
+        ["evolve", "--component", "divider", "--width", "2",
+         "--wmed-percent", "0", "--generations", "5", "--output", str(out)]
+    )
+    assert out.read_text().startswith("{4,2,")
+    with pytest.raises(SystemExit) as err:
+        main(["characterize", str(out)])
+    message = str(err.value)
+    assert "2 components" in message
+    assert "divider" in message and "barrel-shifter" in message
 
 
 def test_cli_evolve_and_characterize_mac(tmp_path, capsys):
@@ -133,3 +167,31 @@ def test_cli_rejects_oversized_mac():
     with pytest.raises(SystemExit, match="width must be <= 5"):
         main(["evolve", "--component", "mac", "--width", "8",
               "--generations", "1"])
+
+
+@pytest.mark.parametrize("component,interface", [
+    ("divider", "{6,3,"),
+    ("subtractor", "{6,4,"),
+    ("barrel-shifter", "{6,3,"),
+])
+def test_cli_evolve_and_characterize_new_components(
+    tmp_path, capsys, component, interface
+):
+    out = tmp_path / "c.cgp"
+    code = main(
+        [
+            "evolve",
+            "--component", component,
+            "--width", "3",
+            "--wmed-percent", "4",
+            "--generations", "80",
+            "--output", str(out),
+        ]
+    )
+    assert code == 0
+    assert out.read_text().startswith(interface)
+    code = main(["characterize", str(out), "--component", component])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert f"component: {component} (width 3, unsigned)" in captured
+    assert "WMED=" in captured

@@ -1,4 +1,5 @@
-"""Exact arithmetic generators: adders, multipliers, MAC units."""
+"""Exact arithmetic generators: adders, subtractors, multipliers,
+dividers, barrel shifters, MAC units."""
 
 import numpy as np
 import pytest
@@ -8,16 +9,22 @@ from hypothesis import strategies as st
 from repro.circuits.generators import (
     accumulator_width,
     build_array_multiplier,
+    build_barrel_shifter,
     build_baugh_wooley_multiplier,
+    build_borrow_ripple_subtractor,
     build_mac,
     build_multiplier,
+    build_restoring_divider,
     build_ripple_carry_adder,
     build_wallace_multiplier,
     full_adder,
+    full_subtractor,
     half_adder,
+    half_subtractor,
     partial_product_columns,
     reduce_columns,
     ripple_carry_adder,
+    shift_amount_bits,
 )
 from repro.circuits.netlist import Netlist
 from repro.circuits.simulator import truth_table
@@ -226,3 +233,101 @@ def test_mac_rejects_wrong_core_interface():
     bad.set_outputs([0])
     with pytest.raises(ValueError):
         build_mac(2, 6, multiplier=bad)
+
+
+# ----------------------------------------------------------------------
+# Subtractors, dividers, barrel shifters (the catalog expansion)
+# ----------------------------------------------------------------------
+def _unsigned_grids(width):
+    v = np.arange(1 << (2 * width), dtype=np.int64)
+    return v & ((1 << width) - 1), v >> width
+
+
+def test_half_and_full_subtractor_truth_tables():
+    net = Netlist(num_inputs=2)
+    d, b = half_subtractor(net, 0, 1)
+    net.set_outputs([d, b])
+    # a - b over 1 bit: vector = a | (b << 1); output = d | (borrow << 1).
+    assert list(truth_table(net)) == [0, 1, 3, 0]
+    net = Netlist(num_inputs=3)
+    d, b = full_subtractor(net, 0, 1, 2)
+    net.set_outputs([d, b])
+    tt = truth_table(net)
+    for v in range(8):
+        a, sub, bin_ = v & 1, (v >> 1) & 1, v >> 2
+        diff = a - sub - bin_
+        assert tt[v] == (diff & 1) | ((diff < 0) << 1)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6, 8])
+def test_borrow_ripple_subtractor_exhaustive(width):
+    x, y = _unsigned_grids(width)
+    tt = truth_table(build_borrow_ripple_subtractor(width))
+    assert np.array_equal(tt, (x - y) & ((1 << (width + 1)) - 1))
+
+
+def test_subtractor_borrow_out_is_comparator():
+    """The top output bit is exactly the a < b predicate."""
+    width = 4
+    x, y = _unsigned_grids(width)
+    tt = truth_table(build_borrow_ripple_subtractor(width))
+    assert np.array_equal(tt >> width, (x < y).astype(np.int64))
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6, 8])
+def test_restoring_divider_exhaustive(width):
+    x, y = _unsigned_grids(width)
+    tt = truth_table(build_restoring_divider(width))
+    expect = np.where(
+        y == 0, (1 << width) - 1, x // np.maximum(y, 1)
+    )
+    assert np.array_equal(tt, expect)
+
+
+def test_divider_zero_divisor_is_all_ones():
+    """The restoring array realizes x / 0 = all-ones without any gates
+    dedicated to the case: a zero divisor never borrows."""
+    width = 3
+    tt = truth_table(build_restoring_divider(width))
+    assert (tt[: 1 << width] == 7).all()  # y == 0 vectors come first
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6, 8])
+def test_barrel_shifter_exhaustive(width):
+    x, y = _unsigned_grids(width)
+    s = y & ((1 << shift_amount_bits(width)) - 1)
+    tt = truth_table(build_barrel_shifter(width))
+    assert np.array_equal(tt, (x << s) & ((1 << width) - 1))
+
+
+def test_barrel_shifter_ignores_high_amount_bits():
+    """Operand B bits above the shift amount stay outside the cone."""
+    width = 4
+    net = build_barrel_shifter(width)
+    active = net.active_signals()
+    used = {s for s in active if s < net.num_inputs}
+    assert used == set(range(width + shift_amount_bits(width)))
+
+
+def test_shift_amount_bits_values():
+    assert [shift_amount_bits(w) for w in (1, 2, 3, 4, 5, 7, 8, 9)] == \
+        [1, 1, 2, 2, 3, 3, 3, 4]
+    with pytest.raises(ValueError):
+        shift_amount_bits(0)
+
+
+def test_new_generators_reject_nonpositive_width():
+    for builder in (build_restoring_divider,
+                    build_borrow_ripple_subtractor, build_barrel_shifter):
+        with pytest.raises(ValueError):
+            builder(0)
+
+
+def test_new_generators_use_cgp_function_set():
+    """Seeds must embed into chromosomes: only CGP-set gate functions."""
+    from repro.core.chromosome import CGP_FUNCTION_SET
+
+    for builder in (build_restoring_divider,
+                    build_borrow_ripple_subtractor, build_barrel_shifter):
+        for gate in builder(4).gates:
+            assert gate.fn in CGP_FUNCTION_SET

@@ -197,6 +197,52 @@ def test_killed_build_resumes_without_reevolving(tmp_path):
     assert killed.select() == clean.select()
 
 
+def test_killed_build_resumes_over_new_components(tmp_path):
+    """SIGKILL-equivalent interruption of a divider + barrel-shifter
+    grid resumes bit-identically to an uninterrupted build.
+
+    The catalog-expansion regression: resume accounting (cell ids,
+    SeedSequence children allocated for the full grid before skip
+    filtering) must hold for the new components exactly as it does for
+    the multiplier — including the hyphenated ``barrel-shifter`` name
+    flowing through cell ids, store groups and progress keys.
+    """
+    spec = BuildSpec(components=("divider", "barrel-shifter"),
+                     metrics=("wmed",), widths=(3,),
+                     thresholds_percent=(1.0, 5.0), generations=50, seed=11)
+    killed = DesignStore(str(tmp_path / "killed.sqlite"))
+
+    class Kill(Exception):
+        pass
+
+    cells = []
+
+    def killer(cell, status):
+        cells.append(cell)
+        if len(cells) == 2:  # die mid-grid, after 2 of 4 checkpoints
+            raise Kill
+
+    with pytest.raises(Kill):
+        build_library(killed, spec, max_workers=1, executor="thread",
+                      progress=killer)
+    resumed = []
+    report = build_library(
+        killed, spec, max_workers=1, executor="thread",
+        progress=lambda cell, status: resumed.append(cell),
+    )
+    assert report.cells_run == len(resumed) == 2
+    assert report.cells_skipped == 2
+    assert not set(resumed) & set(cells)
+    clean = DesignStore(str(tmp_path / "clean.sqlite"))
+    build_library(clean, spec, max_workers=1, executor="thread")
+    assert killed.select() == clean.select()
+    # Both components made it into queryable groups.
+    assert {g[0][0] for g in clean.groups()} == {"divider", "barrel-shifter"}
+    # And a third run over the already-complete store is a no-op.
+    report = build_library(killed, spec, max_workers=1, executor="thread")
+    assert report.cells_run == 0 and report.cells_skipped == 4
+
+
 def test_changed_seed_changes_cells(tmp_path):
     assert cell_id("multiplier", "wmed", 3, "uniform", False, 1.0, 0, 60, 20) \
         != cell_id("multiplier", "wmed", 3, "uniform", False, 1.0, 1, 60, 20)

@@ -53,7 +53,13 @@ CASES = [
     ("adder", 4, False),
     ("mac", 2, True),
     ("mac", 2, False),
+    ("divider", 3, False),
+    ("subtractor", 3, False),
+    ("barrel-shifter", 3, False),
 ]
+
+#: The PR-5 catalog expansion: unsigned two-operand components.
+NEW_COMPONENTS = ("divider", "subtractor", "barrel-shifter")
 
 
 def _seed_chromosome(component: str, width: int, signed: bool, extra: int = 8):
@@ -82,12 +88,31 @@ def test_closed_form_reference_matches_simulated_seed(component, width, signed):
 
 def test_infer_component_round_trips_interface_shapes():
     for name, width in [("multiplier", 4), ("multiplier", 8),
-                        ("adder", 4), ("adder", 8), ("mac", 2), ("mac", 3)]:
+                        ("adder", 4), ("adder", 8), ("mac", 2), ("mac", 3),
+                        ("divider", 4), ("subtractor", 4),
+                        ("barrel-shifter", 6)]:
         comp = get_component(name)
         got = infer_component(comp.num_inputs(width), comp.num_outputs(width))
-        assert got is not None
-        assert got[0].name == name and got[1] == width
-    assert infer_component(7, 13) is None
+        assert any(m.name == name and w == width for m, w in got)
+        # The inferred width is consistent across every candidate.
+        assert {w for _, w in got} == {width}
+    assert infer_component(7, 13) == ()
+
+
+def test_infer_component_reports_all_shape_collisions():
+    """Colliding interface shapes return every candidate, honestly."""
+    # 2w -> w+1: adder and subtractor.
+    assert [m.name for m, _ in infer_component(8, 5)] == \
+        ["adder", "subtractor"]
+    # 2w -> w: divider and barrel shifter.
+    assert [m.name for m, _ in infer_component(8, 4)] == \
+        ["divider", "barrel-shifter"]
+    # The degenerate 2 -> 2 shape fits three 1-bit components.
+    assert [m.name for m, _ in infer_component(2, 2)] == \
+        ["multiplier", "adder", "subtractor"]
+    # Unique shapes still come back as exactly one candidate.
+    assert [m.name for m, _ in infer_component(8, 8)] == ["multiplier"]
+    assert [m.name for m, _ in infer_component(9, 5)] == ["mac"]
 
 
 def test_component_width_guards():
@@ -103,6 +128,60 @@ def test_adder_component_is_unsigned():
     assert not get_component("adder").supports_signed
     with pytest.raises(ValueError):
         adder_objective(4, uniform(4, signed=True))
+
+
+def test_new_components_are_unsigned():
+    for name in NEW_COMPONENTS:
+        assert not get_component(name).supports_signed
+        with pytest.raises(ValueError, match="unsigned"):
+            component_objective(name, 4, uniform(4, signed=True))
+        with pytest.raises(ValueError, match="width"):
+            component_objective(name, 4, uniform(3))
+
+
+@pytest.mark.parametrize("component", NEW_COMPONENTS)
+@pytest.mark.parametrize("width", range(2, 9))
+def test_new_component_references_match_seeds_widths_2_to_8(
+    component, width
+):
+    """Property: closed-form reference == exact seed, widths 2-8."""
+    comp = get_component(component)
+    ref = comp.reference(width, False)
+    sim = truth_table(comp.build_seed(width, False), signed=False)
+    assert np.array_equal(ref, sim)
+
+
+def test_divider_reference_zero_convention():
+    """x / 0 = all-ones for every x (including 0 / 0), by definition."""
+    for width in (2, 4):
+        ref = get_component("divider").reference(width, False)
+        # Vectors with y == 0 are the first 2**width entries.
+        assert (ref[: 1 << width] == (1 << width) - 1).all()
+        # Everything else is plain floor division.
+        v = np.arange(1 << (2 * width), dtype=np.int64)
+        x, y = v & ((1 << width) - 1), v >> width
+        nz = y > 0
+        assert np.array_equal(ref[nz], x[nz] // y[nz])
+
+
+def test_subtractor_reference_wraps_twos_complement():
+    ref = get_component("subtractor").reference(3, False)
+    v = np.arange(64, dtype=np.int64)
+    x, y = v & 7, v >> 3
+    assert np.array_equal(ref, (x - y) & 15)
+    # The borrow-out doubles as the sign bit of the wrapped encoding.
+    assert (ref[(x < y)] >= 8).all() and (ref[(x >= y)] < 8).all()
+
+
+def test_barrel_shifter_reference_uses_low_shift_bits():
+    from repro.circuits.generators import shift_amount_bits
+
+    assert [shift_amount_bits(w) for w in (1, 2, 3, 4, 5, 8)] == \
+        [1, 1, 2, 2, 3, 3]
+    ref = get_component("barrel-shifter").reference(4, False)
+    v = np.arange(256, dtype=np.int64)
+    x, y = v & 15, v >> 4
+    assert np.array_equal(ref, (x << (y & 3)) & 15)
 
 
 def test_operand_weights_generalizes_vector_weights():
@@ -186,6 +265,40 @@ def test_every_metric_compiled_matches_interpreted_bitwise(
             assert rb.area == re.area
             assert rb.fitness == re.fitness
         assert np.array_equal(eng.truth_table(c), base.truth_table(c))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("component", NEW_COMPONENTS)
+def test_new_components_bit_identical_across_widths_2_to_8(
+    rng, backend, component
+):
+    """Property: engine == interpreted for divider / subtractor /
+    barrel shifter at every width 2-8 and every registered metric.
+
+    The catalog-expansion acceptance: new ``ComponentSpec``s plug into
+    the compiled engine with zero engine changes, and both backends
+    (the native kernel and the ``REPRO_ENGINE=numpy`` fallback, which
+    is what ``backend="numpy"`` forces) reproduce the interpreted
+    evaluation float-for-float.
+    """
+    for width in range(2, 9):
+        chrom = _seed_chromosome(component, width, False, extra=6)
+        dist = _dist(width, False)
+        for metric in metric_names():
+            base = component_objective(component, width, dist, metric=metric)
+            eng = CompiledObjective(
+                component_objective(component, width, dist, metric=metric),
+                backend=backend,
+            )
+            c = chrom
+            for _ in range(3):
+                c, _ = mutate(c, 5, rng)
+                rb = base.evaluate(c, 0.05)
+                re = eng.evaluate(c, 0.05)
+                assert rb.wmed == re.wmed  # bit-exact, not approx
+                assert rb.area == re.area
+                assert rb.fitness == re.fitness
+            assert np.array_equal(eng.truth_table(c), base.truth_table(c))
 
 
 @pytest.mark.parametrize("backend", BACKENDS)

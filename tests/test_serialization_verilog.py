@@ -7,8 +7,11 @@ import numpy as np
 import pytest
 
 from repro.circuits.generators import (
+    build_barrel_shifter,
     build_baugh_wooley_multiplier,
+    build_borrow_ripple_subtractor,
     build_multiplier,
+    build_restoring_divider,
     build_ripple_carry_adder,
 )
 from repro.circuits.simulator import truth_table
@@ -156,15 +159,27 @@ def test_roundtrip_random_chromosomes_property(rng):
         assert np.array_equal(back.genes, ch.genes)
 
 
+def _assert_matches_golden(netlist, stem):
+    golden = os.path.join(os.path.dirname(__file__), "golden", f"{stem}.v")
+    assert to_verilog(netlist, module_name=stem) == open(golden).read()
+
+
 def test_verilog_golden_seed_multiplier():
     """The export the library ships through, pinned against a golden file."""
-    golden = os.path.join(
-        os.path.dirname(__file__), "golden", "multiplier2_seed.v"
+    _assert_matches_golden(
+        build_multiplier(2, signed=False), "multiplier2_seed"
     )
-    text = to_verilog(
-        build_multiplier(2, signed=False), module_name="multiplier2_seed"
-    )
-    assert text == open(golden).read()
+
+
+@pytest.mark.parametrize("builder,stem", [
+    (build_restoring_divider, "divider2_seed"),
+    (build_borrow_ripple_subtractor, "subtractor2_seed"),
+    (build_barrel_shifter, "barrel_shifter2_seed"),
+])
+def test_verilog_golden_new_seed_generators(builder, stem):
+    """Each catalog-expansion seed generator is pinned like the
+    multiplier: any structural change to the emitted RTL is a diff."""
+    _assert_matches_golden(builder(2), stem)
 
 
 _IDENT_RE = re.compile(r"\b(?:in_\d+|w\d+)\b")
@@ -228,6 +243,20 @@ def test_verilog_wellformed_seed_circuits():
         build_ripple_carry_adder(4),
     ):
         _check_verilog_wellformed(net, to_verilog(net))
+
+
+@pytest.mark.parametrize("builder", [
+    build_restoring_divider,
+    build_borrow_ripple_subtractor,
+    build_barrel_shifter,
+])
+@pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
+def test_verilog_wellformed_new_seed_circuits(builder, width):
+    """Active-cone wires only, declare-before-use, across widths —
+    including the barrel shifter, whose high shift-amount inputs sit
+    entirely outside the output cone."""
+    net = builder(width)
+    _check_verilog_wellformed(net, to_verilog(net))
 
 
 def test_verilog_semantics_by_reference_eval():

@@ -212,7 +212,7 @@ def test_validation_errors(served):
         "width=3&signed=perhaps": "must be a boolean",
         "width=3&minimize=delay": "must be one of area, power, pdp",
         "width=3&metric=psnr": "unknown error metric",
-        "width=3&component=divider": "unknown component",
+        "width=3&component=fma": "'component' must be one of",
         "width=3&bogus=1": "unknown parameter",
         "width=3&width=4": "more than once",
         "": "missing required parameter 'width'",
@@ -221,6 +221,26 @@ def test_validation_errors(served):
         r = handle(ctx, "GET", "/v1/best", query)
         assert r.status == 422, query
         assert fragment in r.json()["error"]["message"], query
+
+
+def test_component_param_is_registry_enum(served):
+    """The component vocabulary is the live registry: every registered
+    name validates (a store without such designs is a 404, not a 422),
+    anything else fails fast at the parameter layer."""
+    from repro.core.components import component_names
+
+    _, ctx, _ = served
+    spec = generate_openapi()
+    params = {
+        p["name"]: p
+        for p in spec["paths"]["/v1/best"]["get"]["parameters"]
+    }
+    assert tuple(params["component"]["schema"]["enum"]) == component_names()
+    for name in component_names():
+        if name == "multiplier":
+            continue  # the store actually holds multipliers
+        r = handle(ctx, "GET", "/v1/best", f"component={name}&width={W}")
+        assert r.status == 404, name
 
 
 def test_unknown_path_and_method(served):
