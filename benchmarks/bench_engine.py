@@ -7,10 +7,15 @@ Measures, for one operand width:
   ``MultiplierFitness`` path vs. the engine with caching disabled (every
   evaluation compiles + simulates + decodes from scratch) and vs. the
   engine's cache-hit path;
+* **brood batch dispatch** — a realistic (1 + lambda) brood evaluated
+  through ``evaluate_batch`` vs. one ``evaluate`` call per candidate,
+  with the OpenMP team enabled and forced serial (``REPRO_OMP=0``),
+  asserting all four paths return identical results;
 * **end-to-end evolution** — ``evolve()`` wall time and evaluations/s
   under both evaluators with the same RNG seed, asserting the
   ``(wmed, area)`` trajectories are identical (the engine must change
-  throughput, never results).
+  throughput, never results) and recording the phenotype-cache hit
+  rate of the run.
 
 Results are appended-free-written to ``BENCH_engine.json`` at the repo
 root (override with ``--out``) so perf trajectories can be tracked
@@ -112,7 +117,74 @@ def bench_single_eval(width: int, reps: int, rounds: int) -> dict:
     }
 
 
-def bench_evolve(width: int, generations: int, seed: int = 2024) -> dict:
+def bench_brood(width: int, lam: int, reps: int, rounds: int) -> dict:
+    """Batched vs per-candidate dispatch on one realistic brood.
+
+    Builds ``lam`` mutants of the exact seed (a fixed RNG, so the brood
+    is identical across runs/commits), then times: sequential
+    ``evaluate`` per candidate, ``evaluate_batch`` with the OpenMP knob
+    forced serial (``REPRO_OMP=0``), and ``evaluate_batch`` under the
+    default knob.  Caching is disabled so the numbers measure raw
+    dispatch, and all paths are checked for identical results.
+    """
+    from repro.core.mutation import mutate
+
+    net = build_array_multiplier(width)
+    params = params_for_netlist(net, extra_columns=8)
+    seed_chrom = netlist_to_chromosome(net, params)
+    dist = uniform(width, signed=False)
+    threshold = 0.01
+    rng = np.random.default_rng(5)
+    brood = []
+    parent = seed_chrom
+    for _ in range(lam):
+        parent, _ = mutate(parent, 5, rng)
+        brood.append(parent)
+
+    seq_obj = CompiledMultiplierFitness(width, dist, cache_entries=0)
+    batch_obj = CompiledMultiplierFitness(width, dist, cache_entries=0)
+
+    def run_seq():
+        return [seq_obj.evaluate(c, threshold) for c in brood]
+
+    def run_batch():
+        return batch_obj.evaluate_batch(brood, threshold)
+
+    omp_prev = os.environ.get("REPRO_OMP")
+
+    def set_omp(value):
+        if value is None:
+            os.environ.pop("REPRO_OMP", None)
+        else:
+            os.environ["REPRO_OMP"] = value
+
+    try:
+        seq_ms = _time_ms(run_seq, reps, rounds)
+        set_omp("0")
+        serial_ms = _time_ms(run_batch, reps, rounds)
+        serial_res = run_batch()
+        set_omp(None)
+        omp_ms = _time_ms(run_batch, reps, rounds)
+        omp_res = run_batch()
+    finally:
+        set_omp(omp_prev)
+    identical = run_seq() == serial_res == omp_res
+
+    def evals_per_s(ms):
+        return round(lam / (ms / 1e3), 1)
+
+    return {
+        "width": width,
+        "lam": lam,
+        "sequential_evals_per_s": evals_per_s(seq_ms),
+        "batch_serial_evals_per_s": evals_per_s(serial_ms),
+        "batch_omp_evals_per_s": evals_per_s(omp_ms),
+        "batch_speedup_vs_sequential": round(seq_ms / serial_ms, 2),
+        "bit_identical": identical,
+    }
+
+
+def bench_evolve(width: int, generations: int, seed: int = 7) -> dict:
     net = build_array_multiplier(width)
     params = params_for_netlist(net, extra_columns=8)
     seed_chrom = netlist_to_chromosome(net, params)
@@ -140,12 +212,17 @@ def bench_evolve(width: int, generations: int, seed: int = 2024) -> dict:
         and base_res.best_eval == eng_res.best_eval
         and np.array_equal(base_res.best.genes, eng_res.best.genes)
     )
+    cache = eng_eval.stats()["cache"]
+    lookups = cache["hits"] + cache["misses"]
     # Thin the archived trajectory to <= 50 points.
     step = max(1, len(eng_res.history) // 50)
     return {
         "width": width,
         "generations": generations,
+        "seed": seed,
         "threshold": threshold,
+        "cache_hits": cache["hits"],
+        "cache_hit_rate": round(cache["hits"] / lookups, 4) if lookups else 0.0,
         "baseline_s": round(base_s, 3),
         "engine_s": round(eng_s, 3),
         "speedup": round(base_s / eng_s, 2),
@@ -167,6 +244,10 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--width", type=int, default=8)
     ap.add_argument("--generations", type=int, default=300)
+    ap.add_argument(
+        "--lam", type=int, default=4,
+        help="brood size for the batch-dispatch section",
+    )
     ap.add_argument("--reps", type=int, default=30)
     ap.add_argument("--rounds", type=int, default=5)
     ap.add_argument(
@@ -208,10 +289,20 @@ def main(argv=None) -> int:
         f" | cached {single['engine_cached_ms']} ms"
         f" ({single['cached_speedup']}x)"
     )
+    brood = bench_brood(args.width, args.lam, args.reps, args.rounds)
+    print(
+        f"brood lam={brood['lam']}:"
+        f" sequential {brood['sequential_evals_per_s']} evals/s"
+        f" | batch serial {brood['batch_serial_evals_per_s']}"
+        f" | batch omp {brood['batch_omp_evals_per_s']}"
+        f" | identical: {brood['bit_identical']}"
+    )
     evo = bench_evolve(args.width, args.generations)
     print(
         f"evolve {evo['generations']} gens: baseline {evo['baseline_s']} s"
         f" | engine {evo['engine_s']} s ({evo['speedup']}x)"
+        f" | {evo['engine_evals_per_s']} evals/s"
+        f" | cache hit rate {evo['cache_hit_rate']}"
         f" | trajectories identical: {evo['trajectories_identical']}"
     )
 
@@ -220,10 +311,13 @@ def main(argv=None) -> int:
         "config": {
             "width": args.width,
             "generations": args.generations,
+            "lam": args.lam,
             "smoke": args.smoke,
+            "repro_omp": os.environ.get("REPRO_OMP", ""),
         },
         "backend": backend,
         "single_eval": single,
+        "brood_batch": brood,
         "evolve": evo,
     }
     out = os.path.abspath(args.out)
@@ -231,7 +325,11 @@ def main(argv=None) -> int:
         json.dump(record, fh, indent=2)
     print(f"wrote {out}")
 
-    if not single["bit_identical"] or not evo["trajectories_identical"]:
+    if (
+        not single["bit_identical"]
+        or not brood["bit_identical"]
+        or not evo["trajectories_identical"]
+    ):
         print("FAIL: engine results diverge from the reference evaluator")
         return 1
     if args.min_speedup is not None and single["speedup"] < args.min_speedup:
@@ -239,6 +337,12 @@ def main(argv=None) -> int:
             f"FAIL: single-eval speedup {single['speedup']}x below "
             f"required {args.min_speedup}x"
         )
+        return 1
+    if not args.smoke and evo["cache_hits"] == 0:
+        # Regression tripwire for the eval-cache miss storm: at the
+        # full benchmark configuration neutral drift must revisit at
+        # least one phenotype (deterministic for a fixed seed).
+        print("FAIL: evolve run produced zero phenotype-cache hits")
         return 1
     return 0
 

@@ -21,7 +21,15 @@ Three sweep strategies are provided:
 
 All route candidate evaluation through the compiled engine
 (:mod:`repro.engine`) by default; pass ``engine="off"`` for the
-interpreted objective (results are bit-identical either way).
+interpreted objective (results are bit-identical either way).  Inside
+every run, each generation's brood is evaluated through the engine's
+batched path (``CompiledObjective.evaluate_batch``: phenotype dedupe,
+cache lookup, then one ``cgp_eval_batch`` dispatch per brood).  Two
+levels of parallelism therefore exist and compose: the sweep fans runs
+out over *processes/threads* here (one evaluator per worker — arenas
+are single-owner), while ``REPRO_OMP`` controls the *intra-brood*
+OpenMP team inside one native dispatch.  When fanning out sweeps,
+leave ``REPRO_OMP`` at/below 1 so the levels don't oversubscribe cores.
 """
 
 from __future__ import annotations
@@ -464,8 +472,11 @@ def _front_task(
     """Evolve + characterize one error target (parallel-sweep worker).
 
     Module-level (picklable) so it runs under both thread and process
-    executors.  Each task builds its own objective: engine arenas are not
-    thread-safe, and process workers cannot share them anyway.
+    executors.  Each task builds its own objective: engine arenas are
+    single-owner (``BufferArena.assert_owner``), and process workers
+    cannot share them anyway.  The objective's batched brood dispatch
+    (and its ``REPRO_OMP`` team, if enabled) lives entirely inside this
+    worker, so per-task results never depend on worker count.
     """
     (
         seed_netlist, width, design_dist, level, eval_dists,

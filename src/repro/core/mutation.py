@@ -10,13 +10,36 @@ number of *effective* changes is at most ``h`` — matching the paper's
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .chromosome import Chromosome
+from .chromosome import CGPParams, Chromosome
 
 __all__ = ["mutate", "random_gene_value", "randomize_output_genes"]
+
+#: Per-params (lows, highs) draw bounds for every genome position.
+#: Bounds depend only on the grid geometry, never on gene values, so
+#: they are computed once per params and shared by every mutate() call.
+_BOUNDS_CACHE: Dict[CGPParams, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _mutation_bounds(p: CGPParams) -> Tuple[np.ndarray, np.ndarray]:
+    cached = _BOUNDS_CACHE.get(p)
+    if cached is None:
+        gpn = p.genes_per_node
+        node_end = p.num_nodes * gpn
+        lows = np.zeros(p.genome_length, dtype=np.int64)
+        highs = np.empty(p.genome_length, dtype=np.int64)
+        for node in range(p.num_nodes):
+            base = node * gpn
+            highs[base:base + p.arity] = p.num_sources(node)
+            highs[base + p.arity] = len(p.functions)
+        lo, hi = p.output_range()
+        lows[node_end:] = lo
+        highs[node_end:] = hi
+        _BOUNDS_CACHE[p] = cached = (lows, highs)
+    return cached
 
 
 def random_gene_value(
@@ -55,14 +78,28 @@ def mutate(
     """
     if h <= 0:
         raise ValueError("h must be positive")
-    child = Chromosome(parent.params, parent.genes.copy())
+    p = parent.params
+    child = Chromosome(p, parent.genes.copy())
     changed: List[int] = []
-    positions = rng.integers(0, parent.params.genome_length, size=h)
-    for position in positions:
-        position = int(position)
-        new_value = random_gene_value(child, position, rng)
-        if new_value != int(child.genes[position]):
-            child.genes[position] = new_value
+    positions = rng.integers(0, p.genome_length, size=h)
+    # One vectorized draw with per-position bounds instead of h scalar
+    # rng.integers() calls.  numpy's bounded-integer sampler consumes
+    # the bit stream element by element exactly like the equivalent
+    # sequence of scalar calls (same Lemire rejection per value), so the
+    # RNG stream — and therefore every search trajectory — is unchanged.
+    lows, highs = _mutation_bounds(p)
+    draws = rng.integers(lows[positions], highs[positions])
+    gpn = p.genes_per_node
+    arity = p.arity
+    node_end = p.num_nodes * gpn
+    genes = child.genes
+    for position, draw in zip(positions.tolist(), draws.tolist()):
+        if position < node_end and position % gpn != arity:
+            new_value = p.source_address(position // gpn, draw)
+        else:
+            new_value = draw
+        if new_value != int(genes[position]):
+            genes[position] = new_value
             changed.append(position)
     child.invalidate_cache()
     return child, changed

@@ -13,14 +13,28 @@ Layout of the signal matrix ``buf`` (``slots x words`` of ``uint64``):
   liveness allocator (so the hot region is the circuit's live width,
   typically far smaller than its gate count, and stays cache-resident).
 
+Batched evaluation adds *per-candidate* buffers on demand
+(:meth:`BufferArena.ensure_batch`): every candidate of a brood gets a
+private scratch lane, program-slab row, transpose-scratch row and error
+row, all contiguous 2-D arrays so one native call
+(``cgp_eval_batch``) can walk them by stride.  The packed stimulus stays
+shared — slot ``s < num_inputs`` resolves into ``buf``, slot
+``s >= num_inputs`` into row ``s - num_inputs`` of the candidate's lane.
+
 The arena is sized for the *worst case* (all nodes active, no slot
 reuse), so any phenotype of the associated
 :class:`~repro.core.chromosome.CGPParams` fits without reallocation.
+
+Arenas are **single-owner**: buffers are mutated in place with no
+locking, so an instance must only ever be used by the thread that
+created it (one evaluator per worker).  :meth:`assert_owner` enforces
+this, turning silent cross-thread data races into an immediate error.
 """
 
 from __future__ import annotations
 
-from typing import List
+import threading
+from typing import List, Optional
 
 import numpy as np
 
@@ -58,6 +72,7 @@ class BufferArena:
         self.num_outputs = num_outputs
         self.num_vectors = int(num_vectors)
         self.words = int(stimulus.shape[1])
+        self._owner_thread = threading.get_ident()
 
         slots = num_inputs + num_nodes
         self.buf = np.empty((slots, self.words), dtype=np.uint64)
@@ -78,3 +93,79 @@ class BufferArena:
         self.planes = np.empty((num_outputs, self.words), dtype=np.uint64)
         self.values = np.empty(self.num_vectors, dtype=np.int32)
         self.err = np.empty(self.num_vectors, dtype=np.float64)
+
+        # Batch lanes, allocated lazily by ensure_batch().
+        self.batch_capacity = 0
+        #: Incremented on every batch (re)allocation so callers caching
+        #: raw buffer addresses know when to refresh them.
+        self.batch_epoch = 0
+        self.batch_lanes: Optional[np.ndarray] = None
+        self.batch_ops: Optional[np.ndarray] = None
+        self.batch_src_a: Optional[np.ndarray] = None
+        self.batch_src_b: Optional[np.ndarray] = None
+        self.batch_dst: Optional[np.ndarray] = None
+        self.batch_out_slots: Optional[np.ndarray] = None
+        self.batch_n_ops: Optional[np.ndarray] = None
+        self.batch_scratch: Optional[np.ndarray] = None
+        self.batch_err: Optional[np.ndarray] = None
+        self.batch_stats: Optional[np.ndarray] = None
+        self._batch_rows: List[List[np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    def assert_owner(self) -> None:
+        """Raise if called from a thread other than the creator.
+
+        The arena's buffers (and the compiled-program slabs inside them)
+        are reused mutably across evaluations with no synchronization;
+        sharing one instance between threads would corrupt results
+        silently.  Matches the "one evaluator per worker" contract.
+        """
+        if threading.get_ident() != self._owner_thread:
+            raise RuntimeError(
+                "BufferArena is single-owner: it was created on thread "
+                f"{self._owner_thread} but used from thread "
+                f"{threading.get_ident()}; create one evaluator per worker"
+            )
+
+    # ------------------------------------------------------------------
+    def ensure_batch(self, n_cand: int) -> None:
+        """Grow the per-candidate batch buffers to hold ``n_cand``.
+
+        No-op when capacity already suffices.  Growth reallocates (old
+        batch contents are not preserved — every batch dispatch fills
+        its slabs from scratch) and bumps :attr:`batch_epoch`.
+        """
+        if n_cand <= self.batch_capacity:
+            return
+        ni, nn, no = self.num_inputs, self.num_nodes, self.num_outputs
+        ngroups = (self.num_vectors + 7) // 8
+        # Private scratch lane per candidate: slot s >= ni lives in lane
+        # row s - ni; worst case (no slot reuse) needs nn rows.
+        self.batch_lanes = np.empty((n_cand, nn, self.words), dtype=np.uint64)
+        self.batch_ops = np.empty((n_cand, nn), dtype=np.int32)
+        self.batch_src_a = np.empty((n_cand, nn), dtype=np.int32)
+        self.batch_src_b = np.empty((n_cand, nn), dtype=np.int32)
+        self.batch_dst = np.empty((n_cand, nn), dtype=np.int32)
+        self.batch_out_slots = np.empty((n_cand, max(no, 1)), dtype=np.int32)
+        self.batch_n_ops = np.zeros(n_cand, dtype=np.int32)
+        self.batch_scratch = np.empty(
+            (n_cand, 4 * max(ngroups, 1)), dtype=np.uint64
+        )
+        self.batch_err = np.empty(
+            (n_cand, self.num_vectors), dtype=np.float64
+        )
+        # Per-candidate (sum |d|, count != 0, max |d|) for the native
+        # exact-reduction path; rows stay untouched on the err path.
+        self.batch_stats = np.zeros((n_cand, 3), dtype=np.int64)
+        # Slot-indexed row views per candidate for the numpy backend:
+        # rows[s] is stimulus row s for s < ni, lane row s - ni above.
+        self._batch_rows = [
+            self.rows[:ni] + list(self.batch_lanes[c])
+            for c in range(n_cand)
+        ]
+        self.batch_capacity = n_cand
+        self.batch_epoch += 1
+
+    def batch_rows(self, cand: int) -> List[np.ndarray]:
+        """Slot-indexed row views for batch candidate ``cand``."""
+        return self._batch_rows[cand]

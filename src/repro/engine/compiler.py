@@ -38,6 +38,7 @@ from .opcodes import OP_ARITY, function_opcode_table
 __all__ = [
     "CompiledPhenotype",
     "compile_genes_into",
+    "compile_genes_batch_into",
     "compile_phenotype",
     "compile_netlist",
     "phenotype_signature",
@@ -90,13 +91,18 @@ def phenotype_signature(
     out_slots: np.ndarray,
     salt: bytes = b"",
 ) -> bytes:
-    """16-byte blake2b digest identifying a compiled program."""
+    """16-byte blake2b digest identifying a compiled program.
+
+    The arrays are hashed through the buffer protocol (same bytes as
+    ``tobytes()`` for the C-contiguous slices every caller passes,
+    without the copy).
+    """
     h = hashlib.blake2b(salt, digest_size=16)
-    h.update(ops.tobytes())
-    h.update(src_a.tobytes())
-    h.update(src_b.tobytes())
-    h.update(dst.tobytes())
-    h.update(out_slots.tobytes())
+    h.update(ops)
+    h.update(src_a)
+    h.update(src_b)
+    h.update(dst)
+    h.update(out_slots)
     return h.digest()
 
 
@@ -193,6 +199,33 @@ def compile_genes_into(
     for j, out in enumerate(g[node_end:]):
         out_slots[j] = slot[out]
     return n_total
+
+
+def compile_genes_batch_into(
+    genes_seq,
+    params: CGPParams,
+    fn2op: List[int],
+    ops: np.ndarray,
+    src_a: np.ndarray,
+    src_b: np.ndarray,
+    dst: np.ndarray,
+    out_slots: np.ndarray,
+    n_ops_out: np.ndarray,
+) -> None:
+    """Compile a sequence of genomes into contiguous per-candidate slabs.
+
+    Row ``k`` of each 2-D buffer receives candidate ``k``'s program
+    (``ops``/``src_a``/``src_b``/``dst`` shaped ``(n, num_nodes)``,
+    ``out_slots`` shaped ``(n, num_outputs)``); ``n_ops_out[k]`` gets its
+    emitted op count.  Each row is exactly what
+    :func:`compile_genes_into` would produce, so per-row signatures and
+    execution results match the single-candidate path bit-for-bit.
+    """
+    for k, genes in enumerate(genes_seq):
+        n_ops_out[k] = compile_genes_into(
+            genes, params, fn2op,
+            ops[k], src_a[k], src_b[k], dst[k], out_slots[k],
+        )
 
 
 def compile_phenotype(chromosome: Chromosome) -> CompiledPhenotype:

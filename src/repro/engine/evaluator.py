@@ -31,6 +31,7 @@ per worker.
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -44,7 +45,7 @@ from . import kernels
 from .arena import BufferArena
 from .cache import EvalCache
 from .compiler import compile_genes_into, phenotype_signature
-from .native import NativeLib, native_lib
+from .native import NativeLib, native_lib, omp_threads
 from .opcodes import OP_ARITY, OP_NAMES, function_opcode_table
 
 __all__ = ["CompiledObjective", "CompiledMultiplierFitness"]
@@ -61,6 +62,7 @@ class _Runtime:
         library: TechLibrary,
         native: Optional[NativeLib],
         salt_extra: bytes = b"",
+        exact32: Optional[np.ndarray] = None,
     ) -> None:
         self.params = params
         fn2op = function_opcode_table(params.functions)  # may raise KeyError
@@ -96,6 +98,37 @@ class _Runtime:
             ).encode()
             + salt_extra
         )
+        self.exact32 = exact32
+        # Raw buffer addresses, computed once: every arena/table array
+        # is allocated for the runtime's lifetime, and the ndarray
+        # ``.ctypes`` accessor costs ~µs — comparable to a small kernel
+        # call — so the hot path must not pay it per evaluation.  Batch
+        # arrays are (re)captured in ensure_batch() on epoch change.
+        self._batch_epoch_seen = -1
+        self._lane_compile_args: List[tuple] = []
+        self._lane_eval_args: List[tuple] = []
+        self._lane_stats_args: List[tuple] = []
+        if native is not None:
+            a = self.arena
+            # Single-path exact-reduction target (sum, count, max).
+            self.stats3 = np.zeros(3, dtype=np.int64)
+            self.p_stats3 = self.stats3.ctypes.data
+            self.p_buf = a.buf.ctypes.data
+            self.p_ops = a.ops.ctypes.data
+            self.p_src_a = a.src_a.ctypes.data
+            self.p_src_b = a.src_b.ctypes.data
+            self.p_dst = a.dst.ctypes.data
+            self.p_out_slots = a.out_slots.ctypes.data
+            self.p_decode_scratch = a.decode_scratch.ctypes.data
+            self.p_values = a.values.ctypes.data
+            self.p_err = a.err.ctypes.data
+            self.p_fn2op = fn2op.ctypes.data
+            self.p_arity = OP_ARITY.ctypes.data
+            self.p_needed = self.needed.ctypes.data
+            self.p_scratch_i32 = self.scratch_i32.ctypes.data
+            self.p_exact = (
+                exact32.ctypes.data if exact32 is not None else 0
+            )
 
     def compile(self, genes: np.ndarray) -> int:
         """Lower ``genes`` into the arena slabs; return ``n_ops``."""
@@ -105,8 +138,9 @@ class _Runtime:
         if self.native is not None:
             return self.native.compile(
                 genes, p.num_nodes, p.num_inputs, p.num_outputs,
-                self.fn2op, OP_ARITY, a.ops, a.src_a, a.src_b, a.dst,
-                a.out_slots, self.needed, self.scratch_i32,
+                self.p_fn2op, self.p_arity, self.p_ops, self.p_src_a,
+                self.p_src_b, self.p_dst, self.p_out_slots, self.p_needed,
+                self.p_scratch_i32,
             )
         return compile_genes_into(
             genes, p, self.fn2op_list,
@@ -124,7 +158,8 @@ class _Runtime:
         a = self.arena
         if self.native is not None:
             self.native.kernel(
-                a.buf, a.words, n_ops, a.ops, a.src_a, a.src_b, a.dst
+                self.p_buf, a.num_inputs, a.words, n_ops,
+                self.p_ops, self.p_src_a, self.p_src_b, self.p_dst,
             )
         else:
             kernels.run_program(a, n_ops)
@@ -133,21 +168,229 @@ class _Runtime:
         a = self.arena
         if self.native is not None:
             self.native.decode_err(
-                a.buf, a.words, a.out_slots, a.num_outputs, a.num_vectors,
-                signed, a.decode_scratch, exact32, a.err,
+                self.p_buf, a.words, self.p_out_slots, a.num_outputs,
+                a.num_vectors, signed, self.p_decode_scratch, exact32,
+                self.p_err,
             )
             return a.err
         return kernels.decode_error(a, a.num_outputs, signed, exact32)
+
+    def reduce_stats(self, signed: bool) -> tuple:
+        """Decode + exact integer reduction of the single-path outputs.
+
+        Native only.  Returns ``(sum |d|, count != 0, max |d|)`` over the
+        per-vector distances — the same integers :meth:`error` would
+        materialize as float64 — without writing the error row.
+        """
+        a = self.arena
+        self.native.decode_reduce(
+            self.p_buf, a.words, self.p_out_slots, a.num_outputs,
+            a.num_vectors, signed, self.p_decode_scratch, self.p_exact,
+            self.p_stats3,
+        )
+        return self.stats3.tolist()
 
     def values(self, signed: bool) -> np.ndarray:
         a = self.arena
         if self.native is not None:
             self.native.decode(
-                a.buf, a.words, a.out_slots, a.num_outputs, a.num_vectors,
-                signed, a.decode_scratch, a.values,
+                self.p_buf, a.words, self.p_out_slots, a.num_outputs,
+                a.num_vectors, signed, self.p_decode_scratch, self.p_values,
             )
             return a.values
         return kernels.decode_values(a, a.num_outputs, signed)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation over per-candidate lanes.
+    def ensure_batch(self, n_cand: int) -> None:
+        """Size the arena's batch lanes and refresh cached addresses."""
+        a = self.arena
+        a.ensure_batch(n_cand)
+        if self.native is not None and self._batch_epoch_seen != a.batch_epoch:
+            self.p_lanes = a.batch_lanes.ctypes.data
+            self.p_b_ops = a.batch_ops.ctypes.data
+            self.p_b_src_a = a.batch_src_a.ctypes.data
+            self.p_b_src_b = a.batch_src_b.ctypes.data
+            self.p_b_dst = a.batch_dst.ctypes.data
+            self.p_b_out_slots = a.batch_out_slots.ctypes.data
+            self.p_b_n_ops = a.batch_n_ops.ctypes.data
+            self.p_b_scratch = a.batch_scratch.ctypes.data
+            self.p_b_err = a.batch_err.ctypes.data
+            self.p_b_stats = a.batch_stats.ctypes.data
+            # Fully precomposed cgp_compile argument tails, one per slab
+            # lane: compile_into_lane then costs one ctypes call with no
+            # per-candidate pointer arithmetic or attribute traffic.
+            p = self.params
+            prog_b = p.num_nodes * 4                 # int32 row bytes
+            out_b = a.batch_out_slots.shape[1] * 4
+            self._lane_compile_args = [
+                (
+                    p.num_nodes, p.num_inputs, p.num_outputs,
+                    self.p_fn2op, self.p_arity,
+                    self.p_b_ops + k * prog_b,
+                    self.p_b_src_a + k * prog_b,
+                    self.p_b_src_b + k * prog_b,
+                    self.p_b_dst + k * prog_b,
+                    self.p_b_out_slots + k * out_b,
+                    self.p_needed, self.p_scratch_i32,
+                )
+                for k in range(a.batch_capacity)
+            ]
+            # Per-lane slab pointers for the chunked (cache-blocked)
+            # serial dispatch of execute_lane().
+            self._lane_eval_args = [
+                (
+                    self.p_b_n_ops + k * 4,
+                    self.p_b_ops + k * prog_b,
+                    self.p_b_src_a + k * prog_b,
+                    self.p_b_src_b + k * prog_b,
+                    self.p_b_dst + k * prog_b,
+                    self.p_b_out_slots + k * out_b,
+                )
+                for k in range(a.batch_capacity)
+            ]
+            # Fully precomposed cgp_eval_batch argument tuples for the
+            # stats-mode chunked dispatch, split around the one argument
+            # (do_sign) the caller supplies: execute_lane_stats then
+            # costs a single raw ctypes call.
+            self._lane_stats_args = [
+                (
+                    (
+                        self.p_buf, self.p_lanes, a.num_inputs, 0,
+                        a.words, 1, n_ops_p, ops_p, sa_p, sb_p, dst_p,
+                        a.num_nodes, osl_p, a.num_outputs,
+                        a.batch_out_slots.shape[1], a.num_vectors,
+                    ),
+                    (
+                        self.p_b_scratch, 0, self.p_exact, self.p_err,
+                        a.num_vectors, self.p_b_stats, 1,
+                    ),
+                )
+                for (n_ops_p, ops_p, sa_p, sb_p, dst_p, osl_p)
+                in self._lane_eval_args
+            ]
+            self._batch_epoch_seen = a.batch_epoch
+
+    def compile_into_lane(self, genes: np.ndarray, lane: int) -> int:
+        """Compile ``genes`` into batch slab row ``lane``; return n_ops."""
+        genes = np.ascontiguousarray(genes, dtype=np.int64)
+        a = self.arena
+        p = self.params
+        if self.native is not None:
+            n = int(
+                self.native._lib.cgp_compile(
+                    genes.ctypes.data, *self._lane_compile_args[lane]
+                )
+            )
+        else:
+            n = compile_genes_into(
+                genes, p, self.fn2op_list,
+                a.batch_ops[lane], a.batch_src_a[lane],
+                a.batch_src_b[lane], a.batch_dst[lane],
+                a.batch_out_slots[lane],
+            )
+        a.batch_n_ops[lane] = n
+        return n
+
+    def lane_signature(self, lane: int, n_ops: int) -> bytes:
+        """Signature of the program in slab row ``lane``.
+
+        Byte-identical to :meth:`signature` for the same phenotype — the
+        slab rows hold exactly what the single-candidate compile emits —
+        so batch and sequential paths share one cache keyspace.
+        """
+        a = self.arena
+        return phenotype_signature(
+            a.batch_ops[lane, :n_ops], a.batch_src_a[lane, :n_ops],
+            a.batch_src_b[lane, :n_ops], a.batch_dst[lane, :n_ops],
+            a.batch_out_slots[lane, : a.num_outputs], salt=self.salt,
+        )
+
+    def lane_area(self, lane: int, n_ops: int) -> float:
+        a = self.arena
+        return float(self.area_by_op[a.batch_ops[lane, :n_ops]].sum())
+
+    def execute_batch(
+        self, n_lanes: int, signed: bool, nthreads: int,
+        stats: bool = False,
+    ) -> None:
+        """Run + decode-error all ``n_lanes`` compiled lanes.
+
+        One native call (candidate loop in C, optionally OpenMP) or the
+        equivalent numpy loop; either way ``arena.batch_err[k]`` receives
+        lane ``k``'s per-vector distances, bit-identical to the
+        single-candidate path.  With ``stats`` (native only) lane ``k``'s
+        distances reduce into ``arena.batch_stats[k]`` instead and the
+        error rows stay untouched.
+
+        On the serial native path the lane and transpose-scratch strides
+        are 0: each candidate finishes (execute + decode) before the
+        next starts and a compiled program writes every non-input slot
+        before reading it, so all candidates soundly share lane 0 — a
+        working set that stays cache-resident instead of streaming one
+        cold lane per candidate.  Threaded dispatch needs the private
+        lanes and passes the full strides.
+        """
+        a = self.arena
+        if self.native is not None:
+            serial = nthreads <= 1 or n_lanes <= 1
+            self.native.eval_batch(
+                self.p_buf, self.p_lanes, a.num_inputs,
+                0 if serial else a.num_nodes,
+                a.words, n_lanes, self.p_b_n_ops, self.p_b_ops,
+                self.p_b_src_a, self.p_b_src_b, self.p_b_dst,
+                a.num_nodes, self.p_b_out_slots, a.num_outputs,
+                a.batch_out_slots.shape[1], a.num_vectors, signed,
+                self.p_b_scratch,
+                0 if serial else a.batch_scratch.shape[1],
+                self.p_exact, self.p_b_err, a.num_vectors, nthreads,
+                stats=self.p_b_stats if stats else 0,
+            )
+        else:
+            for k in range(n_lanes):
+                kernels.run_program_batch(a, k, int(a.batch_n_ops[k]))
+                kernels.decode_error_batch(
+                    a, k, a.num_outputs, signed, self.exact32
+                )
+
+    def execute_lane(self, lane: int, signed: bool) -> np.ndarray:
+        """Run + decode-error one compiled slab lane (native only).
+
+        The cache-blocked serial schedule of the batch ABI: the same
+        ``cgp_eval_batch`` entry point, dispatched one candidate at a
+        time with the slab pointers offset to ``lane`` and every
+        per-candidate buffer — scratch lane, transpose scratch and the
+        *single-path* error row (``arena.err``) — reused across chunks.
+        The caller reduces the returned distances before the next chunk
+        overwrites them, so each reduction reads a cache-hot row instead
+        of one of N cold private rows; results are bit-identical to the
+        one-call dispatch (same C code runs per candidate either way).
+        """
+        a = self.arena
+        n_ops_p, ops_p, sa_p, sb_p, dst_p, osl_p = self._lane_eval_args[lane]
+        self.native.eval_batch(
+            self.p_buf, self.p_lanes, a.num_inputs, 0,
+            a.words, 1, n_ops_p, ops_p, sa_p, sb_p, dst_p,
+            a.num_nodes, osl_p, a.num_outputs,
+            a.batch_out_slots.shape[1], a.num_vectors, signed,
+            self.p_b_scratch, 0, self.p_exact, self.p_err,
+            a.num_vectors, 1,
+        )
+        return a.err
+
+    def execute_lane_stats(self, lane: int, signed: bool) -> tuple:
+        """Run + exact integer reduction of one slab lane (native only).
+
+        The stats-mode twin of :meth:`execute_lane`: the same chunked
+        serial dispatch, but the decoded distances fold into
+        ``(sum |d|, count != 0, max |d|)`` in C (``arena.batch_stats``
+        row 0, reused across chunks) and the ~``num_vectors`` float64
+        error row is never written — the dominant share of a width-8
+        evaluation's memory traffic.
+        """
+        head, tail = self._lane_stats_args[lane]
+        self.native._lib.cgp_eval_batch(*head, int(signed), *tail)
+        return self.arena.batch_stats[0].tolist()
 
 
 class _EngineEvalMixin:
@@ -193,7 +436,51 @@ class _EngineEvalMixin:
         h.update(self.reference.tobytes())
         h.update(self.weights.tobytes())
         self._objective_salt = h.digest()
+        # Exact-reduction fast path: some metrics are *provably* equal —
+        # bit for bit, not approximately — to a formula over the integer
+        # triple (sum |d|, count != 0, max |d|), in which case the
+        # native backend can skip materializing the float64 distance row
+        # entirely (see _reduce_error).  Eligibility:
+        #
+        # * wmed / error-rate need every weight equal to one power of
+        #   two w0 with unit total mass (the uniform distribution).
+        #   Then every product w0*x and every partial sum in
+        #   np.dot(w, err) is an exactly-representable scaled integer,
+        #   making the dot order-independent and equal to w0 * sum.
+        # * med only needs the integer sum to be exact: err.mean() is
+        #   fl(T / N) and Python's T / N rounds identically.
+        # * worst-case is always eligible (a single int-to-float cast).
+        # * mred divides per-vector — no integer form; never eligible.
+        #
+        # Exactness of the int64 sum needs sum |d| < 2**53: distances
+        # are below 2**31 (int32 decode guard), so cap num_vectors at
+        # 2**20.  Every exhaustive objective in the paper is far below.
+        w = self.weights
+        w0 = float(w[0]) if w.size else 0.0
+        uniform_pow2 = (
+            w.size > 0
+            and w0 > 0.0
+            and math.frexp(w0)[0] == 0.5
+            and bool(np.all(w == w0))
+        )
+        exact_sum = self.num_vectors <= (1 << 20)
+        name = self.metric.name
+        if name in ("wmed", "error-rate") and uniform_pow2 and exact_sum:
+            self._reduce_kind: Optional[str] = name
+        elif name == "med" and exact_sum:
+            self._reduce_kind = name
+        elif name == "worst-case":
+            self._reduce_kind = name
+        else:
+            self._reduce_kind = None
+        self._w0 = w0
         self.cache = EvalCache(cache_entries)
+        #: Within-batch phenotype dedup count (same sig, same brood).
+        self._batch_dedup = 0
+        #: Number of fused batch dispatches issued.
+        self._batch_calls = 0
+        #: Candidates actually executed via batch dispatch.
+        self._batch_evals = 0
 
     @property
     def backend(self) -> str:
@@ -213,6 +500,7 @@ class _EngineEvalMixin:
                     self.library,
                     self._native,
                     salt_extra=self._objective_salt,
+                    exact32=self._exact32,
                 )
             except (KeyError, ValueError):
                 # A gate function without an engine opcode, or a shape
@@ -229,6 +517,24 @@ class _EngineEvalMixin:
                 f"expects {self.num_inputs}"
             )
 
+    def _reduce_error(self, s: int, nz: int, mx: int) -> float:
+        """Metric value from the exact integer triple (native fast path).
+
+        Bit-equal to ``metric.from_distances`` over the materialized
+        distance row under the eligibility conditions checked in
+        :meth:`_init_engine`: each formula reproduces the reference
+        reduction's exact value and final rounding (see the comment
+        there for the proofs).
+        """
+        kind = self._reduce_kind
+        if kind == "wmed":
+            return s * self._w0 / self.normalizer
+        if kind == "med":
+            return s / self.num_vectors / self.normalizer
+        if kind == "error-rate":
+            return nz * self._w0
+        return float(mx) / self.normalizer  # worst-case
+
     # ------------------------------------------------------------------
     def _measure(self, chromosome: Chromosome) -> tuple:
         """(error, area) of a candidate, via cache or fresh execution."""
@@ -238,6 +544,7 @@ class _EngineEvalMixin:
                 CircuitObjective.error(self, chromosome),
                 CircuitObjective.area(self, chromosome),
             )
+        rt.arena.assert_owner()
         n_ops = rt.compile(chromosome.genes)
         caching = self.cache.max_entries > 0
         if caching:
@@ -246,10 +553,13 @@ class _EngineEvalMixin:
             if cached is not None:
                 return cached
         rt.execute(n_ops)
-        err = rt.error(self.signed, self._exact32)
-        error = self.metric.from_distances(
-            err, self.weights, self.normalizer, self.reference
-        )
+        if rt.native is not None and self._reduce_kind is not None:
+            error = self._reduce_error(*rt.reduce_stats(self.signed))
+        else:
+            err = rt.error(self.signed, self._exact32)
+            error = self.metric.from_distances(
+                err, self.weights, self.normalizer, self.reference
+            )
         area = float(rt.area_by_op[rt.arena.ops[:n_ops]].sum())
         if caching:
             self.cache.put(sig, error, area)
@@ -280,21 +590,155 @@ class _EngineEvalMixin:
     def evaluate_batch(
         self, chromosomes: Sequence[Chromosome], threshold: float
     ) -> List[EvalResult]:
-        """Evaluate a population slice.
+        """Evaluate a population slice with one fused native dispatch.
 
-        Currently sequential — the arena is reused candidate to candidate
-        and the phenotype cache deduplicates within the batch; the method
-        exists so batching callers (the evolution loop, future sharded
-        runners) have a stable entry point.
+        Per candidate: compile into a private slab lane, look the
+        signature up in the phenotype cache, and dedupe identical
+        phenotypes within the batch.  Survivors then run through the
+        ``cgp_eval_batch`` ABI under one of two schedules:
+
+        * threaded (``REPRO_OMP`` resolves to > 1): **one** fused call,
+          candidate loop in C under an OpenMP team, each candidate
+          writing its private lane / scratch / error row;
+        * serial: the same entry point dispatched one candidate at a
+          time (cache-blocked), every chunk reusing the same lane,
+          scratch and error row so the metric reduction that follows it
+          reads cache-hot data.
+
+        Results are bit-identical to calling :meth:`evaluate`
+        sequentially — same compiled programs, same integer kernels,
+        same float64 reduction operand order — batching only changes
+        dispatch overhead and memory locality.
+
+        Mixed-params batches and non-engine runtimes fall back to the
+        sequential path.
         """
-        return [self.evaluate(c, threshold) for c in chromosomes]
+        chromosomes = list(chromosomes)
+        if not chromosomes:
+            return []
+        params = chromosomes[0].params
+        for c in chromosomes:
+            self._check_params(c.params)
+        rt = self._runtime(params)
+        if rt is None or any(c.params != params for c in chromosomes[1:]):
+            return [self.evaluate(c, threshold) for c in chromosomes]
+        rt.arena.assert_owner()
+        n = len(chromosomes)
+        rt.ensure_batch(n)
+        caching = self.cache.max_entries > 0
+        measures: List[Optional[tuple]] = [None] * n
+        dups: List[tuple] = []          # (result index, lane index)
+        pending: List[tuple] = []       # (result index, lane, sig, n_ops)
+        lane_of_sig: Dict[bytes, int] = {}
+        n_lanes = 0
+        # Bound-method / attribute hoists: this loop runs once per
+        # evaluation, so repeated lookups are measurable next to the
+        # ~100 µs native call.
+        compile_lane = rt.compile_into_lane
+        lane_sig = rt.lane_signature
+        cache_get = self.cache.get
+        for i, ch in enumerate(chromosomes):
+            n_ops = compile_lane(ch.genes, n_lanes)
+            sig = lane_sig(n_lanes, n_ops)
+            if caching:
+                cached = cache_get(sig)
+                if cached is not None:
+                    measures[i] = cached
+                    continue
+            dup_lane = lane_of_sig.get(sig)
+            if dup_lane is not None:
+                self._batch_dedup += 1
+                dups.append((i, dup_lane))
+                continue
+            lane_of_sig[sig] = n_lanes
+            pending.append((i, n_lanes, sig, n_ops))
+            n_lanes += 1
+        if n_lanes:
+            nthreads = omp_threads() if rt.native is not None else 1
+            self._batch_calls += 1
+            self._batch_evals += n_lanes
+            by_lane: Dict[int, tuple] = {}
+            from_distances = self.metric.from_distances
+            lane_area = rt.lane_area
+            cache_put = self.cache.put
+            weights, normalizer = self.weights, self.normalizer
+            reference = self.reference
+            signed = self.signed
+            fast = rt.native is not None and self._reduce_kind is not None
+            if rt.native is not None and nthreads <= 1:
+                # Cache-blocked serial schedule: dispatch the batch ABI
+                # one candidate at a time and reduce each distance row
+                # while it is still cache-hot.  One brood otherwise
+                # streams n_lanes cold private error rows (~n x 512 KiB
+                # at width 8) through the reductions, which costs more
+                # than the dispatch the fused call saves.
+                if fast:
+                    execute_lane_stats = rt.execute_lane_stats
+                    reduce_error = self._reduce_error
+                    for i, lane, sig, n_ops in pending:
+                        error = reduce_error(
+                            *execute_lane_stats(lane, signed)
+                        )
+                        area = lane_area(lane, n_ops)
+                        if caching:
+                            cache_put(sig, error, area)
+                        measures[i] = by_lane[lane] = (error, area)
+                else:
+                    execute_lane = rt.execute_lane
+                    for i, lane, sig, n_ops in pending:
+                        err = execute_lane(lane, signed)
+                        error = from_distances(
+                            err, weights, normalizer, reference
+                        )
+                        area = lane_area(lane, n_ops)
+                        if caching:
+                            cache_put(sig, error, area)
+                        measures[i] = by_lane[lane] = (error, area)
+            else:
+                rt.execute_batch(n_lanes, signed, nthreads, stats=fast)
+                batch_err = rt.arena.batch_err
+                batch_stats = rt.arena.batch_stats
+                reduce_error = self._reduce_error
+                for i, lane, sig, n_ops in pending:
+                    if fast:
+                        error = reduce_error(*batch_stats[lane].tolist())
+                    else:
+                        error = from_distances(
+                            batch_err[lane], weights, normalizer, reference
+                        )
+                    area = lane_area(lane, n_ops)
+                    if caching:
+                        cache_put(sig, error, area)
+                    measures[i] = by_lane[lane] = (error, area)
+            for i, lane in dups:
+                measures[i] = by_lane[lane]
+        results = []
+        for error, area in measures:
+            fitness = area if error <= threshold else float("inf")
+            results.append(
+                EvalResult(fitness=fitness, wmed=error, area=area)
+            )
+        return results
 
     def stats(self) -> dict:
         """Engine counters for logging and benchmarks."""
+        omp = {"compiled": False, "threads": 1}
+        if self._native is not None:
+            omp = {
+                "compiled": self._native.omp_compiled(),
+                "threads": omp_threads(),
+            }
         return {
             "backend": self.backend,
             "cache": self.cache.stats(),
+            "fast_reduce": self._reduce_kind,
             "runtimes": len(self._runtimes),
+            "batch": {
+                "calls": self._batch_calls,
+                "evals": self._batch_evals,
+                "dedup": self._batch_dedup,
+            },
+            "omp": omp,
         }
 
 

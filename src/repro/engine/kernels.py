@@ -22,8 +22,10 @@ from .opcodes import NUMPY_KERNELS
 
 __all__ = [
     "run_program",
+    "run_program_batch",
     "decode_values",
     "decode_error",
+    "decode_error_batch",
 ]
 
 #: Per-bit weights for one byte group of the stacked bit-transpose.
@@ -46,26 +48,38 @@ def run_program(arena: BufferArena, n_ops: int) -> None:
         kernels[op](rows[a], rows[b], rows[d])
 
 
+def run_program_batch(arena: BufferArena, cand: int, n_ops: int) -> None:
+    """Execute batch candidate ``cand``'s compiled slab into its lane.
+
+    Identical op-by-op arithmetic to :func:`run_program`, but sources
+    resolve against the shared stimulus rows plus the candidate's
+    private lane (see :meth:`BufferArena.batch_rows`), and all stores
+    land in the lane — candidates never alias each other.
+    """
+    rows = arena.batch_rows(cand)
+    kernels = NUMPY_KERNELS
+    ops = arena.batch_ops[cand, :n_ops].tolist()
+    src_a = arena.batch_src_a[cand, :n_ops].tolist()
+    src_b = arena.batch_src_b[cand, :n_ops].tolist()
+    dst = arena.batch_dst[cand, :n_ops].tolist()
+    for op, a, b, d in zip(ops, src_a, src_b, dst):
+        kernels[op](rows[a], rows[b], rows[d])
+
+
 def _gather_planes(arena: BufferArena, n_bits: int) -> np.ndarray:
     planes = arena.planes[:n_bits]
     np.take(arena.buf, arena.out_slots[:n_bits], axis=0, out=planes)
     return planes
 
 
-def decode_values(
-    arena: BufferArena, n_bits: int, signed: bool
+def _decode_planes(
+    planes: np.ndarray,
+    num_vectors: int,
+    n_bits: int,
+    signed: bool,
+    values: np.ndarray,
 ) -> np.ndarray:
-    """Decode the output planes into per-vector integers (arena.values).
-
-    Equivalent to per-plane ``unpackbits`` + shift-accumulate but does a
-    single stacked bit-transpose over all planes.
-    """
-    num_vectors = arena.num_vectors
-    values = arena.values
-    if n_bits == 0:
-        values.fill(0)
-        return values
-    planes = _gather_planes(arena, n_bits)
+    """Bit-transpose ``planes`` into per-vector integers in ``values``."""
     bits = np.unpackbits(
         planes.view(np.uint8), axis=1, bitorder="little"
     )[:, :num_vectors]
@@ -86,12 +100,59 @@ def decode_values(
     return values
 
 
+def decode_values(
+    arena: BufferArena, n_bits: int, signed: bool
+) -> np.ndarray:
+    """Decode the output planes into per-vector integers (arena.values).
+
+    Equivalent to per-plane ``unpackbits`` + shift-accumulate but does a
+    single stacked bit-transpose over all planes.
+    """
+    values = arena.values
+    if n_bits == 0:
+        values.fill(0)
+        return values
+    planes = _gather_planes(arena, n_bits)
+    return _decode_planes(planes, arena.num_vectors, n_bits, signed, values)
+
+
 def decode_error(
     arena: BufferArena, n_bits: int, signed: bool, exact: np.ndarray
 ) -> np.ndarray:
     """Fused decode + ``|exact - value|`` into the float64 error buffer."""
     values = decode_values(arena, n_bits, signed)
     err = arena.err
+    np.subtract(exact, values, out=err)
+    np.absolute(err, out=err)
+    return err
+
+
+def decode_error_batch(
+    arena: BufferArena,
+    cand: int,
+    n_bits: int,
+    signed: bool,
+    exact: np.ndarray,
+) -> np.ndarray:
+    """Batch-candidate decode + error into ``arena.batch_err[cand]``.
+
+    Bit-identical to :func:`decode_error` run after the same program:
+    the same stacked transpose and the same ``exact - value`` operand
+    order, just gathering planes from the candidate's lane (or the
+    shared stimulus, for outputs wired straight to a primary input).
+    """
+    err = arena.batch_err[cand]
+    if n_bits == 0:
+        values = arena.values
+        values.fill(0)
+    else:
+        rows = arena.batch_rows(cand)
+        planes = arena.planes[:n_bits]
+        for j, s in enumerate(arena.batch_out_slots[cand, :n_bits].tolist()):
+            planes[j] = rows[s]
+        values = _decode_planes(
+            planes, arena.num_vectors, n_bits, signed, arena.values
+        )
     np.subtract(exact, values, out=err)
     np.absolute(err, out=err)
     return err

@@ -33,18 +33,30 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["NativeLib", "native_lib", "native_available"]
+__all__ = ["NativeLib", "native_lib", "native_available", "omp_threads"]
 
 #: Bump when C_SOURCE changes incompatibly (part of the .so cache key).
-_ABI_VERSION = 2
+_ABI_VERSION = 4
 
 C_SOURCE = r"""
 #include <stdint.h>
 #include <string.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #ifdef __AVX2__
 #include <immintrin.h>
 #endif
+
+/* Words per execution tile: the interpreter runs every op over one tile
+   before advancing, so the program's live slot set (live_width * 8 *
+   TILE bytes) stays L1-resident across the whole program instead of
+   streaming each full-width row through cache once per op.  Tiling only
+   reorders independent per-word integer ops, so results are identical
+   for any tile size. */
+#define ENGINE_TILE_WORDS 128
 
 /* Opcodes: must match repro.engine.opcodes.OP_NAMES. */
 
@@ -131,40 +143,72 @@ int32_t cgp_compile(const int64_t* genes, int32_t nn, int32_t ni, int32_t no,
     return n_total;
 }
 
-/* Tight interpreter over the compiled program and the word arena. */
-void cgp_kernel(uint64_t* arena, int32_t W, int32_t n_ops,
+/* Slot -> row resolution shared by the single and batched entry points.
+   Slots below ni are the shared packed stimulus; slot s >= ni is row
+   s - ni of the candidate's private scratch lane.  The single-candidate
+   arena is the degenerate case lane == arena + ni*W (one contiguous
+   buffer), so both paths execute byte-identically. */
+static inline const uint64_t* src_row(const uint64_t* inputs,
+                                      const uint64_t* lane,
+                                      int32_t ni, int32_t W, int32_t s)
+{
+    return s < ni ? inputs + (size_t)s * W : lane + (size_t)(s - ni) * W;
+}
+
+/* Tiled interpreter over one compiled program (see ENGINE_TILE_WORDS).
+   Destinations are always >= ni (primary inputs are never recycled), so
+   all stores land in the candidate's lane. */
+static void exec_program(const uint64_t* inputs, uint64_t* lane,
+                         int32_t ni, int32_t W, int32_t n_ops,
+                         const int32_t* ops, const int32_t* sa,
+                         const int32_t* sb, const int32_t* dst)
+{
+    for (int32_t t = 0; t < W; t += ENGINE_TILE_WORDS) {
+        int32_t tw = W - t;
+        if (tw > ENGINE_TILE_WORDS) tw = ENGINE_TILE_WORDS;
+        size_t t8 = (size_t)tw * 8;
+        for (int32_t i = 0; i < n_ops; ++i) {
+            const uint64_t* restrict a =
+                src_row(inputs, lane, ni, W, sa[i]) + t;
+            const uint64_t* restrict b =
+                src_row(inputs, lane, ni, W, sb[i]) + t;
+            uint64_t* restrict o = lane + (size_t)(dst[i] - ni) * W + t;
+            switch (ops[i]) {
+            case 0: memset(o, 0, t8); break;
+            case 1: memset(o, 0xFF, t8); break;
+            case 2: memcpy(o, a, t8); break;
+            case 3: for (int32_t w = 0; w < tw; ++w) o[w] = ~a[w]; break;
+            case 4: for (int32_t w = 0; w < tw; ++w) o[w] = a[w] & b[w]; break;
+            case 5: for (int32_t w = 0; w < tw; ++w) o[w] = a[w] | b[w]; break;
+            case 6: for (int32_t w = 0; w < tw; ++w) o[w] = a[w] ^ b[w]; break;
+            case 7: for (int32_t w = 0; w < tw; ++w) o[w] = ~(a[w] & b[w]); break;
+            case 8: for (int32_t w = 0; w < tw; ++w) o[w] = ~(a[w] | b[w]); break;
+            case 9: for (int32_t w = 0; w < tw; ++w) o[w] = ~(a[w] ^ b[w]); break;
+            case 10: for (int32_t w = 0; w < tw; ++w) o[w] = a[w] & ~b[w]; break;
+            case 11: for (int32_t w = 0; w < tw; ++w) o[w] = a[w] | ~b[w]; break;
+            }
+        }
+    }
+}
+
+/* Single-candidate entry point over one contiguous arena. */
+void cgp_kernel(uint64_t* arena, int32_t ni, int32_t W, int32_t n_ops,
                 const int32_t* ops, const int32_t* sa, const int32_t* sb,
                 const int32_t* dst)
 {
-    size_t w8 = (size_t)W * 8;
-    for (int32_t i = 0; i < n_ops; ++i) {
-        const uint64_t* restrict a = arena + (size_t)sa[i] * W;
-        const uint64_t* restrict b = arena + (size_t)sb[i] * W;
-        uint64_t* restrict o = arena + (size_t)dst[i] * W;
-        switch (ops[i]) {
-        case 0: memset(o, 0, w8); break;
-        case 1: memset(o, 0xFF, w8); break;
-        case 2: memcpy(o, a, w8); break;
-        case 3: for (int32_t w = 0; w < W; ++w) o[w] = ~a[w]; break;
-        case 4: for (int32_t w = 0; w < W; ++w) o[w] = a[w] & b[w]; break;
-        case 5: for (int32_t w = 0; w < W; ++w) o[w] = a[w] | b[w]; break;
-        case 6: for (int32_t w = 0; w < W; ++w) o[w] = a[w] ^ b[w]; break;
-        case 7: for (int32_t w = 0; w < W; ++w) o[w] = ~(a[w] & b[w]); break;
-        case 8: for (int32_t w = 0; w < W; ++w) o[w] = ~(a[w] | b[w]); break;
-        case 9: for (int32_t w = 0; w < W; ++w) o[w] = ~(a[w] ^ b[w]); break;
-        case 10: for (int32_t w = 0; w < W; ++w) o[w] = a[w] & ~b[w]; break;
-        case 11: for (int32_t w = 0; w < W; ++w) o[w] = a[w] | ~b[w]; break;
-        }
-    }
+    exec_program(arena, arena + (size_t)ni * W, ni, W, n_ops,
+                 ops, sa, sb, dst);
 }
 
 /* Bit-transpose the output planes into per-vector byte groups.
    scratch needs (n_bits+7)/8 * ceil(num_vectors/8) uint64 entries.
    All (up to) 8 planes of a byte group are combined in one pass, so
-   each accumulator word is stored exactly once. */
-static int64_t transpose_planes(const uint64_t* arena, int32_t W,
-                                const int32_t* out_slots, int32_t n_bits,
-                                int64_t num_vectors, uint64_t* scratch)
+   each accumulator word is stored exactly once.  Takes one pointer per
+   plane (rather than slot indices) so callers can resolve slots against
+   either a contiguous arena or a split inputs/lane pair. */
+static int64_t transpose_planes(const uint64_t* const* planes,
+                                int32_t n_bits, int64_t num_vectors,
+                                uint64_t* scratch)
 {
     int64_t ngroups = (num_vectors + 7) >> 3;
     int32_t n_acc = (n_bits + 7) >> 3;
@@ -175,7 +219,7 @@ static int64_t transpose_planes(const uint64_t* arena, int32_t W,
         if (k > 8) k = 8;
         const uint8_t* pb[8];
         for (int32_t j = 0; j < k; ++j)
-            pb[j] = (const uint8_t*)(arena + (size_t)out_slots[j0 + j] * W);
+            pb[j] = (const uint8_t*)planes[j0 + j];
         int64_t m0 = 0;
         if (k == 8) {
 #ifdef __AVX2__
@@ -231,8 +275,11 @@ void cgp_decode(const uint64_t* arena, int32_t W, const int32_t* out_slots,
                 int32_t n_bits, int64_t num_vectors, int32_t do_sign,
                 uint64_t* scratch, int32_t* restrict values)
 {
+    const uint64_t* planes[32];
+    for (int32_t j = 0; j < n_bits; ++j)
+        planes[j] = arena + (size_t)out_slots[j] * W;
     int64_t ngroups =
-        transpose_planes(arena, W, out_slots, n_bits, num_vectors, scratch);
+        transpose_planes(planes, n_bits, num_vectors, scratch);
     int32_t n_acc = (n_bits + 7) >> 3;
     const uint8_t* a0 = (const uint8_t*)scratch;
     const uint8_t* a1 = (const uint8_t*)(scratch + ngroups);
@@ -251,47 +298,126 @@ void cgp_decode(const uint64_t* arena, int32_t W, const int32_t* out_slots,
 }
 
 /* Fused decode + |exact - value| (the WMED error vector).  The
-   n_bits <= 16 case — every paper width — is a separate loop of purely
-   lane-wise ops (byte interleave, sign-extend shifts, subtract,
-   absolute value, int->double) that compilers auto-vectorize. */
-void cgp_decode_err(const uint64_t* arena, int32_t W,
-                    const int32_t* out_slots, int32_t n_bits,
-                    int64_t num_vectors, int32_t do_sign, uint64_t* scratch,
-                    const int32_t* exact, double* restrict err)
+   n_bits <= 16 case — every paper width — is a single lane-wise loop
+   (byte interleave, sign-extend shifts, subtract, absolute value,
+   int->double): hand-vectorized 8 vectors per iteration under AVX2,
+   with a scalar tail (and non-AVX2 fallback) built from the identical
+   integer expressions, so every path produces the same doubles. */
+static void err_loop_16(const uint8_t* restrict a0,
+                        const uint8_t* restrict a1, int32_t two_acc,
+                        int32_t do_sign, int32_t ext,
+                        const int32_t* restrict exact,
+                        double* restrict err, int64_t n)
+{
+    int64_t v = 0;
+#ifdef __AVX2__
+    for (; v + 8 <= n; v += 8) {
+        __m256i x = _mm256_cvtepu8_epi32(
+            _mm_loadl_epi64((const __m128i*)(a0 + v)));
+        if (two_acc) {
+            __m256i hi = _mm256_cvtepu8_epi32(
+                _mm_loadl_epi64((const __m128i*)(a1 + v)));
+            x = _mm256_or_si256(x, _mm256_slli_epi32(hi, 8));
+        }
+        if (do_sign)
+            x = _mm256_srai_epi32(
+                _mm256_slli_epi32(x, ext), ext);
+        __m256i d = _mm256_abs_epi32(_mm256_sub_epi32(
+            _mm256_loadu_si256((const __m256i*)(exact + v)), x));
+        _mm256_storeu_pd(err + v,
+            _mm256_cvtepi32_pd(_mm256_castsi256_si128(d)));
+        _mm256_storeu_pd(err + v + 4,
+            _mm256_cvtepi32_pd(_mm256_extracti128_si256(d, 1)));
+    }
+#endif
+    for (; v < n; ++v) {
+        int32_t val = a0[v];
+        if (two_acc) val |= (int32_t)a1[v] << 8;
+        if (do_sign) val = (int32_t)((uint32_t)val << ext) >> ext;
+        int32_t d = exact[v] - val;
+        err[v] = (double)(d < 0 ? -d : d);
+    }
+}
+
+/* Reduced decode: the same decoded values and |exact - value| integer
+   distances as err_loop_16, folded on the fly into three integer
+   statistics — sum, nonzero count, max — instead of a float64 row.
+   Integer addition is associative, so any accumulation order gives the
+   exact sum; callers only use this when the downstream float metric is
+   provably bit-equal to the one computed from the materialized row
+   (see CompiledObjective._init_engine). */
+static void reduce_loop_16(const uint8_t* restrict a0,
+                           const uint8_t* restrict a1, int32_t two_acc,
+                           int32_t do_sign, int32_t ext,
+                           const int32_t* restrict exact, int64_t n,
+                           int64_t* restrict stats)
+{
+    int64_t sum = 0, nz = 0, mx = 0;
+    int64_t v = 0;
+#ifdef __AVX2__
+    __m256i vsum = _mm256_setzero_si256();
+    __m256i vnz = _mm256_setzero_si256();
+    __m256i vmx = _mm256_setzero_si256();
+    for (; v + 8 <= n; v += 8) {
+        __m256i x = _mm256_cvtepu8_epi32(
+            _mm_loadl_epi64((const __m128i*)(a0 + v)));
+        if (two_acc) {
+            __m256i hi = _mm256_cvtepu8_epi32(
+                _mm_loadl_epi64((const __m128i*)(a1 + v)));
+            x = _mm256_or_si256(x, _mm256_slli_epi32(hi, 8));
+        }
+        if (do_sign)
+            x = _mm256_srai_epi32(
+                _mm256_slli_epi32(x, ext), ext);
+        __m256i d = _mm256_abs_epi32(_mm256_sub_epi32(
+            _mm256_loadu_si256((const __m256i*)(exact + v)), x));
+        vsum = _mm256_add_epi64(vsum,
+            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(d)));
+        vsum = _mm256_add_epi64(vsum,
+            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(d, 1)));
+        vnz = _mm256_sub_epi32(vnz,
+            _mm256_cmpgt_epi32(d, _mm256_setzero_si256()));
+        vmx = _mm256_max_epi32(vmx, d);
+    }
+    int64_t s4[4];
+    int32_t l8[8];
+    _mm256_storeu_si256((__m256i*)s4, vsum);
+    sum = s4[0] + s4[1] + s4[2] + s4[3];
+    _mm256_storeu_si256((__m256i*)l8, vnz);
+    for (int32_t j = 0; j < 8; ++j) nz += l8[j];
+    _mm256_storeu_si256((__m256i*)l8, vmx);
+    for (int32_t j = 0; j < 8; ++j) if (l8[j] > mx) mx = l8[j];
+#endif
+    for (; v < n; ++v) {
+        int32_t val = a0[v];
+        if (two_acc) val |= (int32_t)a1[v] << 8;
+        if (do_sign) val = (int32_t)((uint32_t)val << ext) >> ext;
+        int32_t d = exact[v] - val;
+        if (d < 0) d = -d;
+        sum += d;
+        nz += (d != 0);
+        if (d > mx) mx = d;
+    }
+    stats[0] = sum;
+    stats[1] = nz;
+    stats[2] = mx;
+}
+
+static void decode_err_planes(const uint64_t* const* planes, int32_t n_bits,
+                              int64_t num_vectors, int32_t do_sign,
+                              uint64_t* scratch, const int32_t* exact,
+                              double* restrict err)
 {
     int64_t ngroups =
-        transpose_planes(arena, W, out_slots, n_bits, num_vectors, scratch);
+        transpose_planes(planes, n_bits, num_vectors, scratch);
     int32_t n_acc = (n_bits + 7) >> 3;
     const uint8_t* restrict a0 = (const uint8_t*)scratch;
     const uint8_t* restrict a1 = (const uint8_t*)(scratch + ngroups);
     const uint8_t* a2 = (const uint8_t*)(scratch + 2 * ngroups);
     const uint8_t* a3 = (const uint8_t*)(scratch + 3 * ngroups);
     if (n_bits <= 16) {
-        int32_t ext = 32 - n_bits;
-        if (n_acc > 1 && do_sign && n_bits > 0) {
-            for (int64_t v = 0; v < num_vectors; ++v) {
-                int32_t val = a0[v] | ((int32_t)a1[v] << 8);
-                val = (int32_t)((uint32_t)val << ext) >> ext;
-                int32_t d = exact[v] - val;
-                err[v] = (double)(d < 0 ? -d : d);
-            }
-        } else if (n_acc > 1) {
-            for (int64_t v = 0; v < num_vectors; ++v) {
-                int32_t d = exact[v] - (a0[v] | ((int32_t)a1[v] << 8));
-                err[v] = (double)(d < 0 ? -d : d);
-            }
-        } else if (do_sign && n_bits > 0) {
-            for (int64_t v = 0; v < num_vectors; ++v) {
-                int32_t val = (int32_t)((uint32_t)a0[v] << ext) >> ext;
-                int32_t d = exact[v] - val;
-                err[v] = (double)(d < 0 ? -d : d);
-            }
-        } else {
-            for (int64_t v = 0; v < num_vectors; ++v) {
-                int32_t d = exact[v] - a0[v];
-                err[v] = (double)(d < 0 ? -d : d);
-            }
-        }
+        err_loop_16(a0, a1, n_acc > 1, do_sign && n_bits > 0,
+                    32 - n_bits, exact, err, num_vectors);
         return;
     }
     int32_t half = (do_sign && n_bits < 32)
@@ -304,6 +430,179 @@ void cgp_decode_err(const uint64_t* arena, int32_t W,
         int64_t d = (int64_t)exact[v] - (int64_t)val;
         err[v] = (double)(d < 0 ? -d : d);
     }
+}
+
+/* Integer-statistics twin of decode_err_planes: identical decode and
+   distance expressions, but the distances are reduced on the fly into
+   stats = {sum |d|, count(d != 0), max |d|} with no float64 row ever
+   written.  Exact for any feasible circuit: |d| < 2^32 and callers
+   bound num_vectors so the running sum stays below 2^63. */
+static void decode_reduce_planes(const uint64_t* const* planes,
+                                 int32_t n_bits, int64_t num_vectors,
+                                 int32_t do_sign, uint64_t* scratch,
+                                 const int32_t* exact,
+                                 int64_t* restrict stats)
+{
+    int64_t ngroups =
+        transpose_planes(planes, n_bits, num_vectors, scratch);
+    int32_t n_acc = (n_bits + 7) >> 3;
+    const uint8_t* restrict a0 = (const uint8_t*)scratch;
+    const uint8_t* restrict a1 = (const uint8_t*)(scratch + ngroups);
+    const uint8_t* a2 = (const uint8_t*)(scratch + 2 * ngroups);
+    const uint8_t* a3 = (const uint8_t*)(scratch + 3 * ngroups);
+    if (n_bits <= 16) {
+        reduce_loop_16(a0, a1, n_acc > 1, do_sign && n_bits > 0,
+                       32 - n_bits, exact, num_vectors, stats);
+        return;
+    }
+    int32_t half = (do_sign && n_bits < 32)
+                       ? (int32_t)(1U << (n_bits - 1)) : 0;
+    int64_t sum = 0, nz = 0, mx = 0;
+    for (int64_t v = 0; v < num_vectors; ++v) {
+        int32_t val = a0[v] | ((int32_t)a1[v] << 8);
+        if (n_acc > 2) val |= (int32_t)a2[v] << 16;
+        if (n_acc > 3) val |= (int32_t)a3[v] << 24;
+        if (do_sign && val >= half) val -= half << 1;
+        int64_t d = (int64_t)exact[v] - (int64_t)val;
+        if (d < 0) d = -d;
+        sum += d;
+        nz += (d != 0);
+        if (d > mx) mx = d;
+    }
+    stats[0] = sum;
+    stats[1] = nz;
+    stats[2] = mx;
+}
+
+void cgp_decode_err(const uint64_t* arena, int32_t W,
+                    const int32_t* out_slots, int32_t n_bits,
+                    int64_t num_vectors, int32_t do_sign, uint64_t* scratch,
+                    const int32_t* exact, double* restrict err)
+{
+    const uint64_t* planes[32];
+    for (int32_t j = 0; j < n_bits; ++j)
+        planes[j] = arena + (size_t)out_slots[j] * W;
+    decode_err_planes(planes, n_bits, num_vectors, do_sign, scratch,
+                      exact, err);
+}
+
+void cgp_decode_reduce(const uint64_t* arena, int32_t W,
+                       const int32_t* out_slots, int32_t n_bits,
+                       int64_t num_vectors, int32_t do_sign,
+                       uint64_t* scratch, const int32_t* exact,
+                       int64_t* restrict stats)
+{
+    const uint64_t* planes[32];
+    for (int32_t j = 0; j < n_bits; ++j)
+        planes[j] = arena + (size_t)out_slots[j] * W;
+    decode_reduce_planes(planes, n_bits, num_vectors, do_sign, scratch,
+                         exact, stats);
+}
+
+/* One candidate of a batch: execute its program into its lane, then
+   decode + error straight from the lane (or the shared inputs, for
+   outputs wired directly to a primary input).  With stats non-NULL the
+   error row is never touched: the distances are folded into the
+   three-integer summary instead (see decode_reduce_planes). */
+static void eval_candidate(const uint64_t* inputs, uint64_t* lane,
+                           int32_t ni, int32_t W, int32_t n_ops,
+                           const int32_t* ops, const int32_t* sa,
+                           const int32_t* sb, const int32_t* dst,
+                           const int32_t* osl, int32_t n_bits,
+                           int64_t num_vectors, int32_t do_sign,
+                           uint64_t* scratch, const int32_t* exact,
+                           double* err, int64_t* stats)
+{
+    exec_program(inputs, lane, ni, W, n_ops, ops, sa, sb, dst);
+    const uint64_t* planes[32];
+    for (int32_t j = 0; j < n_bits; ++j)
+        planes[j] = src_row(inputs, lane, ni, W, osl[j]);
+    if (stats)
+        decode_reduce_planes(planes, n_bits, num_vectors, do_sign,
+                             scratch, exact, stats);
+    else
+        decode_err_planes(planes, n_bits, num_vectors, do_sign, scratch,
+                          exact, err);
+}
+
+/* Batched evaluation: one call runs n_cand compiled programs over the
+   shared packed stimulus.  Every candidate owns a program slab row and
+   an error row; lane and transpose-scratch rows are per candidate too
+   unless their stride is 0.  A compiled program writes every non-input
+   slot before reading it (slots map to inputs or earlier destinations
+   of the same program), so with stride 0 the serial loop soundly reuses
+   one lane for all candidates — a much smaller, cache-resident working
+   set.  With OpenMP compiled in and nthreads > 1 the candidates are
+   split across a thread team (callers must then pass full strides).
+   Each candidate's arithmetic is identical either way (pure integer
+   ops, no cross-candidate reads), so serial and parallel results match
+   bit-for-bit.  Strides are in elements of the respective arrays.
+   With stats non-NULL, candidate c's distances reduce into
+   stats[3c .. 3c+2] and the err rows are never written. */
+void cgp_eval_batch(const uint64_t* inputs, uint64_t* lanes, int32_t ni,
+                    int32_t lane_stride_rows, int32_t W, int32_t n_cand,
+                    const int32_t* n_ops_arr, const int32_t* ops,
+                    const int32_t* sa, const int32_t* sb,
+                    const int32_t* dst, int64_t prog_stride,
+                    const int32_t* out_slots, int32_t n_bits,
+                    int64_t out_stride, int64_t num_vectors,
+                    int32_t do_sign, uint64_t* scratch,
+                    int64_t scratch_stride, const int32_t* exact,
+                    double* err, int64_t err_stride, int64_t* stats,
+                    int32_t nthreads)
+{
+    int32_t nt = 1;
+#ifdef _OPENMP
+    nt = nthreads > 0 ? nthreads : omp_get_max_threads();
+#else
+    (void)nthreads;
+#endif
+    if (nt > 1 && n_cand > 1) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(nt)
+        for (int32_t c = 0; c < n_cand; ++c)
+            eval_candidate(inputs,
+                           lanes + (size_t)c * lane_stride_rows * W, ni, W,
+                           n_ops_arr[c], ops + c * prog_stride,
+                           sa + c * prog_stride, sb + c * prog_stride,
+                           dst + c * prog_stride,
+                           out_slots + c * out_stride, n_bits,
+                           num_vectors, do_sign,
+                           scratch + c * scratch_stride, exact,
+                           err + c * err_stride,
+                           stats ? stats + 3 * (int64_t)c : 0);
+#endif
+    } else {
+        for (int32_t c = 0; c < n_cand; ++c)
+            eval_candidate(inputs,
+                           lanes + (size_t)c * lane_stride_rows * W, ni, W,
+                           n_ops_arr[c], ops + c * prog_stride,
+                           sa + c * prog_stride, sb + c * prog_stride,
+                           dst + c * prog_stride,
+                           out_slots + c * out_stride, n_bits,
+                           num_vectors, do_sign,
+                           scratch + c * scratch_stride, exact,
+                           err + c * err_stride,
+                           stats ? stats + 3 * (int64_t)c : 0);
+    }
+}
+
+int32_t cgp_omp_compiled(void)
+{
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+int32_t cgp_omp_max_threads(void)
+{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
 }
 """
 
@@ -358,8 +657,14 @@ def _build_shared_object() -> Optional[str]:
     compiler = _find_compiler()
     if compiler is None:
         return None
+    # Prefer OpenMP-enabled builds (for the batched entry point); fall
+    # back to plain builds when the toolchain lacks -fopenmp.  Either
+    # way results are bit-identical — OpenMP only splits the candidate
+    # loop of cgp_eval_batch across threads.
     flag_sets = (
+        ["-O3", "-march=native", "-fopenmp", "-shared", "-fPIC"],
         ["-O3", "-march=native", "-shared", "-fPIC"],
+        ["-O3", "-fopenmp", "-shared", "-fPIC"],
         ["-O3", "-shared", "-fPIC"],
     )
     cache = _cache_dir()
@@ -406,19 +711,43 @@ class NativeLib:
             _P, _I32, _I32, _I32, _P, _P, _P, _P, _P, _P, _P, _P, _P
         ]
         lib.cgp_kernel.restype = None
-        lib.cgp_kernel.argtypes = [_P, _I32, _I32, _P, _P, _P, _P]
+        lib.cgp_kernel.argtypes = [_P, _I32, _I32, _I32, _P, _P, _P, _P]
         lib.cgp_decode.restype = None
         lib.cgp_decode.argtypes = [_P, _I32, _P, _I32, _I64, _I32, _P, _P]
         lib.cgp_decode_err.restype = None
         lib.cgp_decode_err.argtypes = [
             _P, _I32, _P, _I32, _I64, _I32, _P, _P, _P
         ]
+        lib.cgp_decode_reduce.restype = None
+        lib.cgp_decode_reduce.argtypes = [
+            _P, _I32, _P, _I32, _I64, _I32, _P, _P, _P
+        ]
+        lib.cgp_eval_batch.restype = None
+        lib.cgp_eval_batch.argtypes = [
+            _P, _P, _I32, _I32, _I32, _I32,      # inputs..n_cand
+            _P, _P, _P, _P, _P, _I64,            # n_ops, slabs, prog_stride
+            _P, _I32, _I64,                      # out_slots, n_bits, stride
+            _I64, _I32, _P, _I64,                # nvec, sign, scratch+stride
+            _P, _P, _I64, _P, _I32,              # exact, err+stride, stats, nt
+        ]
+        lib.cgp_omp_compiled.restype = _I32
+        lib.cgp_omp_compiled.argtypes = []
+        lib.cgp_omp_max_threads.restype = _I32
+        lib.cgp_omp_max_threads.argtypes = []
         lib.cgp_init()
         self._lib = lib
+        #: Threads an ``nthreads=-1`` dispatch resolves to in C.
+        self._omp_default = (
+            int(lib.cgp_omp_max_threads())
+            if lib.cgp_omp_compiled()
+            else 1
+        )
 
     @staticmethod
-    def _ptr(arr: np.ndarray) -> int:
-        return arr.ctypes.data
+    def _ptr(arr) -> int:
+        # Accepts a precomputed raw address (int) so hot callers can
+        # amortize the ~µs-scale ``ndarray.ctypes`` accessor per call.
+        return arr if type(arr) is int else arr.ctypes.data
 
     def compile(
         self,
@@ -449,6 +778,7 @@ class NativeLib:
     def kernel(
         self,
         buf: np.ndarray,
+        num_inputs: int,
         words: int,
         n_ops: int,
         ops: np.ndarray,
@@ -457,7 +787,7 @@ class NativeLib:
         dst: np.ndarray,
     ) -> None:
         self._lib.cgp_kernel(
-            self._ptr(buf), words, n_ops,
+            self._ptr(buf), num_inputs, words, n_ops,
             self._ptr(ops), self._ptr(src_a), self._ptr(src_b),
             self._ptr(dst),
         )
@@ -496,6 +826,85 @@ class NativeLib:
             self._ptr(exact), self._ptr(err),
         )
 
+    def decode_reduce(
+        self,
+        buf: np.ndarray,
+        words: int,
+        out_slots: np.ndarray,
+        n_bits: int,
+        num_vectors: int,
+        signed: bool,
+        scratch: np.ndarray,
+        exact: np.ndarray,
+        stats: np.ndarray,
+    ) -> None:
+        """Decode + reduce into ``stats = (sum |d|, count != 0, max)``."""
+        self._lib.cgp_decode_reduce(
+            self._ptr(buf), words, self._ptr(out_slots), n_bits,
+            num_vectors, int(signed), self._ptr(scratch),
+            self._ptr(exact), self._ptr(stats),
+        )
+
+    def eval_batch(
+        self,
+        inputs,
+        lanes,
+        num_inputs: int,
+        lane_stride_rows: int,
+        words: int,
+        n_cand: int,
+        n_ops_arr,
+        ops,
+        src_a,
+        src_b,
+        dst,
+        prog_stride: int,
+        out_slots,
+        n_bits: int,
+        out_stride: int,
+        num_vectors: int,
+        signed: bool,
+        scratch,
+        scratch_stride: int,
+        exact,
+        err,
+        err_stride: int,
+        nthreads: int,
+        stats=0,
+    ) -> None:
+        """Evaluate ``n_cand`` compiled programs in one native call.
+
+        Array arguments may be ndarrays or precomputed raw addresses;
+        strides are in elements.  ``nthreads`` follows the C contract:
+        1 forces the serial loop, N > 1 requests an OpenMP team of N,
+        and -1 defers to the library default.  ``lane_stride_rows`` (and
+        ``scratch_stride``) may be 0 only on the serial path, where all
+        candidates soundly reuse one lane.  A non-zero ``stats`` points
+        at an ``(n_cand, 3)`` int64 buffer receiving each candidate's
+        ``(sum |d|, nonzero count, max |d|)``; the err rows then stay
+        untouched (exact-reduction fast path, see the C comments).
+        """
+        effective = self._omp_default if nthreads < 0 else nthreads
+        if effective > 1 and n_cand > 1:
+            _mark_omp_team_used()
+        self._lib.cgp_eval_batch(
+            self._ptr(inputs), self._ptr(lanes), num_inputs,
+            lane_stride_rows,
+            words, n_cand, self._ptr(n_ops_arr), self._ptr(ops),
+            self._ptr(src_a), self._ptr(src_b), self._ptr(dst),
+            prog_stride, self._ptr(out_slots), n_bits, out_stride,
+            num_vectors, int(signed), self._ptr(scratch), scratch_stride,
+            self._ptr(exact), self._ptr(err), err_stride,
+            self._ptr(stats), nthreads,
+        )
+
+    def omp_compiled(self) -> bool:
+        """Whether the loaded .so was built with ``-fopenmp``."""
+        return bool(self._lib.cgp_omp_compiled())
+
+    def omp_max_threads(self) -> int:
+        return int(self._lib.cgp_omp_max_threads())
+
 
 _lock = threading.Lock()
 _cached: Optional[NativeLib] = None
@@ -528,3 +937,50 @@ def native_lib() -> Optional[NativeLib]:
 def native_available() -> bool:
     """Whether the C backend can be (or has been) built and loaded."""
     return native_lib() is not None
+
+
+#: Pid of the process that last ran an OpenMP team (> 1 threads).
+#: libgomp's worker threads do not survive fork(); a forked child of a
+#: process that has already spun up a team (e.g. a ProcessPoolExecutor
+#: sweep worker) would deadlock on the next parallel region, so such
+#: children are forced onto the bit-identical serial loop.
+_omp_team_pid: Optional[int] = None
+
+
+def _mark_omp_team_used() -> None:
+    global _omp_team_pid
+    _omp_team_pid = os.getpid()
+
+
+def omp_threads() -> int:
+    """Effective thread request for batched native dispatch.
+
+    Resolves the ``REPRO_OMP`` environment knob against the loaded
+    library's capabilities:
+
+    - ``0`` / ``off`` / ``false`` / ``no``: force the serial loop (1).
+    - a positive integer ``N``: request exactly ``N`` threads.
+    - unset / ``auto`` / ``on``: the OpenMP library default
+      (``omp_get_max_threads`` of the loaded .so).
+
+    Always returns a concrete count (>= 1) so callers can pick buffer
+    strides up front; 1 whenever the .so lacks OpenMP or this process
+    is a forked child of one that already ran a team (see
+    ``_omp_team_pid``).  The serial and threaded paths are bit-identical
+    by construction, so this only ever affects wall-clock.
+    """
+    raw = os.environ.get("REPRO_OMP", "").strip().lower()
+    if raw in ("0", "off", "false", "no"):
+        return 1
+    lib = native_lib()
+    if lib is None or not lib.omp_compiled():
+        return 1
+    if _omp_team_pid is not None and _omp_team_pid != os.getpid():
+        return 1
+    if raw in ("", "auto", "on"):
+        return lib._omp_default
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    return max(1, n)

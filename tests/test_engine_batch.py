@@ -1,0 +1,223 @@
+"""Tests for the engine's batched evaluation ABI (PR 6).
+
+The batch path's contract is the same as the engine's overall: *bit
+identical* to evaluating sequentially — same compiled programs, same
+integer kernels, same reductions — whatever the component, metric,
+backend, or brood composition (duplicates, cache hits).  On top of
+that sit the batch-specific behaviors: within-batch phenotype dedupe,
+the eval-cache lookup that prevents recompiled cache-miss storms, the
+single-owner arena guard, the ``REPRO_OMP`` knob, and the native
+exact-integer reduction fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.components import component_objective, component_names, get_component
+from repro.core.evolution import EvolutionConfig, evolve
+from repro.core.mutation import mutate
+from repro.core.seeding import netlist_to_chromosome, params_for_netlist
+from repro.engine import (
+    CompiledMultiplierFitness,
+    CompiledObjective,
+    native_available,
+)
+from repro.engine.native import omp_threads
+from repro.errors.distributions import discretized_half_normal, uniform
+
+BACKENDS = ["numpy"] + (["native"] if native_available() else [])
+METRICS = ("wmed", "med", "mred", "error-rate", "worst-case")
+
+
+def _seed_chromosome(component: str, width: int, extra: int = 8):
+    comp = get_component(component)
+    net = comp.build_seed(width, comp.resolve_signed(False))
+    return netlist_to_chromosome(
+        net, params_for_netlist(net, extra_columns=extra)
+    )
+
+
+def _objective(component, width, metric, backend, **kw):
+    return CompiledObjective(
+        component_objective(component, width, uniform(width), metric=metric),
+        backend=backend,
+        **kw,
+    )
+
+
+def _brood(component, width, n, seed=11):
+    rng = np.random.default_rng(seed)
+    c = _seed_chromosome(component, width)
+    brood = []
+    for _ in range(n):
+        c, _ = mutate(c, 6, rng)
+        brood.append(c)
+    return brood
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: batch vs sequential, across the whole catalog
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("component", component_names())
+def test_batch_bit_identical_to_sequential(component, metric, backend):
+    width = 3 if component == "mac" else 4
+    brood = _brood(component, width, 8)
+    brood.append(brood[0])  # in-batch duplicate phenotype
+    batch_obj = _objective(component, width, metric, backend)
+    seq_obj = _objective(component, width, metric, backend)
+    batched = batch_obj.evaluate_batch(brood, 0.05)
+    sequential = [seq_obj.evaluate(c, 0.05) for c in brood]
+    assert batched == sequential
+    # Second pass is fully cache-served and still identical.
+    assert batch_obj.evaluate_batch(brood, 0.05) == sequential
+    assert batch_obj.cache.stats()["hits"] >= len(brood)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_identical_across_backends(backend):
+    # Cross-backend spot check on the paper's main configuration.
+    brood = _brood("multiplier", 4, 6, seed=3)
+    ref = _objective("multiplier", 4, "wmed", "numpy")
+    obj = _objective("multiplier", 4, "wmed", backend)
+    assert obj.evaluate_batch(brood, 0.01) == ref.evaluate_batch(brood, 0.01)
+
+
+def test_empty_and_singleton_batches():
+    obj = _objective("adder", 4, "wmed", "auto")
+    assert obj.evaluate_batch([], 0.01) == []
+    ch = _seed_chromosome("adder", 4)
+    assert obj.evaluate_batch([ch], 0.01) == [obj.evaluate(ch, 0.01)]
+
+
+# ----------------------------------------------------------------------
+# Within-batch dedupe + cache lookup (the miss-storm fix)
+# ----------------------------------------------------------------------
+def test_batch_dedupes_identical_phenotypes():
+    obj = _objective("multiplier", 4, "wmed", "auto")
+    ch = _seed_chromosome("multiplier", 4)
+    brood = [ch, ch.copy(), ch.copy(), ch.copy()]
+    results = obj.evaluate_batch(brood, 0.01)
+    assert len(set(results)) == 1
+    st = obj.stats()["batch"]
+    # One phenotype executed; the other three were deduped in-batch.
+    assert st["evals"] == 1
+    assert st["dedup"] == 3
+
+
+def test_batch_serves_cache_before_dispatch():
+    obj = _objective("multiplier", 4, "wmed", "auto")
+    brood = _brood("multiplier", 4, 5)
+    obj.evaluate_batch(brood, 0.01)
+    evals_before = obj.stats()["batch"]["evals"]
+    obj.evaluate_batch(brood, 0.01)  # all phenotypes already cached
+    st = obj.stats()
+    assert st["batch"]["evals"] == evals_before
+    assert st["cache"]["hits"] >= len(brood)
+
+
+def test_seeded_evolve_run_has_cache_hits():
+    # Regression for the eval-cache miss storm: a short seeded run must
+    # produce a nonzero hit rate (neutral drift revisits phenotypes).
+    eng = CompiledMultiplierFitness(3, uniform(3))
+    seed = _seed_chromosome("multiplier", 3)
+    evolve(
+        seed, eng, 0.01, EvolutionConfig(generations=400),
+        rng=np.random.default_rng(2024),
+    )
+    stats = eng.stats()["cache"]
+    assert stats["hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Single-owner guard
+# ----------------------------------------------------------------------
+def test_arena_rejects_cross_thread_use():
+    obj = _objective("adder", 4, "wmed", "auto")
+    ch = _seed_chromosome("adder", 4)
+    obj.evaluate(ch, 0.01)  # builds the runtime on this thread
+    caught = []
+
+    def use_from_other_thread():
+        try:
+            obj.evaluate_batch([ch], 0.01)
+        except RuntimeError as exc:
+            caught.append(exc)
+
+    t = threading.Thread(target=use_from_other_thread)
+    t.start()
+    t.join()
+    assert len(caught) == 1 and "single-owner" in str(caught[0])
+    # The owning thread keeps working.
+    assert obj.evaluate(ch, 0.01) == obj.evaluate(ch, 0.01)
+
+
+# ----------------------------------------------------------------------
+# REPRO_OMP knob
+# ----------------------------------------------------------------------
+def test_repro_omp_off_forces_serial_and_identical_results(monkeypatch):
+    brood = _brood("multiplier", 4, 6, seed=9)
+    default = _objective("multiplier", 4, "wmed", "auto")
+    expected = default.evaluate_batch(brood, 0.01)
+    monkeypatch.setenv("REPRO_OMP", "0")
+    assert omp_threads() == 1
+    serial = _objective("multiplier", 4, "wmed", "auto")
+    assert serial.evaluate_batch(brood, 0.01) == expected
+
+
+def test_omp_threads_always_concrete(monkeypatch):
+    for raw, expect_one in (("0", True), ("off", True), ("no", True),
+                            ("false", True), ("1", True)):
+        monkeypatch.setenv("REPRO_OMP", raw)
+        n = omp_threads()
+        assert n >= 1
+        if expect_one:
+            assert n == 1
+    monkeypatch.delenv("REPRO_OMP")
+    assert omp_threads() >= 1  # auto resolves to a concrete count
+
+
+# ----------------------------------------------------------------------
+# Exact-integer reduction fast path
+# ----------------------------------------------------------------------
+def test_fast_reduce_eligibility():
+    # Uniform weights are one power of two: wmed/med/error-rate/worst-case
+    # reduce exactly; mred never does; non-pow2 weights disable the
+    # weight-dependent metrics but not med/worst-case.
+    for metric, kind in (("wmed", "wmed"), ("med", "med"),
+                         ("error-rate", "error-rate"),
+                         ("worst-case", "worst-case"), ("mred", None)):
+        obj = _objective("multiplier", 4, metric, "auto")
+        assert obj.stats()["fast_reduce"] == kind
+    skewed = discretized_half_normal(4, sigma=4.0, name="Dh")
+    for metric, kind in (("wmed", None), ("error-rate", None),
+                         ("med", "med"), ("worst-case", "worst-case")):
+        obj = CompiledObjective(
+            component_objective("multiplier", 4, skewed, metric=metric)
+        )
+        assert obj.stats()["fast_reduce"] == kind
+
+
+@pytest.mark.skipif(not native_available(), reason="native backend required")
+def test_reduce_stats_match_materialized_distances():
+    # The C integer triple must equal what the float64 distance row
+    # implies — exactly, not approximately.
+    obj = _objective("multiplier", 4, "wmed", "native", cache_entries=0)
+    rt = obj._runtime(_seed_chromosome("multiplier", 4).params)
+    for ch in _brood("multiplier", 4, 12, seed=21):
+        n_ops = rt.compile(ch.genes)
+        rt.execute(n_ops)
+        s, nz, mx = rt.reduce_stats(obj.signed)
+        err = rt.error(obj.signed, obj._exact32).copy()
+        assert s == int(err.sum())
+        assert nz == int(np.count_nonzero(err))
+        assert mx == int(err.max())
+        # And the fast formula reproduces the reference metric exactly.
+        assert obj._reduce_error(s, nz, mx) == obj.metric.from_distances(
+            err, obj.weights, obj.normalizer, obj.reference
+        )
