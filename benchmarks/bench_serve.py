@@ -1,24 +1,36 @@
 #!/usr/bin/env python
 """Benchmark the HTTP serving layer: latency, cache effect, scaling.
 
-Builds a small design store, starts a real :class:`repro.serve.server.
-DesignServer` on an ephemeral localhost port, and measures over actual
-HTTP round trips:
+Builds a small design store, starts real servers on ephemeral
+localhost ports, and measures over actual HTTP round trips:
 
 * **cached vs uncached latency** — p50/p99 microseconds per
   ``GET /v1/best``: *uncached* forces a response-cache miss per request
   (a unique ``max_error_percent`` each time, so every request runs the
-  full SQLite + JSON path), *cached* repeats one hot query;
-* **throughput** — sequential hot requests per second, plus concurrent
-  client scaling (1/4/8 clients hammering the hot query);
-* **correctness gates** — ``/healthz`` is ok, the served best design
-  matches :func:`repro.library.query.best` against the same store, and
-  ``/openapi.json`` equals the spec generated from the route table.
+  full dispatch), *cached* repeats one hot query;
+* **connection-per-request scaling** — 1/4/8 urllib clients against a
+  single-process server, with exact request accounting: the requested
+  total is distributed across clients to the request (no silent
+  ``requests // n`` shortfall), every response is counted, and any
+  error or missing response fails the bench;
+* **multi-process throughput** — keep-alive pipelined clients against
+  ``--procs 1`` and ``--procs 8`` servers (the production topology).
+  The ``1`` client count of the connection-per-request section is the
+  single-process baseline (the PR 4 measurement conditions); the
+  ``procs=8`` pipelined figure is gated **>= 10x** that baseline in
+  non-smoke runs.  A 304 revalidation rate (every request presents the
+  current ``If-None-Match``) is recorded alongside;
+* **correctness gates** — ``/healthz`` is ok, served bodies are
+  byte-identical to responses rendered directly from
+  :mod:`repro.library.query` over the same store (single- *and*
+  multi-process), and ``/openapi.json`` equals the spec generated from
+  the route table.
 
 Results go to ``BENCH_serve.json`` at the repo root (``--out``
-overrides).  Exits non-zero when any gate fails or the cached p50
-exceeds ``--max-cached-p50-ms`` (default 1.0 ms — the acceptance
-floor); CI smoke-runs this like the other benchmarks.
+overrides).  Exits non-zero when any gate fails, when any request is
+lost, when the cached p50 exceeds ``--max-cached-p50-ms`` (default
+1.0 ms), or — non-smoke — when the multi-process speedup misses
+``--min-multiproc-speedup`` (default 10x).
 
 Usage::
 
@@ -31,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import socket
 import statistics
 import sys
 import tempfile
@@ -42,13 +55,24 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.library import BuildSpec, DesignStore, best, build_library  # noqa: E402
+from repro.library import (  # noqa: E402
+    BuildSpec,
+    DesignStore,
+    best,
+    build_library,
+    front,
+)
 from repro.serve import create_server, record_to_json  # noqa: E402
+from repro.serve.api import json_response  # noqa: E402
 from repro.serve.openapi import generate_openapi  # noqa: E402
+from repro.serve.procs import MultiProcessServer  # noqa: E402
 
 DEFAULT_OUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serve.json"
 )
+
+HOT_BEST = "/v1/best?width={w}&max_error_percent=5&minimize=area"
+HOT_FRONT = "/v1/front?width={w}"
 
 
 def _get(base: str, path: str):
@@ -66,8 +90,14 @@ def _percentiles(samples_us):
     }
 
 
-def bench_latency(base: str, requests: int) -> dict:
-    hot = "/v1/best?width=4&max_error_percent=5&minimize=area"
+def _split_evenly(total: int, parts: int):
+    """``total`` split across ``parts`` with no remainder dropped."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def bench_latency(base: str, requests: int, width: int) -> dict:
+    hot = HOT_BEST.format(w=width)
     _get(base, hot)  # warm the cache (and the connection machinery)
 
     cached = []
@@ -81,8 +111,9 @@ def bench_latency(base: str, requests: int) -> dict:
     uncached = []
     for i in range(requests):
         # A unique budget each round: a distinct validated query = a
-        # distinct cache key = a guaranteed miss through SQLite.
-        path = f"/v1/best?width=4&max_error_percent={5 + (i + 1) * 1e-6:.7f}"
+        # distinct cache key = a guaranteed miss through the dispatch.
+        path = (f"/v1/best?width={width}"
+                f"&max_error_percent={5 + (i + 1) * 1e-6:.7f}")
         t0 = time.perf_counter()
         status, _, headers = _get(base, path)
         uncached.append((time.perf_counter() - t0) * 1e6)
@@ -95,60 +126,238 @@ def bench_latency(base: str, requests: int) -> dict:
         "uncached": u,
         "cache_speedup_p50": round(u["p50_us"] / c["p50_us"], 2),
         "last_hot_x_cache": hot_headers.get("X-Cache"),
+        "hot_has_etag": bool(hot_headers.get("ETag")),
     }
 
 
-def bench_scaling(base: str, requests: int, clients=(1, 4, 8)) -> dict:
-    hot = "/v1/front?width=4"
+def bench_scaling(
+    base: str, requests: int, width: int, clients=(1, 4, 8)
+) -> dict:
+    """Connection-per-request clients, with exact request accounting.
+
+    Every client gets an explicit share of the total (the remainder is
+    distributed, not dropped — the seed bench's ``requests // n``
+    silently issued 296 of 300 at 8 clients), every completed response
+    is counted, and the caller fails the bench unless
+    ``completed == requests`` with zero errors at every client count.
+    """
+    hot = HOT_FRONT.format(w=width)
     _get(base, hot)
     results = {}
     for n in clients:
-        per_client = max(1, requests // n)
+        shares = _split_evenly(requests, n)
+        completed = [0] * n
         errors = []
 
-        def worker():
+        def worker(index: int, share: int):
             try:
-                for _ in range(per_client):
+                for _ in range(share):
                     status, _, _ = _get(base, hot)
                     if status != 200:
                         errors.append(status)
-            except Exception as exc:  # noqa: BLE001 - recorded, reraised below
+                        continue
+                    completed[index] += 1
+            except Exception as exc:  # noqa: BLE001 - counted as loss
                 errors.append(repr(exc))
 
-        threads = [threading.Thread(target=worker) for _ in range(n)]
+        threads = [
+            threading.Thread(target=worker, args=(i, share))
+            for i, share in enumerate(shares)
+        ]
         t0 = time.perf_counter()
         for t in threads:
             t.start()
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - t0
-        if errors:
-            raise RuntimeError(f"client errors at {n} clients: {errors[:3]}")
+        done = sum(completed)
         results[str(n)] = {
-            "requests": per_client * n,
-            "requests_per_s": round(per_client * n / elapsed, 1),
+            "requests": requests,
+            "completed": done,
+            "errors": len(errors),
+            "lost": requests - done,
+            "requests_per_s": round(done / elapsed, 1),
         }
+        if errors:
+            results[str(n)]["first_errors"] = [str(e) for e in errors[:3]]
     return results
 
 
-def check_correctness(base: str, db: str) -> dict:
+# ----------------------------------------------------------------------
+# Keep-alive pipelined clients (the multi-process section)
+# ----------------------------------------------------------------------
+def _read_response(rfile) -> int:
+    """Read one HTTP/1.1 response off a keep-alive connection."""
+    line = rfile.readline()
+    if not line:
+        raise EOFError("connection closed mid-stream")
+    status = int(line.split()[1])
+    length = 0
+    while True:
+        header = rfile.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        if header.lower().startswith(b"content-length"):
+            length = int(header.split(b":", 1)[1])
+    if length:
+        rfile.read(length)
+    return status
+
+
+def _pipelined_client(
+    port: int, request: bytes, share: int, expect: int,
+    completed, errors, index: int, batch: int = 32,
+) -> None:
+    """One keep-alive connection issuing ``share`` requests in batches.
+
+    Batched write-then-drain (not fire-everything-then-read) so the TCP
+    send buffer can never deadlock against an unread response stream.
+    """
+    try:
+        with socket.create_connection(
+            ("127.0.0.1", port), timeout=30
+        ) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            rfile = sock.makefile("rb")
+            remaining = share
+            while remaining:
+                now = min(batch, remaining)
+                sock.sendall(request * now)
+                for _ in range(now):
+                    status = _read_response(rfile)
+                    if status != expect:
+                        errors.append(status)
+                        continue
+                    completed[index] += 1
+                remaining -= now
+    except Exception as exc:  # noqa: BLE001 - counted as loss
+        errors.append(repr(exc))
+
+
+def _bench_pipelined(
+    port: int, target: str, requests: int, clients: int,
+    expect: int = 200, extra_headers: str = "",
+) -> dict:
+    request = (
+        f"GET {target} HTTP/1.1\r\nHost: bench\r\n{extra_headers}\r\n"
+    ).encode()
+    shares = _split_evenly(requests, clients)
+    completed = [0] * clients
+    errors: list = []
+    threads = [
+        threading.Thread(
+            target=_pipelined_client,
+            args=(port, request, share, expect, completed, errors, i),
+        )
+        for i, share in enumerate(shares)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    done = sum(completed)
+    result = {
+        "requests": requests,
+        "completed": done,
+        "errors": len(errors),
+        "lost": requests - done,
+        "requests_per_s": round(done / elapsed, 1),
+    }
+    if errors:
+        result["first_errors"] = [str(e) for e in errors[:3]]
+    return result
+
+
+def bench_multiprocess(
+    db: str, requests: int, clients: int, width: int, procs=(1, 8)
+) -> dict:
+    """Pipelined keep-alive throughput against ``--procs N`` servers."""
+    target = HOT_FRONT.format(w=width)
+    results: dict = {"clients": clients, "target": target, "procs": {}}
+    for n in procs:
+        with MultiProcessServer(db, port=0, procs=n, quiet=True) as mps:
+            # Warm every worker's caches: each pipelined connection
+            # lands on one worker, so a couple of rounds of short
+            # connections reach them all with high probability.
+            for _ in range(4 * n):
+                _get(f"http://127.0.0.1:{mps.port}", target)
+            results["procs"][str(n)] = _bench_pipelined(
+                mps.port, target, requests, clients
+            )
+            if n == max(procs):
+                status, _, headers = _get(
+                    f"http://127.0.0.1:{mps.port}", target
+                )
+                assert status == 200 and headers.get("ETag")
+                results["revalidation_304"] = _bench_pipelined(
+                    mps.port, target, requests, clients, expect=304,
+                    extra_headers=(
+                        f"If-None-Match: {headers['ETag']}\r\n"
+                    ),
+                )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Correctness
+# ----------------------------------------------------------------------
+def _expected_bodies(db: str, width: int) -> dict:
+    """Render the hot responses straight from the query API.
+
+    This is the byte-identity oracle: the serving layer (snapshot,
+    response cache, wire fast path, any ``--procs N``) must emit these
+    exact bodies, because it runs the same ``library.query`` functions
+    over the same store.
+    """
+    store = DesignStore(db)
+    best_record = best(store, "multiplier", width, "wmed",
+                       max_error_percent=5.0, minimize="area")
+    front_records = front(store, "multiplier", width, "wmed")
+    return {
+        HOT_BEST.format(w=width): json_response(
+            200, {"design": record_to_json(best_record)}
+        ).body,
+        HOT_FRONT.format(w=width): json_response(
+            200, {
+                "count": len(front_records),
+                "designs": [record_to_json(r) for r in front_records],
+            }
+        ).body,
+    }
+
+
+def check_correctness(base: str, db: str, width: int) -> dict:
     status, body, _ = _get(base, "/healthz")
     health_ok = status == 200 and json.loads(body)["status"] == "ok"
 
-    status, body, _ = _get(base, "/v1/best?width=4&max_error_percent=5")
-    served = json.loads(body)["design"] if status == 200 else None
-    local = best(DesignStore(db), "multiplier", 4, "wmed",
-                 max_error_percent=5.0, minimize="area")
-    best_ok = served is not None and local is not None \
-        and served == json.loads(json.dumps(record_to_json(local)))
+    bodies_ok = True
+    for path, expected in _expected_bodies(db, width).items():
+        status, body, _ = _get(base, path)
+        if status != 200 or body != expected:
+            bodies_ok = False
 
     status, body, _ = _get(base, "/openapi.json")
     openapi_ok = status == 200 and json.loads(body) == generate_openapi()
     return {
         "health_ok": health_ok,
-        "best_matches_query_api": best_ok,
+        "bodies_match_query_api": bodies_ok,
         "openapi_matches_routes": openapi_ok,
     }
+
+
+def check_multiprocess_bodies(db: str, width: int, procs: int = 2) -> bool:
+    """Every worker process serves the exact query-API bytes."""
+    expected = _expected_bodies(db, width)
+    with MultiProcessServer(db, port=0, procs=procs, quiet=True) as mps:
+        base = f"http://127.0.0.1:{mps.port}"
+        for _ in range(4 * procs):  # many connections -> all workers
+            for path, want in expected.items():
+                status, body, _ = _get(base, path)
+                if status != 200 or body != want:
+                    return False
+    return True
 
 
 def main(argv=None) -> int:
@@ -156,14 +365,29 @@ def main(argv=None) -> int:
     ap.add_argument("--width", type=int, default=4)
     ap.add_argument("--generations", type=int, default=200)
     ap.add_argument("--requests", type=int, default=300)
+    ap.add_argument(
+        "--pipeline-requests", type=int, default=20000,
+        help="total requests for the keep-alive multi-process section",
+    )
     ap.add_argument("--workers", type=int, default=8)
     ap.add_argument(
+        "--procs", type=int, default=8,
+        help="worker processes for the multi-process section",
+    )
+    ap.add_argument(
         "--smoke", action="store_true",
-        help="CI preset: short search budget, fewer requests",
+        help="CI preset: short search budget, fewer requests, "
+        "speedup gate informational only",
     )
     ap.add_argument(
         "--max-cached-p50-ms", type=float, default=1.0,
         help="exit non-zero if cached p50 latency exceeds this",
+    )
+    ap.add_argument(
+        "--min-multiproc-speedup", type=float, default=10.0,
+        help="exit non-zero (non-smoke) if procs=N pipelined req/s is "
+        "below this multiple of the single-process "
+        "connection-per-request baseline",
     )
     ap.add_argument("--out", default=DEFAULT_OUT)
     args = ap.parse_args(argv)
@@ -171,6 +395,7 @@ def main(argv=None) -> int:
     if args.smoke:
         args.generations = min(args.generations, 40)
         args.requests = min(args.requests, 100)
+        args.pipeline_requests = min(args.pipeline_requests, 2000)
 
     spec = BuildSpec(
         components=("multiplier",),
@@ -189,12 +414,28 @@ def main(argv=None) -> int:
         thread.start()
         base = f"http://127.0.0.1:{server.server_port}"
         try:
-            correctness = check_correctness(base, db)
-            latency = bench_latency(base, args.requests)
-            scaling = bench_scaling(base, args.requests)
+            correctness = check_correctness(base, db, args.width)
+            latency = bench_latency(base, args.requests, args.width)
+            scaling = bench_scaling(base, args.requests, args.width)
         finally:
             server.shutdown()
             server.server_close()
+
+        multiprocess = bench_multiprocess(
+            db, args.pipeline_requests, clients=8, width=args.width,
+            procs=(1, args.procs),
+        )
+        correctness["multiprocess_bodies_match_query_api"] = \
+            check_multiprocess_bodies(db, args.width)
+
+    # The PR 4 measurement conditions: one process, one client, a new
+    # connection per request.  The multi-process gate is relative to
+    # this, so it tracks the machine instead of a hardcoded number.
+    baseline = scaling["1"]["requests_per_s"]
+    top = multiprocess["procs"][str(args.procs)]["requests_per_s"]
+    speedup = round(top / baseline, 1)
+    multiprocess["baseline_req_s"] = baseline
+    multiprocess["speedup_vs_baseline"] = speedup
 
     print(
         f"latency: cached p50 {latency['cached']['p50_us']} us "
@@ -203,7 +444,23 @@ def main(argv=None) -> int:
         f"{latency['cache_speedup_p50']}x"
     )
     for n, r in scaling.items():
-        print(f"scaling {n} clients: {r['requests_per_s']} req/s")
+        print(
+            f"scaling {n} clients: {r['requests_per_s']} req/s "
+            f"({r['completed']}/{r['requests']} completed)"
+        )
+    for n, r in multiprocess["procs"].items():
+        print(
+            f"pipelined procs={n}: {r['requests_per_s']} req/s "
+            f"({r['completed']}/{r['requests']} completed)"
+        )
+    print(
+        f"revalidation (304) procs={args.procs}: "
+        f"{multiprocess['revalidation_304']['requests_per_s']} req/s"
+    )
+    print(
+        f"multi-process speedup: {speedup}x over the {baseline} req/s "
+        "single-process connection-per-request baseline"
+    )
     print(f"correctness: {correctness}")
 
     record = {
@@ -212,11 +469,14 @@ def main(argv=None) -> int:
             "width": args.width,
             "generations": args.generations,
             "requests": args.requests,
+            "pipeline_requests": args.pipeline_requests,
             "workers": args.workers,
+            "procs": args.procs,
             "smoke": args.smoke,
         },
         "latency": latency,
         "scaling": scaling,
+        "multiprocess": multiprocess,
         "correctness": correctness,
     }
     out = os.path.abspath(args.out)
@@ -228,6 +488,21 @@ def main(argv=None) -> int:
     if failed:
         print(f"FAIL: correctness gates failed: {failed}")
         return 1
+    lossy = {
+        f"scaling.{n}": r for n, r in scaling.items()
+        if r["lost"] or r["errors"]
+    }
+    lossy.update({
+        f"multiprocess.procs.{n}": r
+        for n, r in multiprocess["procs"].items()
+        if r["lost"] or r["errors"]
+    })
+    reval = multiprocess["revalidation_304"]
+    if reval["lost"] or reval["errors"]:
+        lossy["multiprocess.revalidation_304"] = reval
+    if lossy:
+        print(f"FAIL: dropped or failed requests: {sorted(lossy)}")
+        return 1
     cached_p50_ms = latency["cached"]["p50_us"] / 1000.0
     if cached_p50_ms > args.max_cached_p50_ms:
         print(
@@ -235,6 +510,18 @@ def main(argv=None) -> int:
             f"{args.max_cached_p50_ms} ms"
         )
         return 1
+    if speedup < args.min_multiproc_speedup:
+        message = (
+            f"multi-process speedup {speedup}x below "
+            f"{args.min_multiproc_speedup}x"
+        )
+        if args.smoke:
+            # Smoke runs share CI cores with everything else; the gate
+            # is enforced on full runs.
+            print(f"note: {message} (informational in --smoke)")
+        else:
+            print(f"FAIL: {message}")
+            return 1
     return 0
 
 

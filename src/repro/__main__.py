@@ -1,0 +1,13 @@
+"""``python -m repro`` — the CLI without an installed entry point.
+
+Long-running subcommands (``repro serve``) are typically launched as a
+subprocess; this module makes that possible from a plain checkout
+(``PYTHONPATH=src python -m repro serve ...``) with no packaging step.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -377,6 +377,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache_size=args.cache_size,
             quiet=args.quiet,
+            procs=args.procs,
         )
     except OSError as exc:
         # Bind failures (port in use, privileged port, bad host) are
@@ -567,6 +568,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sv.add_argument(
         "--cache-size", type=int, default=1024,
         help="response-cache entries (0 disables caching)",
+    )
+    p_sv.add_argument(
+        "--procs", type=int, default=1,
+        help="worker processes sharing the port (SO_REUSEPORT or "
+        "prefork fd passing); 1 = single-process, exactly as before",
     )
     p_sv.add_argument(
         "--quiet", action="store_true", help="suppress access logging"

@@ -17,18 +17,34 @@ for the generated endpoint reference.
   file state so any ``library build`` write invalidates for free;
 * :mod:`repro.serve.openapi` — ``/openapi.json`` + the Markdown API
   reference, generated (and CI-verified) from the route table;
+* :mod:`repro.serve.snapshot` — the immutable in-memory store image
+  (:class:`Snapshot`) the hot read path serves from, atomically swapped
+  when the store file changes;
 * :mod:`repro.serve.server` — the threaded stdlib HTTP server
-  (:func:`create_server` for embedding, :func:`serve` for the CLI).
+  (:func:`create_server` for embedding, :func:`serve` for the CLI),
+  including the wire-level fast path (:class:`WireCache`);
+* :mod:`repro.serve.procs` — ``--procs N`` multi-process serving
+  (:class:`MultiProcessServer`): N workers on one shared port via
+  ``SO_REUSEPORT`` or prefork fd passing, supervised and respawned.
 
 Endpoints: ``/healthz``, ``/v1/best``, ``/v1/front``, ``/v1/stats``,
 ``/v1/designs/{design_id}`` (JSON / Verilog / netlist export),
 ``/openapi.json``.
 """
 
-from .api import ROUTES, Response, ServeContext, handle, record_to_json
+from .api import (
+    ROUTES,
+    Response,
+    ServeContext,
+    handle,
+    make_etag,
+    record_to_json,
+)
 from .cache import ResponseCache, store_state
+from .procs import MultiProcessServer, reuseport_supported
 from .routes import Param, Route
-from .server import DesignServer, create_server, serve
+from .server import DesignServer, WireCache, create_server, serve
+from .snapshot import Snapshot, SnapshotManager
 
 # NOTE: repro.serve.openapi is deliberately not imported here — it is a
 # runnable module (`python -m repro.serve.openapi`), and importing it
@@ -36,15 +52,21 @@ from .server import DesignServer, create_server, serve
 
 __all__ = [
     "DesignServer",
+    "MultiProcessServer",
     "Param",
     "ROUTES",
     "Response",
     "ResponseCache",
     "Route",
     "ServeContext",
+    "Snapshot",
+    "SnapshotManager",
+    "WireCache",
     "create_server",
     "handle",
+    "make_etag",
     "record_to_json",
+    "reuseport_supported",
     "serve",
     "store_state",
 ]

@@ -11,9 +11,27 @@ Request lifecycle::
     match path against ROUTES ──► 404 unknown path
     check method               ──► 405 with Allow
     validate + coerce query    ──► 422 canonical error
+    ETag check (If-None-Match) ──► match: 304, no body
     response cache lookup      ──► hit: return, X-Cache: hit
-    handler (library.query)    ──► 404 no design / 422 bad vocabulary
+    handler (library.query     ──► 404 no design / 422 bad vocabulary
+      over the store snapshot)
     cache fill                 ──► X-Cache: miss
+
+Catalog responses carry a **strong ETag** derived from ``(route, path
+params, validated query params, store-state token)`` — the exact
+response-cache key.  Responses are a deterministic function of that
+key, so the hash is a valid strong validator, and because the
+store-state token is part of it, the same ETag stays valid for as long
+as the store file is untouched and flips on any build write.  A request
+presenting a matching ``If-None-Match`` is answered ``304`` before the
+handler (or even the cache) is consulted.  The token is also identical
+across ``--procs N`` worker processes, so a pooled client revalidates
+correctly whichever worker accepts its connection.
+
+Handlers read from the :class:`~repro.serve.snapshot.Snapshot` of the
+store (``ctx.snapshot()``) rather than SQLite: the snapshot implements
+the store's read surface verbatim, so ``library.query`` runs unchanged
+and responses are byte-identical to the direct-store path.
 
 Canonical errors: every non-200 body is
 ``{"error": {"code": <int>, "status": "<reason>", "message": "<why>"}}``
@@ -26,27 +44,31 @@ see :mod:`repro.serve.cache` for why that makes invalidation free.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from http.client import responses as _REASONS
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from .. import __version__
 from ..circuits.io import netlist_to_dict
 from ..core.components import component_names
 from ..errors.metrics import metric_names
 from ..library.export import record_netlist, record_verilog
-from ..library.query import COST_COLUMNS, best, front, stats
+from ..library.query import COST_COLUMNS, best, front
 from ..library.store import SCHEMA_VERSION, DesignRecord, DesignStore
 from .cache import ResponseCache, store_state
 from .routes import UNSET, Param, Route, match_path
+from .snapshot import Snapshot, SnapshotManager
 
 __all__ = [
     "ROUTES",
     "Response",
     "ServeContext",
     "handle",
+    "make_etag",
     "record_to_json",
 ]
 
@@ -96,10 +118,26 @@ def error_response(status: int, message: str) -> Response:
 
 @dataclass
 class ServeContext:
-    """Everything a handler needs: the store, the cache, identity."""
+    """Everything a handler needs: store, snapshot, cache, identity.
+
+    ``wire_cache`` is the HTTP layer's rendered-bytes memo
+    (:class:`repro.serve.server.WireCache`); it is ``None`` for pure
+    dispatch use (tests, benchmarks through :func:`handle`) and is only
+    read here for ``/healthz`` observability.
+    """
 
     store: DesignStore
     cache: ResponseCache = field(default_factory=ResponseCache)
+    snapshots: Optional[SnapshotManager] = None
+    wire_cache: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.snapshots is None:
+            self.snapshots = SnapshotManager(self.store)
+
+    def snapshot(self) -> Snapshot:
+        """The current store snapshot (rebuilt if the store moved)."""
+        return self.snapshots.current()
 
     def state(self) -> Tuple[int, int]:
         """Freshness token of the backing store file (cache key part)."""
@@ -142,25 +180,34 @@ def _select_kwargs(query: Dict[str, object]) -> Dict[str, object]:
 
 
 def _h_health(ctx: ServeContext, path_params, query) -> Response:
-    return json_response(200, {
+    # Everything here is per-process state: under `repro serve
+    # --procs N` each worker answers for itself (own pid, own cache
+    # counters, own snapshot), so a pooled client sampling /healthz
+    # sees honest per-worker figures instead of a fictitious aggregate.
+    payload = {
         "status": "ok",
         "version": __version__,
         "store": ctx.store.path,
         "schema_version": SCHEMA_VERSION,
-        "designs": ctx.store.count(),
+        "pid": os.getpid(),
+        "designs": ctx.snapshot().count(),
         "cache": ctx.cache.stats(),
-    })
+        "snapshot": ctx.snapshots.stats(),
+    }
+    if ctx.wire_cache is not None:
+        payload["wire_cache"] = ctx.wire_cache.stats()
+    return json_response(200, payload)
 
 
 def _h_best(ctx: ServeContext, path_params, query) -> Response:
-    record = best(ctx.store, **_select_kwargs(query))
+    record = best(ctx.snapshot(), **_select_kwargs(query))
     if record is None:
         return error_response(404, "no stored design matches the query")
     return json_response(200, {"design": record_to_json(record)})
 
 
 def _h_front(ctx: ServeContext, path_params, query) -> Response:
-    records = front(ctx.store, **_select_kwargs(query))
+    records = front(ctx.snapshot(), **_select_kwargs(query))
     return json_response(200, {
         "count": len(records),
         "designs": [record_to_json(r) for r in records],
@@ -168,12 +215,12 @@ def _h_front(ctx: ServeContext, path_params, query) -> Response:
 
 
 def _h_stats(ctx: ServeContext, path_params, query) -> Response:
-    return json_response(200, stats(ctx.store))
+    return json_response(200, ctx.snapshot().stats_payload())
 
 
 def _h_design(ctx: ServeContext, path_params, query) -> Response:
     prefix = path_params["design_id"]
-    records = ctx.store.select(design_id_prefix=prefix)
+    records = ctx.snapshot().select(design_id_prefix=prefix)
     if not records:
         return error_response(
             404, f"no design with id prefix {prefix!r}"
@@ -302,6 +349,39 @@ ROUTES: Tuple[Route, ...] = (
 
 
 # ----------------------------------------------------------------------
+# HTTP revalidation
+# ----------------------------------------------------------------------
+def make_etag(key: object) -> str:
+    """Strong ETag for a response-cache key (quoted, RFC 9110 form).
+
+    The key already folds in the store-state token, and every response
+    is a deterministic function of its key, so hashing the key is a
+    valid strong validator — and a *cross-process* one: ``repr`` of the
+    (str/int/float/bool) tuple is stable, so every ``--procs N`` worker
+    derives the identical ETag for the same query and store state.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+    return f'"{digest}"'
+
+
+def etag_matches(if_none_match: str, etag: str) -> bool:
+    """RFC 9110 ``If-None-Match``: list of entity tags, or ``*``.
+
+    Weak comparison (``W/`` prefixes ignored) — the correct mode for
+    cache revalidation on GET/HEAD.
+    """
+    for candidate in if_none_match.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
 # Validation + dispatch
 # ----------------------------------------------------------------------
 def validate_query(
@@ -342,8 +422,14 @@ def handle(
     path: str,
     query_string: str = "",
     routes: Tuple[Route, ...] = ROUTES,
+    headers: Optional[Mapping[str, str]] = None,
 ) -> Response:
-    """Dispatch one request; never raises (500s are rendered, not thrown)."""
+    """Dispatch one request; never raises (500s are rendered, not thrown).
+
+    ``headers`` carries the request headers the dispatcher cares about
+    (currently only ``If-None-Match``); omitting it preserves the
+    historical signature for tests and benchmarks.
+    """
     from urllib.parse import parse_qsl, unquote
 
     route, path_params = match_path(routes, path)
@@ -366,16 +452,26 @@ def handle(
         return error_response(422, str(exc))
 
     key = None
-    if route.cached and ctx.cache.maxsize:
+    etag = None
+    if route.cached:
         key = (
             route.name,
             tuple(sorted(path_params.items())),
             tuple(sorted(query.items())),
             ctx.state(),
         )
-        hit = ctx.cache.get(key)
-        if hit is not None:
-            return replace(hit, headers=hit.headers + (("X-Cache", "hit"),))
+        etag = make_etag(key)
+        if_none_match = headers.get("If-None-Match") if headers else None
+        if if_none_match and etag_matches(if_none_match, etag):
+            # A matching validator proves the client holds the response
+            # for this exact (query, store state): skip everything.
+            return Response(304, b"", headers=(("ETag", etag),))
+        if ctx.cache.maxsize:
+            hit = ctx.cache.get(key)
+            if hit is not None:
+                return replace(hit, headers=hit.headers + (
+                    ("ETag", etag), ("X-Cache", "hit"),
+                ))
     try:
         response = route.handler(ctx, path_params, query)
     except ValueError as exc:
@@ -387,8 +483,15 @@ def handle(
             500, f"internal error ({type(exc).__name__}): {exc}"
         )
     if key is not None and response.status < 500:
-        ctx.cache.put(key, response)
+        if ctx.cache.maxsize:
+            ctx.cache.put(key, response)
+        extra = [("X-Cache", "miss")] if ctx.cache.maxsize else []
+        if response.status == 200:
+            # Only successful representations get the validator; error
+            # envelopes are state-dependent too, but clients have no
+            # use for revalidating a 404.
+            extra.insert(0, ("ETag", etag))
         response = replace(
-            response, headers=response.headers + (("X-Cache", "miss"),)
+            response, headers=response.headers + tuple(extra)
         )
     return response

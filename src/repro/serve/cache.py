@@ -104,9 +104,16 @@ class ResponseCache:
             return len(self._entries)
 
     def stats(self) -> dict:
-        """Counters for ``/healthz``: size, capacity, hits, misses."""
+        """Counters for ``/healthz``: size, capacity, hits, misses.
+
+        Includes the owning ``pid`` because under ``repro serve
+        --procs N`` every worker process has its *own* cache — the
+        counters describe one process, and aggregating them across
+        workers would double-count nothing and miss everything.
+        """
         with self._lock:
             return {
+                "pid": os.getpid(),
                 "entries": len(self._entries),
                 "maxsize": self.maxsize,
                 "hits": self.hits,

@@ -105,20 +105,36 @@ def _schemas() -> dict:
         },
         "Health": {
             "type": "object",
+            "description": "Per-process status: under `--procs N` each "
+            "worker answers for itself (its own pid, caches and "
+            "snapshot), so sample it repeatedly to observe every "
+            "worker.",
             "properties": {
                 "status": {"type": "string"},
                 "version": {"type": "string"},
                 "store": {"type": "string",
                           "description": "Backing SQLite file path."},
                 "schema_version": {"type": "integer"},
+                "pid": {"type": "integer",
+                        "description": "Pid of the worker process that "
+                        "answered this request."},
                 "designs": {"type": "integer",
                             "description": "Stored design count."},
                 "cache": {"type": "object",
-                          "description": "Response-cache counters "
-                          "(entries, maxsize, hits, misses)."},
+                          "description": "This process's response-cache "
+                          "counters (pid, entries, maxsize, hits, "
+                          "misses)."},
+                "snapshot": {"type": "object",
+                             "description": "This process's in-memory "
+                             "store snapshot: state token, design "
+                             "count, rebuild count."},
+                "wire_cache": {"type": "object",
+                               "description": "Rendered-bytes fast-path "
+                               "counters (entries, maxsize, hits, "
+                               "fills); present when served over HTTP."},
             },
             "required": ["status", "version", "store", "schema_version",
-                         "designs", "cache"],
+                         "pid", "designs", "cache", "snapshot"],
         },
         "DesignRecord": _record_schema(),
         "BestResponse": {
@@ -197,23 +213,50 @@ def generate_openapi(routes: Optional[Tuple[Route, ...]] = None) -> dict:
             for name in route.path_param_names()
         ]
         parameters += [_param_to_openapi(p) for p in route.params]
+        ok: Dict[str, object] = {
+            "description": route.summary,
+            "content": {
+                "application/json": {
+                    "schema": {
+                        "$ref": "#/components/schemas/"
+                        + route.response_schema,
+                    },
+                },
+            },
+        }
+        responses: Dict[str, object] = {"200": ok}
+        if route.cached:
+            ok["headers"] = {
+                "ETag": {
+                    "description": "Strong validator over (route, "
+                    "params, store state); identical across --procs "
+                    "workers. Changes iff the store file changes.",
+                    "schema": {"type": "string"},
+                },
+                "X-Cache": {
+                    "description": "Response-cache disposition "
+                    "(hit/miss) in the answering process.",
+                    "schema": {"type": "string",
+                               "enum": ["hit", "miss"]},
+                },
+            }
+            responses["304"] = {
+                "description": "If-None-Match matched the current "
+                "ETag: the client's copy is still valid; no body.",
+                "headers": {
+                    "ETag": {
+                        "description": "The (still current) validator.",
+                        "schema": {"type": "string"},
+                    },
+                },
+            }
         operation = {
             "operationId": route.name,
             "summary": route.summary,
             "description": route.description,
             "parameters": parameters,
             "responses": {
-                "200": {
-                    "description": route.summary,
-                    "content": {
-                        "application/json": {
-                            "schema": {
-                                "$ref": "#/components/schemas/"
-                                + route.response_schema,
-                            },
-                        },
-                    },
-                },
+                **responses,
                 "default": {
                     "description": "Canonical error envelope "
                     "(404 unknown path/design, 405 wrong method, "
@@ -256,9 +299,12 @@ def generate_markdown(routes: Optional[Tuple[Route, ...]] = None) -> str:
         "by hand; CI checks this file against the live routes. -->",
         "",
         "Serving layer over the design library "
-        "(`repro serve --db <store> --port <port>`). All endpoints are "
+        "(`repro serve --db <store> --port <port>`, add `--procs N` "
+        "for multi-process workers on one port). All endpoints are "
         "`GET`; every non-200 response is the canonical error envelope "
-        '`{"error": {"code", "status", "message"}}`.',
+        '`{"error": {"code", "status", "message"}}`. Catalog responses '
+        "carry a strong `ETag` — resend it as `If-None-Match` to get a "
+        "body-less `304 Not Modified` until the store next changes.",
         "",
     ]
     for route in routes:
@@ -285,7 +331,9 @@ def generate_markdown(routes: Optional[Tuple[Route, ...]] = None) -> str:
                 )
             lines.append("")
         caching = (
-            "Cached (read-through, invalidated by any store write)."
+            "Cached (read-through, invalidated by any store write); "
+            "200s carry a strong `ETag` and `X-Cache`, and a matching "
+            "`If-None-Match` is answered `304` with no body."
             if route.cached else "Never cached."
         )
         lines += [

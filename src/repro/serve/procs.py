@@ -1,0 +1,324 @@
+"""Multi-process serving: N workers, one port, one supervisor.
+
+``repro serve --procs N`` forks N worker processes, each running the
+ordinary bounded-thread :class:`~repro.serve.server.DesignServer` over
+its own store connection, snapshot and caches.  Python's GIL caps one
+process at roughly one core of request dispatch; N processes remove
+that cap, and everything the workers share is already safe to share:
+
+* the **SQLite store** is read-only here, opened per process
+  (one-builder / N-reader is the store's documented contract);
+* the **snapshot**, **response cache** and **wire cache** are
+  per-process and key on the store file's ``(st_mtime_ns, st_size)``
+  token, so all workers invalidate at the same moment without talking
+  to each other;
+* **ETags** hash that token, so a pooled client revalidates correctly
+  whichever worker the kernel hands its connection to.
+
+Two ways to share the port:
+
+* ``SO_REUSEPORT`` (Linux, modern BSD) — every worker binds its own
+  listening socket with the option set and the kernel load-balances
+  accepted connections across them.  The parent binds a *non-listening*
+  placeholder first: it resolves ``port=0`` to a concrete port and
+  keeps it reserved for respawns, without joining the accept group.
+* **prefork fd passing** — where ``SO_REUSEPORT`` is unavailable, the
+  parent binds and listens once and hands the listening socket to each
+  worker over a ``socketpair`` via :func:`socket.send_fds`; workers
+  then compete on ``accept`` of the same socket.
+
+The parent never serves.  It supervises: a dead worker is respawned,
+SIGTERM/SIGINT fan out to every worker (which close their servers and
+exit), and :meth:`MultiProcessServer.stop` force-kills anything that
+ignores the request — ``--procs N`` must never leave orphans.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import sys
+import time
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "MultiProcessServer",
+    "reuseport_supported",
+    "serve_multiprocess",
+]
+
+
+def reuseport_supported() -> bool:
+    """Whether this platform can share a port via ``SO_REUSEPORT``."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _child_main(
+    db: str,
+    host: str,
+    port: int,
+    workers: int,
+    cache_size: int,
+    quiet: bool,
+    reuse_port: bool,
+    fd_conn: Optional[socket.socket],
+    ready,
+) -> None:
+    """Worker entry point (runs in the forked child).
+
+    Binds (or adopts) the listening socket, signals ``ready``, serves
+    until SIGTERM/SIGINT, then closes and ``os._exit(0)`` — the hard
+    exit skips inherited atexit hooks (thread-pool joins, coverage
+    finalizers) that have no business running in a fork of the
+    supervisor.
+    """
+    from .server import create_server
+
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+
+    listen_socket = None
+    if fd_conn is not None:
+        _, fds, _, _ = socket.recv_fds(fd_conn, 1, 1)
+        fd_conn.close()
+        listen_socket = socket.socket(fileno=fds[0])
+    server = None
+    try:
+        server = create_server(
+            db, host=host, port=port, workers=workers,
+            cache_size=cache_size, quiet=quiet,
+            reuse_port=reuse_port, listen_socket=listen_socket,
+        )
+        ready.set()
+        server.serve_forever(poll_interval=0.5)
+    except (SystemExit, KeyboardInterrupt):
+        pass
+    finally:
+        if server is not None:
+            try:
+                server.server_close()
+            except OSError:
+                pass
+        os._exit(0)
+
+
+class MultiProcessServer:
+    """N forked :class:`DesignServer` workers sharing one port.
+
+    Parameters mirror :func:`repro.serve.server.create_server`, plus:
+
+    procs : int
+        Number of worker processes (each with its own ``workers``-sized
+        thread pool).
+    use_reuseport : bool, optional
+        Force the port-sharing mechanism; default auto-detects
+        (``SO_REUSEPORT`` where available, prefork fd passing
+        otherwise).  Tests pin ``False`` to exercise the fallback.
+
+    Lifecycle: ``start()`` → (serve traffic; optionally call
+    ``respawn_dead()`` periodically) → ``stop()``.  ``stop`` is
+    idempotent and guarantees no worker outlives it.
+    """
+
+    def __init__(
+        self,
+        db: str,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        procs: int = 2,
+        workers: int = 8,
+        cache_size: int = 1024,
+        quiet: bool = False,
+        use_reuseport: Optional[bool] = None,
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        self.db = db
+        self.host = host
+        self.procs = procs
+        self.workers = workers
+        self.cache_size = cache_size
+        self.quiet = quiet
+        if use_reuseport is None:
+            use_reuseport = reuseport_supported()
+        self.use_reuseport = use_reuseport
+        if use_reuseport and not reuseport_supported():
+            raise OSError("SO_REUSEPORT is not available on this platform")
+        self._ctx = multiprocessing.get_context("fork")
+        self._children: List = []
+        self._listen: Optional[socket.socket] = None
+        self._placeholder: Optional[socket.socket] = None
+        self.port = port
+        self._bind(host, port)
+
+    # ------------------------------------------------------------------
+    # Socket setup
+    # ------------------------------------------------------------------
+    def _bind(self, host: str, port: int) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            if self.use_reuseport:
+                # Placeholder: resolves port=0 and keeps the port
+                # reserved across worker respawns.  Never listens, so
+                # the kernel excludes it from connection distribution.
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
+                sock.bind((host, port))
+                self._placeholder = sock
+            else:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+                )
+                sock.bind((host, port))
+                sock.listen(128)
+                self._listen = sock
+        except OSError:
+            sock.close()
+            raise
+        self.port = sock.getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self):
+        ready = self._ctx.Event()
+        fd_child = None
+        fd_parent = None
+        if not self.use_reuseport:
+            fd_parent, fd_child = socket.socketpair()
+        child = self._ctx.Process(
+            target=_child_main,
+            args=(
+                self.db, self.host, self.port, self.workers,
+                self.cache_size, self.quiet, self.use_reuseport,
+                fd_child, ready,
+            ),
+            daemon=False,
+        )
+        child.start()
+        if fd_parent is not None:
+            socket.send_fds(fd_parent, [b"listen"], [self._listen.fileno()])
+            fd_parent.close()
+            fd_child.close()
+        deadline = time.monotonic() + 10.0
+        while not ready.wait(timeout=0.05):
+            if not child.is_alive():
+                raise RuntimeError(
+                    f"serve worker died during startup "
+                    f"(exit code {child.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                child.terminate()
+                raise RuntimeError("serve worker did not become ready")
+        return child
+
+    def start(self) -> None:
+        """Fork the workers; returns once every one is accepting."""
+        if self._children:
+            raise RuntimeError("already started")
+        try:
+            for _ in range(self.procs):
+                self._children.append(self._spawn())
+        except Exception:
+            self.stop()
+            raise
+
+    @property
+    def pids(self) -> List[int]:
+        return [c.pid for c in self._children if c.pid is not None]
+
+    def respawn_dead(self) -> List[int]:
+        """Replace exited workers; returns the new pids (often empty)."""
+        new_pids: List[int] = []
+        for i, child in enumerate(self._children):
+            if child.is_alive():
+                continue
+            child.join(timeout=0)
+            replacement = self._spawn()
+            self._children[i] = replacement
+            new_pids.append(replacement.pid)
+        return new_pids
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Terminate every worker and release the port.  Idempotent."""
+        for child in self._children:
+            if child.is_alive():
+                child.terminate()  # SIGTERM -> clean close in the child
+        deadline = time.monotonic() + timeout
+        for child in self._children:
+            child.join(timeout=max(0.0, deadline - time.monotonic()))
+        for child in self._children:
+            if child.is_alive():  # pragma: no cover - unresponsive child
+                child.kill()
+                child.join(timeout=1.0)
+        self._children = []
+        for sock_attr in ("_placeholder", "_listen"):
+            sock = getattr(self, sock_attr)
+            if sock is not None:
+                sock.close()
+                setattr(self, sock_attr, None)
+
+    def __enter__(self) -> "MultiProcessServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_multiprocess(
+    db: str,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    procs: int = 2,
+    workers: int = 8,
+    cache_size: int = 1024,
+    quiet: bool = False,
+) -> int:
+    """Run ``--procs N`` serving until interrupted (CLI entry point).
+
+    The parent process supervises only: it respawns dead workers every
+    poll tick and fans SIGTERM/SIGINT out to all of them on shutdown.
+    The ``workers:`` line lists worker pids so operators (and the
+    orphan-free shutdown test) can track them.
+    """
+    server = MultiProcessServer(
+        db, host=host, port=port, procs=procs, workers=workers,
+        cache_size=cache_size, quiet=quiet,
+    )
+
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        server.start()
+        mechanism = (
+            "SO_REUSEPORT" if server.use_reuseport else "prefork fd passing"
+        )
+        print(
+            f"serving {db} on http://{host}:{server.port} "
+            f"({procs} procs x {workers} workers via {mechanism}, "
+            f"cache {cache_size}); Ctrl-C to stop",
+            file=sys.stderr, flush=True,
+        )
+        print(
+            "workers: " + " ".join(str(pid) for pid in server.pids),
+            file=sys.stderr, flush=True,
+        )
+        while True:
+            time.sleep(0.2)
+            for pid in server.respawn_dead():
+                print(f"respawned worker {pid}", file=sys.stderr, flush=True)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr, flush=True)
+    finally:
+        server.stop()
+        signal.signal(signal.SIGTERM, previous)
+    return 0

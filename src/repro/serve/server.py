@@ -6,10 +6,32 @@ concurrency is bounded by a worker pool (``--workers``) instead of the
 mixin's unbounded thread-per-request, dispatching every request through
 the HTTP-independent :func:`~repro.serve.api.handle`.
 
+Two throughput decisions shape this module (see
+``BENCH_serve.json`` for the measured effect):
+
+* **TCP_NODELAY** on every connection.  Without it, the two-segment
+  response write (headers, then body) interacts with delayed ACKs to
+  stall keep-alive clients ~40 ms per request — the difference between
+  ~23 and several thousand requests per second on one connection.
+* **A wire-level fast path** (:class:`WireCache`).  The rendered
+  response bytes of hot ``GET`` targets — status line, headers and body
+  as one buffer — are memoized per process under the store-state token.
+  A repeat request is answered straight from
+  :meth:`_Handler.handle_one_request` with a cheap raw scan of the
+  header block and a single ``write``, skipping the stdlib's
+  ``email``-based header parse, URL split, query validation and
+  dispatch entirely.  Anything the fast path does not recognize — any
+  non-GET, an unknown target, HTTP/1.0, a stale token — falls through
+  to the stock machinery, which renders the identical response (the
+  fast path is a byte cache, not a second implementation).
+
 The concurrency story mirrors the store's: SQLite with short-lived
 connections is safe for any number of reader threads alongside one
 builder process, so worker threads share one :class:`ServeContext`
-(and one response cache) without further locking.
+(and one response cache) without further locking.  For multi-process
+serving (``repro serve --procs N``) see :mod:`repro.serve.procs`;
+this module contributes the two bind modes it needs
+(``reuse_port=True`` and ``listen_socket=...``).
 
 Programmatic use (tests, benchmarks)::
 
@@ -21,17 +43,157 @@ Programmatic use (tests, benchmarks)::
 
 from __future__ import annotations
 
+import os
+import socket
 import sys
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
+from email.utils import formatdate
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, NamedTuple, Optional, Tuple
 from urllib.parse import urlsplit
 
 from .. import __version__
 from ..library.store import DesignStore
 from .api import ServeContext, handle
-from .cache import ResponseCache
+from .cache import ResponseCache, store_state
 
-__all__ = ["DesignServer", "create_server", "serve"]
+__all__ = ["DesignServer", "WireCache", "create_server", "serve"]
+
+
+# ----------------------------------------------------------------------
+# Wire cache: rendered response bytes, token-guarded
+# ----------------------------------------------------------------------
+_date_memo: Tuple[int, bytes] = (0, b"")
+
+
+def _http_date() -> bytes:
+    """The RFC 9110 ``Date`` value, memoized per second.
+
+    ``formatdate`` costs microseconds; at fast-path rates that is real
+    money, and the header only changes once a second anyway.
+    """
+    global _date_memo
+    now = int(time.time())
+    if _date_memo[0] != now:
+        _date_memo = (now, formatdate(now, usegmt=True).encode("ascii"))
+    return _date_memo[1]
+
+
+class WireEntry(NamedTuple):
+    """One memoized target: 200 and 304 images, split around ``Date``."""
+
+    etag: bytes
+    head_200: bytes   # status line .. "Date: "
+    tail_200: bytes   # CRLF, remaining headers, blank line, body
+    head_304: bytes
+    tail_304: bytes
+
+
+class WireCache:
+    """Per-process memo of fully rendered responses for hot GET targets.
+
+    Keys are the **raw request target bytes** exactly as they appear on
+    the request line (``b"/v1/front?width=4"``), so a lookup is one
+    dict probe — no URL split, no query parse.  Equivalent queries
+    spelled differently simply take the slow path, which stays correct.
+
+    Freshness uses the same token as the response cache and the ETags:
+    every lookup stats the store file (~1 us) and a token change drops
+    the whole memo before answering — so a build write is visible to
+    the very next request, exactly like the slow path.
+
+    ``maxsize=0`` disables the fast path (benchmarks use this to
+    measure the full dispatch).
+    """
+
+    def __init__(self, store_path: str, maxsize: int = 1024) -> None:
+        self.path = store_path
+        self.maxsize = maxsize
+        self.hits = 0
+        self.fills = 0
+        self._token: Tuple[int, int] = (-2, -2)
+        self._lock = threading.Lock()
+        self._entries: Dict[bytes, WireEntry] = {}
+
+    def lookup(self, raw_target: bytes) -> Optional[WireEntry]:
+        if not self.maxsize:
+            return None
+        token = store_state(self.path)
+        with self._lock:
+            if token != self._token:
+                self._entries.clear()
+                self._token = token
+                return None
+            entry = self._entries.get(raw_target)
+            if entry is not None:
+                self.hits += 1
+            return entry
+
+    def put(
+        self,
+        raw_target: bytes,
+        token: Tuple[int, int],
+        entry: WireEntry,
+    ) -> None:
+        if not self.maxsize:
+            return
+        with self._lock:
+            if token != self._token:
+                if token != store_state(self.path):
+                    return  # rendered against a state that is already gone
+                self._entries.clear()
+                self._token = token
+            if len(self._entries) >= self.maxsize:
+                return  # bounded: hot targets fill it, the tail stays slow
+            self._entries[raw_target] = entry
+            self.fills += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "fills": self.fills,
+            }
+
+
+def _render_wire_entry(
+    version_line: bytes, response, etag: str
+) -> WireEntry:
+    """Render a 200 response (and its 304 twin) into wire images.
+
+    Header order mirrors the slow path exactly: ``Server``, ``Date``,
+    ``Content-Type``, ``Content-Length``, then the dispatcher's extra
+    headers — with ``X-Cache`` rewritten to ``hit``, because a memoized
+    answer *is* a cache hit.
+    """
+    head_200 = b"HTTP/1.1 200 OK\r\nServer: %s\r\nDate: " % version_line
+    parts = [
+        b"\r\nContent-Type: %s" % response.content_type.encode("latin-1"),
+        b"\r\nContent-Length: %d" % len(response.body),
+    ]
+    for name, value in response.headers:
+        if name == "X-Cache":
+            value = "hit"
+        parts.append(
+            b"\r\n%s: %s" % (name.encode("latin-1"), value.encode("latin-1"))
+        )
+    parts.append(b"\r\n\r\n")
+    parts.append(response.body)
+    etag_bytes = etag.encode("latin-1")
+    head_304 = b"HTTP/1.1 304 Not Modified\r\nServer: %s\r\nDate: " \
+        % version_line
+    tail_304 = b"\r\nETag: %s\r\n\r\n" % etag_bytes
+    return WireEntry(
+        etag=etag_bytes,
+        head_200=head_200,
+        tail_200=b"".join(parts),
+        head_304=head_304,
+        tail_304=tail_304,
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -39,11 +201,124 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
+    # Small header+body writes must hit the wire immediately: Nagle +
+    # delayed ACK otherwise stalls every keep-alive client ~40 ms/req.
+    disable_nagle_algorithm = True
 
     #: Largest request body drained to keep a keep-alive connection
     #: usable; anything bigger forces the connection closed instead.
     _MAX_DRAIN = 1 << 20
 
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def handle_one_request(self) -> None:
+        """Stock request loop with a wire-cache short-circuit.
+
+        Mirrors ``BaseHTTPRequestHandler.handle_one_request`` exactly,
+        except that a well-formed ``GET <known target> HTTP/1.1`` whose
+        rendered bytes are memoized is answered by
+        :meth:`_fast_response` without the stdlib header parse.
+        """
+        try:
+            self.raw_requestline = self.rfile.readline(65537)
+            if len(self.raw_requestline) > 65536:
+                self.requestline = ""
+                self.request_version = ""
+                self.command = ""
+                self.send_error(414)
+                return
+            if not self.raw_requestline:
+                self.close_connection = True
+                return
+            words = self.raw_requestline.split()
+            if (
+                len(words) == 3
+                and words[0] == b"GET"
+                and words[2] == b"HTTP/1.1"
+            ):
+                entry = self.server.wire_cache.lookup(words[1])
+                if entry is not None:
+                    self._fast_response(words[1], entry)
+                    return
+            if not self.parse_request():
+                return
+            mname = "do_" + self.command
+            if not hasattr(self, mname):
+                self.send_error(
+                    501, "Unsupported method (%r)" % self.command
+                )
+                return
+            getattr(self, mname)()
+            self.wfile.flush()
+        except TimeoutError as exc:
+            self.log_error("Request timed out: %r", exc)
+            self.close_connection = True
+
+    def _fast_response(self, raw_target: bytes, entry: WireEntry) -> None:
+        """Answer from a wire image after a raw scan of the headers.
+
+        The scan only needs three facts the slow path would extract
+        from the parsed headers: does ``If-None-Match`` hold our ETag
+        (304 instead of 200), did the client ask ``Connection: close``,
+        and is there a request body to drain before the next pipelined
+        request.  Everything else in the header block is irrelevant to
+        a memoized GET.
+        """
+        revalidated = False
+        close = False
+        drain = 0
+        count = 0
+        while True:
+            line = self.rfile.readline(65537)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            count += 1
+            if len(line) > 65536 or count > 100:
+                self.requestline = ""
+                self.request_version = ""
+                self.command = "GET"
+                self.path = raw_target.decode("latin-1")
+                self.send_error(431)
+                return
+            low = line.lower()
+            if low.startswith(b"if-none-match"):
+                if entry.etag in line:
+                    revalidated = True
+            elif low.startswith(b"connection"):
+                if b"close" in low:
+                    close = True
+            elif low.startswith(b"content-length"):
+                try:
+                    drain = int(low.split(b":", 1)[1])
+                except ValueError:
+                    drain = -1
+            elif low.startswith(b"transfer-encoding"):
+                drain = -1
+        if drain:
+            if drain < 0 or drain > self._MAX_DRAIN:
+                close = True
+            else:
+                self.rfile.read(drain)
+        if revalidated:
+            self.wfile.write(
+                b"".join((entry.head_304, _http_date(), entry.tail_304))
+            )
+        else:
+            self.wfile.write(
+                b"".join((entry.head_200, _http_date(), entry.tail_200))
+            )
+        self.close_connection = close
+        self.requestline = self.raw_requestline.decode(
+            "latin-1"
+        ).rstrip("\r\n")
+        self.command = "GET"
+        self.path = raw_target.decode("latin-1")
+        self.log_request(304 if revalidated else 200)
+
+    # ------------------------------------------------------------------
+    # Slow path (stock dispatch through api.handle)
+    # ------------------------------------------------------------------
     def _dispatch(self, method: str) -> None:
         # Drain any request body first: on an HTTP/1.1 keep-alive
         # connection an unread body would be parsed as the next
@@ -58,9 +333,19 @@ class _Handler(BaseHTTPRequestHandler):
         elif length:
             self.rfile.read(length)
         url = urlsplit(self.path)
+        context = self.server.context
+        token_before = context.state()
         response = handle(
-            self.server.context, method, url.path, url.query
+            context, method, url.path, url.query, headers=self.headers
         )
+        if response.status == 304:
+            # RFC 9110: no body, no representation headers — only the
+            # validator travels.
+            self.send_response(304)
+            for name, value in response.headers:
+                self.send_header(name, value)
+            self.end_headers()
+            return
         body = b"" if method == "HEAD" else response.body
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
@@ -70,6 +355,34 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         if body:
             self.wfile.write(body)
+        self._maybe_memoize(method, response, token_before)
+
+    def _maybe_memoize(self, method: str, response, token_before) -> None:
+        """Feed the wire cache from a just-rendered slow-path response.
+
+        Only 200 GETs carrying an ETag qualify (the dispatcher attaches
+        ETags exclusively to cacheable-route successes), and only when
+        the store token did not move while the response was being
+        computed — otherwise the bytes might describe a state the token
+        no longer names.
+        """
+        if method != "GET" or response.status != 200:
+            return
+        wire = self.server.wire_cache
+        if not wire.maxsize:
+            return
+        etag = next(
+            (v for n, v in response.headers if n == "ETag"), None
+        )
+        if etag is None or self.server.context.state() != token_before:
+            return
+        wire.put(
+            self.path.encode("latin-1"),
+            token_before,
+            _render_wire_entry(
+                self.version_string().encode("latin-1"), response, etag
+            ),
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._dispatch("GET")
@@ -113,7 +426,18 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class DesignServer(ThreadingHTTPServer):
-    """HTTP server with a bounded worker pool and a shared context."""
+    """HTTP server with a bounded worker pool and a shared context.
+
+    Three bind modes, for the three serving topologies:
+
+    * default — bind ``address`` exclusively (single process);
+    * ``reuse_port=True`` — set ``SO_REUSEPORT`` before binding, so N
+      sibling processes can bind the same address and let the kernel
+      load-balance accepted connections across them;
+    * ``listen_socket=...`` — adopt an already-listening socket
+      (received over ``socket.recv_fds`` by the prefork fallback where
+      ``SO_REUSEPORT`` does not exist).
+    """
 
     daemon_threads = True
     # TCPServer's default listen backlog (5) drops connection bursts on
@@ -126,15 +450,40 @@ class DesignServer(ThreadingHTTPServer):
         context: ServeContext,
         workers: int = 8,
         quiet: bool = False,
+        reuse_port: bool = False,
+        listen_socket: Optional[socket.socket] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        super().__init__(address, _Handler)
+        self._reuse_port = reuse_port
+        if listen_socket is None:
+            super().__init__(address, _Handler)
+        else:
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()  # the placeholder socketserver created
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = socket.getfqdn(host)
+            self.server_port = port
         self.context = context
         self.quiet = quiet
+        self.wire_cache = context.wire_cache
+        if self.wire_cache is None:
+            self.wire_cache = WireCache(context.store.path, maxsize=0)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
+
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+                raise OSError(
+                    "SO_REUSEPORT is not available on this platform; "
+                    "use the prefork listen_socket mode instead"
+                )
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     def process_request(self, request, client_address) -> None:
         # Bound concurrency: queue in the pool instead of one unbounded
@@ -157,6 +506,8 @@ def create_server(
     workers: int = 8,
     cache_size: int = 1024,
     quiet: bool = False,
+    reuse_port: bool = False,
+    listen_socket: Optional[socket.socket] = None,
 ) -> DesignServer:
     """Bind a :class:`DesignServer` over the store at ``db``.
 
@@ -173,14 +524,26 @@ def create_server(
     workers : int
         Size of the request-handling thread pool.
     cache_size : int
-        Response-cache entry cap; ``0`` disables caching.
+        Response-cache entry cap, shared with the wire cache; ``0``
+        disables both (every request runs the full dispatch).
     quiet : bool
         Suppress per-request access logging.
+    reuse_port : bool
+        Bind with ``SO_REUSEPORT`` (multi-process workers; see
+        :mod:`repro.serve.procs`).
+    listen_socket : socket.socket, optional
+        Adopt this already-listening socket instead of binding.
     """
+    store = DesignStore(db)
     context = ServeContext(
-        store=DesignStore(db), cache=ResponseCache(cache_size)
+        store=store,
+        cache=ResponseCache(cache_size),
+        wire_cache=WireCache(store.path, maxsize=cache_size),
     )
-    return DesignServer((host, port), context, workers=workers, quiet=quiet)
+    return DesignServer(
+        (host, port), context, workers=workers, quiet=quiet,
+        reuse_port=reuse_port, listen_socket=listen_socket,
+    )
 
 
 def serve(
@@ -190,8 +553,24 @@ def serve(
     workers: int = 8,
     cache_size: int = 1024,
     quiet: bool = False,
+    procs: int = 1,
 ) -> int:
-    """Run the server until interrupted (the ``repro serve`` command)."""
+    """Run the server until interrupted (the ``repro serve`` command).
+
+    ``procs=1`` (the default) serves from this process exactly as
+    before; ``procs>1`` delegates to
+    :func:`repro.serve.procs.serve_multiprocess` — N worker processes
+    sharing the port, supervised and respawned by this one.
+    """
+    if procs < 1:
+        raise ValueError(f"procs must be >= 1, got {procs}")
+    if procs > 1:
+        from .procs import serve_multiprocess
+
+        return serve_multiprocess(
+            db, host=host, port=port, procs=procs, workers=workers,
+            cache_size=cache_size, quiet=quiet,
+        )
     server = create_server(
         db, host=host, port=port, workers=workers,
         cache_size=cache_size, quiet=quiet,

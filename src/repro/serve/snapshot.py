@@ -1,0 +1,214 @@
+"""Immutable in-memory snapshot of a design store for the hot read path.
+
+A Pareto design store is small by construction — within each group the
+store holds only non-dominated rows, so even a large build grid yields
+tens-to-hundreds of records, kilobytes of data.  The serving layer
+exploits that: instead of opening a SQLite connection per request, it
+reads everything once into an immutable :class:`Snapshot` and answers
+every catalog query (`/v1/best`, `/v1/front`, `/v1/stats`,
+`/v1/designs/{id}`) from memory.
+
+The snapshot is **duck-typed as the read surface of**
+:class:`~repro.library.store.DesignStore` — it implements ``select``,
+``count``, ``groups`` and ``completed_cells`` with identical filter,
+ordering and value semantics — so :func:`repro.library.query.best`,
+:func:`~repro.library.query.front` and :func:`~repro.library.query.stats`
+run against it unchanged.  Responses are therefore byte-identical to
+the direct SQLite path by construction: the selection logic is shared,
+only the row source differs (asserted end-to-end by
+``benchmarks/bench_serve.py``).
+
+Freshness follows the same discipline as the response cache
+(:mod:`repro.serve.cache`): a snapshot is stamped with the store file's
+``(st_mtime_ns, st_size)`` token at build time, and
+:meth:`SnapshotManager.current` re-stats the file (one ~1 us syscall)
+on every access — a build writing the store changes the token, the next
+request rebuilds, and the atomic reference swap means concurrent
+requests either see the complete old image or the complete new one,
+never a torn mix.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..library.store import DesignRecord, DesignStore
+from .cache import store_state
+
+__all__ = ["Snapshot", "SnapshotManager"]
+
+
+class Snapshot:
+    """One immutable image of a store: every record, group and cell.
+
+    Built via :meth:`build`; never mutated afterwards (the manager swaps
+    whole snapshots, it does not patch them).  All reads are lock-free.
+
+    Attributes
+    ----------
+    state : tuple of int
+        The ``(st_mtime_ns, st_size)`` store-file token the image was
+        built against — the same token the response cache and the ETag
+        generator key on, so all three invalidate together.
+    """
+
+    __slots__ = ("state", "records", "_groups", "_cells", "_stats")
+
+    def __init__(
+        self,
+        state: Tuple[int, int],
+        records: Tuple[DesignRecord, ...],
+        groups: Tuple[Tuple[Tuple[str, int, bool, str, str], int], ...],
+        cells: Dict[str, str],
+    ) -> None:
+        self.state = state
+        self.records = records
+        self._groups = groups
+        self._cells = cells
+        self._stats: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, store: DesignStore, retries: int = 3) -> "Snapshot":
+        """Read a consistent image of ``store``.
+
+        The three reads (records, groups, cells) use separate
+        short-lived connections, so a concurrent builder commit between
+        them could tear the image.  The token is compared before and
+        after the reads and the whole load retried on mismatch; under
+        continuous writing the last attempt is accepted (its token is
+        already stale, so the very next request rebuilds again).
+        """
+        state = store_state(store.path)
+        for _ in range(max(1, retries)):
+            records = store.select()
+            groups = store.groups()
+            cells = store.completed_cells()
+            after = store_state(store.path)
+            if after == state:
+                break
+            state = after
+        return cls(
+            state=state,
+            records=tuple(records),
+            groups=tuple(groups),
+            cells=dict(cells),
+        )
+
+    # ------------------------------------------------------------------
+    # The DesignStore read surface (see module doc: duck-typed)
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        component: Optional[str] = None,
+        width: Optional[int] = None,
+        metric: Optional[str] = None,
+        dist: Optional[str] = None,
+        signed: Optional[bool] = None,
+        design_id: Optional[str] = None,
+        design_id_prefix: Optional[str] = None,
+        max_error: Optional[float] = None,
+    ) -> List[DesignRecord]:
+        """Exactly :meth:`DesignStore.select`, minus the SQL.
+
+        ``self.records`` is already in the store's total order
+        ``(error, area, design_id, component, width, signed, metric,
+        dist)`` — SQLite's BINARY collation is bytewise UTF-8, which
+        equals Python's code-point ordering — and filtering preserves
+        order, so no re-sort is needed.
+        """
+        out = []
+        for r in self.records:
+            if component is not None and r.component != component:
+                continue
+            if width is not None and r.width != width:
+                continue
+            if metric is not None and r.metric != metric:
+                continue
+            if dist is not None and r.dist != dist:
+                continue
+            if signed is not None and r.signed != signed:
+                continue
+            if design_id is not None and r.design_id != design_id:
+                continue
+            if design_id_prefix is not None \
+                    and not r.design_id.startswith(design_id_prefix):
+                continue
+            if max_error is not None and not r.error <= float(max_error):
+                continue
+            out.append(r)
+        return out
+
+    def count(self) -> int:
+        return len(self.records)
+
+    def groups(self) -> List[Tuple[Tuple[str, int, bool, str, str], int]]:
+        # Captured verbatim from the store at build time, so the
+        # /v1/stats group order matches the SQLite GROUP BY order
+        # byte-for-byte.
+        return list(self._groups)
+
+    def completed_cells(self) -> Dict[str, str]:
+        return dict(self._cells)
+
+    # ------------------------------------------------------------------
+    # Pre-rendered payloads
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict:
+        """The ``/v1/stats`` body, computed once per snapshot.
+
+        Identical to ``repro.library.query.stats(store)`` at this state
+        (it *is* that function, run over the snapshot).  Memoized
+        because stats aggregates every group; the assignment is atomic
+        so racing requests at worst compute it twice.
+        """
+        if self._stats is None:
+            from ..library.query import stats
+
+            self._stats = stats(self)
+        return self._stats
+
+
+class SnapshotManager:
+    """Owns the current :class:`Snapshot`; rebuilds when the store moves.
+
+    ``current()`` is the only entry point the handlers use: it stats the
+    store file, returns the held snapshot when the token still matches,
+    and otherwise rebuilds under a lock (double-checked, so concurrent
+    requests trigger exactly one rebuild) and atomically swaps the
+    reference.  Requests already holding the old snapshot keep serving
+    the old consistent image — immutability makes that safe.
+    """
+
+    def __init__(self, store: DesignStore) -> None:
+        self._store = store
+        self._lock = threading.Lock()
+        self._snapshot: Optional[Snapshot] = None
+        self.rebuilds = 0
+
+    def current(self) -> Snapshot:
+        """The snapshot matching the store file's current state token."""
+        snapshot = self._snapshot
+        token = store_state(self._store.path)
+        if snapshot is not None and snapshot.state == token:
+            return snapshot
+        with self._lock:
+            snapshot = self._snapshot
+            if snapshot is None \
+                    or snapshot.state != store_state(self._store.path):
+                snapshot = Snapshot.build(self._store)
+                self._snapshot = snapshot
+                self.rebuilds += 1
+            return snapshot
+
+    def stats(self) -> dict:
+        """Observability block for ``/healthz`` (per-process)."""
+        snapshot = self._snapshot
+        return {
+            "state": list(snapshot.state) if snapshot is not None else None,
+            "designs": snapshot.count() if snapshot is not None else None,
+            "rebuilds": self.rebuilds,
+        }

@@ -1,7 +1,13 @@
 """Serving layer: dispatch, validation, caching, HTTP, OpenAPI."""
 
 import json
+import os
+import signal
+import socket
+import subprocess
+import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -20,11 +26,14 @@ from repro.library import (
 )
 from repro.serve import (
     ROUTES,
+    MultiProcessServer,
     ResponseCache,
     ServeContext,
+    Snapshot,
     create_server,
     handle,
     record_to_json,
+    reuseport_supported,
 )
 from repro.serve.openapi import generate_markdown, generate_openapi
 from repro.serve.routes import Param, match_path
@@ -39,6 +48,16 @@ SPEC = BuildSpec(
     seed=3,
 )
 
+# CI matrix leg: REPRO_SERVE_TEST_PROCS=N runs every HTTP-level test in
+# this file against an N-process `--procs` server instead of the
+# in-process single server (the dispatch-level tests are unaffected).
+_TEST_PROCS = int(os.environ.get("REPRO_SERVE_TEST_PROCS") or "0")
+
+_FORK_OK = sys.platform != "win32"
+multiproc = pytest.mark.skipif(
+    not _FORK_OK, reason="multi-process serving requires fork()"
+)
+
 
 @pytest.fixture(scope="module")
 def served(tmp_path_factory):
@@ -46,6 +65,15 @@ def served(tmp_path_factory):
     db = str(tmp_path_factory.mktemp("serve") / "lib.sqlite")
     store = DesignStore(db)
     build_library(store, SPEC, max_workers=1, executor="thread")
+    if _TEST_PROCS > 1:
+        if not _FORK_OK:  # pragma: no cover - matrix leg is Linux-only
+            pytest.skip("REPRO_SERVE_TEST_PROCS needs fork()")
+        mps = MultiProcessServer(db, port=0, procs=_TEST_PROCS, quiet=True)
+        mps.start()
+        yield store, ServeContext(store=store), \
+            f"http://127.0.0.1:{mps.port}"
+        mps.stop()
+        return
     server = create_server(db, port=0, quiet=True)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -103,7 +131,15 @@ def test_healthz(served):
     body = r.json()
     assert body["status"] == "ok"
     assert body["designs"] == store.count() > 0
-    assert set(body["cache"]) == {"entries", "maxsize", "hits", "misses"}
+    # Per-process honesty: the pid identifies which worker answered,
+    # and the cache/snapshot counters describe that process only.
+    assert body["pid"] > 0
+    assert set(body["cache"]) == {
+        "pid", "entries", "maxsize", "hits", "misses",
+    }
+    assert body["cache"]["pid"] == body["pid"]
+    assert set(body["snapshot"]) == {"state", "designs", "rebuilds"}
+    assert body["snapshot"]["designs"] == store.count()
 
 
 def test_best_round_trip(served):
@@ -301,6 +337,236 @@ def test_openapi_matches_route_table(served):
         assert f"`{route.method} {route.path}`" in markdown
 
 
+def _dominating_record(dist: str) -> DesignRecord:
+    """A fabricated record that dominates every real one in its group."""
+    return DesignRecord(
+        design_id="f" * 32, component="multiplier", width=W, signed=False,
+        metric="wmed", dist=dist, threshold_percent=1.0,
+        error=0.0, area=1.0, power_uw=1.0, delay_ps=1.0, pdp=0.001,
+        wmed=0.0, med=0.0, mred=0.0, error_rate=0.0, worst_case=0,
+        bias=0.0, gates=1, chromosome="{stub}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Snapshot layer
+# ----------------------------------------------------------------------
+def test_snapshot_read_surface_matches_store(served):
+    """The snapshot duck-types DesignStore reads *exactly* — every
+    filter combination must return the same records in the same order,
+    because query.py byte-identity rests on it."""
+    store, ctx, _ = served
+    snap = ctx.snapshot()
+    assert isinstance(snap, Snapshot)
+    assert snap.count() == store.count()
+    assert snap.groups() == store.groups()
+    assert snap.completed_cells() == store.completed_cells()
+    record = store.select()[0]
+    for kwargs in (
+        {},
+        dict(component="multiplier", width=W),
+        dict(metric="wmed", max_error=0.05),
+        dict(max_error=0.0),
+        dict(design_id=record.design_id),
+        dict(design_id_prefix=record.design_id[:6]),
+        dict(signed=False, dist=record.dist),
+        dict(width=99),
+    ):
+        assert snap.select(**kwargs) == store.select(**kwargs), kwargs
+
+
+def test_snapshot_invalidation_race(tmp_path):
+    """A builder writing mid-stream: the next request must serve the
+    new front, while an already-taken snapshot keeps its old image."""
+    db = str(tmp_path / "snap.sqlite")
+    store = DesignStore(db)
+    build_library(store, SPEC, max_workers=1, executor="thread")
+    ctx = ServeContext(store=store)
+
+    first = handle(ctx, "GET", "/v1/front", f"width={W}")
+    old_snap = ctx.snapshot()
+    rebuilds = ctx.snapshots.rebuilds
+    dist = first.json()["designs"][0]["dist"]
+    assert store.add(_dominating_record(dist)) == "added"
+
+    # The held (old) snapshot is immutable: it still answers from the
+    # pre-write image.
+    assert old_snap.select(design_id="f" * 32) == []
+    # The next request sees the write: token changed -> rebuild -> the
+    # dominator leads the front.
+    fresh = handle(ctx, "GET", "/v1/front", f"width={W}")
+    assert fresh.json()["designs"][0]["design_id"] == "f" * 32
+    assert ctx.snapshots.rebuilds == rebuilds + 1
+    assert ctx.snapshot() is not old_snap
+    # Stable store, stable snapshot: no rebuild churn.
+    assert ctx.snapshot() is ctx.snapshot()
+
+
+# ----------------------------------------------------------------------
+# ETag revalidation
+# ----------------------------------------------------------------------
+def test_etag_roundtrip_and_store_write(tmp_path):
+    """200-with-ETag -> If-None-Match -> 304 -> store write -> 200."""
+    db = str(tmp_path / "etag.sqlite")
+    store = DesignStore(db)
+    build_library(store, SPEC, max_workers=1, executor="thread")
+    ctx = ServeContext(store=store)
+    query = f"width={W}&max_error_percent=5"
+
+    first = handle(ctx, "GET", "/v1/best", query)
+    assert first.status == 200
+    etag = dict(first.headers)["ETag"]
+    assert etag.startswith('"') and etag.endswith('"')
+
+    r = handle(ctx, "GET", "/v1/best", query,
+               headers={"If-None-Match": etag})
+    assert r.status == 304 and r.body == b""
+    assert ("ETag", etag) in r.headers
+    # RFC 9110 forms: weak prefix, tag lists, and * all revalidate.
+    for header in (f'W/{etag}', f'"nope", {etag}', "*"):
+        assert handle(ctx, "GET", "/v1/best", query,
+                      headers={"If-None-Match": header}).status == 304
+    # A non-matching tag is a full 200 with the same validator.
+    miss = handle(ctx, "GET", "/v1/best", query,
+                  headers={"If-None-Match": '"something-else"'})
+    assert miss.status == 200 and dict(miss.headers)["ETag"] == etag
+    assert miss.body == first.body
+
+    # Any store write flips the token: the old tag stops matching and
+    # the fresh 200 carries a new one.
+    assert store.add(
+        _dominating_record(first.json()["design"]["dist"])
+    ) == "added"
+    fresh = handle(ctx, "GET", "/v1/best", query,
+                   headers={"If-None-Match": etag})
+    assert fresh.status == 200
+    assert dict(fresh.headers)["ETag"] != etag
+    assert fresh.json()["design"]["design_id"] == "f" * 32
+
+
+def test_http_etag_revalidation_and_head(served):
+    """Over the wire: GET 200 -> 304, and HEAD revalidates too."""
+    _, _, base = served
+    url = base + f"/v1/best?width={W}"
+    with urllib.request.urlopen(url) as resp:
+        etag = resp.headers["ETag"]
+        body = resp.read()
+    assert etag and body
+
+    request = urllib.request.Request(
+        url, headers={"If-None-Match": etag}
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 304
+    assert excinfo.value.headers["ETag"] == etag
+    # A 304 has no representation: no body, no Content-Type/Length.
+    assert excinfo.value.read() == b""
+    assert excinfo.value.headers["Content-Length"] is None
+
+    request = urllib.request.Request(
+        url, method="HEAD", headers={"If-None-Match": etag}
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 304
+
+    # HEAD without a validator: full headers (with ETag), empty body.
+    request = urllib.request.Request(url, method="HEAD")
+    with urllib.request.urlopen(request) as resp:
+        assert resp.status == 200
+        assert resp.headers["ETag"] == etag
+        assert int(resp.headers["Content-Length"]) == len(body)
+        assert resp.read() == b""
+
+
+# ----------------------------------------------------------------------
+# Wire-level fast path
+# ----------------------------------------------------------------------
+def _raw_http(port: int, request: bytes) -> bytes:
+    """One connection, one raw request, read to EOF."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(request)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+
+def _strip_date(raw: bytes) -> bytes:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = [line for line in head.split(b"\r\n")
+             if not line.lower().startswith(b"date:")]
+    return b"\r\n".join(lines) + b"\r\n\r\n" + body
+
+
+def test_wire_fast_path_bytes_and_invalidation(tmp_path):
+    """The memoized wire path must emit the same bytes as full dispatch
+    (modulo Date), serve 304s, and drop its memo on any store write."""
+    db = str(tmp_path / "wire.sqlite")
+    store = DesignStore(db)
+    build_library(store, SPEC, max_workers=1, executor="thread")
+    fast = create_server(db, port=0, quiet=True)
+    slow = create_server(db, port=0, quiet=True)
+    slow.wire_cache.maxsize = 0  # full dispatch every request
+    threading.Thread(target=fast.serve_forever, daemon=True).start()
+    threading.Thread(target=slow.serve_forever, daemon=True).start()
+    target = f"/v1/best?width={W}&max_error_percent=5"
+    request = (
+        f"GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    ).encode()
+    try:
+        # Warm both servers (response-cache + wire memo fill) ...
+        _raw_http(fast.server_port, request)
+        _raw_http(slow.server_port, request)
+        # ... then compare a memoized answer against full dispatch.
+        from_fast = _raw_http(fast.server_port, request)
+        from_slow = _raw_http(slow.server_port, request)
+        assert b"X-Cache: hit" in from_fast
+        assert _strip_date(from_fast) == _strip_date(from_slow)
+        assert fast.wire_cache.stats()["hits"] >= 1
+
+        etag = next(
+            line.split(b":", 1)[1].strip()
+            for line in from_fast.split(b"\r\n")
+            if line.lower().startswith(b"etag:")
+        )
+        reval = (
+            f"GET {target} HTTP/1.1\r\nHost: t\r\n"
+            f"If-None-Match: {etag.decode()}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        from_fast_304 = _raw_http(fast.server_port, reval)
+        from_slow_304 = _raw_http(slow.server_port, reval)
+        assert from_fast_304.startswith(b"HTTP/1.1 304")
+        assert _strip_date(from_fast_304) == _strip_date(from_slow_304)
+        assert b"Content-Length" not in from_fast_304
+
+        # Pipelining: two requests up front, two responses back.
+        keep = (
+            f"GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"
+            f"GET {target} HTTP/1.1\r\nHost: t\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        assert _raw_http(fast.server_port, keep).count(b"HTTP/1.1 200") == 2
+
+        # A store write drops the memo: next response reflects it.
+        body = json.loads(from_fast.partition(b"\r\n\r\n")[2])
+        assert store.add(
+            _dominating_record(body["design"]["dist"])
+        ) == "added"
+        after = _raw_http(fast.server_port, request)
+        assert json.loads(
+            after.partition(b"\r\n\r\n")[2]
+        )["design"]["design_id"] == "f" * 32
+    finally:
+        for server in (fast, slow):
+            server.shutdown()
+            server.server_close()
+
+
 # ----------------------------------------------------------------------
 # Caching
 # ----------------------------------------------------------------------
@@ -470,3 +736,156 @@ def test_cli_serve_bind_failure_is_one_line(served, tmp_path):
     DesignStore(db)
     with pytest.raises(SystemExit, match="cannot serve on"):
         main(["serve", "--db", db, "--port", str(taken)])
+
+
+def test_designserver_bind_modes(served):
+    """The two multi-process bind modes, exercised in-process."""
+    store, _, _ = served
+    if reuseport_supported():
+        first = create_server(store.path, port=0, quiet=True,
+                              reuse_port=True)
+        # A second SO_REUSEPORT bind of the *same* port must succeed —
+        # that is the whole mechanism.
+        second = create_server(store.path, port=first.server_port,
+                               quiet=True, reuse_port=True)
+        assert second.server_port == first.server_port
+        second.server_close()
+        first.server_close()
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port = listener.getsockname()[1]
+    adopted = create_server(store.path, quiet=True,
+                            listen_socket=listener)
+    assert adopted.server_port == port
+    threading.Thread(target=adopted.serve_forever, daemon=True).start()
+    try:
+        status, body, _ = _get(f"http://127.0.0.1:{port}", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+    finally:
+        adopted.shutdown()
+        adopted.server_close()
+
+
+# ----------------------------------------------------------------------
+# Multi-process serving
+# ----------------------------------------------------------------------
+@multiproc
+def test_multiprocess_smoke_identical_responses(served):
+    """N=2 procs: every worker answers, bodies identical to 1-proc."""
+    store, _, base = served
+    with MultiProcessServer(
+        store.path, port=0, procs=2, quiet=True
+    ) as mps:
+        assert len(mps.pids) == 2
+        multi = f"http://127.0.0.1:{mps.port}"
+        for path in (f"/v1/best?width={W}", f"/v1/front?width={W}",
+                     "/v1/stats", f"/v1/best?width={W}&minimize=pdp"):
+            s_status, s_body, _ = _get(base, path)
+            m_status, m_body, headers = _get(multi, path)
+            assert (m_status, m_body) == (s_status, s_body), path
+            assert headers.get("ETag"), path
+        # /healthz names the worker that answered — one of ours.
+        status, body, _ = _get(multi, "/healthz")
+        assert status == 200 and body["pid"] in mps.pids
+
+
+@multiproc
+def test_multiprocess_fd_passing_fallback(served):
+    """The prefork send_fds mode serves the same API (forced, so the
+    fallback is exercised even where SO_REUSEPORT exists)."""
+    store, _, base = served
+    with MultiProcessServer(
+        store.path, port=0, procs=2, quiet=True, use_reuseport=False,
+    ) as mps:
+        assert mps.use_reuseport is False
+        multi = f"http://127.0.0.1:{mps.port}"
+        path = f"/v1/best?width={W}"
+        s_status, s_body, _ = _get(base, path)
+        m_status, m_body, _ = _get(multi, path)
+        assert (m_status, m_body) == (s_status, s_body)
+        status, body, _ = _get(multi, "/healthz")
+        assert status == 200 and body["pid"] in mps.pids
+
+
+@multiproc
+@pytest.mark.skipif(
+    not reuseport_supported(), reason="SO_REUSEPORT unsupported"
+)
+def test_multiprocess_respawns_dead_worker(served):
+    store, _, _ = served
+    with MultiProcessServer(
+        store.path, port=0, procs=2, quiet=True
+    ) as mps:
+        victim = mps.pids[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        new_pids = []
+        while not new_pids and time.monotonic() < deadline:
+            new_pids = mps.respawn_dead()
+            if not new_pids:
+                time.sleep(0.05)
+        assert new_pids and new_pids[0] != victim
+        assert len(mps.pids) == 2 and victim not in mps.pids
+        status, body, _ = _get(
+            f"http://127.0.0.1:{mps.port}", "/healthz"
+        )
+        assert status == 200 and body["pid"] in mps.pids
+
+
+def _pid_gone(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return False
+    return False
+
+
+@multiproc
+def test_cli_procs_sigterm_leaves_no_orphans(served):
+    """`repro serve --procs 2` + SIGTERM: parent and both workers die."""
+    store, _, _ = served
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__import__("repro").__file__)
+    )))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--db", store.path,
+         "--port", "0", "--procs", "2", "--quiet"],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        port = None
+        pids = []
+        for _ in range(20):
+            line = proc.stderr.readline()
+            if not line:
+                break
+            if line.startswith("serving "):
+                port = int(line.split("http://", 1)[1]
+                           .split()[0].rsplit(":", 1)[1])
+            if line.startswith("workers: "):
+                pids = [int(p) for p in line.split()[1:]]
+                break
+        assert port and len(pids) == 2, "startup lines not seen"
+        status, body, _ = _get(f"http://127.0.0.1:{port}", "/healthz")
+        assert status == 200 and body["pid"] in pids
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=15) == 0
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if all(_pid_gone(pid) for pid in pids):
+                break
+            time.sleep(0.05)
+        orphans = [pid for pid in pids if not _pid_gone(pid)]
+        assert orphans == [], f"workers survived SIGTERM: {orphans}"
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+        proc.stderr.close()
+        proc.wait(timeout=10)
