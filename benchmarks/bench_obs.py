@@ -1,0 +1,339 @@
+#!/usr/bin/env python
+"""Benchmark the observability subsystem: overhead gates + exactness.
+
+Two questions, each answered by measurement and enforced by an exit
+code:
+
+* **How much does instrumentation cost?**  The same two workloads —
+  evolve throughput (``evaluate_batch`` hot loop) and served request
+  latency (hot cached ``GET /v1/best``) — run in subprocesses under
+  three environments: metrics disabled (``REPRO_OBS=0``), metrics
+  enabled (the default), and metrics + span tracing
+  (``REPRO_TRACE=<file>``).  One subprocess performs one repetition,
+  and the variants are *interleaved* round-robin (off, on, trace, off,
+  on, ...) so slow machine-state drift hits every variant equally; the
+  best repetition per variant is compared best-vs-best.  The
+  metrics-enabled overhead is gated: ``--max-overhead-pct`` (default
+  3 %) in full runs, ``--smoke-max-overhead-pct`` (default 10 %, the
+  short smoke budget is noisier) under ``--smoke``.  The tracing
+  variant is recorded for information — tracing is opt-in and writes a
+  line per span, so it is not held to the 3 % bar.
+
+* **Are fleet-wide counters exact?**  A ``--procs N`` server is put
+  under load; afterwards ``GET /metrics`` (scraped from whichever
+  worker the kernel picks) must report ``repro_http_requests_total``
+  summing to *exactly* the client-side completed-request count, and
+  every worker pid must appear in the per-worker gauge.  This gate is
+  hard in both smoke and full runs — approximate observability across
+  workers is the failure mode the shared slab exists to prevent.
+
+Results go to ``BENCH_obs.json`` at the repo root (``--out``
+overrides).
+
+Usage::
+
+    python benchmarks/bench_obs.py            # full
+    python benchmarks/bench_obs.py --smoke    # CI: short budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+sys.path.insert(0, _SRC)
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_obs.json"
+)
+
+HOT_URL = "/v1/best?width=3&max_error_percent=5&minimize=area"
+
+
+# ----------------------------------------------------------------------
+# Worker mode: one (workload, environment) measurement per subprocess,
+# because REPRO_OBS / REPRO_TRACE bind the registry at import time.
+# ----------------------------------------------------------------------
+def _worker_evolve(generations: int) -> dict:
+    import numpy as np
+
+    from repro.analysis.sweep import make_objective
+    from repro.core import EvolutionConfig, evolve, get_component
+    from repro.core.seeding import netlist_to_chromosome, params_for_netlist
+    from repro.errors.distributions import distribution_from_spec
+
+    width = 3
+    dist = distribution_from_spec("uniform", width, False)
+    seed_net = get_component("multiplier").build_seed(width, False)
+    seed = netlist_to_chromosome(
+        seed_net, params_for_netlist(seed_net, extra_columns=20)
+    )
+    config = EvolutionConfig(generations=generations)
+    evaluator = make_objective(width, dist)
+    # Warm the JIT-ish costs (kernel load, first compile) out of band.
+    evolve(seed, evaluator, threshold=0.0,
+           config=EvolutionConfig(generations=20),
+           rng=np.random.default_rng(99))
+    t0 = time.perf_counter()
+    result = evolve(
+        seed, evaluator, threshold=0.0, config=config,
+        rng=np.random.default_rng(0),
+    )
+    elapsed = time.perf_counter() - t0
+    return {
+        "evals_per_s": result.evaluations / elapsed,
+        "backend": evaluator.backend,
+    }
+
+
+def _worker_serve(requests: int) -> dict:
+    from repro.library import BuildSpec, DesignStore, build_library
+    from repro.serve import create_server
+
+    with tempfile.TemporaryDirectory() as td:
+        db = os.path.join(td, "lib.sqlite")
+        build_library(
+            DesignStore(db),
+            BuildSpec(widths=(3,), thresholds_percent=(2.0, 5.0),
+                      generations=40, seed=3),
+            max_workers=1, executor="thread",
+        )
+        server = create_server(db, port=0, quiet=True)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_port}"
+        try:
+            for _ in range(20):  # warm caches + wire path
+                urllib.request.urlopen(base + HOT_URL).read()
+            lat = []
+            for _ in range(requests):
+                t0 = time.perf_counter()
+                urllib.request.urlopen(base + HOT_URL).read()
+                lat.append(time.perf_counter() - t0)
+            return {"p50_us": statistics.median(lat) * 1e6}
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def _spawn_worker(workload: str, env_overrides: dict, args) -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_OBS", None)
+    env.pop("REPRO_TRACE", None)
+    env.update(env_overrides)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, os.path.abspath(__file__), "--worker", workload,
+        "--generations", str(args.generations),
+        "--requests", str(args.requests),
+    ]
+    out = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if out.returncode != 0:
+        raise RuntimeError(
+            f"worker {workload} {env_overrides} failed:\n{out.stderr}"
+        )
+    return json.loads(out.stdout)
+
+
+def _overhead_pct(off: float, on: float, higher_is_better: bool) -> float:
+    if higher_is_better:
+        return 100.0 * (off - on) / off
+    return 100.0 * (on - off) / off
+
+
+def bench_overhead(args) -> dict:
+    """Run both workloads under off / on / trace environments.
+
+    Variants are interleaved (off, on, trace, off, on, ...) so machine
+    drift is shared; one subprocess = one repetition, best kept.
+    """
+    variants = {
+        "off": {"REPRO_OBS": "0"},
+        "on": {},
+    }
+    trace_file = None
+    if not args.no_trace_variant:
+        trace_file = tempfile.NamedTemporaryFile(
+            suffix=".jsonl", delete=False
+        )
+        trace_file.close()
+        variants["trace"] = {"REPRO_TRACE": trace_file.name}
+
+    def better(workload, a, b):
+        if b is None:
+            return a
+        if workload == "evolve":
+            return a if a["evals_per_s"] >= b["evals_per_s"] else b
+        return a if a["p50_us"] <= b["p50_us"] else b
+
+    results = {"evolve": {}, "serve": {}}
+    for workload in results:
+        for rep in range(args.reps):
+            for name, env in variants.items():
+                run = _spawn_worker(workload, env, args)
+                print(f"  {workload}/{name} rep {rep}: {run}")
+                results[workload][name] = better(
+                    workload, run, results[workload].get(name)
+                )
+    if trace_file is not None:
+        spans = sum(1 for _ in open(trace_file.name))
+        results["trace_spans_written"] = spans
+        os.unlink(trace_file.name)
+    results["overhead_pct"] = {
+        "evolve_on": _overhead_pct(
+            results["evolve"]["off"]["evals_per_s"],
+            results["evolve"]["on"]["evals_per_s"], True),
+        "serve_on": _overhead_pct(
+            results["serve"]["off"]["p50_us"],
+            results["serve"]["on"]["p50_us"], False),
+    }
+    if "trace" in variants:
+        results["overhead_pct"]["evolve_trace"] = _overhead_pct(
+            results["evolve"]["off"]["evals_per_s"],
+            results["evolve"]["trace"]["evals_per_s"], True)
+        results["overhead_pct"]["serve_trace"] = _overhead_pct(
+            results["serve"]["off"]["p50_us"],
+            results["serve"]["trace"]["p50_us"], False)
+    return results
+
+
+def bench_exactness(args) -> dict:
+    """The hard gate: fleet counters equal client-side request counts."""
+    from repro.library import BuildSpec, DesignStore, build_library
+    from repro.serve import MultiProcessServer
+
+    with tempfile.TemporaryDirectory() as td:
+        db = os.path.join(td, "lib.sqlite")
+        build_library(
+            DesignStore(db),
+            BuildSpec(widths=(3,), thresholds_percent=(2.0, 5.0),
+                      generations=40, seed=3),
+            max_workers=1, executor="thread",
+        )
+        paths = ("/healthz", HOT_URL, "/v1/stats", "/v1/front?width=3")
+        with MultiProcessServer(
+            db, port=0, procs=args.procs, quiet=True
+        ) as mps:
+            base = f"http://127.0.0.1:{mps.port}"
+            completed = 0
+            for i in range(args.load_requests):
+                with urllib.request.urlopen(base + paths[i % len(paths)]) as r:
+                    assert r.status == 200
+                    r.read()
+                completed += 1
+            exact = False
+            total = -1
+            for attempt in range(40):
+                with urllib.request.urlopen(base + "/metrics") as r:
+                    text = r.read().decode("utf-8")
+                total = sum(
+                    int(float(line.rsplit(" ", 1)[1]))
+                    for line in text.splitlines()
+                    if line.startswith("repro_http_requests_total{")
+                )
+                expected = completed + attempt  # earlier scrapes count
+                if total == expected:
+                    exact = True
+                    break
+                time.sleep(0.05)
+            worker_pids = sorted(
+                int(float(line.rsplit(" ", 1)[1]))
+                for line in text.splitlines()
+                if line.startswith("repro_worker_pid{")
+            )
+            return {
+                "procs": args.procs,
+                "client_completed": expected,
+                "metrics_total": total,
+                "exact": exact,
+                "worker_pids_visible": worker_pids == sorted(mps.pids),
+            }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    ap.add_argument("--smoke", action="store_true",
+                    help="short budget for CI (looser overhead gate)")
+    ap.add_argument("--worker", choices=("evolve", "serve"),
+                    help="internal: run one workload and print JSON")
+    ap.add_argument("--reps", type=int, default=None)
+    ap.add_argument("--generations", type=int, default=None)
+    ap.add_argument("--requests", type=int, default=None)
+    ap.add_argument("--procs", type=int, default=None,
+                    help="worker count for the exactness gate")
+    ap.add_argument("--load-requests", type=int, default=None)
+    ap.add_argument("--max-overhead-pct", type=float, default=3.0)
+    ap.add_argument("--smoke-max-overhead-pct", type=float, default=10.0)
+    ap.add_argument("--no-trace-variant", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.worker:
+        if args.worker == "evolve":
+            print(json.dumps(_worker_evolve(args.generations or 300)))
+        else:
+            print(json.dumps(_worker_serve(args.requests or 400)))
+        return 0
+
+    if args.smoke:
+        args.reps = args.reps or 3
+        args.generations = args.generations or 150
+        args.requests = args.requests or 150
+        args.procs = args.procs or 2
+        args.load_requests = args.load_requests or 60
+        gate = args.smoke_max_overhead_pct
+    else:
+        args.reps = args.reps or 5
+        args.generations = args.generations or 1000
+        args.requests = args.requests or 800
+        args.procs = args.procs or 4
+        args.load_requests = args.load_requests or 400
+        gate = args.max_overhead_pct
+
+    print("== instrumentation overhead (subprocess variants) ==")
+    overhead = bench_overhead(args)
+    print("== fleet exactness under --procs", args.procs, "==")
+    exactness = bench_exactness(args)
+    print(f"  {exactness}")
+
+    record = {
+        "bench": "obs",
+        "smoke": args.smoke,
+        "gate_max_overhead_pct": gate,
+        "overhead": overhead,
+        "exactness": exactness,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    for key in ("evolve_on", "serve_on"):
+        pct = overhead["overhead_pct"][key]
+        print(f"  {key} overhead: {pct:+.2f}% (gate < {gate}%)")
+        if pct > gate:
+            failures.append(f"{key} overhead {pct:.2f}% exceeds {gate}%")
+    if not exactness["exact"]:
+        failures.append(
+            f"fleet counter {exactness['metrics_total']} != "
+            f"client-completed {exactness['client_completed']}"
+        )
+    if not exactness["worker_pids_visible"]:
+        failures.append("not every worker pid visible in one scrape")
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

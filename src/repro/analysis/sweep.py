@@ -35,7 +35,8 @@ leave ``REPRO_OMP`` at/below 1 so the levels don't oversubscribe cores.
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -50,6 +51,7 @@ from ..core.seeding import netlist_to_chromosome, params_for_netlist
 from ..errors.distributions import Distribution
 from ..errors.metrics import get_metric, mean_error_distance
 from ..errors.truth_tables import operand_weights
+from ..obs.trace import span
 from ..tech.library import TechLibrary, default_library
 from ..tech.timing import TimingPowerSummary, characterize
 
@@ -111,6 +113,10 @@ class DesignPoint:
     evolution: Optional[EvolutionResult] = None
     component: str = "multiplier"
     metric: str = "wmed"
+    #: Wall-clock seconds the producing sweep task took (evolve +
+    #: characterize); excluded from equality because timing is not part
+    #: of what the design *is*.
+    wall_s: float = field(default=0.0, compare=False)
 
     @property
     def power_mw(self) -> float:
@@ -483,22 +489,30 @@ def _front_task(
         config, seed_seq, library, extra_columns, engine,
         component, metric,
     ) = args
-    params = params_for_netlist(seed_netlist, extra_columns=extra_columns)
-    seed = netlist_to_chromosome(seed_netlist, params)
-    evaluator = make_objective(
-        width, design_dist, library, engine, component, metric
-    )
-    result = evolve(
-        seed,
-        evaluator,
-        threshold=level / 100.0,
-        config=config,
-        rng=np.random.default_rng(seed_seq),
-    )
-    return _characterize_evolved(
-        result, width, design_dist, eval_dists, level, library,
-        component, metric,
-    )
+    t0 = perf_counter()
+    with span(
+        "build.cell",
+        component=component, metric=metric, width=width, level=level,
+    ) as sp:
+        params = params_for_netlist(seed_netlist, extra_columns=extra_columns)
+        seed = netlist_to_chromosome(seed_netlist, params)
+        evaluator = make_objective(
+            width, design_dist, library, engine, component, metric
+        )
+        result = evolve(
+            seed,
+            evaluator,
+            threshold=level / 100.0,
+            config=config,
+            rng=np.random.default_rng(seed_seq),
+        )
+        point = _characterize_evolved(
+            result, width, design_dist, eval_dists, level, library,
+            component, metric,
+        )
+        sp.tag(evaluations=result.evaluations)
+    point.wall_s = perf_counter() - t0
+    return point
 
 
 def _pool_class(executor: str):

@@ -23,7 +23,13 @@ Subcommands:
 * ``serve`` — the HTTP serving layer (:mod:`repro.serve`) over a built
   store: ``repro serve --db designs.sqlite --port 8080`` answers
   ``/v1/best``, ``/v1/front``, ``/v1/stats``,
-  ``/v1/designs/{id}`` and ``/openapi.json`` (see ``docs/serving.md``).
+  ``/v1/designs/{id}``, ``/openapi.json`` and ``/metrics`` (see
+  ``docs/serving.md``),
+* ``obs`` — observability helpers (:mod:`repro.obs`): ``obs dump``
+  prints the Prometheus exposition (this process, a running server via
+  ``--url``, or a metrics slab file via ``--slab``); ``obs tail``
+  prints or summarizes a ``REPRO_TRACE`` span log (see
+  ``docs/observability.md``).
 
 Distributions are named on the command line: ``uniform``, ``d1``, ``d2``,
 ``half-normal:<sigma>`` or ``normal:<mean>:<std>``; they weight the
@@ -193,6 +199,62 @@ def _split_csv(value: str) -> List[str]:
     return [part.strip() for part in value.split(",") if part.strip()]
 
 
+def _build_heartbeat():
+    """Start the ``library build --progress`` heartbeat thread.
+
+    Reads the obs catalog counters the builder increments per finished
+    cell (they fire in the builder's process regardless of executor
+    kind), so the thread needs no channel to the pool workers.  Returns
+    a stop callable; a no-op one when metrics are disabled.
+    """
+    from time import monotonic
+
+    from .obs import catalog as obs_catalog
+    from .obs import enabled as obs_enabled
+
+    if not obs_enabled():
+        print(
+            "[progress] REPRO_OBS=0: metrics disabled, heartbeat off",
+            file=sys.stderr, flush=True,
+        )
+        return lambda: None
+
+    import threading
+
+    stop = threading.Event()
+    t_start = monotonic()
+    base_cells = obs_catalog.BUILD_CELLS.total()
+    base_evals = obs_catalog.BUILD_EVALUATIONS.value
+
+    def beat() -> None:
+        while not stop.wait(2.0):
+            now = monotonic()
+            cells = obs_catalog.BUILD_CELLS.total() - base_cells
+            total = obs_catalog.BUILD_CELLS_PLANNED.value
+            evals = obs_catalog.BUILD_EVALUATIONS.value - base_evals
+            elapsed = max(now - t_start, 1e-9)
+            eta = ""
+            if 0 < cells < total:
+                remaining = elapsed / cells * (total - cells)
+                eta = f"  ETA {remaining:.0f}s"
+            print(
+                f"[progress] cells {cells}/{total}  "
+                f"{evals:,} evals ({evals / elapsed:,.0f}/s){eta}",
+                file=sys.stderr, flush=True,
+            )
+
+    thread = threading.Thread(
+        target=beat, name="build-heartbeat", daemon=True
+    )
+    thread.start()
+
+    def finish() -> None:
+        stop.set()
+        thread.join(timeout=5.0)
+
+    return finish
+
+
 def _cmd_library_build(args: argparse.Namespace) -> int:
     from .library import BuildSpec, DesignStore, build_library
 
@@ -219,13 +281,71 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    report = build_library(
-        store, spec,
-        max_workers=args.max_workers,
-        executor=args.executor,
-        progress=progress if args.verbose else None,
+    stop_heartbeat = (
+        _build_heartbeat()
+        if args.progress and not args.quiet
+        else (lambda: None)
     )
-    print(report)
+    try:
+        report = build_library(
+            store, spec,
+            max_workers=args.max_workers,
+            executor=args.executor,
+            progress=progress if args.verbose and not args.quiet else None,
+        )
+    finally:
+        stop_heartbeat()
+    if not args.quiet:
+        print(report)
+    return 0
+
+
+def _cmd_obs_dump(args: argparse.Namespace) -> int:
+    from . import obs
+
+    if args.url:
+        from urllib.request import urlopen
+
+        with urlopen(args.url) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+    if args.slab:
+        lanes = obs.read_slab(args.slab)
+        sys.stdout.write(obs.render_prometheus(lanes=lanes))
+        return 0
+    sys.stdout.write(obs.render_prometheus())
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .obs.trace import read_spans, summarize
+
+    try:
+        spans = list(read_spans(args.path))
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.path!r}: {exc}") from None
+    if args.summary:
+        rows = summarize(spans)
+        print(format_table(
+            ("span", "count", "total (ms)", "mean (ms)", "max (ms)"),
+            [
+                [name, r["count"], f"{r['total_ms']:.3f}",
+                 f"{r['mean_ms']:.3f}", f"{r['max_ms']:.3f}"]
+                for name, r in rows.items()
+            ],
+        ))
+        return 0
+    for rec in spans[-args.limit:]:
+        tags = rec.get("tags") or {}
+        tag_text = " ".join(f"{k}={v}" for k, v in tags.items())
+        print(
+            f"{rec.get('name', '?'):<16} "
+            f"{rec.get('dur_ns', 0) / 1e6:>10.3f} ms  "
+            f"pid={rec.get('pid')} id={rec.get('id')} "
+            f"parent={rec.get('parent') or '-'}"
+            + (f"  {tag_text}" if tag_text else "")
+        )
     return 0
 
 
@@ -503,6 +623,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lb.add_argument(
         "--verbose", action="store_true", help="log each completed cell"
     )
+    p_lb.add_argument(
+        "--progress", action="store_true",
+        help="periodic heartbeat (cells done/total, evals/s, ETA) "
+        "from the obs counters",
+    )
+    p_lb.add_argument(
+        "--quiet", action="store_true",
+        help="suppress all build output (overrides --verbose/--progress)",
+    )
     p_lb.set_defaults(func=_library_cmd(_cmd_library_build))
 
     def add_query_args(p, with_front: bool):
@@ -578,6 +707,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress access logging"
     )
     p_sv.set_defaults(func=_library_cmd(_cmd_serve))
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: metrics dump / trace tail"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_od = obs_sub.add_parser(
+        "dump", help="print the Prometheus metrics exposition"
+    )
+    od_src = p_od.add_mutually_exclusive_group()
+    od_src.add_argument(
+        "--url",
+        help="scrape a running server, "
+        "e.g. http://127.0.0.1:8080/metrics",
+    )
+    od_src.add_argument(
+        "--slab", help="read a metrics slab file directly (no server)"
+    )
+    p_od.set_defaults(func=_library_cmd(_cmd_obs_dump))
+
+    p_ot = obs_sub.add_parser(
+        "tail", help="print or summarize a REPRO_TRACE span log"
+    )
+    p_ot.add_argument("path", help="trace JSONL file")
+    p_ot.add_argument(
+        "--limit", type=int, default=20, help="spans to show (most recent)"
+    )
+    p_ot.add_argument(
+        "--summary", action="store_true",
+        help="aggregate per span name instead of listing spans",
+    )
+    p_ot.set_defaults(func=_library_cmd(_cmd_obs_tail))
     return parser
 
 

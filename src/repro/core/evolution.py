@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import span
 from .chromosome import Chromosome
 from .mutation import mutate
 from .objective import CircuitObjective, EvalResult
@@ -101,7 +102,21 @@ def evolve(
     rng = rng or np.random.default_rng()
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
+    # One REPRO_TRACE span per run; a no-op stub when tracing is off.
+    with span("evolve.run", threshold=threshold, lam=cfg.lam) as sp:
+        result = _evolve_loop(seed, evaluator, threshold, cfg, rng)
+        sp.tag(generations=result.generations,
+               evaluations=result.evaluations)
+        return result
 
+
+def _evolve_loop(
+    seed: Chromosome,
+    evaluator: CircuitObjective,
+    threshold: float,
+    cfg: EvolutionConfig,
+    rng: np.random.Generator,
+) -> EvolutionResult:
     parent = seed.copy()
     parent_eval = evaluator.evaluate(parent, threshold)
     evaluations = 1

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from ..obs.catalog import ENGINE_CACHE_HITS, ENGINE_CACHE_MISSES
+
 __all__ = ["EvalCache"]
 
 
@@ -43,12 +45,17 @@ class EvalCache:
         return len(self._entries)
 
     def get(self, key: bytes) -> Optional[Tuple[float, float]]:
+        # The per-instance ints are the source of truth for stats();
+        # the global obs counters are fleet aggregates of the same
+        # events (never reset by clear()).
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            ENGINE_CACHE_MISSES.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        ENGINE_CACHE_HITS.inc()
         return entry
 
     def put(self, key: bytes, wmed: float, area: float) -> None:

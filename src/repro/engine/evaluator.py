@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import hashlib
 import math
+from time import perf_counter_ns
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.chromosome import CGPParams, Chromosome
+from ..obs import catalog as _obs
 from ..core.fitness import MultiplierFitness
 from ..core.objective import CircuitObjective, EvalResult
 from ..errors.distributions import Distribution
@@ -481,6 +483,7 @@ class _EngineEvalMixin:
         self._batch_calls = 0
         #: Candidates actually executed via batch dispatch.
         self._batch_evals = 0
+        _obs.ENGINE_BACKEND.labels(self.backend).set(1)
 
     @property
     def backend(self) -> str:
@@ -582,9 +585,12 @@ class _EngineEvalMixin:
         return self.error(chromosome)
 
     def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
+        t0 = perf_counter_ns()
         self._check_params(chromosome.params)
         error, area = self._measure(chromosome)
         fitness = area if error <= threshold else float("inf")
+        _obs.ENGINE_EVALS.inc()
+        _obs.ENGINE_EVAL_NS.inc(perf_counter_ns() - t0)
         return EvalResult(fitness=fitness, wmed=error, area=area)
 
     def evaluate_batch(
@@ -621,7 +627,9 @@ class _EngineEvalMixin:
             self._check_params(c.params)
         rt = self._runtime(params)
         if rt is None or any(c.params != params for c in chromosomes[1:]):
+            # The sequential fallback counts per-candidate in evaluate().
             return [self.evaluate(c, threshold) for c in chromosomes]
+        t0 = perf_counter_ns()
         rt.arena.assert_owner()
         n = len(chromosomes)
         rt.ensure_batch(n)
@@ -653,10 +661,16 @@ class _EngineEvalMixin:
             lane_of_sig[sig] = n_lanes
             pending.append((i, n_lanes, sig, n_ops))
             n_lanes += 1
+        _obs.ENGINE_COMPILE_NS.inc(perf_counter_ns() - t0)
+        if dups:
+            _obs.ENGINE_BATCH_DEDUP.inc(len(dups))
         if n_lanes:
             nthreads = omp_threads() if rt.native is not None else 1
             self._batch_calls += 1
             self._batch_evals += n_lanes
+            _obs.ENGINE_BATCH_CALLS.inc()
+            _obs.ENGINE_BATCH_EVALS.inc(n_lanes)
+            _obs.ENGINE_BATCH_SIZE.observe(n_lanes)
             by_lane: Dict[int, tuple] = {}
             from_distances = self.metric.from_distances
             lane_area = rt.lane_area
@@ -718,6 +732,8 @@ class _EngineEvalMixin:
             results.append(
                 EvalResult(fitness=fitness, wmed=error, area=area)
             )
+        _obs.ENGINE_EVALS.inc(n)
+        _obs.ENGINE_EVAL_NS.inc(perf_counter_ns() - t0)
         return results
 
     def stats(self) -> dict:

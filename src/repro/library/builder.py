@@ -41,6 +41,7 @@ from ..core.serialization import chromosome_to_string
 from ..errors.distributions import Distribution, distribution_from_spec
 from ..errors.metrics import evaluate_errors_against, get_metric
 from ..errors.truth_tables import operand_weights
+from ..obs import catalog as _obs
 from ..tech.library import TechLibrary, default_library
 from ..tech.timing import characterize
 from .store import DesignRecord, DesignStore, design_signature
@@ -283,6 +284,7 @@ def build_library(
     done = set(store.completed_cells())
     dist_spec = spec.dist_spec()
     library_fp = library_fingerprint(library)
+    _obs.BUILD_CELLS_PLANNED.set(report.cells_total)
 
     def cid(width: int, component: str, metric: str, level: float) -> str:
         return cell_id(
@@ -294,6 +296,18 @@ def build_library(
     config = EvolutionConfig(generations=spec.generations)
     for width in spec.widths:
         dist = distribution_from_spec(dist_spec, width, spec.signed)
+
+        # Counted here, not inside skip(): grid_front probes skip_cell
+        # more than once per cell (an all-skipped pre-check plus the
+        # per-level filter), so instrumenting the hook would overcount.
+        resumed = sum(
+            1
+            for component, metric in spec.combos()
+            for level in spec.thresholds_percent
+            if cid(width, component, metric, level) in done
+        )
+        if resumed:
+            _obs.BUILD_CELLS.labels("resumed").inc(resumed)
 
         def skip(component: str, metric: str, level: float) -> bool:
             return cid(width, component, metric, level) in done
@@ -328,6 +342,12 @@ def build_library(
             )
             report.cells_run += 1
             setattr(report, status, getattr(report, status) + 1)
+            # Fires in the builder's process (pool workers hand their
+            # DesignPoint back before this hook runs), so the counters
+            # land in the process the progress heartbeat reads.
+            _obs.BUILD_CELLS.labels(status).inc()
+            _obs.BUILD_EVALUATIONS.inc(point.evolution.evaluations)
+            _obs.BUILD_CELL_SECONDS.observe(int(point.wall_s * 1e9))
             if progress is not None:
                 progress((width, component, metric, level), status)
 

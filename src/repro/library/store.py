@@ -45,6 +45,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..circuits.netlist import Netlist
 from ..engine.compiler import compile_netlist
+from ..obs.catalog import STORE_ADMISSIONS, STORE_PRUNED
 
 __all__ = ["SCHEMA_VERSION", "DesignRecord", "DesignStore", "design_signature"]
 
@@ -289,9 +290,11 @@ class DesignStore:
                 vector = tuple(float(v) for v in vector)
                 if design_id == record.design_id or vector == candidate:
                     conn.rollback()
+                    STORE_ADMISSIONS.labels("duplicate").inc()
                     return "duplicate"
                 if _dominates(vector, candidate):
                     conn.rollback()
+                    STORE_ADMISSIONS.labels("dominated").inc()
                     return "dominated"
                 if _dominates(candidate, vector):
                     pruned.append(design_id)
@@ -310,6 +313,9 @@ class DesignStore:
                 (*values, time.time()),
             )
             conn.commit()
+        STORE_ADMISSIONS.labels("added").inc()
+        if pruned:
+            STORE_PRUNED.inc(len(pruned))
         return "added"
 
     def get(self, design_id: str) -> List[DesignRecord]:

@@ -1,0 +1,66 @@
+"""Zero-dependency observability: metrics registry, shared-memory slab
+for multi-process fleets, Prometheus exposition, and span tracing.
+
+Public surface::
+
+    from repro import obs
+
+    obs.catalog.ENGINE_EVALS.inc()          # hot-path counter
+    with obs.span("build.cell", width=8):   # REPRO_TRACE JSONL span
+        ...
+    text = obs.render_prometheus()          # /metrics body
+
+Multi-process lifecycle (``serve --procs N``): the supervisor calls
+``obs.create_slab(N)`` before forking, each worker calls
+``obs.attach_worker(path, lane)`` first thing, and any worker's
+``/metrics`` then sums every lane.  ``REPRO_OBS=0`` turns the whole
+subsystem into no-ops; ``REPRO_TRACE=<path>`` enables span tracing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import catalog, trace
+from .export import CONTENT_TYPE, render_prometheus
+from .metrics import MetricsRegistry, enabled, registry
+from .trace import span
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsRegistry",
+    "attach_worker",
+    "catalog",
+    "create_slab",
+    "enabled",
+    "fleet_summary",
+    "read_slab",
+    "registry",
+    "release_slab",
+    "render_prometheus",
+    "span",
+    "trace",
+]
+
+fleet_summary = catalog.fleet_summary
+
+
+def create_slab(lanes: int) -> Optional[str]:
+    """Pre-fork: create a shared slab for ``lanes`` workers (or None)."""
+    return registry().create_slab(lanes)
+
+
+def attach_worker(path: Optional[str], lane: int) -> None:
+    """Post-fork: point this worker's metrics at its slab lane."""
+    if path:
+        registry().attach(path, lane)
+
+
+def read_slab(path: str):
+    """Validated ``(lanes, capacity)`` copy of a slab, without attaching."""
+    return registry().read_slab(path)
+
+
+def release_slab() -> None:
+    """Supervisor shutdown: unlink the slab file (workers are gone)."""
+    registry().unlink_slab()

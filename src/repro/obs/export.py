@@ -1,0 +1,80 @@
+"""Prometheus text-format (0.0.4) exposition of the metric registry.
+
+Counters and histograms are rendered as lane *sums* — the fleet-wide
+truth when attached to a shared slab.  Gauges describe one process, so
+they are rendered per touched lane with a ``worker`` label when the
+slab is shared, and unlabelled in single-process mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import (Counter, Family, Gauge, Histogram, format_labels,
+                      registry)
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _histogram_lines(hist: Histogram, totals: np.ndarray,
+                     extra: Sequence[Tuple[str, str]]) -> List[str]:
+    lines = []
+    counts = hist.counts(totals)
+    cumulative = 0
+    edges = hist.finite_edges()
+    for i, count in enumerate(counts):
+        cumulative += count
+        le = "+Inf" if i == len(counts) - 1 else _num(edges[i] * hist.scale)
+        labels = format_labels(tuple(hist.labels_) + tuple(extra) + (("le", le),))
+        lines.append(f"{hist.name}_bucket{labels} {cumulative}")
+    base = format_labels(tuple(hist.labels_) + tuple(extra))
+    lines.append(f"{hist.name}_sum{base} {_num(hist.raw_sum(totals) * hist.scale)}")
+    lines.append(f"{hist.name}_count{base} {cumulative}")
+    return lines
+
+
+def render_prometheus(reg=None, lanes: Optional[np.ndarray] = None) -> str:
+    """Render the registry (or an explicit slab ``lanes`` array) as text."""
+    reg = reg if reg is not None else registry()
+    entries = reg.entries()
+    if not entries:
+        return "# repro observability disabled (REPRO_OBS=0)\n"
+    lanes = lanes if lanes is not None else reg.lanes_view()
+    totals = lanes.sum(axis=0)
+    shared = lanes.shape[0] > 1
+    touched = [bool(lanes[i].any()) or (not shared and i == reg.lane_index)
+               for i in range(lanes.shape[0])]
+
+    out: List[str] = []
+    for entry in entries:
+        kind = entry.kind
+        out.append(f"# HELP {entry.name} {entry.help}")
+        out.append(f"# TYPE {entry.name} {kind}")
+        children = ([m for _, m in entry.children()]
+                    if isinstance(entry, Family) else [entry])
+        for metric in children:
+            if kind == "counter":
+                labels = format_labels(metric.labels_)
+                out.append(f"{metric.name}{labels} {int(totals[metric.slot])}")
+            elif kind == "gauge":
+                for i in range(lanes.shape[0]):
+                    if not touched[i]:
+                        continue
+                    pairs = tuple(metric.labels_)
+                    if shared:
+                        pairs += (("worker", str(i)),)
+                    labels = format_labels(pairs)
+                    out.append(f"{metric.name}{labels} {int(lanes[i][metric.slot])}")
+            elif kind == "histogram":
+                out.extend(_histogram_lines(metric, totals, ()))
+    return "\n".join(out) + "\n"

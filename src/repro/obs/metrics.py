@@ -1,0 +1,516 @@
+"""Process-local metrics with an optional shared-memory slab behind them.
+
+The registry hands out :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` objects whose hot-path mutation is a single int64
+array store.  Storage is a flat ``int64`` *lane*; in single-process use
+the lane is a private numpy array, and under ``repro serve --procs N``
+the supervisor creates an mmap-backed slab of ``N`` lanes (one per
+worker) so any worker can render fleet-wide totals by summing lanes.
+
+Slab file layout (little-endian)::
+
+    bytes   0-7    magic  b"ROBSLAB1"
+    bytes   8-11   format version (u32)
+    bytes  12-15   lane count (u32)
+    bytes  16-19   lane capacity in int64 slots (u32)
+    bytes  20-23   slot watermark at creation (u32)
+    bytes  24-39   16-byte catalog digest
+    bytes  40-63   reserved (zero)
+    bytes  64-     lanes * capacity * 8 bytes of int64 data
+
+The catalog digest folds in every registered metric's name, kind and
+slot range, so a worker can only attach to a slab created by a process
+with the *identical* metric catalog — slot meanings can never drift
+between writer and reader.  Writers only ever touch their own lane, so
+no cross-process synchronisation is needed; within a process a single
+lock makes read-modify-write increments exact under the server's
+thread pool.
+
+``REPRO_OBS=0`` swaps the whole module for no-op null objects: the
+disabled hot path is an attribute load and a ``pass``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import struct
+import tempfile
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CAPACITY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "enabled",
+    "registry",
+]
+
+CAPACITY = 1024
+_MAGIC = b"ROBSLAB1"
+_VERSION = 1
+_HEADER_SIZE = 64
+_HEADER = struct.Struct("<8sIIII16s")  # magic, version, lanes, capacity, watermark, digest
+
+
+def enabled() -> bool:
+    """True unless ``REPRO_OBS`` opts out (``0``/``off``/``false``/``no``)."""
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in {
+        "0",
+        "off",
+        "false",
+        "no",
+    }
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonic counter: one slot, ``inc`` is a locked int64 add."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labels_", "_reg", "_slot")
+
+    def __init__(self, reg: "MetricsRegistry", name: str, help: str, slot: int,
+                 labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.help = help
+        self.labels_ = labels
+        self._reg = reg
+        self._slot = slot
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    def inc(self, n: int = 1) -> None:
+        reg = self._reg
+        with reg._lock:
+            reg._lane[self._slot] += n
+
+    @property
+    def value(self) -> int:
+        """This process's own lane value."""
+        return int(self._reg._lane[self._slot])
+
+    def total(self) -> int:
+        """Sum across every lane (fleet-wide truth)."""
+        return self._reg.slot_total(self._slot)
+
+    def per_lane(self) -> List[int]:
+        return [int(v) for v in self._reg.lanes_view()[:, self._slot]]
+
+
+class Gauge(Counter):
+    """Last-write-wins int64 gauge.  Rendered per lane, never summed."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: int) -> None:
+        reg = self._reg
+        with reg._lock:
+            reg._lane[self._slot] = int(value)
+
+
+class Histogram:
+    """Fixed log2-bucket histogram over non-negative integer raw values.
+
+    Bucket ``i`` covers raw values in ``(2**(shift+i-1), 2**(shift+i)]``
+    (bucket 0 additionally absorbs everything below its edge, the last
+    bucket is the ``+Inf`` overflow).  Storage is ``buckets`` count
+    slots followed by one raw-sum slot.  ``scale`` converts raw units
+    to exposition units (e.g. ``1e-9`` for nanoseconds -> seconds).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "labels_", "shift", "buckets", "scale",
+                 "_reg", "_slot")
+
+    def __init__(self, reg: "MetricsRegistry", name: str, help: str, slot: int,
+                 shift: int, buckets: int, scale: float,
+                 labels: Tuple[Tuple[str, str], ...] = ()):
+        if buckets < 2:
+            raise ValueError("histogram needs at least 2 buckets")
+        self.name = name
+        self.help = help
+        self.labels_ = labels
+        self.shift = shift
+        self.buckets = buckets
+        self.scale = scale
+        self._reg = reg
+        self._slot = slot
+
+    @property
+    def slot(self) -> int:
+        return self._slot
+
+    @property
+    def n_slots(self) -> int:
+        return self.buckets + 1
+
+    def bucket_index(self, raw: int) -> int:
+        """Bucket for a raw observation — pure, for tests."""
+        raw = int(raw)
+        if raw < 1:
+            return 0
+        idx = (raw - 1).bit_length() - self.shift
+        if idx < 0:
+            return 0
+        if idx >= self.buckets:
+            return self.buckets - 1
+        return idx
+
+    def finite_edges(self) -> List[int]:
+        """Raw-unit upper bounds of every finite bucket (last is +Inf)."""
+        return [1 << (self.shift + i) for i in range(self.buckets - 1)]
+
+    def observe(self, raw: int) -> None:
+        raw = int(raw)
+        idx = self.bucket_index(raw)
+        reg = self._reg
+        with reg._lock:
+            lane = reg._lane
+            lane[self._slot + idx] += 1
+            lane[self._slot + self.buckets] += max(raw, 0)
+
+    def counts(self, totals: Optional[np.ndarray] = None) -> List[int]:
+        arr = self._reg.totals() if totals is None else totals
+        return [int(v) for v in arr[self._slot:self._slot + self.buckets]]
+
+    def raw_sum(self, totals: Optional[np.ndarray] = None) -> int:
+        arr = self._reg.totals() if totals is None else totals
+        return int(arr[self._slot + self.buckets])
+
+
+class Family:
+    """A labelled metric: one child per value of a closed vocabulary."""
+
+    __slots__ = ("name", "help", "kind", "label", "_children", "base_slot",
+                 "n_slots")
+
+    def __init__(self, name: str, help: str, kind: str, label: str,
+                 children: Dict[str, object], base_slot: int, n_slots: int):
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.label = label
+        self._children = children
+        self.base_slot = base_slot
+        self.n_slots = n_slots
+
+    def labels(self, value: str):
+        return self._children[value]
+
+    def children(self) -> Iterable[Tuple[str, object]]:
+        return self._children.items()
+
+    def child_map(self) -> Dict[str, object]:
+        return dict(self._children)
+
+    def total(self) -> int:
+        return sum(c.total() for c in self._children.values()
+                   if isinstance(c, Counter))
+
+    def lane_sum(self, lane: np.ndarray) -> int:
+        """Sum of this family's counter slots within one lane row."""
+        return int(lane[self.base_slot:self.base_slot + self.n_slots].sum())
+
+
+class MetricsRegistry:
+    """Allocates slots in a lane and (optionally) shares lanes via mmap."""
+
+    def __init__(self, capacity: int = CAPACITY):
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: List[object] = []  # Counter | Gauge | Histogram | Family
+        self._by_name: Dict[str, object] = {}
+        self._next_slot = 0
+        self._local = np.zeros(capacity, dtype=np.int64)
+        self._lane = self._local
+        self._shared: Optional[np.ndarray] = None
+        self._mmap: Optional[mmap.mmap] = None
+        self.lane_index = 0
+        self.slab_path: Optional[str] = None
+
+    # -- registration ---------------------------------------------------
+    def _alloc(self, n: int) -> int:
+        if self._next_slot + n > self.capacity:
+            raise RuntimeError(f"metrics slab capacity {self.capacity} exhausted")
+        slot = self._next_slot
+        self._next_slot += n
+        return slot
+
+    def _register(self, name: str, factory, n_per_child: int,
+                  label: Optional[str], values: Sequence[str]):
+        with self._lock:
+            if name in self._by_name:
+                return self._by_name[name]
+            if label is None:
+                slot = self._alloc(n_per_child)
+                metric = factory(slot, ())
+                entry = metric
+            else:
+                base = self._alloc(n_per_child * len(values))
+                children = {}
+                for i, v in enumerate(values):
+                    children[v] = factory(base + i * n_per_child, ((label, v),))
+                kind = next(iter(children.values())).kind
+                entry = Family(name, children[values[0]].help, kind, label,
+                               children, base, n_per_child * len(values))
+            self._entries.append(entry)
+            self._by_name[name] = entry
+            return entry
+
+    def counter(self, name: str, help: str, label: Optional[str] = None,
+                values: Sequence[str] = ()):
+        return self._register(
+            name, lambda s, lb: Counter(self, name, help, s, lb), 1, label, values)
+
+    def gauge(self, name: str, help: str, label: Optional[str] = None,
+              values: Sequence[str] = ()):
+        return self._register(
+            name, lambda s, lb: Gauge(self, name, help, s, lb), 1, label, values)
+
+    def histogram(self, name: str, help: str, *, shift: int, buckets: int,
+                  scale: float = 1.0, label: Optional[str] = None,
+                  values: Sequence[str] = ()):
+        return self._register(
+            name,
+            lambda s, lb: Histogram(self, name, help, s, shift, buckets, scale, lb),
+            buckets + 1, label, values)
+
+    def entries(self) -> List[object]:
+        return list(self._entries)
+
+    def get(self, name: str):
+        return self._by_name.get(name)
+
+    # -- storage views ---------------------------------------------------
+    def lanes_view(self) -> np.ndarray:
+        """``(n_lanes, capacity)`` view — one row when not shared."""
+        if self._shared is not None:
+            return self._shared
+        return self._local.reshape(1, -1)
+
+    def totals(self) -> np.ndarray:
+        return self.lanes_view().sum(axis=0)
+
+    def slot_total(self, slot: int) -> int:
+        return int(self.lanes_view()[:, slot].sum())
+
+    @property
+    def shared(self) -> bool:
+        return self._shared is not None
+
+    # -- slab lifecycle ---------------------------------------------------
+    def catalog_digest(self) -> bytes:
+        spec = [(e.name, e.kind,
+                 getattr(e, "base_slot", getattr(e, "slot", -1)),
+                 getattr(e, "n_slots", 1))
+                for e in self._entries]
+        payload = repr((self.capacity, spec)).encode()
+        return hashlib.blake2b(payload, digest_size=16).digest()
+
+    def create_slab(self, lanes: int, dir: Optional[str] = None) -> str:
+        """Write a zeroed slab file for ``lanes`` workers; returns its path.
+
+        The creator does not attach — workers call :meth:`attach` with
+        their lane index after fork.
+        """
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        fd, path = tempfile.mkstemp(prefix="repro-obs-", suffix=".slab", dir=dir)
+        try:
+            header = _HEADER.pack(_MAGIC, _VERSION, lanes, self.capacity,
+                                  self._next_slot, self.catalog_digest())
+            os.write(fd, header.ljust(_HEADER_SIZE, b"\0"))
+            os.ftruncate(fd, _HEADER_SIZE + lanes * self.capacity * 8)
+        finally:
+            os.close(fd)
+        self.slab_path = path
+        return path
+
+    def _validate_header(self, raw: bytes) -> int:
+        magic, version, lanes, capacity, watermark, digest = _HEADER.unpack(
+            raw[:_HEADER.size])
+        if magic != _MAGIC:
+            raise ValueError("not a repro obs slab (bad magic)")
+        if version != _VERSION:
+            raise ValueError(f"slab version {version} != {_VERSION}")
+        if capacity != self.capacity:
+            raise ValueError(f"slab capacity {capacity} != {self.capacity}")
+        if digest != self.catalog_digest():
+            raise ValueError("slab catalog digest mismatch — writer and "
+                             "reader have different metric catalogs")
+        return lanes
+
+    def attach(self, path: str, lane: int) -> None:
+        """Point this process's lane at row ``lane`` of a shared slab.
+
+        The lane is left exactly as found (a respawned worker resumes
+        its dead predecessor's counts); private pre-attach counts are
+        deliberately *not* copied in — a forked worker inherits the
+        supervisor's registry, and copying would duplicate the same
+        inherited counts into every lane.
+        """
+        f = open(path, "r+b")
+        try:
+            lanes = self._validate_header(f.read(_HEADER_SIZE))
+            if not 0 <= lane < lanes:
+                raise ValueError(f"lane {lane} out of range 0..{lanes - 1}")
+            mm = mmap.mmap(f.fileno(), _HEADER_SIZE + lanes * self.capacity * 8)
+        finally:
+            f.close()
+        shared = np.frombuffer(mm, dtype=np.int64, offset=_HEADER_SIZE)
+        shared = shared.reshape(lanes, self.capacity)
+        with self._lock:
+            self._mmap = mm
+            self._shared = shared
+            self.lane_index = lane
+            self.slab_path = path
+            self._local[:] = 0
+            self._lane = shared[lane]
+
+    def detach(self) -> None:
+        """Back to private storage (the mmap stays open until exit)."""
+        with self._lock:
+            self._lane = self._local
+            self._shared = None
+            self._mmap = None  # keep mapping alive via views held elsewhere
+            self.lane_index = 0
+            self.slab_path = None
+
+    def read_slab(self, path: str) -> np.ndarray:
+        """Validated copy of a slab's lanes, without attaching to it."""
+        with open(path, "rb") as f:
+            lanes = self._validate_header(f.read(_HEADER_SIZE))
+            data = f.read(lanes * self.capacity * 8)
+        arr = np.frombuffer(data, dtype=np.int64).reshape(lanes, self.capacity)
+        return arr.copy()
+
+    def unlink_slab(self) -> None:
+        if self.slab_path:
+            try:
+                os.unlink(self.slab_path)
+            except OSError:
+                pass
+            self.slab_path = None
+
+
+# ----------------------------------------------------------------------
+# Disabled mode: every operation is a no-op on shared null singletons.
+# ----------------------------------------------------------------------
+class _NullMetric:
+    __slots__ = ()
+    name = help = ""
+    kind = "null"
+    value = 0
+    shift = 0
+    buckets = 2
+    scale = 1.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: int) -> None:
+        pass
+
+    def observe(self, raw: int) -> None:
+        pass
+
+    def labels(self, value: str) -> "_NullMetric":
+        return self
+
+    def child_map(self) -> Dict[str, "_NullMetric"]:
+        return {}
+
+    def total(self) -> int:
+        return 0
+
+    def per_lane(self) -> List[int]:
+        return []
+
+    def bucket_index(self, raw: int) -> int:
+        return 0
+
+    def finite_edges(self) -> List[int]:
+        return []
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Stand-in registry when ``REPRO_OBS=0``: all methods are no-ops."""
+
+    capacity = 0
+    shared = False
+    lane_index = 0
+    slab_path = None
+
+    def counter(self, *a, **kw) -> _NullMetric:
+        return NULL_METRIC
+
+    gauge = counter
+    histogram = counter
+
+    def entries(self) -> List[object]:
+        return []
+
+    def get(self, name: str):
+        return None
+
+    def lanes_view(self) -> np.ndarray:
+        return np.zeros((0, 0), dtype=np.int64)
+
+    def totals(self) -> np.ndarray:
+        return np.zeros(0, dtype=np.int64)
+
+    def slot_total(self, slot: int) -> int:
+        return 0
+
+    def create_slab(self, lanes: int, dir: Optional[str] = None) -> None:
+        return None
+
+    def attach(self, path: str, lane: int) -> None:
+        pass
+
+    def detach(self) -> None:
+        pass
+
+    def read_slab(self, path: str) -> np.ndarray:
+        return np.zeros((0, 0), dtype=np.int64)
+
+    def unlink_slab(self) -> None:
+        pass
+
+
+_REGISTRY: Optional[object] = None
+_REGISTRY_LOCK = threading.Lock()
+
+
+def registry():
+    """The process-wide registry (a :class:`NullRegistry` when disabled)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        with _REGISTRY_LOCK:
+            if _REGISTRY is None:
+                _REGISTRY = MetricsRegistry() if enabled() else NullRegistry()
+    return _REGISTRY

@@ -1,0 +1,196 @@
+"""Structured span tracing to a JSONL sink.
+
+Enabled by pointing ``REPRO_TRACE`` at a file path; otherwise
+``span()`` returns a shared no-op singleton and the disabled cost is
+one attribute check.  Spans measure ``perf_counter_ns`` durations, and
+a thread-local stack links children to parents, so a ``build.cell``
+span opened in the sweep worker naturally becomes the parent of the
+``evolve.run`` span opened inside it.
+
+One JSON object per line::
+
+    {"name": "evolve.run", "id": "1a2b.3", "parent": "1a2b.2",
+     "pid": 6699, "tid": 6701, "ts": 1754650000.123456,
+     "dur_ns": 18273645, "tags": {"generations": 120}}
+
+``ts`` is the wall-clock end of the span (``time.time()``); ``dur_ns``
+is monotonic.  Lines are written with a single line-buffered ``write``
+to an append-mode file, so concurrent workers interleave whole lines.
+The file handle is reopened after ``fork`` (pid change) so every
+process appends independently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["configure", "enabled", "read_spans", "span", "summarize"]
+
+
+class _Tracer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._file = None
+        self._file_pid = -1
+        self._seq = 0
+        self.path: Optional[str] = None
+        self.enabled = False
+        self.configure(os.environ.get("REPRO_TRACE") or None)
+
+    def configure(self, path: Optional[str]) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+            self._file = None
+            self._file_pid = -1
+            self.path = path or None
+            self.enabled = bool(self.path)
+
+    def stack(self) -> List["Span"]:
+        try:
+            return self._tls.stack
+        except AttributeError:
+            self._tls.stack = []
+            return self._tls.stack
+
+    def next_id(self) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"{os.getpid():x}.{self._seq}"
+
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._file is None or self._file_pid != os.getpid():
+                if self.path is None:
+                    return
+                self._file = open(self.path, "a", buffering=1)
+                self._file_pid = os.getpid()
+            self._file.write(line)
+
+
+_TRACER = _Tracer()
+
+
+def configure(path: Optional[str]) -> None:
+    """(Re)point the tracer — ``None`` disables.  Mainly for tests."""
+    _TRACER.configure(path)
+
+
+def enabled() -> bool:
+    return _TRACER.enabled
+
+
+class Span:
+    __slots__ = ("name", "tags", "id", "parent", "_t0")
+
+    def __init__(self, name: str, tags: Dict[str, object]):
+        self.name = name
+        self.tags = tags
+        self.id = _TRACER.next_id()
+        self.parent: Optional[str] = None
+        self._t0 = 0
+
+    def tag(self, **tags: object) -> None:
+        """Attach tags after entry (e.g. counts known only at the end)."""
+        self.tags.update(tags)
+
+    def __enter__(self) -> "Span":
+        stack = _TRACER.stack()
+        if stack:
+            self.parent = stack[-1].id
+        stack.append(self)
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter_ns() - self._t0
+        stack = _TRACER.stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record: Dict[str, object] = {
+            "name": self.name,
+            "id": self.id,
+            "parent": self.parent,
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+            "ts": round(time.time(), 6),
+            "dur_ns": dur,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.tags:
+            record["tags"] = self.tags
+        _TRACER.write(record)
+        from .catalog import TRACE_SPANS
+
+        TRACE_SPANS.inc()
+        return False
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **tags: object):
+    """A context-manager span; the shared no-op stub when disabled."""
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return Span(name, tags)
+
+
+# ----------------------------------------------------------------------
+# Reading back: `repro obs tail` and the round-trip tests.
+# ----------------------------------------------------------------------
+def read_spans(path: str) -> Iterator[Dict[str, object]]:
+    """Parsed span records; a torn final line (live writer) is skipped."""
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue
+
+
+def summarize(spans: Iterable[Dict[str, object]]) -> Dict[str, Dict[str, float]]:
+    """Per-name count/total/mean/max milliseconds, slowest-total first."""
+    acc: Dict[str, List[int]] = {}
+    for rec in spans:
+        name = rec.get("name")
+        dur = rec.get("dur_ns")
+        if not isinstance(name, str) or not isinstance(dur, int):
+            continue
+        acc.setdefault(name, []).append(dur)
+    out = {}
+    for name, durs in acc.items():
+        total = sum(durs)
+        out[name] = {
+            "count": len(durs),
+            "total_ms": total / 1e6,
+            "mean_ms": total / len(durs) / 1e6,
+            "max_ms": max(durs) / 1e6,
+        }
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]["total_ms"]))

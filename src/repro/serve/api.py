@@ -52,8 +52,15 @@ from functools import lru_cache
 from http.client import responses as _REASONS
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from time import perf_counter_ns
+
 from .. import __version__
 from ..circuits.io import netlist_to_dict
+from ..obs import catalog as _obs
+from ..obs import fleet_summary
+from ..obs.export import CONTENT_TYPE as _PROMETHEUS_CT
+from ..obs.export import render_prometheus
+from ..obs.trace import span as _span
 from ..core.components import component_names
 from ..errors.metrics import metric_names
 from ..library.export import record_netlist, record_verilog
@@ -180,10 +187,11 @@ def _select_kwargs(query: Dict[str, object]) -> Dict[str, object]:
 
 
 def _h_health(ctx: ServeContext, path_params, query) -> Response:
-    # Everything here is per-process state: under `repro serve
+    # Top-level figures are per-process state: under `repro serve
     # --procs N` each worker answers for itself (own pid, own cache
-    # counters, own snapshot), so a pooled client sampling /healthz
-    # sees honest per-worker figures instead of a fictitious aggregate.
+    # counters, own snapshot) — honest per-worker figures.  The
+    # ``fleet`` block is the cross-worker view, read from the shared
+    # metrics slab, so any single worker also reports the whole fleet.
     payload = {
         "status": "ok",
         "version": __version__,
@@ -193,6 +201,7 @@ def _h_health(ctx: ServeContext, path_params, query) -> Response:
         "designs": ctx.snapshot().count(),
         "cache": ctx.cache.stats(),
         "snapshot": ctx.snapshots.stats(),
+        "fleet": fleet_summary(),
     }
     if ctx.wire_cache is not None:
         payload["wire_cache"] = ctx.wire_cache.stats()
@@ -262,6 +271,17 @@ def _openapi_response() -> Response:
 
 def _h_openapi(ctx: ServeContext, path_params, query) -> Response:
     return _openapi_response()
+
+
+def _h_metrics(ctx: ServeContext, path_params, query) -> Response:
+    # Rendered fresh on every scrape (cached=False): counters are sums
+    # over every worker lane of the shared slab, so this one response
+    # is the fleet-wide truth regardless of which worker answered.
+    return Response(
+        200,
+        render_prometheus().encode("utf-8"),
+        content_type=_PROMETHEUS_CT,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -344,6 +364,17 @@ ROUTES: Tuple[Route, ...] = (
         "GET", "/openapi.json", "openapi",
         "This specification, generated from the live route table.",
         _h_openapi, cached=False, response_schema="Object",
+    ),
+    Route(
+        "GET", "/metrics", "metrics",
+        "Prometheus text-format metrics for the whole worker fleet.",
+        _h_metrics, cached=False, response_schema="Text",
+        media_type="text/plain",
+        description="Prometheus exposition format 0.0.4.  Counters and "
+        "histograms are summed across every `--procs N` worker via the "
+        "shared metrics slab (gauges carry a per-worker label), so "
+        "scraping any one worker observes the whole fleet.  Always "
+        "rendered fresh — never cached, never carries an ETag.",
     ),
 )
 
@@ -429,16 +460,46 @@ def handle(
     ``headers`` carries the request headers the dispatcher cares about
     (currently only ``If-None-Match``); omitting it preserves the
     historical signature for tests and benchmarks.
+
+    Every call is observed: the per-route request counter and latency
+    histogram (and the 304 counter) are recorded on the way out, so a
+    ``/metrics`` scrape — which renders *inside* its handler, before
+    its own request completes — counts exactly the requests completed
+    before it.
     """
+    t0 = perf_counter_ns()
+    with _span("serve.request", method=method, path=path) as sp:
+        route, response = _dispatch_request(
+            ctx, method, path, query_string, routes, headers
+        )
+        sp.tag(status=response.status,
+               route=route.name if route is not None else None)
+    label = _obs.route_label(route.name if route is not None else None)
+    _obs.HTTP_REQUESTS_BY_ROUTE[label].inc()
+    _obs.HTTP_LATENCY_BY_ROUTE[label].observe(perf_counter_ns() - t0)
+    _obs.HTTP_DISPATCH.inc()
+    if response.status == 304:
+        _obs.HTTP_NOT_MODIFIED.inc()
+    return response
+
+
+def _dispatch_request(
+    ctx: ServeContext,
+    method: str,
+    path: str,
+    query_string: str,
+    routes: Tuple[Route, ...],
+    headers: Optional[Mapping[str, str]],
+) -> Tuple[Optional[Route], Response]:
     from urllib.parse import parse_qsl, unquote
 
     route, path_params = match_path(routes, path)
     if route is None:
-        return error_response(404, f"unknown path {path!r}")
+        return None, error_response(404, f"unknown path {path!r}")
     if method == "HEAD":  # RFC 9110: HEAD is GET without the body
         method = "GET"
     if method != route.method:
-        return replace(
+        return route, replace(
             error_response(405, f"{route.path} only supports {route.method}"),
             headers=(("Allow", route.method),),
         )
@@ -449,7 +510,7 @@ def handle(
         )
         query = validate_query(route, pairs)
     except ValueError as exc:
-        return error_response(422, str(exc))
+        return route, error_response(422, str(exc))
 
     key = None
     etag = None
@@ -465,11 +526,11 @@ def handle(
         if if_none_match and etag_matches(if_none_match, etag):
             # A matching validator proves the client holds the response
             # for this exact (query, store state): skip everything.
-            return Response(304, b"", headers=(("ETag", etag),))
+            return route, Response(304, b"", headers=(("ETag", etag),))
         if ctx.cache.maxsize:
             hit = ctx.cache.get(key)
             if hit is not None:
-                return replace(hit, headers=hit.headers + (
+                return route, replace(hit, headers=hit.headers + (
                     ("ETag", etag), ("X-Cache", "hit"),
                 ))
     try:
@@ -494,4 +555,4 @@ def handle(
         response = replace(
             response, headers=response.headers + tuple(extra)
         )
-    return response
+    return route, response

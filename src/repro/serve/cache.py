@@ -25,6 +25,8 @@ import threading
 from collections import OrderedDict
 from typing import Hashable, Optional, Tuple
 
+from ..obs.catalog import RESPONSE_CACHE_HITS, RESPONSE_CACHE_MISSES
+
 __all__ = ["ResponseCache", "store_state"]
 
 
@@ -74,15 +76,21 @@ class ResponseCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
 
     def get(self, key: Hashable) -> Optional[object]:
-        """Cached value for ``key`` (refreshing its LRU position)."""
+        """Cached value for ``key`` (refreshing its LRU position).
+
+        The per-instance counters feed ``stats()`` (per-process truth);
+        the global obs counters aggregate the same events fleet-wide.
+        """
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
+                RESPONSE_CACHE_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            RESPONSE_CACHE_HITS.inc()
             return value
 
     def put(self, key: Hashable, value: object) -> None:

@@ -105,10 +105,11 @@ def _schemas() -> dict:
         },
         "Health": {
             "type": "object",
-            "description": "Per-process status: under `--procs N` each "
-            "worker answers for itself (its own pid, caches and "
-            "snapshot), so sample it repeatedly to observe every "
-            "worker.",
+            "description": "Worker status: top-level figures are "
+            "per-process (the worker that answered — its own pid, "
+            "caches and snapshot); the `fleet` block aggregates every "
+            "`--procs N` worker from the shared metrics slab, so one "
+            "sample observes the whole fleet.",
             "properties": {
                 "status": {"type": "string"},
                 "version": {"type": "string"},
@@ -128,13 +129,20 @@ def _schemas() -> dict:
                              "description": "This process's in-memory "
                              "store snapshot: state token, design "
                              "count, rebuild count."},
+                "fleet": {"type": "object",
+                          "description": "Cross-worker aggregation from "
+                          "the shared metrics slab: lane count, one "
+                          "entry per live worker (lane, pid, request "
+                          "count, snapshot figures) and fleet request/"
+                          "rebuild totals. `enabled: false` (empty "
+                          "workers list) under REPRO_OBS=0."},
                 "wire_cache": {"type": "object",
                                "description": "Rendered-bytes fast-path "
                                "counters (entries, maxsize, hits, "
                                "fills); present when served over HTTP."},
             },
             "required": ["status", "version", "store", "schema_version",
-                         "pid", "designs", "cache", "snapshot"],
+                         "pid", "designs", "cache", "snapshot", "fleet"],
         },
         "DesignRecord": _record_schema(),
         "BestResponse": {
@@ -181,6 +189,11 @@ def _schemas() -> dict:
             "required": ["count", "designs"],
         },
         "Object": {"type": "object"},
+        "Text": {
+            "type": "string",
+            "description": "Plain-text body (Prometheus exposition "
+            "format 0.0.4 for /metrics).",
+        },
     }
 
 
@@ -216,7 +229,7 @@ def generate_openapi(routes: Optional[Tuple[Route, ...]] = None) -> dict:
         ok: Dict[str, object] = {
             "description": route.summary,
             "content": {
-                "application/json": {
+                route.media_type: {
                     "schema": {
                         "$ref": "#/components/schemas/"
                         + route.response_schema,

@@ -43,6 +43,8 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
+from .. import obs
+
 __all__ = [
     "MultiProcessServer",
     "reuseport_supported",
@@ -65,14 +67,18 @@ def _child_main(
     reuse_port: bool,
     fd_conn: Optional[socket.socket],
     ready,
+    slab_path: Optional[str] = None,
+    lane: int = 0,
 ) -> None:
     """Worker entry point (runs in the forked child).
 
-    Binds (or adopts) the listening socket, signals ``ready``, serves
-    until SIGTERM/SIGINT, then closes and ``os._exit(0)`` — the hard
-    exit skips inherited atexit hooks (thread-pool joins, coverage
-    finalizers) that have no business running in a fork of the
-    supervisor.
+    Attaches this worker's metrics to lane ``lane`` of the shared slab
+    (every counter it records from here on is visible to every sibling's
+    ``/metrics``), binds (or adopts) the listening socket, signals
+    ``ready``, serves until SIGTERM/SIGINT, then closes and
+    ``os._exit(0)`` — the hard exit skips inherited atexit hooks
+    (thread-pool joins, coverage finalizers) that have no business
+    running in a fork of the supervisor.
     """
     from .server import create_server
 
@@ -81,6 +87,7 @@ def _child_main(
 
     signal.signal(signal.SIGTERM, _terminate)
     signal.signal(signal.SIGINT, _terminate)
+    obs.attach_worker(slab_path, lane)
 
     listen_socket = None
     if fd_conn is not None:
@@ -155,6 +162,12 @@ class MultiProcessServer:
         self._placeholder: Optional[socket.socket] = None
         self.port = port
         self._bind(host, port)
+        # One metrics-slab lane per worker slot, created before any
+        # fork so every child can attach by lane index.  A respawned
+        # worker reuses its predecessor's lane and therefore resumes
+        # its counters — fleet totals never go backwards.  None when
+        # REPRO_OBS=0.
+        self._slab: Optional[str] = obs.create_slab(procs)
 
     # ------------------------------------------------------------------
     # Socket setup
@@ -186,7 +199,7 @@ class MultiProcessServer:
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
-    def _spawn(self):
+    def _spawn(self, lane: int):
         ready = self._ctx.Event()
         fd_child = None
         fd_parent = None
@@ -197,7 +210,7 @@ class MultiProcessServer:
             args=(
                 self.db, self.host, self.port, self.workers,
                 self.cache_size, self.quiet, self.use_reuseport,
-                fd_child, ready,
+                fd_child, ready, self._slab, lane,
             ),
             daemon=False,
         )
@@ -223,8 +236,8 @@ class MultiProcessServer:
         if self._children:
             raise RuntimeError("already started")
         try:
-            for _ in range(self.procs):
-                self._children.append(self._spawn())
+            for lane in range(self.procs):
+                self._children.append(self._spawn(lane))
         except Exception:
             self.stop()
             raise
@@ -240,7 +253,7 @@ class MultiProcessServer:
             if child.is_alive():
                 continue
             child.join(timeout=0)
-            replacement = self._spawn()
+            replacement = self._spawn(i)
             self._children[i] = replacement
             new_pids.append(replacement.pid)
         return new_pids
@@ -263,6 +276,12 @@ class MultiProcessServer:
             if sock is not None:
                 sock.close()
                 setattr(self, sock_attr, None)
+        if self._slab is not None:
+            try:
+                os.unlink(self._slab)
+            except OSError:
+                pass
+            self._slab = None
 
     def __enter__(self) -> "MultiProcessServer":
         self.start()

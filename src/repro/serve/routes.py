@@ -140,6 +140,8 @@ class Route:
     description: str = ""
     #: OpenAPI component schema name of the 200 response body.
     response_schema: str = "Object"
+    #: Content type of the 200 response (``/metrics`` is plain text).
+    media_type: str = "application/json"
     pattern: re.Pattern = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:

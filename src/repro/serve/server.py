@@ -54,10 +54,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, NamedTuple, Optional, Tuple
 from urllib.parse import urlsplit
 
+from time import perf_counter_ns
+
 from .. import __version__
 from ..library.store import DesignStore
-from .api import ServeContext, handle
+from ..obs import catalog as _obs
+from .api import ROUTES, ServeContext, handle
 from .cache import ResponseCache, store_state
+from .routes import match_path
 
 __all__ = ["DesignServer", "WireCache", "create_server", "serve"]
 
@@ -89,6 +93,10 @@ class WireEntry(NamedTuple):
     tail_200: bytes   # CRLF, remaining headers, blank line, body
     head_304: bytes
     tail_304: bytes
+    #: Route label of the memoized target (obs request counters); the
+    #: wire fast path never dispatches, so the label is resolved once
+    #: at memoize time instead of per request.
+    route: str = "other"
 
 
 class WireCache:
@@ -129,6 +137,7 @@ class WireCache:
             entry = self._entries.get(raw_target)
             if entry is not None:
                 self.hits += 1
+                _obs.HTTP_WIRE_HITS.inc()
             return entry
 
     def put(
@@ -149,6 +158,7 @@ class WireCache:
                 return  # bounded: hot targets fill it, the tail stays slow
             self._entries[raw_target] = entry
             self.fills += 1
+            _obs.HTTP_WIRE_FILLS.inc()
 
     def stats(self) -> dict:
         with self._lock:
@@ -161,7 +171,7 @@ class WireCache:
 
 
 def _render_wire_entry(
-    version_line: bytes, response, etag: str
+    version_line: bytes, response, etag: str, route: str = "other"
 ) -> WireEntry:
     """Render a 200 response (and its 304 twin) into wire images.
 
@@ -193,6 +203,7 @@ def _render_wire_entry(
         tail_200=b"".join(parts),
         head_304=head_304,
         tail_304=tail_304,
+        route=route,
     )
 
 
@@ -239,7 +250,18 @@ class _Handler(BaseHTTPRequestHandler):
             ):
                 entry = self.server.wire_cache.lookup(words[1])
                 if entry is not None:
-                    self._fast_response(words[1], entry)
+                    t0 = perf_counter_ns()
+                    status = self._fast_response(words[1], entry)
+                    if status is not None:
+                        # Counted at completion, mirroring api.handle:
+                        # the wire path bypasses the dispatcher, so it
+                        # must feed the same request counters itself.
+                        _obs.HTTP_REQUESTS_BY_ROUTE[entry.route].inc()
+                        _obs.HTTP_LATENCY_BY_ROUTE[entry.route].observe(
+                            perf_counter_ns() - t0
+                        )
+                        if status == 304:
+                            _obs.HTTP_NOT_MODIFIED.inc()
                     return
             if not self.parse_request():
                 return
@@ -255,7 +277,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.log_error("Request timed out: %r", exc)
             self.close_connection = True
 
-    def _fast_response(self, raw_target: bytes, entry: WireEntry) -> None:
+    def _fast_response(
+        self, raw_target: bytes, entry: WireEntry
+    ) -> Optional[int]:
         """Answer from a wire image after a raw scan of the headers.
 
         The scan only needs three facts the slow path would extract
@@ -264,6 +288,9 @@ class _Handler(BaseHTTPRequestHandler):
         and is there a request body to drain before the next pipelined
         request.  Everything else in the header block is irrelevant to
         a memoized GET.
+
+        Returns the status written (200/304), or ``None`` when the
+        request was rejected before a response image went out (431).
         """
         revalidated = False
         close = False
@@ -280,7 +307,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self.command = "GET"
                 self.path = raw_target.decode("latin-1")
                 self.send_error(431)
-                return
+                return None
             low = line.lower()
             if low.startswith(b"if-none-match"):
                 if entry.etag in line:
@@ -315,6 +342,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.command = "GET"
         self.path = raw_target.decode("latin-1")
         self.log_request(304 if revalidated else 200)
+        return 304 if revalidated else 200
 
     # ------------------------------------------------------------------
     # Slow path (stock dispatch through api.handle)
@@ -376,11 +404,13 @@ class _Handler(BaseHTTPRequestHandler):
         )
         if etag is None or self.server.context.state() != token_before:
             return
+        route, _ = match_path(ROUTES, urlsplit(self.path).path)
         wire.put(
             self.path.encode("latin-1"),
             token_before,
             _render_wire_entry(
-                self.version_string().encode("latin-1"), response, etag
+                self.version_string().encode("latin-1"), response, etag,
+                route=_obs.route_label(route.name if route else None),
             ),
         )
 
@@ -540,6 +570,9 @@ def create_server(
         cache=ResponseCache(cache_size),
         wire_cache=WireCache(store.path, maxsize=cache_size),
     )
+    # Claim this process's lane in the metrics slab: /healthz fleet
+    # aggregation treats a nonzero pid gauge as "live worker".
+    _obs.WORKER_PID.set(os.getpid())
     return DesignServer(
         (host, port), context, workers=workers, quiet=quiet,
         reuse_port=reuse_port, listen_socket=listen_socket,

@@ -34,6 +34,7 @@ import threading
 from typing import Dict, List, Optional, Tuple
 
 from ..library.store import DesignRecord, DesignStore
+from ..obs import catalog as _obs
 from .cache import store_state
 
 __all__ = ["Snapshot", "SnapshotManager"]
@@ -202,6 +203,9 @@ class SnapshotManager:
                 snapshot = Snapshot.build(self._store)
                 self._snapshot = snapshot
                 self.rebuilds += 1
+                _obs.SNAPSHOT_REBUILDS.inc()
+                _obs.SNAPSHOT_DESIGNS.set(snapshot.count())
+                _obs.SNAPSHOT_STATE_NS.set(snapshot.state[0])
             return snapshot
 
     def stats(self) -> dict:
