@@ -11,7 +11,14 @@ Measures, over a small multiplier+adder grid at width 4:
   :func:`repro.library.query.best` call against the built store, the
   operation a serving layer issues per user request;
 * **integrity** — the best design re-characterizes bit-for-bit from its
-  stored chromosome text.
+  stored chromosome text;
+* **sharded build scaling** — the same grid built as 1, 2 and 4
+  ``--shard i/n`` slices in parallel OS processes, each into its own
+  store, then unioned with :func:`repro.library.merge_stores`.  The
+  merged store must be **row-identical** to the single-process build
+  (every column of every design row) — that equivalence is a hard gate,
+  exactly like the resume no-op gate.  Merge throughput (rows offered
+  per second) is recorded alongside the build speedups.
 
 Results go to ``BENCH_library.json`` at the repo root (``--out``
 overrides).  Exits non-zero when any integrity check fails or when
@@ -28,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import statistics
 import sys
@@ -48,6 +56,7 @@ from repro.library import (  # noqa: E402
     build_library,
     characterize_record,
     front,
+    merge_stores,
 )
 
 DEFAULT_OUT = os.path.join(
@@ -99,6 +108,65 @@ def bench_query(db_path: str, width: int, reps: int, rounds: int) -> dict:
         "front_points": len(curve),
         "query_us": round(latency_us, 1),
         "queries_per_s": round(1e6 / latency_us, 1),
+    }
+
+
+def _shard_worker(db_path: str, spec: BuildSpec, index: int, count: int) -> None:
+    """Build shard ``index``/``count`` of the grid (runs in a fork)."""
+    build_library(
+        DesignStore(db_path), spec, max_workers=1, executor="thread",
+        shard=(index, count),
+    )
+    os._exit(0)  # skip inherited atexit hooks in the fork
+
+
+def bench_sharded(spec: BuildSpec, single_db: str, tmp: str) -> dict:
+    """Build the grid as 1/2/4 parallel shards, merge, gate bit-identity.
+
+    Returns per-shard-count wall times and speedups plus merge
+    throughput, and ``merged_identical`` — whether every merged store
+    is row-identical to the single-process build at ``single_db``.
+    """
+    single_rows = DesignStore(single_db).select()
+    ctx = multiprocessing.get_context("fork")
+    runs = []
+    base_s = None
+    for count in (1, 2, 4):
+        shard_paths = [
+            os.path.join(tmp, f"shard_{count}_{i}.sqlite")
+            for i in range(count)
+        ]
+        t0 = time.perf_counter()
+        procs = [
+            ctx.Process(target=_shard_worker, args=(path, spec, i, count))
+            for i, path in enumerate(shard_paths)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        build_s = time.perf_counter() - t0
+        if any(p.exitcode != 0 for p in procs):
+            raise RuntimeError(f"a {count}-way shard build failed")
+        if base_s is None:
+            base_s = build_s
+        merged_path = os.path.join(tmp, f"merged_{count}.sqlite")
+        t0 = time.perf_counter()
+        report = merge_stores(merged_path, shard_paths)
+        merge_s = time.perf_counter() - t0
+        identical = DesignStore(merged_path).select() == single_rows
+        runs.append({
+            "shards": count,
+            "build_s": round(build_s, 3),
+            "speedup": round(base_s / build_s, 2),
+            "merge_s": round(merge_s, 4),
+            "merge_rows_offered": report.rows_offered,
+            "merge_rows_per_s": round(report.rows_offered / merge_s, 1),
+            "merged_identical": identical,
+        })
+    return {
+        "runs": runs,
+        "merged_identical": all(r["merged_identical"] for r in runs),
     }
 
 
@@ -169,6 +237,14 @@ def main(argv=None) -> int:
         )
         intact = check_integrity(db_path, spec, args.width)
         print(f"stored record re-characterizes bit-for-bit: {intact}")
+        sharded = bench_sharded(spec, db_path, tmp)
+        for run in sharded["runs"]:
+            print(
+                f"sharded x{run['shards']}: build {run['build_s']} s "
+                f"({run['speedup']}x), merge {run['merge_s']} s "
+                f"({run['merge_rows_per_s']} rows/s), "
+                f"row-identical: {run['merged_identical']}"
+            )
 
     record = {
         "benchmark": "library",
@@ -181,6 +257,7 @@ def main(argv=None) -> int:
         "build": build,
         "query": query,
         "recharacterization_identical": intact,
+        "sharded": sharded,
     }
     out = os.path.abspath(args.out)
     with open(out, "w") as fh:
@@ -195,6 +272,9 @@ def main(argv=None) -> int:
         return 1
     if not intact:
         print("FAIL: stored record diverges from re-characterization")
+        return 1
+    if not sharded["merged_identical"]:
+        print("FAIL: sharded+merged store diverges from single-process build")
         return 1
     if args.max_query_us is not None and query["query_us"] > args.max_query_us:
         print(

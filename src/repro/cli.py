@@ -14,17 +14,20 @@ Subcommands:
 * ``export-verilog`` — emit structural Verilog for a saved chromosome,
 * ``library`` — the persistent design library
   (:mod:`repro.library`): ``library build`` runs or resumes a grid
-  build into an SQLite store, ``library query`` selects the cheapest
-  design inside an error budget (``--max-error``, ``--minimize
-  {area,power,pdp}``, ``--front`` for the whole curve), ``library
-  show`` prints one design in full, ``library export`` writes
-  Verilog / netlist JSON / catalog tables, ``library stats``
-  summarizes the store,
-* ``serve`` — the HTTP serving layer (:mod:`repro.serve`) over a built
-  store: ``repro serve --db designs.sqlite --port 8080`` answers
-  ``/v1/best``, ``/v1/front``, ``/v1/stats``,
-  ``/v1/designs/{id}``, ``/openapi.json`` and ``/metrics`` (see
-  ``docs/serving.md``),
+  build into an SQLite store (``--shard i/n`` builds one
+  deterministic slice of the grid for distributed builds), ``library
+  merge`` unions stores — e.g. shard outputs — under the same Pareto
+  admission, ``library query`` selects the cheapest design inside an
+  error budget (``--max-error``, ``--minimize {area,power,pdp}``,
+  ``--front`` for the whole curve), ``library show`` prints one
+  design in full, ``library export`` writes Verilog / netlist JSON /
+  catalog tables, ``library stats`` summarizes the store,
+* ``serve`` — the HTTP serving layer (:mod:`repro.serve`) over one or
+  more built stores: ``repro serve --db designs.sqlite --port 8080``
+  answers ``/v1/best``, ``/v1/front``, ``/v1/stats``,
+  ``/v1/designs/{id}``, ``/openapi.json`` and ``/metrics``; repeating
+  ``--db`` mounts several stores behind one federated query surface
+  (see ``docs/serving.md``),
 * ``obs`` — observability helpers (:mod:`repro.obs`): ``obs dump``
   prints the Prometheus exposition (this process, a running server via
   ``--url``, or a metrics slab file via ``--slab``); ``obs tail``
@@ -256,8 +259,9 @@ def _build_heartbeat():
 
 
 def _cmd_library_build(args: argparse.Namespace) -> int:
-    from .library import BuildSpec, DesignStore, build_library
+    from .library import BuildSpec, DesignStore, build_library, parse_shard
 
+    shard = parse_shard(args.shard) if args.shard else None
     spec = BuildSpec(
         components=tuple(_split_csv(args.components)),
         metrics=tuple(_split_csv(args.metrics)),
@@ -292,9 +296,19 @@ def _cmd_library_build(args: argparse.Namespace) -> int:
             max_workers=args.max_workers,
             executor=args.executor,
             progress=progress if args.verbose and not args.quiet else None,
+            shard=shard,
         )
     finally:
         stop_heartbeat()
+    if not args.quiet:
+        print(report)
+    return 0
+
+
+def _cmd_library_merge(args: argparse.Namespace) -> int:
+    from .library import merge_stores
+
+    report = merge_stores(args.out, args.inputs)
     if not args.quiet:
         print(report)
     return 0
@@ -484,14 +498,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import serve
 
-    if not os.path.exists(args.db):
-        raise SystemExit(
-            f"no design store at {args.db!r}; build one first with "
-            "`repro library build --db ...`"
-        )
+    for path in args.db:
+        if not os.path.exists(path):
+            raise SystemExit(
+                f"no design store at {path!r}; build one first with "
+                "`repro library build --db ...`"
+            )
     try:
         return serve(
-            args.db,
+            args.db[0] if len(args.db) == 1 else args.db,
             host=args.host,
             port=args.port,
             workers=args.workers,
@@ -582,7 +597,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_lib = sub.add_parser(
         "library",
-        help="persistent design library (build / query / show / export / stats)",
+        help="persistent design library "
+        "(build / merge / query / show / export / stats)",
     )
     lib_sub = p_lib.add_subparsers(dest="library_command", required=True)
 
@@ -632,7 +648,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress all build output (overrides --verbose/--progress)",
     )
+    p_lb.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="build only every N-th grid cell starting at the I-th "
+        "(1-based), e.g. --shard 2/4; shard outputs are bit-identical "
+        "to the matching cells of an unsharded build and recombine "
+        "with `library merge`",
+    )
     p_lb.set_defaults(func=_library_cmd(_cmd_library_build))
+
+    p_lm = lib_sub.add_parser(
+        "merge",
+        help="union stores (e.g. shard outputs) under Pareto admission",
+    )
+    p_lm.add_argument(
+        "out",
+        help="destination store (atomically created or replaced; an "
+        "existing store at this path participates as one more input)",
+    )
+    p_lm.add_argument(
+        "inputs", nargs="+", metavar="input",
+        help="source store files (each must exist)",
+    )
+    p_lm.add_argument("--quiet", action="store_true")
+    p_lm.set_defaults(func=_library_cmd(_cmd_library_merge))
 
     def add_query_args(p, with_front: bool):
         add_db(p)
@@ -685,9 +724,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lt.set_defaults(func=_library_cmd(_cmd_library_stats))
 
     p_sv = sub.add_parser(
-        "serve", help="HTTP API over a built design store"
+        "serve", help="HTTP API over one or more built design stores"
     )
-    add_db(p_sv)
+    p_sv.add_argument(
+        "--db", required=True, action="append",
+        help="design store SQLite file; repeat to mount several stores "
+        "behind one federated query surface",
+    )
     p_sv.add_argument("--host", default="127.0.0.1")
     p_sv.add_argument("--port", type=int, default=8080)
     p_sv.add_argument(

@@ -17,21 +17,33 @@ budget:
   ``component x metric x threshold x width`` grids with per-cell
   checkpointing (a killed build restarts where it left off and never
   re-evolves a finished cell);
+* :mod:`repro.library.federation` — multi-store composition:
+  :func:`merge_stores` unions shard outputs offline under the same
+  Pareto admission (atomic, idempotent, order-independent) and
+  :class:`FederatedStore` mounts several stores behind one read
+  surface for ``repro serve --db a.db --db b.db``;
 * :mod:`repro.library.query` — the selection API (:func:`best`,
   :func:`front`, :func:`stats`) a serving layer can sit on;
 * :mod:`repro.library.export` — batch export of query results to
   structural Verilog, netlist JSON and catalog tables.
 
-CLI: ``python -m repro.cli library build|query|show|export|stats``.
+CLI: ``python -m repro.cli library build|merge|query|show|export|stats``.
 """
 
-from .builder import BuildReport, BuildSpec, build_library, characterize_record
+from .builder import (
+    BuildReport,
+    BuildSpec,
+    build_library,
+    characterize_record,
+    parse_shard,
+)
 from .export import (
     catalog_table,
     export_records,
     record_netlist,
     record_verilog,
 )
+from .federation import FederatedStore, MergeReport, merge_stores, pareto_union
 from .query import best, front, stats
 from .store import DesignRecord, DesignStore, design_signature
 
@@ -40,6 +52,8 @@ __all__ = [
     "BuildSpec",
     "DesignRecord",
     "DesignStore",
+    "FederatedStore",
+    "MergeReport",
     "best",
     "build_library",
     "catalog_table",
@@ -47,6 +61,9 @@ __all__ = [
     "design_signature",
     "export_records",
     "front",
+    "merge_stores",
+    "pareto_union",
+    "parse_shard",
     "record_netlist",
     "record_verilog",
     "stats",

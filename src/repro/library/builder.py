@@ -53,7 +53,33 @@ __all__ = [
     "cell_id",
     "characterize_record",
     "library_fingerprint",
+    "parse_shard",
 ]
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``--shard i/n`` spec into ``(index, count)``, zero-based.
+
+    ``"2/4"`` means "the second of four shards" → ``(1, 4)``.  The
+    1-based surface syntax matches how people number machines; the
+    returned index is 0-based because it feeds a modular assignment.
+    """
+    parts = text.strip().split("/")
+    if len(parts) != 2:
+        raise ValueError(
+            f"shard spec must look like i/n (got {text!r})"
+        )
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"shard spec must be two integers i/n (got {text!r})"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(
+            f"shard index must satisfy 1 <= i <= n (got {text!r})"
+        )
+    return index - 1, count
 
 
 @dataclass(frozen=True)
@@ -261,6 +287,7 @@ def build_library(
     executor: str = "process",
     library: Optional[TechLibrary] = None,
     progress: Optional[Callable[[Tuple[int, str, str, float], str], None]] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> BuildReport:
     """Run (or resume) one library build; see the module docstring.
 
@@ -276,15 +303,38 @@ def build_library(
             status)`` hook, fired per completed cell after its checkpoint
             commits; an exception here aborts the build *between* cells,
             which is exactly the kill point resumption is tested against.
+        shard: Optional ``(index, count)`` (zero-based; see
+            :func:`parse_shard`).  Cell ``k`` of :meth:`BuildSpec.cells`
+            belongs to shard ``k % count``; cells outside this shard are
+            excluded through the same ``skip_cell`` hook resume uses, so
+            — because :func:`~repro.analysis.sweep.grid_front` allocates
+            the *full* grid's SeedSequence children before filtering —
+            every shard evolves exactly the rows an unsharded build
+            would for its cells, bit for bit.  ``n`` shards into ``n``
+            stores + :func:`~repro.library.federation.merge_stores` is
+            therefore row-identical to one unsharded build.
 
     Returns:
-        A :class:`BuildReport` of cells run/resumed and admission counts.
+        A :class:`BuildReport` of cells run/resumed and admission
+        counts; under sharding, over this shard's cells only.
     """
-    report = BuildReport(cells_total=len(spec.cells()))
+    all_cells = spec.cells()
+    if shard is None:
+        mine = set(all_cells)
+    else:
+        index, count = shard
+        if not 0 <= index < count:
+            raise ValueError(
+                f"shard index out of range: ({index}, {count})"
+            )
+        mine = {c for k, c in enumerate(all_cells) if k % count == index}
+    report = BuildReport(cells_total=len(mine))
     done = set(store.completed_cells())
     dist_spec = spec.dist_spec()
     library_fp = library_fingerprint(library)
     _obs.BUILD_CELLS_PLANNED.set(report.cells_total)
+    _obs.BUILD_SHARD_INDEX.set(0 if shard is None else shard[0])
+    _obs.BUILD_SHARD_COUNT.set(1 if shard is None else shard[1])
 
     def cid(width: int, component: str, metric: str, level: float) -> str:
         return cell_id(
@@ -304,13 +354,21 @@ def build_library(
             1
             for component, metric in spec.combos()
             for level in spec.thresholds_percent
-            if cid(width, component, metric, level) in done
+            if (width, component, metric, level) in mine
+            and cid(width, component, metric, level) in done
         )
         if resumed:
             _obs.BUILD_CELLS.labels("resumed").inc(resumed)
 
+        # Shard exclusion rides the resume hook: a cell outside this
+        # shard is "skipped" exactly like an already-checkpointed one,
+        # and grid_front's full-grid seed allocation keeps the cells
+        # that do run on their unsharded RNG streams.
         def skip(component: str, metric: str, level: float) -> bool:
-            return cid(width, component, metric, level) in done
+            return (
+                (width, component, metric, level) not in mine
+                or cid(width, component, metric, level) in done
+            )
 
         def on_point(
             component: str, metric: str, level: float, point: DesignPoint

@@ -1,0 +1,415 @@
+"""Multi-store federation: merge design stores, or mount several at once.
+
+Sharded library builds (``repro library build --shard i/n``) produce one
+store per shard.  This module provides the two ways to put them back
+together:
+
+* :func:`merge_stores` — **offline union**: re-insert every input row
+  into a fresh output store under the existing Pareto-admission rule
+  (:meth:`~repro.library.store.DesignStore.add`).  Because sequential
+  Pareto admission converges to the non-dominated subset of the offered
+  candidates — dominance is transitive, so a row rejected against an
+  incumbent stays dominated by whatever later prunes that incumbent —
+  the result is a pure function of the union row *set*: idempotent
+  (``merge(a, a) == a``) and order-independent (``merge(a, b) ==
+  merge(b, a)``), with rows offered in the store's canonical total
+  order so even exact-objective ties resolve identically.  The output
+  is written to a temp file in the destination directory and
+  ``os.replace``d into place, so a killed merge leaves the destination
+  either untouched or complete — never torn.
+
+* :class:`FederatedStore` — **online union**: several stores mounted
+  behind one read surface.  It duck-types the read surface of
+  :class:`~repro.library.store.DesignStore` (``select`` / ``count`` /
+  ``groups`` / ``completed_cells``, identical filter + order
+  semantics), computing the same Pareto union :func:`merge_stores`
+  persists — reads through a federation are equal, row for row and in
+  order, to reads of the offline merge.  ``repro serve --db a.db --db
+  b.db`` mounts one; ``library.query``, the serving snapshot, the
+  response cache and ETags all run over it unchanged, because its
+  :meth:`~FederatedStore.state_token` covers *every* mounted file (a
+  write to any one invalidates all derived state).
+
+Both paths check schema versions on open (via the ``DesignStore``
+constructor), so federating or merging a store written by an
+incompatible build fails loudly instead of misreading it.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from dataclasses import astuple, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs.catalog import MERGE_CELLS, MERGE_ROWS, MERGE_SOURCES
+from .store import (
+    DesignRecord,
+    DesignStore,
+    _dominates,
+    filter_records,
+    record_order_key,
+)
+
+__all__ = [
+    "FederatedStore",
+    "MergeReport",
+    "merge_stores",
+    "pareto_union",
+]
+
+
+def _offer_order_key(record: DesignRecord) -> Tuple:
+    """Canonical admission order for merges and federated reductions.
+
+    Groups first, then ascending ``threshold_percent`` — the order an
+    unsharded build offers a group's cells in (the grid enumerates
+    thresholds ascending within each group), so duplicate ties (same
+    content address or same objective vector, evolved by neighbouring
+    threshold cells) resolve to the same winner the single build kept.
+    The full field tuple makes the key total over row content — any
+    two rows comparing equal under it are identical — which is what
+    makes merging a pure function of the input row *set*.
+    """
+    return (
+        record.group(), record.threshold_percent,
+        record_order_key(record), astuple(record),
+    )
+
+
+def pareto_union(
+    records: Sequence[DesignRecord],
+) -> List[DesignRecord]:
+    """The Pareto-admitted union of a set of design records.
+
+    Sorts the records into the canonical admission order
+    (:func:`_offer_order_key`) and replays :meth:`DesignStore.add`'s
+    admission rule in memory: within each ``(component, width, signed,
+    metric, dist)`` group, a record is dropped when an already-kept
+    record shares its content address or its exact objective vector
+    (duplicate) or dominates it, and kept records that a newcomer
+    dominates are pruned.  The result is the per-group non-dominated
+    subset, re-sorted into the store's select order — exactly the rows
+    (and order) :func:`merge_stores` would persist from the same
+    input, and a pure function of the input *set*.
+    """
+    ordered = sorted(records, key=_offer_order_key)
+    kept: List[Optional[DesignRecord]] = []
+    by_group: Dict[Tuple, List[int]] = {}
+    for record in ordered:
+        candidate = record.objectives()
+        members = by_group.setdefault(record.group(), [])
+        admitted = True
+        for i in members:
+            incumbent = kept[i]
+            if incumbent is None:
+                continue
+            vector = incumbent.objectives()
+            if incumbent.design_id == record.design_id \
+                    or vector == candidate:
+                admitted = False  # duplicate
+                break
+            if _dominates(vector, candidate):
+                admitted = False  # dominated
+                break
+        if not admitted:
+            continue
+        for i in members:
+            incumbent = kept[i]
+            if incumbent is not None \
+                    and _dominates(candidate, incumbent.objectives()):
+                kept[i] = None  # pruned by the newcomer
+        members.append(len(kept))
+        kept.append(record)
+    return sorted(
+        (r for r in kept if r is not None), key=record_order_key
+    )
+
+
+@dataclass
+class MergeReport:
+    """Outcome counters of one :func:`merge_stores` invocation."""
+
+    inputs: int = 0
+    rows_offered: int = 0
+    added: int = 0
+    dominated: int = 0
+    duplicate: int = 0
+    cells: int = 0
+    out_designs: int = 0
+    out_path: str = ""
+    sources: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"merged {self.inputs} stores into {self.out_path}: "
+            f"{self.rows_offered} rows offered, {self.added} added, "
+            f"{self.dominated} dominated, {self.duplicate} duplicate; "
+            f"{self.cells} build cells united; output holds "
+            f"{self.out_designs} designs"
+        )
+
+
+def _read_cells(path: str) -> List[Tuple]:
+    """All ``cells`` rows of a store file, as raw column tuples."""
+    conn = sqlite3.connect(path, timeout=30.0)
+    try:
+        return conn.execute(
+            "SELECT cell_id, component, metric, width, dist,"
+            " threshold_percent, status, design_id, completed_at"
+            " FROM cells"
+        ).fetchall()
+    finally:
+        conn.close()
+
+
+def _union_cells(cell_rows: Sequence[Tuple]) -> List[Tuple]:
+    """Deterministic union of cell checkpoints by ``cell_id``.
+
+    Duplicated cell ids (the same cell checkpointed into several
+    inputs) keep the lexicographically smallest full row — an
+    order-independent rule, and one that agrees with
+    :meth:`FederatedStore.completed_cells` (which exposes the minimum
+    status per cell id).
+    """
+    best: Dict[str, Tuple] = {}
+    for row in cell_rows:
+        cell = row[0]
+        if cell not in best or (row[6:], row) < (best[cell][6:], best[cell]):
+            best[cell] = row
+    return [best[cell] for cell in sorted(best)]
+
+
+def merge_stores(
+    out_path: str,
+    input_paths: Sequence[str],
+) -> MergeReport:
+    """Union several design stores into ``out_path``, atomically.
+
+    Every input store's rows are offered — in the canonical admission
+    order of :func:`_offer_order_key` — to a fresh store
+    via the ordinary Pareto admission of
+    :meth:`~repro.library.store.DesignStore.add`, and every input's
+    build-cell checkpoints are united (so a merged store resumes, and
+    reports ``cells_completed``, as the union of its parts).  An
+    existing store at ``out_path`` participates as one more input, so
+    re-running a merge is idempotent and incremental merges accumulate.
+
+    **Atomicity.**  The output is assembled in a temp file next to
+    ``out_path`` and moved into place with ``os.replace`` only after
+    every row and cell is committed — a merge killed at any point
+    leaves ``out_path`` either absent/previous or complete, never a
+    half-written store (the abandoned temp file is removed on the next
+    successful merge's ``os.replace``, or by hand).
+
+    Parameters
+    ----------
+    out_path : str
+        Destination store file.  Created or atomically replaced.
+    input_paths : sequence of str
+        Source store files.  Each must exist and carry the current
+        schema version; a missing path raises instead of silently
+        merging an empty store a typo just created.
+
+    Returns
+    -------
+    MergeReport
+        Admission counters over all offered rows.
+    """
+    sources = list(input_paths)
+    if not sources:
+        raise ValueError("merge needs at least one input store")
+    for path in sources:
+        if not os.path.exists(path):
+            raise ValueError(f"no design store at {path!r}")
+    if os.path.exists(out_path) and not any(
+        os.path.samefile(out_path, p) for p in sources
+    ):
+        sources.append(out_path)
+
+    records: List[DesignRecord] = []
+    cell_rows: List[Tuple] = []
+    for path in sources:
+        store = DesignStore(path)  # schema-version check happens here
+        records.extend(store.select())
+        cell_rows.extend(_read_cells(path))
+        MERGE_SOURCES.inc()
+
+    report = MergeReport(
+        inputs=len(sources), rows_offered=len(records),
+        out_path=out_path, sources=sources,
+    )
+    out_dir = os.path.dirname(os.path.abspath(out_path))
+    tmp_path = os.path.join(
+        out_dir, f".{os.path.basename(out_path)}.merge.{os.getpid()}.tmp"
+    )
+    try:
+        out = DesignStore(tmp_path)
+        for record in sorted(records, key=_offer_order_key):
+            status = out.add(record)
+            setattr(report, status, getattr(report, status) + 1)
+            MERGE_ROWS.labels(status).inc()
+        cells = _union_cells(cell_rows)
+        for (cell_id, component, metric, width, dist, threshold,
+             status, design_id, _completed_at) in cells:
+            out.mark_cell(
+                cell_id, component, metric, width, dist, threshold,
+                status, design_id,
+            )
+        report.cells = len(cells)
+        MERGE_CELLS.inc(len(cells))
+        report.out_designs = out.count()
+        os.replace(tmp_path, out_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return report
+
+
+class FederatedStore:
+    """Several design stores mounted behind one read surface.
+
+    Duck-types the read surface of
+    :class:`~repro.library.store.DesignStore` — ``select``, ``count``,
+    ``groups``, ``completed_cells``, ``get``, plus ``path`` / ``paths``
+    and :meth:`state_token` — over the Pareto union of the mounted
+    stores.  Reads are equal, row for row and in the same total order,
+    to reads of the stores' offline :func:`merge_stores` output (the
+    reduction is :func:`pareto_union`, which replays the identical
+    admission rule).
+
+    The union is reduced lazily and memoized under the combined state
+    token, so a serving snapshot rebuild costs one reduction, and a
+    quiescent mount costs none.  Writes are refused: a federation is a
+    view, not a store — build into the member stores (or merge) and
+    the next read sees it.
+
+    Parameters
+    ----------
+    stores : sequence of str or DesignStore
+        The mounted stores, in mount order (paths are opened —
+        and schema-checked — immediately).  Mount order never affects
+        results; it is kept only for display.
+    """
+
+    def __init__(
+        self, stores: Sequence[Union[str, DesignStore]]
+    ) -> None:
+        if not stores:
+            raise ValueError("a federation needs at least one store")
+        self.stores: Tuple[DesignStore, ...] = tuple(
+            s if isinstance(s, DesignStore) else DesignStore(s)
+            for s in stores
+        )
+        self.paths: Tuple[str, ...] = tuple(s.path for s in self.stores)
+        #: Display name (``/healthz``'s ``store`` field); the real
+        #: file list is :attr:`paths`.
+        self.path = "+".join(self.paths)
+        self._lock = threading.Lock()
+        self._reduced: Optional[Tuple[Tuple, List[DesignRecord]]] = None
+
+    def state_token(self) -> Tuple[Tuple[int, int], ...]:
+        """Combined freshness token: one per-file token per mount.
+
+        The tuple of every member's ``(st_mtime_ns, st_size)`` — a
+        write to *any* mounted file changes it, so the serving
+        snapshot, response cache, wire cache and ETags (all keyed on
+        this value) invalidate together however many stores are
+        mounted.
+        """
+        return tuple(s.state_token() for s in self.stores)
+
+    # ------------------------------------------------------------------
+    # The DesignStore read surface
+    # ------------------------------------------------------------------
+    def _rows(self) -> List[DesignRecord]:
+        """The reduced union, memoized under the combined token."""
+        token = self.state_token()
+        with self._lock:
+            if self._reduced is not None and self._reduced[0] == token:
+                return self._reduced[1]
+        rows: List[DesignRecord] = []
+        for store in self.stores:
+            rows.extend(store.select())
+        reduced = pareto_union(rows)
+        with self._lock:
+            self._reduced = (token, reduced)
+        return reduced
+
+    def select(
+        self,
+        component: Optional[str] = None,
+        width: Optional[int] = None,
+        metric: Optional[str] = None,
+        dist: Optional[str] = None,
+        signed: Optional[bool] = None,
+        design_id: Optional[str] = None,
+        design_id_prefix: Optional[str] = None,
+        max_error: Optional[float] = None,
+    ) -> List[DesignRecord]:
+        """Exactly :meth:`DesignStore.select` over the merged view.
+
+        Filters apply *after* the Pareto reduction (a row one store
+        holds but the union prunes is never visible, whatever the
+        filter), matching what a select against the offline merge
+        would return.
+        """
+        return filter_records(
+            self._rows(),
+            component=component, width=width, metric=metric, dist=dist,
+            signed=signed, design_id=design_id,
+            design_id_prefix=design_id_prefix, max_error=max_error,
+        )
+
+    def get(self, design_id: str) -> List[DesignRecord]:
+        return self.select(design_id=design_id)
+
+    def count(self) -> int:
+        return len(self._rows())
+
+    def groups(self) -> List[Tuple[Tuple[str, int, bool, str, str], int]]:
+        """Every group + size, in :meth:`DesignStore.groups` order.
+
+        SQLite emits groups in ``ORDER BY component, width, metric,
+        dist`` with ties in the b-tree's grouping-key order — net
+        effect ``(component, width, metric, dist, signed)`` — which is
+        reproduced here so ``/v1/stats`` bodies match the offline
+        merge byte for byte.
+        """
+        counts: Dict[Tuple[str, int, bool, str, str], int] = {}
+        for r in self._rows():
+            counts[r.group()] = counts.get(r.group(), 0) + 1
+        ordered = sorted(
+            counts,
+            key=lambda g: (g[0], g[1], g[3], g[4], int(g[2])),
+        )
+        return [(g, counts[g]) for g in ordered]
+
+    def completed_cells(self) -> Dict[str, str]:
+        """Union of every mount's checkpoints (min status on conflict)."""
+        merged: Dict[str, str] = {}
+        for store in self.stores:
+            for cell, status in store.completed_cells().items():
+                if cell not in merged or status < merged[cell]:
+                    merged[cell] = status
+        return merged
+
+    # ------------------------------------------------------------------
+    # Writes: refused
+    # ------------------------------------------------------------------
+    def add(self, record: DesignRecord) -> str:
+        raise TypeError(
+            "FederatedStore is read-only: build into a member store "
+            "(or merge_stores) and the federation sees it on the next "
+            "read"
+        )
+
+    def mark_cell(self, *args, **kwargs) -> None:
+        raise TypeError(
+            "FederatedStore is read-only: cells are checkpointed by "
+            "the shard builds that own them"
+        )

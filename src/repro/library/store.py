@@ -36,6 +36,7 @@ written by an incompatible schema fails loudly instead of misreading it.
 from __future__ import annotations
 
 import hashlib
+import os
 import re
 import sqlite3
 import time
@@ -47,7 +48,14 @@ from ..circuits.netlist import Netlist
 from ..engine.compiler import compile_netlist
 from ..obs.catalog import STORE_ADMISSIONS, STORE_PRUNED
 
-__all__ = ["SCHEMA_VERSION", "DesignRecord", "DesignStore", "design_signature"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "DesignRecord",
+    "DesignStore",
+    "design_signature",
+    "filter_records",
+    "record_order_key",
+]
 
 #: Bump on incompatible schema changes; checked on every open.
 SCHEMA_VERSION = 1
@@ -228,6 +236,11 @@ class DesignStore:
                 "drop the library on every operation"
             )
         self.path = path
+        #: The store file(s) backing this read surface — one here; the
+        #: federation layer overrides with several.  Everything that
+        #: derives freshness tokens (snapshot, caches, ETags) iterates
+        #: this instead of assuming a single file.
+        self.paths: Tuple[str, ...] = (path,)
         with self._connect() as conn:
             version = conn.execute("PRAGMA user_version").fetchone()[0]
             if version == 0:
@@ -250,6 +263,24 @@ class DesignStore:
             yield conn
         finally:
             conn.close()
+
+    def state_token(self) -> Tuple[int, int]:
+        """Freshness token of the backing file: ``(st_mtime_ns, st_size)``.
+
+        SQLite rewrites the database file on every committed
+        transaction, so any admitted design or checkpointed cell bumps
+        the token.  A missing file maps to ``(-1, -1)`` instead of
+        raising.  The serving layer's snapshot, response cache, wire
+        cache and ETags all key on this value — a
+        :class:`~repro.library.federation.FederatedStore` returns a
+        tuple of per-file tokens with the same contract (any mounted
+        file moving changes the token).
+        """
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return (-1, -1)
+        return (stat.st_mtime_ns, stat.st_size)
 
     # ------------------------------------------------------------------
     # Designs
@@ -451,6 +482,65 @@ def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
     return all(x <= y for x, y in zip(a, b)) and any(
         x < y for x, y in zip(a, b)
     )
+
+
+def record_order_key(record: DesignRecord) -> Tuple:
+    """Sort key realizing :meth:`DesignStore.select`'s total order.
+
+    ``(error, area, design_id, component, width, signed, metric,
+    dist)`` — SQLite's BINARY collation is bytewise UTF-8, which equals
+    Python's code-point string ordering, so sorting records with this
+    key reproduces the SQL ``ORDER BY`` exactly.  Shared by the
+    serving snapshot, the federation layer and the store merge, so
+    "same rows" always implies "same order".
+    """
+    return (record.error, record.area, record.design_id,
+            record.component, record.width, int(record.signed),
+            record.metric, record.dist)
+
+
+def filter_records(
+    records: Sequence[DesignRecord],
+    component: Optional[str] = None,
+    width: Optional[int] = None,
+    metric: Optional[str] = None,
+    dist: Optional[str] = None,
+    signed: Optional[bool] = None,
+    design_id: Optional[str] = None,
+    design_id_prefix: Optional[str] = None,
+    max_error: Optional[float] = None,
+) -> List[DesignRecord]:
+    """Apply :meth:`DesignStore.select`'s filters to in-memory records.
+
+    Exactly the SQL ``WHERE`` clause, minus the SQL — equality on the
+    group-key columns, literal prefix match on the content address, an
+    inclusive cap on normalized ``error``.  Order is preserved, so
+    feeding records already in the store's total order (see
+    :func:`record_order_key`) yields byte-identical selections.  This
+    is the single filter implementation behind the serving snapshot
+    and the federated store.
+    """
+    out = []
+    for r in records:
+        if component is not None and r.component != component:
+            continue
+        if width is not None and r.width != width:
+            continue
+        if metric is not None and r.metric != metric:
+            continue
+        if dist is not None and r.dist != dist:
+            continue
+        if signed is not None and r.signed != signed:
+            continue
+        if design_id is not None and r.design_id != design_id:
+            continue
+        if design_id_prefix is not None \
+                and not r.design_id.startswith(design_id_prefix):
+            continue
+        if max_error is not None and not r.error <= float(max_error):
+            continue
+        out.append(r)
+    return out
 
 
 def _row_to_record(row: Sequence[object]) -> DesignRecord:

@@ -123,6 +123,23 @@ STORE_ADMISSIONS = REGISTRY.counter(
 STORE_PRUNED = REGISTRY.counter(
     "repro_store_pruned_total",
     "Incumbent designs pruned after being dominated by an admission.")
+BUILD_SHARD_INDEX = REGISTRY.gauge(
+    "repro_build_shard_index",
+    "Zero-based shard index of the currently running sharded build.")
+BUILD_SHARD_COUNT = REGISTRY.gauge(
+    "repro_build_shard_count",
+    "Total shard count of the currently running sharded build (1 when "
+    "unsharded).")
+MERGE_SOURCES = REGISTRY.counter(
+    "repro_merge_sources_total",
+    "Input stores read by library merges.")
+MERGE_ROWS = REGISTRY.counter(
+    "repro_merge_rows_total",
+    "Rows offered to library merges, by Pareto admission status.",
+    label="status", values=("added", "dominated", "duplicate"))
+MERGE_CELLS = REGISTRY.counter(
+    "repro_merge_cells_total",
+    "Build-cell checkpoints united into merge outputs.")
 
 # -- tracing -----------------------------------------------------------
 TRACE_SPANS = REGISTRY.counter(

@@ -146,9 +146,15 @@ class ServeContext:
         """The current store snapshot (rebuilt if the store moved)."""
         return self.snapshots.current()
 
-    def state(self) -> Tuple[int, int]:
-        """Freshness token of the backing store file (cache key part)."""
-        return store_state(self.store.path)
+    def state(self) -> Tuple:
+        """Freshness token of the backing store (cache key part).
+
+        One ``(st_mtime_ns, st_size)`` pair for a single-file store, a
+        tuple of them for a federated mount — either way ``repr`` is
+        stable across processes, so ETags and cache keys built from it
+        agree across ``--procs N`` workers.
+        """
+        return self.store.state_token()
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +202,10 @@ def _h_health(ctx: ServeContext, path_params, query) -> Response:
         "status": "ok",
         "version": __version__,
         "store": ctx.store.path,
+        "stores": [
+            {"path": path, "state": list(store_state(path))}
+            for path in getattr(ctx.store, "paths", (ctx.store.path,))
+        ],
         "schema_version": SCHEMA_VERSION,
         "pid": os.getpid(),
         "designs": ctx.snapshot().count(),
@@ -317,8 +327,9 @@ ROUTES: Tuple[Route, ...] = (
         "GET", "/healthz", "health",
         "Liveness + store/cache status.",
         _h_health, cached=False, response_schema="Health",
-        description="Always uncached; reports the store path, design "
-        "count, schema version and response-cache counters.",
+        description="Always uncached; reports the store path(s) — one "
+        "entry per mounted store under `stores` — design count, schema "
+        "version and response-cache counters.",
     ),
     Route(
         "GET", "/v1/best", "best",

@@ -114,7 +114,28 @@ def _schemas() -> dict:
                 "status": {"type": "string"},
                 "version": {"type": "string"},
                 "store": {"type": "string",
-                          "description": "Backing SQLite file path."},
+                          "description": "Backing SQLite file path; a "
+                          "federated mount joins the member paths with "
+                          "'+' (see `stores` for the list)."},
+                "stores": {
+                    "type": "array",
+                    "description": "One entry per mounted store file — "
+                    "a single entry for an ordinary mount, one per "
+                    "`--db` for a federated one.",
+                    "items": {
+                        "type": "object",
+                        "properties": {
+                            "path": {"type": "string"},
+                            "state": {
+                                "type": "array",
+                                "items": {"type": "integer"},
+                                "description": "Freshness token "
+                                "(st_mtime_ns, st_size) of this file.",
+                            },
+                        },
+                        "required": ["path", "state"],
+                    },
+                },
                 "schema_version": {"type": "integer"},
                 "pid": {"type": "integer",
                         "description": "Pid of the worker process that "
@@ -141,8 +162,9 @@ def _schemas() -> dict:
                                "counters (entries, maxsize, hits, "
                                "fills); present when served over HTTP."},
             },
-            "required": ["status", "version", "store", "schema_version",
-                         "pid", "designs", "cache", "snapshot", "fleet"],
+            "required": ["status", "version", "store", "stores",
+                         "schema_version", "pid", "designs", "cache",
+                         "snapshot", "fleet"],
         },
         "DesignRecord": _record_schema(),
         "BestResponse": {

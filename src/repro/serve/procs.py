@@ -58,7 +58,7 @@ def reuseport_supported() -> bool:
 
 
 def _child_main(
-    db: str,
+    db,
     host: str,
     port: int,
     workers: int,
@@ -134,7 +134,7 @@ class MultiProcessServer:
 
     def __init__(
         self,
-        db: str,
+        db,
         host: str = "127.0.0.1",
         port: int = 8080,
         procs: int = 2,
@@ -292,7 +292,7 @@ class MultiProcessServer:
 
 
 def serve_multiprocess(
-    db: str,
+    db,
     host: str = "127.0.0.1",
     port: int = 8080,
     procs: int = 2,
@@ -321,8 +321,9 @@ def serve_multiprocess(
         mechanism = (
             "SO_REUSEPORT" if server.use_reuseport else "prefork fd passing"
         )
+        shown = db if isinstance(db, str) else " + ".join(db)
         print(
-            f"serving {db} on http://{host}:{server.port} "
+            f"serving {shown} on http://{host}:{server.port} "
             f"({procs} procs x {workers} workers via {mechanism}, "
             f"cache {cache_size}); Ctrl-C to stop",
             file=sys.stderr, flush=True,

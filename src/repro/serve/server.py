@@ -57,6 +57,7 @@ from urllib.parse import urlsplit
 from time import perf_counter_ns
 
 from .. import __version__
+from ..library.federation import FederatedStore
 from ..library.store import DesignStore
 from ..obs import catalog as _obs
 from .api import ROUTES, ServeContext, handle
@@ -108,27 +109,36 @@ class WireCache:
     spelled differently simply take the slow path, which stays correct.
 
     Freshness uses the same token as the response cache and the ETags:
-    every lookup stats the store file (~1 us) and a token change drops
-    the whole memo before answering — so a build write is visible to
-    the very next request, exactly like the slow path.
+    every lookup stats the store file(s) (~1 us each) and a token
+    change drops the whole memo before answering — so a build write to
+    any mounted store is visible to the very next request, exactly
+    like the slow path.
 
     ``maxsize=0`` disables the fast path (benchmarks use this to
     measure the full dispatch).
     """
 
-    def __init__(self, store_path: str, maxsize: int = 1024) -> None:
-        self.path = store_path
+    def __init__(self, store, maxsize: int = 1024) -> None:
+        # Accepts the store object (single or federated: anything with
+        # state_token()) or, for backward compatibility, a bare path.
+        if isinstance(store, str):
+            path = store
+            self.path = path
+            self._token_fn = lambda: store_state(path)
+        else:
+            self.path = store.path
+            self._token_fn = store.state_token
         self.maxsize = maxsize
         self.hits = 0
         self.fills = 0
-        self._token: Tuple[int, int] = (-2, -2)
+        self._token: Tuple = (-2, -2)
         self._lock = threading.Lock()
         self._entries: Dict[bytes, WireEntry] = {}
 
     def lookup(self, raw_target: bytes) -> Optional[WireEntry]:
         if not self.maxsize:
             return None
-        token = store_state(self.path)
+        token = self._token_fn()
         with self._lock:
             if token != self._token:
                 self._entries.clear()
@@ -143,14 +153,14 @@ class WireCache:
     def put(
         self,
         raw_target: bytes,
-        token: Tuple[int, int],
+        token: Tuple,
         entry: WireEntry,
     ) -> None:
         if not self.maxsize:
             return
         with self._lock:
             if token != self._token:
-                if token != store_state(self.path):
+                if token != self._token_fn():
                     return  # rendered against a state that is already gone
                 self._entries.clear()
                 self._token = token
@@ -500,7 +510,7 @@ class DesignServer(ThreadingHTTPServer):
         self.quiet = quiet
         self.wire_cache = context.wire_cache
         if self.wire_cache is None:
-            self.wire_cache = WireCache(context.store.path, maxsize=0)
+            self.wire_cache = WireCache(context.store, maxsize=0)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -530,7 +540,7 @@ class DesignServer(ThreadingHTTPServer):
 
 
 def create_server(
-    db: str,
+    db,
     host: str = "127.0.0.1",
     port: int = 8080,
     workers: int = 8,
@@ -539,15 +549,19 @@ def create_server(
     reuse_port: bool = False,
     listen_socket: Optional[socket.socket] = None,
 ) -> DesignServer:
-    """Bind a :class:`DesignServer` over the store at ``db``.
+    """Bind a :class:`DesignServer` over the store(s) at ``db``.
 
     Parameters
     ----------
-    db : str
+    db : str or sequence of str
         Design-store SQLite file (as written by ``repro library build``).
         Opening validates the schema version; a missing file is created
         empty, so point-at-wrong-path mistakes surface as ``designs: 0``
-        in ``/healthz`` rather than a crash.
+        in ``/healthz`` rather than a crash.  A sequence of paths
+        mounts every store behind one federated query surface
+        (:class:`~repro.library.federation.FederatedStore`): queries
+        answer from the Pareto union, and a write to any file
+        invalidates the snapshot, caches and ETags.
     host, port : str, int
         Bind address; ``port=0`` picks an ephemeral port (the bound one
         is ``server.server_port``).
@@ -564,11 +578,15 @@ def create_server(
     listen_socket : socket.socket, optional
         Adopt this already-listening socket instead of binding.
     """
-    store = DesignStore(db)
+    paths = [db] if isinstance(db, str) else list(db)
+    if len(paths) == 1:
+        store = DesignStore(paths[0])
+    else:
+        store = FederatedStore(paths)
     context = ServeContext(
         store=store,
         cache=ResponseCache(cache_size),
-        wire_cache=WireCache(store.path, maxsize=cache_size),
+        wire_cache=WireCache(store, maxsize=cache_size),
     )
     # Claim this process's lane in the metrics slab: /healthz fleet
     # aggregation treats a nonzero pid gauge as "live worker".
@@ -580,7 +598,7 @@ def create_server(
 
 
 def serve(
-    db: str,
+    db,
     host: str = "127.0.0.1",
     port: int = 8080,
     workers: int = 8,
@@ -590,10 +608,11 @@ def serve(
 ) -> int:
     """Run the server until interrupted (the ``repro serve`` command).
 
-    ``procs=1`` (the default) serves from this process exactly as
-    before; ``procs>1`` delegates to
-    :func:`repro.serve.procs.serve_multiprocess` — N worker processes
-    sharing the port, supervised and respawned by this one.
+    ``db`` is one store path or a sequence of them (a federated
+    mount; see :func:`create_server`).  ``procs=1`` (the default)
+    serves from this process exactly as before; ``procs>1`` delegates
+    to :func:`repro.serve.procs.serve_multiprocess` — N worker
+    processes sharing the port, supervised and respawned by this one.
     """
     if procs < 1:
         raise ValueError(f"procs must be >= 1, got {procs}")
@@ -608,8 +627,9 @@ def serve(
         db, host=host, port=port, workers=workers,
         cache_size=cache_size, quiet=quiet,
     )
+    shown = db if isinstance(db, str) else " + ".join(db)
     print(
-        f"serving {db} on http://{host}:{server.server_port} "
+        f"serving {shown} on http://{host}:{server.server_port} "
         f"({workers} workers, cache {cache_size}); Ctrl-C to stop",
         file=sys.stderr,
     )

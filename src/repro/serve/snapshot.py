@@ -19,13 +19,15 @@ only the row source differs (asserted end-to-end by
 ``benchmarks/bench_serve.py``).
 
 Freshness follows the same discipline as the response cache
-(:mod:`repro.serve.cache`): a snapshot is stamped with the store file's
-``(st_mtime_ns, st_size)`` token at build time, and
-:meth:`SnapshotManager.current` re-stats the file (one ~1 us syscall)
-on every access — a build writing the store changes the token, the next
-request rebuilds, and the atomic reference swap means concurrent
-requests either see the complete old image or the complete new one,
-never a torn mix.
+(:mod:`repro.serve.cache`): a snapshot is stamped with the store's
+:meth:`~repro.library.store.DesignStore.state_token` at build time —
+``(st_mtime_ns, st_size)`` of the single backing file, or a tuple of
+per-file tokens when a :class:`~repro.library.federation.FederatedStore`
+mounts several — and :meth:`SnapshotManager.current` re-stats the
+file(s) (one ~1 us syscall each) on every access.  A build writing
+*any* backing store changes the token, the next request rebuilds, and
+the atomic reference swap means concurrent requests either see the
+complete old image or the complete new one, never a torn mix.
 """
 
 from __future__ import annotations
@@ -33,11 +35,22 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Tuple
 
-from ..library.store import DesignRecord, DesignStore
+from ..library.store import DesignRecord, DesignStore, filter_records
 from ..obs import catalog as _obs
-from .cache import store_state
 
 __all__ = ["Snapshot", "SnapshotManager"]
+
+
+def _state_ns(state) -> int:
+    """Newest ``st_mtime_ns`` inside a state token, for the gauge.
+
+    Single-store tokens are ``(st_mtime_ns, st_size)``; federated
+    tokens are tuples of those — either way the newest mtime is the
+    scalar worth exposing.
+    """
+    if state and isinstance(state[0], tuple):
+        return max(int(s[0]) for s in state)
+    return int(state[0]) if state else 0
 
 
 class Snapshot:
@@ -83,12 +96,12 @@ class Snapshot:
         continuous writing the last attempt is accepted (its token is
         already stale, so the very next request rebuilds again).
         """
-        state = store_state(store.path)
+        state = store.state_token()
         for _ in range(max(1, retries)):
             records = store.select()
             groups = store.groups()
             cells = store.completed_cells()
-            after = store_state(store.path)
+            after = store.state_token()
             if after == state:
                 break
             state = after
@@ -118,30 +131,16 @@ class Snapshot:
         ``self.records`` is already in the store's total order
         ``(error, area, design_id, component, width, signed, metric,
         dist)`` — SQLite's BINARY collation is bytewise UTF-8, which
-        equals Python's code-point ordering — and filtering preserves
-        order, so no re-sort is needed.
+        equals Python's code-point ordering — and
+        :func:`~repro.library.store.filter_records` preserves order,
+        so no re-sort is needed.
         """
-        out = []
-        for r in self.records:
-            if component is not None and r.component != component:
-                continue
-            if width is not None and r.width != width:
-                continue
-            if metric is not None and r.metric != metric:
-                continue
-            if dist is not None and r.dist != dist:
-                continue
-            if signed is not None and r.signed != signed:
-                continue
-            if design_id is not None and r.design_id != design_id:
-                continue
-            if design_id_prefix is not None \
-                    and not r.design_id.startswith(design_id_prefix):
-                continue
-            if max_error is not None and not r.error <= float(max_error):
-                continue
-            out.append(r)
-        return out
+        return filter_records(
+            self.records,
+            component=component, width=width, metric=metric, dist=dist,
+            signed=signed, design_id=design_id,
+            design_id_prefix=design_id_prefix, max_error=max_error,
+        )
 
     def count(self) -> int:
         return len(self.records)
@@ -191,21 +190,21 @@ class SnapshotManager:
         self.rebuilds = 0
 
     def current(self) -> Snapshot:
-        """The snapshot matching the store file's current state token."""
+        """The snapshot matching the store's current state token."""
         snapshot = self._snapshot
-        token = store_state(self._store.path)
+        token = self._store.state_token()
         if snapshot is not None and snapshot.state == token:
             return snapshot
         with self._lock:
             snapshot = self._snapshot
             if snapshot is None \
-                    or snapshot.state != store_state(self._store.path):
+                    or snapshot.state != self._store.state_token():
                 snapshot = Snapshot.build(self._store)
                 self._snapshot = snapshot
                 self.rebuilds += 1
                 _obs.SNAPSHOT_REBUILDS.inc()
                 _obs.SNAPSHOT_DESIGNS.set(snapshot.count())
-                _obs.SNAPSHOT_STATE_NS.set(snapshot.state[0])
+                _obs.SNAPSHOT_STATE_NS.set(_state_ns(snapshot.state))
             return snapshot
 
     def stats(self) -> dict:

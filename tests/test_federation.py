@@ -1,0 +1,863 @@
+"""Sharded builds + multi-store federation: the equivalence battery.
+
+The claims under test, each enforced as an equality (not a similarity):
+
+* **Shard ≡ resume**: `build_library(..., shard=(i, n))` excludes
+  cells through the same ``skip_cell`` hook resume uses, and
+  ``grid_front`` allocates the *full* grid's SeedSequence children
+  before filtering — so every shard's rows are bit-identical (all
+  columns, including phenotype signatures and chromosome text) to the
+  corresponding cells of an unsharded build.
+* **Merge = Pareto union**: ``merge_stores`` re-inserts rows under the
+  store's own admission rule in a canonical offer order, making it
+  idempotent, order-independent, and — over a full shard set —
+  row-identical to the single-process build.
+* **Federation ≡ merge**: ``FederatedStore`` computes the same union
+  online; every read (``select``/``count``/``groups``/
+  ``completed_cells``) equals the offline merge's, so ``/v1/front``
+  served over two mounted stores equals the front of their merge.
+* **Crash robustness**: a killed shard resumes bit-identically (PR 3
+  harness); a merge killed mid-write leaves the destination absent or
+  previous, never torn (temp file + atomic rename).
+"""
+
+import json
+import os
+import sqlite3
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.library import (
+    BuildSpec,
+    DesignRecord,
+    DesignStore,
+    FederatedStore,
+    build_library,
+    front,
+    merge_stores,
+    parse_shard,
+    pareto_union,
+)
+from repro.library.federation import _offer_order_key, _union_cells
+from repro.library.store import filter_records, record_order_key
+from repro.serve import ServeContext, create_server, handle, record_to_json
+
+W = 3
+SPEC = BuildSpec(
+    components=("multiplier", "adder"),
+    metrics=("wmed",),
+    widths=(W,),
+    thresholds_percent=(1.0, 2.0, 5.0),
+    generations=40,
+    seed=13,
+)
+N_CELLS = len(SPEC.cells())
+
+
+def _build(path, spec=SPEC, shard=None):
+    store = DesignStore(str(path))
+    report = build_library(
+        store, spec, max_workers=1, executor="thread", shard=shard
+    )
+    return store, report
+
+
+@pytest.fixture(scope="module")
+def grid(tmp_path_factory):
+    """One unsharded build + its 2-way and 4-way shard sets.
+
+    Everything in this module that needs built stores shares these —
+    the builds are the expensive part, the equivalence checks are
+    cheap.
+    """
+    root = tmp_path_factory.mktemp("federation")
+    single, single_report = _build(root / "single.sqlite")
+    two = [
+        _build(root / f"two{i}.sqlite", shard=(i, 2))[0] for i in range(2)
+    ]
+    four = [
+        _build(root / f"four{i}.sqlite", shard=(i, 4))[0] for i in range(4)
+    ]
+    return {
+        "root": root,
+        "single": single,
+        "single_report": single_report,
+        "two": two,
+        "four": four,
+    }
+
+
+# ----------------------------------------------------------------------
+# parse_shard
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text,expected",
+    [("1/1", (0, 1)), ("1/4", (0, 4)), ("2/4", (1, 4)), ("4/4", (3, 4)),
+     (" 3/8 ", (2, 8))],
+)
+def test_parse_shard_accepts(text, expected):
+    assert parse_shard(text) == expected
+
+
+@pytest.mark.parametrize(
+    "bad", ["0/4", "5/4", "-1/4", "1/0", "1/-2", "x/y", "3", "1/2/3",
+            "1.5/4", ""],
+)
+def test_parse_shard_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_shard(bad)
+
+
+def test_build_rejects_out_of_range_shard(tmp_path):
+    store = DesignStore(str(tmp_path / "s.sqlite"))
+    with pytest.raises(ValueError, match="shard index"):
+        build_library(store, SPEC, shard=(4, 4))
+
+
+# ----------------------------------------------------------------------
+# Shard partition properties (no evolution needed)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("count", [1, 2, 3, 4, 7, N_CELLS, N_CELLS + 3])
+def test_shard_partition_covers_grid_exactly_once(count):
+    cells = SPEC.cells()
+    assignment = [
+        {c for k, c in enumerate(cells) if k % count == index}
+        for index in range(count)
+    ]
+    union = set().union(*assignment)
+    assert union == set(cells)
+    assert sum(len(s) for s in assignment) == len(cells)  # disjoint
+
+
+def test_shard_reports_partition_cell_counts(grid):
+    reports_total = sum(s.completed_cells() != {} for s in grid["four"])
+    assert reports_total == 4
+    per_shard = [len(s.completed_cells()) for s in grid["four"]]
+    assert sum(per_shard) == N_CELLS
+    # Modular assignment balances within one cell.
+    assert max(per_shard) - min(per_shard) <= 1
+
+
+# ----------------------------------------------------------------------
+# Tentpole equivalence: sharded + merged ≡ single build
+# ----------------------------------------------------------------------
+def test_shard_rows_are_bit_identical_to_single_build(grid):
+    """Bit-identity per shard: wherever a shard and the single build
+    both kept a design (same content address), every column — down to
+    the chromosome text and evaluation count — is identical, because
+    the full-grid SeedSequence allocation means sharding never
+    perturbs a cell's RNG stream.  (A shard row the single build
+    *pruned* under Pareto is legitimate; value disagreement is not.)
+    """
+    single_by_key = {
+        (r.design_id, r.group()): r for r in grid["single"].select()
+    }
+    overlap = 0
+    for shard_store in grid["four"]:
+        for r in shard_store.select():
+            match = single_by_key.get((r.design_id, r.group()))
+            if match is not None and \
+                    match.threshold_percent == r.threshold_percent:
+                assert r == match
+                overlap += 1
+    assert overlap > 0
+    # And every cell id of every shard is a cell id of the single build.
+    single_cells = set(grid["single"].completed_cells())
+    for shard_store in grid["four"]:
+        assert set(shard_store.completed_cells()) <= single_cells
+
+
+@pytest.mark.parametrize("shard_set", ["two", "four"])
+def test_sharded_merge_row_identical_to_single_build(grid, shard_set,
+                                                     tmp_path):
+    out = str(tmp_path / "merged.sqlite")
+    merge_stores(out, [s.path for s in grid[shard_set]])
+    merged = DesignStore(out)
+    assert merged.select() == grid["single"].select()
+    assert merged.count() == grid["single"].count()
+    assert merged.groups() == grid["single"].groups()
+    assert set(merged.completed_cells()) \
+        == set(grid["single"].completed_cells())
+
+
+def test_sharded_build_resumes_into_full_build(grid, tmp_path):
+    """A shard store resumed *without* the shard argument finishes the
+    remaining cells and equals the unsharded build — sharding is
+    literally the resume path."""
+    import shutil
+
+    db = str(tmp_path / "grow.sqlite")
+    shutil.copy(grid["four"][1].path, db)
+    store = DesignStore(db)
+    before = len(store.completed_cells())
+    report = build_library(store, SPEC, max_workers=1, executor="thread")
+    assert report.cells_skipped == before
+    assert store.select() == grid["single"].select()
+
+
+def test_shard_report_counts_only_own_cells(grid):
+    assert grid["single_report"].cells_total == N_CELLS
+    for i, s in enumerate(grid["four"]):
+        report = build_library(
+            s, SPEC, max_workers=1, executor="thread", shard=(i, 4)
+        )
+        assert report.cells_total == len(s.completed_cells())
+        assert report.cells_run == 0  # second run resumes everything
+        assert report.cells_skipped == report.cells_total
+
+
+# ----------------------------------------------------------------------
+# Merge semantics
+# ----------------------------------------------------------------------
+def test_merge_idempotent(grid, tmp_path):
+    a = grid["two"][0].path
+    out1 = str(tmp_path / "m1.sqlite")
+    out2 = str(tmp_path / "m2.sqlite")
+    merge_stores(out1, [a])
+    merge_stores(out2, [a, a])
+    assert DesignStore(out1).select() == DesignStore(out2).select()
+    assert DesignStore(out1).select() == grid["two"][0].select()
+    # merging a merge output with itself changes nothing
+    report = merge_stores(out1, [out1])
+    assert report.added == 0 or DesignStore(out1).select() \
+        == DesignStore(out2).select()
+    assert DesignStore(out1).select() == grid["two"][0].select()
+
+
+def test_merge_commutative(grid, tmp_path):
+    a, b = (s.path for s in grid["two"])
+    ab = str(tmp_path / "ab.sqlite")
+    ba = str(tmp_path / "ba.sqlite")
+    merge_stores(ab, [a, b])
+    merge_stores(ba, [b, a])
+    assert DesignStore(ab).select() == DesignStore(ba).select()
+    assert DesignStore(ab).completed_cells() \
+        == DesignStore(ba).completed_cells()
+
+
+def test_merge_associative_across_groupings(grid, tmp_path):
+    s = [st_.path for st_ in grid["four"]]
+    left = str(tmp_path / "left.sqlite")    # merge(merge(0,1), 2, 3)
+    inner = str(tmp_path / "inner.sqlite")
+    merge_stores(inner, s[:2])
+    merge_stores(left, [inner] + s[2:])
+    flat = str(tmp_path / "flat.sqlite")
+    merge_stores(flat, s)
+    assert DesignStore(left).select() == DesignStore(flat).select()
+
+
+def test_merge_into_existing_store_accumulates(grid, tmp_path):
+    out = str(tmp_path / "acc.sqlite")
+    merge_stores(out, [grid["two"][0].path])
+    merge_stores(out, [grid["two"][1].path])  # existing out joins in
+    assert DesignStore(out).select() == grid["single"].select()
+
+
+def test_merge_missing_input_raises_and_creates_nothing(tmp_path):
+    out = str(tmp_path / "out.sqlite")
+    with pytest.raises(ValueError, match="no design store"):
+        merge_stores(out, [str(tmp_path / "nope.sqlite")])
+    assert not os.path.exists(out)
+
+
+def test_merge_requires_inputs(tmp_path):
+    with pytest.raises(ValueError, match="at least one"):
+        merge_stores(str(tmp_path / "out.sqlite"), [])
+
+
+def test_merge_schema_version_checked(grid, tmp_path):
+    bad = str(tmp_path / "bad.sqlite")
+    DesignStore(bad)
+    with sqlite3.connect(bad) as conn:
+        conn.execute("PRAGMA user_version = 999")
+    out = str(tmp_path / "out.sqlite")
+    with pytest.raises(ValueError, match="schema version"):
+        merge_stores(out, [grid["two"][0].path, bad])
+    assert not os.path.exists(out)
+
+
+def test_merge_report_counters(grid, tmp_path):
+    out = str(tmp_path / "m.sqlite")
+    report = merge_stores(out, [s.path for s in grid["four"]])
+    assert report.inputs == 4
+    assert report.rows_offered == sum(s.count() for s in grid["four"])
+    assert report.added == DesignStore(out).count()
+    assert report.added + report.dominated + report.duplicate \
+        == report.rows_offered
+    assert report.cells == N_CELLS
+    assert report.out_designs == report.added
+    assert str(report)  # cosmetic line renders
+
+
+def test_merge_preserves_cell_checkpoint_fields(grid, tmp_path):
+    out = str(tmp_path / "m.sqlite")
+    merge_stores(out, [s.path for s in grid["four"]])
+    merged_cells = DesignStore(out).completed_cells()
+    expected = {}
+    for s in grid["four"]:
+        expected.update(s.completed_cells())
+    assert merged_cells == expected
+
+
+# ----------------------------------------------------------------------
+# Merge atomicity (kill mid-transaction)
+# ----------------------------------------------------------------------
+def _failing_merge(monkeypatch, out, inputs, fail_after):
+    """Run merge_stores with DesignStore.add dying mid-way."""
+    calls = {"n": 0}
+    original = DesignStore.add
+
+    def dying_add(self, record):
+        calls["n"] += 1
+        if calls["n"] > fail_after:
+            raise RuntimeError("killed mid-merge")
+        return original(self, record)
+
+    monkeypatch.setattr(DesignStore, "add", dying_add)
+    with pytest.raises(RuntimeError, match="killed mid-merge"):
+        merge_stores(out, inputs)
+    monkeypatch.setattr(DesignStore, "add", original)
+
+
+def test_killed_merge_leaves_no_output(grid, tmp_path, monkeypatch):
+    out = str(tmp_path / "torn.sqlite")
+    _failing_merge(
+        monkeypatch, out, [s.path for s in grid["two"]], fail_after=1
+    )
+    assert not os.path.exists(out)
+    # the temp file is cleaned up too
+    assert [f for f in os.listdir(tmp_path) if "merge" in f] == []
+
+
+def test_killed_merge_leaves_previous_output_intact(grid, tmp_path,
+                                                    monkeypatch):
+    out = str(tmp_path / "prev.sqlite")
+    merge_stores(out, [grid["two"][0].path])
+    before = DesignStore(out).select()
+    _failing_merge(
+        monkeypatch, out, [grid["two"][1].path], fail_after=1
+    )
+    assert DesignStore(out).select() == before  # absent-or-complete: complete
+
+
+def test_completed_merge_is_complete(grid, tmp_path):
+    """After a successful merge the output answers queries immediately
+    (no journal replay, no partial rows)."""
+    out = str(tmp_path / "done.sqlite")
+    merge_stores(out, [s.path for s in grid["two"]])
+    merged = DesignStore(out)
+    assert merged.select() == grid["single"].select()
+    got = front(merged, "multiplier", W, "wmed")
+    want = front(grid["single"], "multiplier", W, "wmed")
+    assert got == want
+
+
+# ----------------------------------------------------------------------
+# pareto_union properties
+# ----------------------------------------------------------------------
+def _rec(design_id, error, area, power=5.0, pdp=2.0, metric="wmed",
+         threshold=1.0, **kw):
+    defaults = dict(
+        component="multiplier", width=3, signed=False, metric=metric,
+        dist="Du", threshold_percent=threshold, error=error, area=area,
+        power_uw=power, delay_ps=100.0, pdp=pdp, wmed=error, med=error,
+        mred=error, error_rate=0.5, worst_case=3, bias=0.0, gates=12,
+        chromosome="{stub}", name="r",
+    )
+    defaults.update(kw)
+    return DesignRecord(design_id=design_id, **defaults)
+
+
+# A design_id is a content address: within a group it determines the
+# objective vector (and two records may still share a vector under
+# distinct ids — the equal-vector duplicate rule).  The strategy must
+# model that, or hypothesis explores states the pipeline cannot reach
+# (one id with two vectors), where no admission rule is associative.
+_VECTORS = {
+    "a" * 32: (0.01, 10.0, 5.0, 2.0),
+    "b" * 32: (0.02, 11.0, 6.0, 3.0),
+    "c" * 32: (0.005, 9.0, 4.0, 1.0),
+    "d" * 32: (0.03, 5.0, 3.0, 0.5),
+    "e" * 32: (0.01, 10.0, 5.0, 2.0),  # a's vector under another id
+}
+
+
+def _addressed(design_id, threshold):
+    error, area, power, pdp = _VECTORS[design_id]
+    return _rec(design_id, error, area, power=power, pdp=pdp,
+                threshold=threshold, name=f"n{threshold:g}")
+
+
+_records = st.builds(
+    _addressed,
+    design_id=st.sampled_from(sorted(_VECTORS)),
+    threshold=st.sampled_from([1.0, 2.0]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_records, max_size=12))
+def test_pareto_union_is_idempotent_and_order_independent(records):
+    once = pareto_union(records)
+    assert pareto_union(once) == once          # stable point
+    assert pareto_union(records[::-1]) == once  # order-independent
+    assert pareto_union(records + records) == once  # duplication-proof
+    # output is in store select order
+    assert once == sorted(once, key=record_order_key)
+    # and per-group non-dominated
+    for a in once:
+        for b in once:
+            if a is not b and a.group() == b.group():
+                assert not all(
+                    x <= y for x, y in zip(a.objectives(), b.objectives())
+                )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(_records, max_size=8), st.lists(_records, max_size=8))
+def test_pareto_union_is_associative(xs, ys):
+    assert pareto_union(pareto_union(xs) + pareto_union(ys)) \
+        == pareto_union(xs + ys)
+
+
+def test_pareto_union_respects_store_admission(tmp_path):
+    """union(records) == what a store ends up holding after offering
+    the same records in the canonical order."""
+    records = [
+        _rec("a" * 32, 0.01, 10.0),
+        _rec("b" * 32, 0.02, 11.0, power=6, pdp=3),   # dominated
+        _rec("c" * 32, 0.005, 9.0, power=4, pdp=1),   # dominates a
+        _rec("d" * 32, 0.03, 5.0, power=3, pdp=0.5),  # trade-off
+        _rec("c" * 32, 0.005, 9.0, power=4, pdp=1),   # duplicate
+    ]
+    store = DesignStore(str(tmp_path / "s.sqlite"))
+    for r in sorted(records, key=_offer_order_key):
+        store.add(r)
+    assert pareto_union(records) == store.select()
+
+
+def test_union_cells_prefers_min_status_row():
+    row_a = ("cell1", "multiplier", "wmed", 3, "Du", 1.0,
+             "duplicate", "a" * 32, 1.0)
+    row_b = ("cell1", "multiplier", "wmed", 3, "Du", 1.0,
+             "added", "a" * 32, 2.0)
+    assert _union_cells([row_a, row_b]) == [row_b]
+    assert _union_cells([row_b, row_a]) == [row_b]
+    assert _union_cells([row_a]) == [row_a]
+
+
+# ----------------------------------------------------------------------
+# FederatedStore ≡ offline merge
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def federated(grid, tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("fedmerge") / "merged.sqlite")
+    merge_stores(out, [s.path for s in grid["two"]])
+    return FederatedStore([s.path for s in grid["two"]]), DesignStore(out)
+
+
+def test_federated_select_equals_merge(federated):
+    fed, merged = federated
+    assert fed.select() == merged.select()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"component": "multiplier"},
+        {"component": "adder"},
+        {"width": W},
+        {"metric": "wmed"},
+        {"max_error": 0.02},
+        {"component": "multiplier", "max_error": 0.05},
+        {"signed": False},
+        {"signed": True},
+        {"dist": "Du"},
+        {"component": "nonexistent"},
+    ],
+)
+def test_federated_filters_equal_merge(federated, kwargs):
+    fed, merged = federated
+    assert fed.select(**kwargs) == merged.select(**kwargs)
+
+
+def test_federated_design_id_filters_apply_after_reduction(federated):
+    fed, merged = federated
+    for r in merged.select():
+        assert fed.select(design_id=r.design_id) \
+            == merged.select(design_id=r.design_id)
+        prefix = r.design_id[:6]
+        assert fed.select(design_id_prefix=prefix) \
+            == merged.select(design_id_prefix=prefix)
+        assert fed.get(r.design_id) == merged.get(r.design_id)
+
+
+def test_federated_count_groups_cells_equal_merge(federated):
+    fed, merged = federated
+    assert fed.count() == merged.count()
+    assert fed.groups() == merged.groups()
+    assert set(fed.completed_cells()) == set(merged.completed_cells())
+
+
+def test_federated_query_layer_runs_unchanged(federated):
+    fed, merged = federated
+    assert front(fed, "multiplier", W, "wmed") \
+        == front(merged, "multiplier", W, "wmed")
+
+
+def test_federated_state_token_is_tuple_of_per_file_tokens(grid):
+    paths = [s.path for s in grid["two"]]
+    fed = FederatedStore(paths)
+    token = fed.state_token()
+    assert len(token) == 2
+    for part, path in zip(token, paths):
+        stat = os.stat(path)
+        assert part == (stat.st_mtime_ns, stat.st_size)
+
+
+def test_federated_is_read_only(grid):
+    fed = FederatedStore([s.path for s in grid["two"]])
+    with pytest.raises(TypeError, match="read-only"):
+        fed.add(_rec("a" * 32, 0.01, 10.0))
+    with pytest.raises(TypeError, match="read-only"):
+        fed.mark_cell("x", "multiplier", "wmed", 3, "Du", 1.0, "added", "a")
+
+
+def test_federated_requires_a_store():
+    with pytest.raises(ValueError, match="at least one"):
+        FederatedStore([])
+
+
+def test_federated_schema_version_checked(tmp_path):
+    bad = str(tmp_path / "bad.sqlite")
+    DesignStore(bad)
+    with sqlite3.connect(bad) as conn:
+        conn.execute("PRAGMA user_version = 999")
+    with pytest.raises(ValueError, match="schema version"):
+        FederatedStore([bad])
+
+
+def test_federated_memoizes_reduction_until_a_store_moves(grid, tmp_path):
+    import shutil
+
+    a = str(tmp_path / "a.sqlite")
+    b = str(tmp_path / "b.sqlite")
+    shutil.copy(grid["two"][0].path, a)
+    shutil.copy(grid["two"][1].path, b)
+    fed = FederatedStore([a, b])
+    first = fed._rows()
+    assert fed._rows() is first  # memo hit: same list object
+    # writing to the SECOND store invalidates the reduction
+    DesignStore(b).add(_rec("f" * 32, 1e-9, 0.001, power=0.001, pdp=0.001))
+    second = fed._rows()
+    assert second is not first
+    assert "f" * 32 in {r.design_id for r in second}
+
+
+def test_federated_accepts_store_objects_and_paths(grid):
+    by_path = FederatedStore([s.path for s in grid["two"]])
+    by_obj = FederatedStore(list(grid["two"]))
+    assert by_path.select() == by_obj.select()
+    assert by_path.paths == by_obj.paths
+    assert by_path.path == "+".join(by_path.paths)
+
+
+def test_filter_records_matches_store_select(grid):
+    store = grid["single"]
+    rows = store.select()
+    assert filter_records(rows) == rows
+    assert filter_records(rows, component="adder") \
+        == store.select(component="adder")
+    assert filter_records(rows, max_error=0.02) \
+        == store.select(max_error=0.02)
+
+
+# ----------------------------------------------------------------------
+# Served federation: /v1/front over two mounted stores == offline merge
+# ----------------------------------------------------------------------
+def _http_get(base, path):
+    try:
+        with urllib.request.urlopen(base + path) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read()), dict(err.headers)
+
+
+@pytest.fixture(scope="module")
+def served_federation(grid):
+    server = create_server(
+        [s.path for s in grid["two"]], port=0, quiet=True
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, f"http://127.0.0.1:{server.server_port}"
+    server.shutdown()
+    server.server_close()
+
+
+def test_served_front_equals_offline_merge_front(served_federation,
+                                                 federated):
+    _, merged = federated
+    _, base = served_federation
+    status, body, _ = _http_get(
+        base, f"/v1/front?width={W}&component=multiplier"
+    )
+    assert status == 200
+    want = front(merged, "multiplier", W, "wmed")
+    assert [d["design_id"] for d in body["designs"]] \
+        == [r.design_id for r in want]
+    assert body["count"] == len(want)
+    # full record equality through the wire, not just ids
+    assert body["designs"] == json.loads(
+        json.dumps([record_to_json(r) for r in want])
+    )
+
+
+def test_served_front_equals_single_build_front(served_federation, grid):
+    """Transitively: federation over a full shard set serves exactly
+    what a single-process build would."""
+    _, base = served_federation
+    status, body, _ = _http_get(
+        base, f"/v1/front?width={W}&component=adder"
+    )
+    assert status == 200
+    want = front(grid["single"], "adder", W, "wmed")
+    assert body["designs"] == json.loads(
+        json.dumps([record_to_json(r) for r in want])
+    )
+
+
+def test_served_healthz_lists_all_mounted_stores(served_federation, grid):
+    _, base = served_federation
+    status, body, _ = _http_get(base, "/healthz")
+    assert status == 200
+    assert [s["path"] for s in body["stores"]] \
+        == [s.path for s in grid["two"]]
+    for entry in body["stores"]:
+        stat = os.stat(entry["path"])
+        assert entry["state"] == [stat.st_mtime_ns, stat.st_size]
+    assert body["designs"] == grid["single"].count()
+    assert body["store"] == "+".join(s.path for s in grid["two"])
+
+
+def test_single_store_healthz_has_one_stores_entry(grid):
+    ctx = ServeContext(store=grid["single"])
+    body = handle(ctx, "GET", "/healthz").json()
+    assert len(body["stores"]) == 1
+    assert body["stores"][0]["path"] == grid["single"].path
+
+
+# ----------------------------------------------------------------------
+# Snapshot + ETag invalidation across a multi-store mount
+# ----------------------------------------------------------------------
+def _fed_ctx(tmp_path, grid):
+    import shutil
+
+    a = str(tmp_path / "a.sqlite")
+    b = str(tmp_path / "b.sqlite")
+    shutil.copy(grid["two"][0].path, a)
+    shutil.copy(grid["two"][1].path, b)
+    return ServeContext(store=FederatedStore([a, b])), a, b
+
+
+def test_writing_second_store_invalidates_snapshot_and_etag(grid,
+                                                            tmp_path):
+    """The PR's latent-bug regression: the freshness token must cover
+    *every* mounted file, so a write to the second store flips the
+    snapshot, the ETag and the response body."""
+    ctx, _a, b = _fed_ctx(tmp_path, grid)
+    query = f"width={W}&component=multiplier"
+    first = handle(ctx, "GET", "/v1/front", query)
+    etag1 = dict(first.headers)["ETag"]
+    snap1 = ctx.snapshot()
+    # strictly better than everything: admitted into the union
+    DesignStore(b).add(_rec("f" * 32, 1e-9, 0.001, power=1e-3, pdp=1e-3))
+    second = handle(ctx, "GET", "/v1/front", query)
+    etag2 = dict(second.headers)["ETag"]
+    assert ctx.snapshot() is not snap1
+    assert etag2 != etag1
+    assert "f" * 32 in [
+        d["design_id"] for d in second.json()["designs"]
+    ]
+    # the old validator no longer revalidates
+    third = handle(ctx, "GET", "/v1/front", query,
+                   headers={"If-None-Match": etag1})
+    assert third.status == 200
+    fourth = handle(ctx, "GET", "/v1/front", query,
+                    headers={"If-None-Match": etag2})
+    assert fourth.status == 304
+
+
+def test_writing_first_store_also_invalidates(grid, tmp_path):
+    ctx, a, _b = _fed_ctx(tmp_path, grid)
+    query = f"width={W}&component=multiplier"
+    etag1 = dict(handle(ctx, "GET", "/v1/front", query).headers)["ETag"]
+    DesignStore(a).add(_rec("e" * 32, 1e-9, 0.002, power=2e-3, pdp=2e-3))
+    etag2 = dict(handle(ctx, "GET", "/v1/front", query).headers)["ETag"]
+    assert etag1 != etag2
+
+
+def test_federated_snapshot_state_is_the_combined_token(grid, tmp_path):
+    ctx, _, _ = _fed_ctx(tmp_path, grid)
+    snap = ctx.snapshot()
+    assert snap.state == ctx.store.state_token()
+    assert len(snap.state) == 2
+    assert all(len(part) == 2 for part in snap.state)
+
+
+def test_wire_cache_invalidates_on_second_store_write(grid, tmp_path):
+    """HTTP-level twin of the snapshot regression: a federated server's
+    preserialised wire cache drops its memo when the second store
+    moves."""
+    import shutil
+
+    a = str(tmp_path / "a.sqlite")
+    b = str(tmp_path / "b.sqlite")
+    shutil.copy(grid["two"][0].path, a)
+    shutil.copy(grid["two"][1].path, b)
+    server = create_server([a, b], port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = f"http://127.0.0.1:{server.server_port}"
+        path = f"/v1/front?width={W}&component=multiplier"
+        _http_get(base, path)           # slow path, fills the wire cache
+        _, body1, h1 = _http_get(base, path)  # wire-cache hit
+        DesignStore(b).add(
+            _rec("f" * 32, 1e-9, 0.001, power=1e-3, pdp=1e-3)
+        )
+        _, body2, h2 = _http_get(base, path)
+        assert h2["ETag"] != h1["ETag"]
+        assert "f" * 32 in [d["design_id"] for d in body2["designs"]]
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# ----------------------------------------------------------------------
+# Crash robustness: killed shard build resumes bit-identically
+# ----------------------------------------------------------------------
+def test_killed_shard_build_resumes_bit_identical(grid, tmp_path):
+    """PR 3's resume harness applied to a shard: kill shard 0 of 2
+    after its first checkpoint, resume, and the store equals an
+    uninterrupted shard build cell for cell."""
+
+    class Kill(Exception):
+        pass
+
+    seen = []
+
+    def killer(cell, status):
+        seen.append(cell)
+        raise Kill  # die after the first checkpointed cell
+
+    killed = DesignStore(str(tmp_path / "killed.sqlite"))
+    with pytest.raises(Kill):
+        build_library(killed, SPEC, max_workers=1, executor="thread",
+                      progress=killer, shard=(0, 2))
+    assert len(killed.completed_cells()) == 1
+    resumed = []
+    report = build_library(
+        killed, SPEC, max_workers=1, executor="thread",
+        progress=lambda cell, status: resumed.append(cell), shard=(0, 2),
+    )
+    assert report.cells_run == len(resumed)
+    assert report.cells_skipped == 1
+    assert seen[0] not in resumed
+    assert killed.select() == grid["two"][0].select()
+    assert killed.completed_cells() == grid["two"][0].completed_cells()
+
+
+def test_killed_shard_merge_still_equals_single_build(grid, tmp_path):
+    """End-to-end: kill + resume a shard, merge the shard set, compare
+    to the unsharded build."""
+
+    class Kill(Exception):
+        pass
+
+    hits = []
+
+    def killer(cell, status):
+        hits.append(cell)
+        if len(hits) == 1:
+            raise Kill
+
+    killed = DesignStore(str(tmp_path / "k0.sqlite"))
+    with pytest.raises(Kill):
+        build_library(killed, SPEC, max_workers=1, executor="thread",
+                      progress=killer, shard=(1, 2))
+    build_library(killed, SPEC, max_workers=1, executor="thread",
+                  shard=(1, 2))
+    out = str(tmp_path / "merged.sqlite")
+    merge_stores(out, [grid["two"][0].path, killed.path])
+    assert DesignStore(out).select() == grid["single"].select()
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+# ----------------------------------------------------------------------
+def test_cli_merge_round_trip(grid, tmp_path, capsys):
+    from repro.cli import main
+
+    out = str(tmp_path / "cli-merged.sqlite")
+    code = main(["library", "merge", out]
+                + [s.path for s in grid["two"]])
+    assert code == 0
+    assert "merged 2 stores" in capsys.readouterr().out
+    assert DesignStore(out).select() == grid["single"].select()
+
+
+def test_cli_merge_quiet(grid, tmp_path, capsys):
+    from repro.cli import main
+
+    out = str(tmp_path / "q.sqlite")
+    assert main(["library", "merge", "--quiet", out,
+                 grid["two"][0].path]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_merge_missing_input_is_one_line_error(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="no design store"):
+        main(["library", "merge", str(tmp_path / "o.sqlite"),
+              str(tmp_path / "missing.sqlite")])
+
+
+def test_cli_build_rejects_bad_shard(tmp_path):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="shard"):
+        main(["library", "build", "--db", str(tmp_path / "s.sqlite"),
+              "--shard", "9/4", "--quiet"])
+
+
+def test_cli_build_shard_matches_library_api(grid, tmp_path):
+    from repro.cli import main
+
+    db = str(tmp_path / "cli-shard.sqlite")
+    code = main([
+        "library", "build", "--db", db,
+        "--components", "multiplier,adder", "--metrics", "wmed",
+        "--widths", str(W), "--thresholds", "1,2,5",
+        "--generations", "40", "--seed", "13", "--unsigned",
+        "--executor", "thread", "--max-workers", "1",
+        "--shard", "1/2", "--quiet",
+    ])
+    assert code == 0
+    assert DesignStore(db).select() == grid["two"][0].select()
+
+
+def test_cli_serve_rejects_missing_store_in_any_position(tmp_path):
+    from repro.cli import main
+
+    real = str(tmp_path / "real.sqlite")
+    DesignStore(real)
+    with pytest.raises(SystemExit, match="no design store"):
+        main(["serve", "--db", real,
+              "--db", str(tmp_path / "missing.sqlite")])

@@ -53,6 +53,14 @@ SPEC = BuildSpec(
 # in-process single server (the dispatch-level tests are unaffected).
 _TEST_PROCS = int(os.environ.get("REPRO_SERVE_TEST_PROCS") or "0")
 
+# CI matrix leg: REPRO_SERVE_TEST_FEDERATED=1 mounts the fixture store
+# as a two-store federation (the built store + an empty sibling), so
+# every HTTP and dispatch test in this file exercises the
+# FederatedStore read surface.  The union with an empty store is
+# exactly the single store's content, so every assertion comparing
+# responses against direct queries on `store` holds unchanged.
+_TEST_FEDERATED = os.environ.get("REPRO_SERVE_TEST_FEDERATED") == "1"
+
 _FORK_OK = sys.platform != "win32"
 multiproc = pytest.mark.skipif(
     not _FORK_OK, reason="multi-process serving requires fork()"
@@ -65,19 +73,30 @@ def served(tmp_path_factory):
     db = str(tmp_path_factory.mktemp("serve") / "lib.sqlite")
     store = DesignStore(db)
     build_library(store, SPEC, max_workers=1, executor="thread")
+    serve_db = db
+    ctx_store = store
+    if _TEST_FEDERATED:
+        from repro.library import FederatedStore
+
+        empty = str(tmp_path_factory.mktemp("serve-fed") / "empty.sqlite")
+        DesignStore(empty)  # create a valid empty store file
+        serve_db = [db, empty]
+        ctx_store = FederatedStore(serve_db)
     if _TEST_PROCS > 1:
         if not _FORK_OK:  # pragma: no cover - matrix leg is Linux-only
             pytest.skip("REPRO_SERVE_TEST_PROCS needs fork()")
-        mps = MultiProcessServer(db, port=0, procs=_TEST_PROCS, quiet=True)
+        mps = MultiProcessServer(
+            serve_db, port=0, procs=_TEST_PROCS, quiet=True
+        )
         mps.start()
-        yield store, ServeContext(store=store), \
+        yield store, ServeContext(store=ctx_store), \
             f"http://127.0.0.1:{mps.port}"
         mps.stop()
         return
-    server = create_server(db, port=0, quiet=True)
+    server = create_server(serve_db, port=0, quiet=True)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    yield store, ServeContext(store=store), \
+    yield store, ServeContext(store=ctx_store), \
         f"http://127.0.0.1:{server.server_port}"
     server.shutdown()
     server.server_close()
