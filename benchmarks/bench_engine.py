@@ -15,7 +15,12 @@ Measures, for one operand width:
   under both evaluators with the same RNG seed, asserting the
   ``(wmed, area)`` trajectories are identical (the engine must change
   throughput, never results) and recording the phenotype-cache hit
-  rate of the run.
+  rate of the run;
+* **sampled wide-operand evolution** — a width-16 multiplier evolved
+  under the Monte-Carlo objective (``--eval sampled`` on the CLI): the
+  exhaustive space would need 2**32 vectors, so this measures the
+  sampled path's evals/s and gates on it completing within
+  ``--sampled-max-s`` (the wide-width smoke tripwire).
 
 Results are appended-free-written to ``BENCH_engine.json`` at the repo
 root (override with ``--out``) so perf trajectories can be tracked
@@ -240,6 +245,55 @@ def bench_evolve(width: int, generations: int, seed: int = 7) -> dict:
     }
 
 
+def bench_sampled_evolve(
+    width: int, generations: int, samples: int, replicates: int,
+    seed: int = 7,
+) -> dict:
+    """Width-``width`` sampled multiplier evolve: wall time + evals/s.
+
+    Uses the same SeedSequence-derived stimulus for any run of this
+    configuration, so the trajectory (and the reported estimate) is a
+    deterministic function of the arguments.
+    """
+    from repro.core.components import COMPONENTS, sampled_component_objective
+    from repro.core.objective import SampleSpec
+    from repro.engine import CompiledSampledObjective
+    from repro.errors.distributions import paper_d2
+
+    dist = paper_d2(width)
+    spec = SampleSpec(samples=samples, replicates=replicates, seed=0)
+    objective = CompiledSampledObjective(
+        sampled_component_objective("multiplier", width, dist, spec)
+    )
+    seed_chrom = netlist_to_chromosome(
+        COMPONENTS["multiplier"].build_seed(width, False)
+    )
+    cfg = EvolutionConfig(generations=generations)
+    threshold = 0.01
+    t0 = time.perf_counter()
+    result = evolve(
+        seed_chrom, objective, threshold,
+        config=cfg, rng=np.random.default_rng(seed),
+    )
+    elapsed = time.perf_counter() - t0
+    best = result.best_eval
+    return {
+        "width": width,
+        "generations": generations,
+        "samples": samples,
+        "replicates": replicates,
+        "seed": seed,
+        "threshold": threshold,
+        "wall_s": round(elapsed, 3),
+        "evaluations": result.evaluations,
+        "evals_per_s": round(result.evaluations / elapsed, 1),
+        "final_error": best.wmed,
+        "final_ci": [best.ci_low, best.ci_high],
+        "final_area": best.area,
+        "feasible": best.wmed <= threshold,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--width", type=int, default=8)
@@ -263,6 +317,17 @@ def main(argv=None) -> int:
         help="exit non-zero unless this backend is actually in use "
         "(CI uses it so a silently broken C build cannot pass as native)",
     )
+    ap.add_argument(
+        "--sampled-generations", type=int, default=120,
+        help="generations for the width-16 sampled-evolve section",
+    )
+    ap.add_argument("--sampled-samples", type=int, default=512)
+    ap.add_argument("--sampled-replicates", type=int, default=4)
+    ap.add_argument(
+        "--sampled-max-s", type=float, default=300.0,
+        help="exit non-zero if the sampled evolve takes longer than this "
+        "(the wide-operand path must complete in minutes, not hours)",
+    )
     ap.add_argument("--out", default=DEFAULT_OUT)
     args = ap.parse_args(argv)
 
@@ -271,6 +336,8 @@ def main(argv=None) -> int:
         args.generations = min(args.generations, 30)
         args.reps = min(args.reps, 10)
         args.rounds = min(args.rounds, 3)
+        args.sampled_generations = min(args.sampled_generations, 30)
+        args.sampled_max_s = min(args.sampled_max_s, 120.0)
         if args.min_speedup is None:
             args.min_speedup = 2.0
 
@@ -306,6 +373,20 @@ def main(argv=None) -> int:
         f" | trajectories identical: {evo['trajectories_identical']}"
     )
 
+    sampled = bench_sampled_evolve(
+        16, args.sampled_generations,
+        args.sampled_samples, args.sampled_replicates,
+    )
+    print(
+        f"sampled evolve w={sampled['width']}"
+        f" ({sampled['samples']}x{sampled['replicates']} samples):"
+        f" {sampled['wall_s']} s"
+        f" | {sampled['evals_per_s']} evals/s"
+        f" | error {100 * sampled['final_error']:.4f}%"
+        f" ci95 [{100 * sampled['final_ci'][0]:.4f}%,"
+        f" {100 * sampled['final_ci'][1]:.4f}%]"
+    )
+
     record = {
         "benchmark": "engine",
         "config": {
@@ -319,6 +400,7 @@ def main(argv=None) -> int:
         "single_eval": single,
         "brood_batch": brood,
         "evolve": evo,
+        "sampled_evolve": sampled,
     }
     out = os.path.abspath(args.out)
     with open(out, "w") as fh:
@@ -336,6 +418,12 @@ def main(argv=None) -> int:
         print(
             f"FAIL: single-eval speedup {single['speedup']}x below "
             f"required {args.min_speedup}x"
+        )
+        return 1
+    if sampled["wall_s"] > args.sampled_max_s:
+        print(
+            f"FAIL: sampled evolve took {sampled['wall_s']} s, "
+            f"over the {args.sampled_max_s} s gate"
         )
         return 1
     if not args.smoke and evo["cache_hits"] == 0:

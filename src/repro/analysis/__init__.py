@@ -12,6 +12,7 @@ from .sweep import (
     PAPER_WMED_LEVELS,
     DesignPoint,
     characterize_design,
+    characterize_design_sampled,
     characterize_multiplier,
     evolve_front,
     grid_front,
@@ -33,6 +34,7 @@ __all__ = [
     "PAPER_WMED_LEVELS",
     "DesignPoint",
     "characterize_design",
+    "characterize_design_sampled",
     "characterize_multiplier",
     "evolve_front",
     "grid_front",

@@ -46,7 +46,7 @@ from ..circuits.simulator import truth_table
 from ..core.chromosome import Chromosome
 from ..core.components import get_component
 from ..core.evolution import EvolutionConfig, EvolutionResult, evolve
-from ..core.objective import CircuitObjective
+from ..core.objective import CircuitObjective, SampleSpec
 from ..core.seeding import netlist_to_chromosome, params_for_netlist
 from ..errors.distributions import Distribution
 from ..errors.metrics import get_metric, mean_error_distance
@@ -59,6 +59,7 @@ __all__ = [
     "DesignPoint",
     "canonical_combos",
     "characterize_design",
+    "characterize_design_sampled",
     "characterize_multiplier",
     "evolve_front",
     "parallel_front",
@@ -203,6 +204,87 @@ def characterize_design(
     )
 
 
+def characterize_design_sampled(
+    netlist: Netlist,
+    width: int,
+    dists: Sequence[Distribution],
+    sample: SampleSpec,
+    component: str = "multiplier",
+    metric: str = "wmed",
+    name: str = "",
+    source: str = "",
+    threshold_percent: float = float("nan"),
+    library: Optional[TechLibrary] = None,
+    activity_dist: Optional[Distribution] = None,
+    evolution: Optional[EvolutionResult] = None,
+) -> DesignPoint:
+    """Sampled sibling of :func:`characterize_design` for wide operands.
+
+    Nothing here enumerates the ``2**ni`` vector space: error figures
+    are WMED *estimates* from each distribution's reproducible sample
+    (same stream discipline as the evolving objective), the power
+    model's switching activity comes from the activity distribution's
+    sampled stimulus (the :func:`mac_summary` approach), and
+    ``DesignPoint.table`` holds the design's outputs *at the activity
+    sample's vectors* — not a truth table indexed by vector.
+    """
+    from ..core.components import sampled_component_objective
+    from ..tech.area import circuit_area
+    from ..tech.power import circuit_power
+    from ..tech.timing import critical_path_delay
+
+    if not dists:
+        raise ValueError("at least one distribution required")
+    comp = get_component(component)
+    _check_component_signedness(comp, dists[0])
+    signed = dists[0].signed
+    if any(d.signed != signed for d in dists):
+        raise ValueError("distributions disagree on signedness")
+    act = activity_dist or dists[0]
+    for d in (*dists, act):
+        if d.width != width:
+            raise ValueError(
+                f"distribution width {d.width} != component width {width}"
+            )
+    chromosome = netlist_to_chromosome(netlist)
+    wmed_by_dist: Dict[str, float] = {}
+    table: Optional[np.ndarray] = None
+    act_stimulus: Optional[np.ndarray] = None
+    act_vectors = 0
+    for d in (*dists, act):
+        if d.name in wmed_by_dist and act_stimulus is not None:
+            continue
+        objective = sampled_component_objective(
+            comp.name, width, d, sample, metric="wmed", library=library
+        )
+        if d.name not in wmed_by_dist:
+            wmed_by_dist[d.name] = objective.estimate(chromosome).value
+        if act_stimulus is None and d.name == act.name:
+            table = objective.truth_table(chromosome)
+            act_stimulus = objective.stimulus
+            act_vectors = objective.num_vectors
+    lib = library or default_library()
+    summary = TimingPowerSummary(
+        area=circuit_area(netlist, lib),
+        power=circuit_power(
+            netlist, lib, input_words=act_stimulus, num_vectors=act_vectors
+        ),
+        delay=critical_path_delay(netlist, lib),
+    )
+    return DesignPoint(
+        name=name or netlist.name,
+        source=source,
+        threshold_percent=threshold_percent,
+        netlist=netlist,
+        table=table,
+        summary=summary,
+        wmed_by_dist=wmed_by_dist,
+        evolution=evolution,
+        component=comp.name,
+        metric=get_metric(metric).name,
+    )
+
+
 def characterize_multiplier(
     netlist: Netlist,
     width: int,
@@ -290,6 +372,7 @@ def make_objective(
     engine: str = "auto",
     component: str = "multiplier",
     metric: str = "wmed",
+    sample: Optional[SampleSpec] = None,
 ) -> CircuitObjective:
     """Build the candidate objective the sweeps run on.
 
@@ -298,10 +381,31 @@ def make_objective(
     engine, forced backend) or ``"off"`` (the interpreted
     :class:`~repro.core.objective.CircuitObjective`).  All produce
     bit-identical results; the engine is just faster.
+
+    ``sample`` switches to Monte-Carlo evaluation: the objective scores
+    candidates on a reproducible operand sample (see
+    :func:`~repro.core.components.sampled_component_objective`) instead
+    of the exhaustive vector space, returning estimates with confidence
+    intervals — the only mode available past each component's exhaustive
+    ``max_width``.
     """
     from ..core.components import component_objective, get_component
 
     comp = get_component(component)
+    if sample is not None:
+        from ..core.components import sampled_component_objective
+
+        objective = sampled_component_objective(
+            comp.name, width, design_dist, sample,
+            metric=metric, library=library,
+        )
+        if engine == "off":
+            return objective
+        if engine not in ("auto", "native", "numpy"):
+            raise ValueError(f"unknown engine mode {engine!r}")
+        from ..engine import CompiledSampledObjective
+
+        return CompiledSampledObjective(objective, backend=engine)
     if engine == "off":
         return component_objective(
             comp.name, width, design_dist, metric=metric, library=library
@@ -354,15 +458,21 @@ def _resolve_seed_netlist(
     component: str,
     design_dist: Distribution,
     width: int,
+    sample: Optional[SampleSpec] = None,
 ) -> Netlist:
     """Resolve + validate one sweep cell's seed before any work runs.
 
     Both guards fail fast in the caller: raising only inside a pool
-    worker would discard every other cell's completed work.
+    worker would discard every other cell's completed work.  Sampled
+    sweeps are width-checked against the sampled bound (no exhaustive
+    table is ever built), exhaustive sweeps against ``max_width``.
     """
     comp = get_component(component)
     _check_component_signedness(comp, design_dist)
-    comp.check_width(width)
+    if sample is not None:
+        comp.check_sampled_width(width)
+    else:
+        comp.check_width(width)
     if seed_netlist is not None:
         return seed_netlist
     return comp.build_seed(width, design_dist.signed)
@@ -382,6 +492,7 @@ def evolve_front(
     engine: str = "auto",
     component: str = "multiplier",
     metric: str = "wmed",
+    sample: Optional[SampleSpec] = None,
 ) -> List[DesignPoint]:
     """Sweep error targets, evolving one design per target.
 
@@ -404,20 +515,23 @@ def evolve_front(
         component: Registered component name (``multiplier``, ``adder``,
             ``mac``, ``divider``, ``subtractor``, ``barrel-shifter``).
         metric: Error metric driving Eq. (1).
+        sample: When given, evaluate candidates (and characterize the
+            survivors) on this reproducible operand sample instead of
+            the exhaustive vector space — the wide-operand mode.
 
     Returns:
         One :class:`DesignPoint` per threshold, in sweep order.
     """
     rng = rng or np.random.default_rng()
     seed_netlist = _resolve_seed_netlist(
-        seed_netlist, component, design_dist, width
+        seed_netlist, component, design_dist, width, sample
     )
     params = params_for_netlist(
         seed_netlist, extra_columns=extra_columns
     )
     seed = netlist_to_chromosome(seed_netlist, params)
     evaluator = make_objective(
-        width, design_dist, library, engine, component, metric
+        width, design_dist, library, engine, component, metric, sample
     )
     points: List[DesignPoint] = []
     parent: Chromosome = seed
@@ -428,7 +542,7 @@ def evolve_front(
         points.append(
             _characterize_evolved(
                 result, width, design_dist, eval_dists, level, library,
-                component, metric,
+                component, metric, sample,
             )
         )
         if chain_targets:
@@ -445,6 +559,7 @@ def _characterize_evolved(
     library: Optional[TechLibrary],
     component: str = "multiplier",
     metric: str = "wmed",
+    sample: Optional[SampleSpec] = None,
 ) -> DesignPoint:
     """Name + characterize one evolved survivor (shared by all sweeps)."""
     comp = get_component(component)
@@ -457,6 +572,21 @@ def _characterize_evolved(
     netlist = result.best.to_netlist(
         name=f"{prefix}{width}_{design_dist.name}_{metric}{level:g}"
     )
+    if sample is not None:
+        return characterize_design_sampled(
+            netlist,
+            width,
+            eval_dists,
+            sample,
+            component=component,
+            metric=metric,
+            name=netlist.name,
+            source=f"proposed ({design_dist.name})",
+            threshold_percent=level,
+            library=library,
+            activity_dist=design_dist,
+            evolution=result,
+        )
     return characterize_design(
         netlist,
         width,
@@ -487,7 +617,7 @@ def _front_task(
     (
         seed_netlist, width, design_dist, level, eval_dists,
         config, seed_seq, library, extra_columns, engine,
-        component, metric,
+        component, metric, sample,
     ) = args
     t0 = perf_counter()
     with span(
@@ -497,7 +627,7 @@ def _front_task(
         params = params_for_netlist(seed_netlist, extra_columns=extra_columns)
         seed = netlist_to_chromosome(seed_netlist, params)
         evaluator = make_objective(
-            width, design_dist, library, engine, component, metric
+            width, design_dist, library, engine, component, metric, sample
         )
         result = evolve(
             seed,
@@ -508,7 +638,7 @@ def _front_task(
         )
         point = _characterize_evolved(
             result, width, design_dist, eval_dists, level, library,
-            component, metric,
+            component, metric, sample,
         )
         sp.tag(evaluations=result.evaluations)
     point.wall_s = perf_counter() - t0
@@ -579,6 +709,7 @@ def parallel_front(
     engine: str = "auto",
     component: str = "multiplier",
     metric: str = "wmed",
+    sample: Optional[SampleSpec] = None,
 ) -> List[DesignPoint]:
     """Evolve one design per error target, targets in parallel.
 
@@ -602,7 +733,7 @@ def parallel_front(
         One :class:`DesignPoint` per threshold, in input order.
     """
     seed_netlist = _resolve_seed_netlist(
-        seed_netlist, component, design_dist, width
+        seed_netlist, component, design_dist, width, sample
     )
     levels = list(thresholds_percent)
     children = np.random.SeedSequence(seed).spawn(len(levels))
@@ -610,7 +741,7 @@ def parallel_front(
         (
             seed_netlist, width, design_dist, level, tuple(eval_dists),
             config, child, library, extra_columns, engine,
-            component, metric,
+            component, metric, sample,
         )
         for level, child in zip(levels, children)
     ]
@@ -633,6 +764,7 @@ def grid_front(
     engine: str = "auto",
     skip_cell: Optional[Callable[[str, str, float], bool]] = None,
     on_point: Optional[Callable[[str, str, float, DesignPoint], None]] = None,
+    sample: Optional[SampleSpec] = None,
 ) -> Dict[Tuple[str, str], List[Optional[DesignPoint]]]:
     """Sweep the full ``component x metric x threshold`` grid.
 
@@ -678,7 +810,7 @@ def grid_front(
         ):
             continue  # the seed netlist build is not free; skip it too
         seed_net = _resolve_seed_netlist(
-            None, component, design_dist, width
+            None, component, design_dist, width, sample
         )
         for j, level in enumerate(levels):
             if skip_cell is not None and skip_cell(component, metric, level):
@@ -687,7 +819,7 @@ def grid_front(
                 (
                     seed_net, width, design_dist, level, tuple(eval_dists),
                     config, children[i * len(levels) + j], library,
-                    extra_columns, engine, component, metric,
+                    extra_columns, engine, component, metric, sample,
                 )
             )
             cell_of_task.append((i, j))

@@ -84,12 +84,30 @@ def parse_distribution(spec: str, width: int, signed: bool) -> Distribution:
 
 def _cmd_evolve(args: argparse.Namespace) -> int:
     comp = get_component(args.component)
+    sample = None
+    if args.eval == "sampled":
+        from .core.objective import SampleSpec
+
+        try:
+            sample = SampleSpec(
+                samples=args.samples,
+                replicates=args.replicates,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     try:
-        comp.check_width(args.width)
+        if sample is not None:
+            comp.check_sampled_width(args.width)
+        else:
+            comp.check_width(args.width)
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     signed = comp.resolve_signed(not args.unsigned)
-    dist = parse_distribution(args.dist, args.width, signed)
+    try:
+        dist = parse_distribution(args.dist, args.width, signed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     seed_net = comp.build_seed(args.width, signed)
     params = params_for_netlist(seed_net, extra_columns=args.extra_columns)
     seed = netlist_to_chromosome(seed_net, params)
@@ -101,6 +119,7 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
         engine=args.engine,
         component=comp.name,
         metric=args.metric,
+        sample=sample,
     )
     result = evolve(
         seed,
@@ -115,10 +134,17 @@ def _cmd_evolve(args: argparse.Namespace) -> int:
             fh.write(text + "\n")
     else:
         print(text)
+    best = result.best_eval
+    ci = ""
+    if sample is not None:
+        ci = (
+            f" ci95=[{100 * best.ci_low:.4f}%, {100 * best.ci_high:.4f}%]"
+            f" samples={sample.samples}x{sample.replicates}"
+        )
     print(
         f"# component={comp.name} metric={evaluator.metric.name} "
-        f"error={100 * result.best_eval.wmed:.4f}% "
-        f"area={result.best_eval.area:.1f}um2 "
+        f"error={100 * best.wmed:.4f}%{ci} "
+        f"area={best.area:.1f}um2 "
         f"evaluations={result.evaluations}",
         file=sys.stderr,
     )
@@ -565,6 +591,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ev.add_argument("--extra-columns", type=int, default=20)
     p_ev.add_argument("--unsigned", action="store_true")
     p_ev.add_argument("--seed", type=int, default=0)
+    p_ev.add_argument(
+        "--eval",
+        choices=("exhaustive", "sampled"),
+        default="exhaustive",
+        help="candidate scoring: 'exhaustive' enumerates every input "
+        "vector (width-limited); 'sampled' estimates the metric on a "
+        "reproducible operand sample with a 95%% confidence interval — "
+        "required for wide operands (e.g. multipliers past width 10)",
+    )
+    p_ev.add_argument(
+        "--samples", type=int, default=4096,
+        help="sampled mode: vectors per replicate stream",
+    )
+    p_ev.add_argument(
+        "--replicates", type=int, default=8,
+        help="sampled mode: independent sample streams (the CI comes "
+        "from the spread of their per-stream estimates)",
+    )
     p_ev.add_argument(
         "--engine",
         choices=("auto", "native", "numpy", "off"),

@@ -15,13 +15,21 @@ from .components import (
     mac_objective,
     multiplier_objective,
     netlist_objective,
+    sampled_component_objective,
     subtractor_objective,
 )
 from .evolution import EvolutionConfig, EvolutionResult, evolve
 from .fitness import EvalResult, MultiplierFitness
 from .generic_fitness import CircuitFitness
 from .mutation import mutate, random_gene_value
-from .objective import CircuitObjective
+from .objective import (
+    CircuitObjective,
+    SampledEvalResult,
+    SampledObjective,
+    SampledStimulus,
+    SampleSpec,
+    draw_sampled_stimulus,
+)
 from .pareto import dominates, hypervolume_2d, pareto_indices, pareto_points
 from .seeding import netlist_to_chromosome, params_for_netlist, random_chromosome
 from .serialization import chromosome_from_string, chromosome_to_string
@@ -43,7 +51,13 @@ __all__ = [
     "mac_objective",
     "multiplier_objective",
     "netlist_objective",
+    "sampled_component_objective",
     "subtractor_objective",
+    "SampledEvalResult",
+    "SampledObjective",
+    "SampledStimulus",
+    "SampleSpec",
+    "draw_sampled_stimulus",
     "CGP_FUNCTION_SET",
     "CGPParams",
     "Chromosome",

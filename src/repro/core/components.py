@@ -43,11 +43,12 @@ from ..circuits.simulator import truth_table
 from ..errors.distributions import Distribution
 from ..errors.truth_tables import (
     exact_product_table,
+    max_product_magnitude,
     operand_values,
     operand_weights,
 )
 from ..tech.library import TechLibrary
-from .objective import CircuitObjective
+from .objective import CircuitObjective, SampledObjective, SampleSpec
 
 __all__ = [
     "ComponentSpec",
@@ -56,6 +57,7 @@ __all__ = [
     "get_component",
     "infer_component",
     "component_objective",
+    "sampled_component_objective",
     "multiplier_objective",
     "adder_objective",
     "mac_objective",
@@ -99,6 +101,18 @@ class ComponentSpec:
             in vector order (always equal to simulating the seed).
         supports_signed: Whether a two's-complement variant exists.
         max_width: Largest practical operand width (exhaustive tables).
+        reference_at: ``(width, signed, vectors) -> int64`` exact
+            outputs at the given raw input-vector patterns — the
+            closed-form per-vector sibling of ``reference``, usable at
+            widths where the full table cannot be materialized (the
+            sampled-evaluation path).
+        max_abs_reference: ``(width, signed) -> int`` closed-form
+            ``max |reference|`` over the full domain — the sampled
+            objective's normalizer, equal to what the exhaustive
+            objective derives from the materialized table.
+        sampled_max_width: Largest operand width the sampled path
+            supports (bounded by 62-bit vector patterns and int64
+            reference arithmetic, not by table size).
     """
 
     name: str
@@ -108,6 +122,11 @@ class ComponentSpec:
     reference: Callable[[int, bool], np.ndarray]
     supports_signed: bool = True
     max_width: int = 16
+    reference_at: Optional[
+        Callable[[int, bool, np.ndarray], np.ndarray]
+    ] = None
+    max_abs_reference: Optional[Callable[[int, bool], int]] = None
+    sampled_max_width: int = 31
 
     def check_width(self, width: int) -> None:
         if width <= 0:
@@ -116,7 +135,23 @@ class ComponentSpec:
             raise ValueError(
                 f"{self.name} objective is exhaustive over "
                 f"2**{self.num_inputs(width)} vectors; width must be "
-                f"<= {self.max_width}"
+                f"<= {self.max_width} (the sampled path supports up to "
+                f"{self.sampled_max_width})"
+            )
+
+    def check_sampled_width(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if self.reference_at is None or self.max_abs_reference is None:
+            raise ValueError(
+                f"{self.name} has no closed-form per-vector reference; "
+                f"sampled evaluation is unavailable"
+            )
+        if width > self.sampled_max_width:
+            raise ValueError(
+                f"{self.name} sampled evaluation supports width <= "
+                f"{self.sampled_max_width} (62-bit packed vectors, int64 "
+                f"reference arithmetic); got {width}"
             )
 
     def resolve_signed(self, signed: bool) -> bool:
@@ -234,6 +269,101 @@ def _shifter_reference(width: int, signed: bool) -> np.ndarray:
     return (x << s) & ((1 << width) - 1)
 
 
+# ----------------------------------------------------------------------
+# Per-vector closed-form references (the sampled-evaluation path):
+# identical arithmetic to the table builders above, but evaluated only
+# at the given raw input-vector patterns, so they work at widths whose
+# 2**ni tables cannot exist.
+# ----------------------------------------------------------------------
+def _decode_at(patterns: np.ndarray, bits: int, signed: bool) -> np.ndarray:
+    """Numeric value of each ``bits``-wide pattern, without a table."""
+    v = patterns.astype(np.int64)
+    if signed:
+        half = np.int64(1 << (bits - 1))
+        v = np.where(v >= half, v - np.int64(1 << bits), v)
+    return v
+
+
+def _operands_at(vectors: np.ndarray, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Raw ``(x, y)`` operand patterns of each vector (standard layout)."""
+    v = vectors.astype(np.int64)
+    mask = np.int64((1 << width) - 1)
+    return v & mask, (v >> width) & mask
+
+
+def _multiplier_reference_at(
+    width: int, signed: bool, vectors: np.ndarray
+) -> np.ndarray:
+    x, y = _operands_at(vectors, width)
+    return _decode_at(x, width, signed) * _decode_at(y, width, signed)
+
+
+def _adder_reference_at(
+    width: int, signed: bool, vectors: np.ndarray
+) -> np.ndarray:
+    x, y = _operands_at(vectors, width)
+    return x + y
+
+
+def _mac_reference_at(
+    width: int, signed: bool, vectors: np.ndarray
+) -> np.ndarray:
+    acc_width = _mac_acc_width(width)
+    x, y = _operands_at(vectors, width)
+    acc = _decode_at(
+        vectors.astype(np.int64) >> (2 * width), acc_width, signed
+    )
+    total = acc + _decode_at(x, width, signed) * _decode_at(y, width, signed)
+    return _decode_at(
+        total & np.int64((1 << acc_width) - 1), acc_width, signed
+    )
+
+
+def _divider_reference_at(
+    width: int, signed: bool, vectors: np.ndarray
+) -> np.ndarray:
+    x, y = _operands_at(vectors, width)
+    return np.where(y == 0, (1 << width) - 1, x // np.maximum(y, 1))
+
+
+def _subtractor_reference_at(
+    width: int, signed: bool, vectors: np.ndarray
+) -> np.ndarray:
+    x, y = _operands_at(vectors, width)
+    return (x - y) & np.int64((1 << (width + 1)) - 1)
+
+
+def _shifter_reference_at(
+    width: int, signed: bool, vectors: np.ndarray
+) -> np.ndarray:
+    from ..circuits.generators import shift_amount_bits
+
+    x, y = _operands_at(vectors, width)
+    s = y & np.int64((1 << shift_amount_bits(width)) - 1)
+    return (x << s) & np.int64((1 << width) - 1)
+
+
+# Closed-form max |reference| over the full domain — each provably equal
+# to the materialized table's maximum (asserted by the test suite at
+# small widths): adder attains 2*(2**w - 1); the divider's x/0 all-ones
+# convention and the s=0 shift attain 2**w - 1; the wrapped difference
+# attains all-ones at (x=0, y=1); the MAC's wrapped accumulator attains
+# the unsigned all-ones / the signed minimum at x*y = 0.
+def _mac_max_abs(width: int, signed: bool) -> int:
+    acc_width = _mac_acc_width(width)
+    return (1 << (acc_width - 1)) if signed else (1 << acc_width) - 1
+
+
+_MAX_ABS_REFERENCE: Dict[str, Callable[[int, bool], int]] = {
+    "multiplier": max_product_magnitude,
+    "adder": lambda w, s: (1 << (w + 1)) - 2,
+    "mac": _mac_max_abs,
+    "divider": lambda w, s: (1 << w) - 1,
+    "subtractor": lambda w, s: (1 << (w + 1)) - 1,
+    "barrel-shifter": lambda w, s: (1 << w) - 1,
+}
+
+
 COMPONENTS: Dict[str, ComponentSpec] = {
     "multiplier": ComponentSpec(
         name="multiplier",
@@ -243,6 +373,9 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         reference=exact_product_table,
         supports_signed=True,
         max_width=10,
+        reference_at=_multiplier_reference_at,
+        max_abs_reference=_MAX_ABS_REFERENCE["multiplier"],
+        sampled_max_width=31,
     ),
     "adder": ComponentSpec(
         name="adder",
@@ -252,6 +385,9 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         reference=_adder_reference,
         supports_signed=False,
         max_width=10,
+        reference_at=_adder_reference_at,
+        max_abs_reference=_MAX_ABS_REFERENCE["adder"],
+        sampled_max_width=31,
     ),
     "mac": ComponentSpec(
         name="mac",
@@ -261,6 +397,10 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         reference=_mac_reference,
         supports_signed=True,
         max_width=_MAC_MAX_WIDTH,
+        reference_at=_mac_reference_at,
+        max_abs_reference=_MAX_ABS_REFERENCE["mac"],
+        # ni = 4w + 1 must fit a 62-bit packed vector pattern.
+        sampled_max_width=15,
     ),
     "divider": ComponentSpec(
         name="divider",
@@ -270,6 +410,9 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         reference=_divider_reference,
         supports_signed=False,
         max_width=10,
+        reference_at=_divider_reference_at,
+        max_abs_reference=_MAX_ABS_REFERENCE["divider"],
+        sampled_max_width=31,
     ),
     "subtractor": ComponentSpec(
         name="subtractor",
@@ -279,6 +422,9 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         reference=_subtractor_reference,
         supports_signed=False,
         max_width=10,
+        reference_at=_subtractor_reference_at,
+        max_abs_reference=_MAX_ABS_REFERENCE["subtractor"],
+        sampled_max_width=31,
     ),
     "barrel-shifter": ComponentSpec(
         name="barrel-shifter",
@@ -288,6 +434,9 @@ COMPONENTS: Dict[str, ComponentSpec] = {
         reference=_shifter_reference,
         supports_signed=False,
         max_width=10,
+        reference_at=_shifter_reference_at,
+        max_abs_reference=_MAX_ABS_REFERENCE["barrel-shifter"],
+        sampled_max_width=31,
     ),
 }
 
@@ -495,6 +644,47 @@ def component_objective(
     comp = get_component(component)
     return _OBJECTIVE_BUILDERS[comp.name](
         width, dist, metric=metric, library=library
+    )
+
+
+def sampled_component_objective(
+    component: str,
+    width: int,
+    dist,
+    spec: Optional[SampleSpec] = None,
+    metric: object = "wmed",
+    library: Optional[TechLibrary] = None,
+) -> SampledObjective:
+    """Monte-Carlo objective for a registered component at any width.
+
+    The sampled sibling of :func:`component_objective`: instead of
+    materializing the ``2**ni`` reference table it draws ``spec.samples
+    * spec.replicates`` input vectors (the ``x`` operand from ``dist``,
+    every other input bit uniform, mirroring ``operand_weights``) and
+    evaluates the component's closed-form ``reference_at`` only there.
+    ``dist`` may be a parametric :class:`~repro.errors.distributions.
+    WideDistribution` — nothing here touches a pmf — so this is the
+    only constructor usable at ``width > max_width``.  At small widths
+    it estimates the same quantity the exhaustive objective computes
+    exactly (same normalizer, same metric semantics).
+    """
+    comp = get_component(component)
+    comp.check_sampled_width(width)
+    if dist.width != width:
+        raise ValueError("distribution width must match operand width")
+    if dist.signed and not comp.supports_signed:
+        raise ValueError(f"the {comp.name} component is unsigned")
+    signed = comp.resolve_signed(dist.signed)
+    return SampledObjective(
+        num_inputs=comp.num_inputs(width),
+        reference_at=lambda v: comp.reference_at(width, signed, v),
+        dist=dist,
+        spec=spec if spec is not None else SampleSpec(),
+        signed=signed,
+        normalizer=float(comp.max_abs_reference(width, signed)),
+        metric=metric,
+        library=library,
+        component=comp.name,
     )
 
 

@@ -28,17 +28,31 @@ kept for backward compatibility.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from ..circuits.simulator import exhaustive_inputs
-from ..errors.metrics import ErrorMetric, get_metric
+from ..circuits.simulator import exhaustive_inputs, pack_input_vectors
+from ..errors.metrics import (
+    ErrorMetric,
+    MetricEstimate,
+    estimate_from_distances,
+    get_metric,
+)
 from ..tech.library import TechLibrary, default_library
 from .chromosome import Chromosome
 
-__all__ = ["EvalResult", "CircuitObjective"]
+__all__ = [
+    "EvalResult",
+    "CircuitObjective",
+    "SampleSpec",
+    "SampledEvalResult",
+    "SampledStimulus",
+    "draw_sampled_stimulus",
+    "SampledObjective",
+]
 
 
 @dataclass(frozen=True)
@@ -209,3 +223,236 @@ class CircuitObjective:
         area = self.area(chromosome)
         fitness = area if error <= threshold else float("inf")
         return EvalResult(fitness=fitness, wmed=error, area=area)
+
+
+# ----------------------------------------------------------------------
+# Sampled evaluation: estimates with confidence intervals for wide
+# operands (the exhaustive 2**ni vector space stops being practical
+# past width ~10 for two-operand components)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SampleSpec:
+    """How a sampled objective draws its stimulus.
+
+    ``samples`` vectors per replicate, ``replicates`` independent
+    streams, all derived from ``SeedSequence(seed)`` — the sample matrix
+    (and therefore every estimate) is a pure function of this spec and
+    the target distribution, never of backend, worker count or
+    evaluation order.
+    """
+
+    samples: int = 4096
+    replicates: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.samples < 2:
+            raise ValueError("samples must be >= 2")
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+
+    @property
+    def total(self) -> int:
+        """Total stimulus vectors, ``samples * replicates``."""
+        return self.samples * self.replicates
+
+    def key(self) -> bytes:
+        """Canonical identity bytes (folded into engine cache keys)."""
+        return repr((self.samples, self.replicates, self.seed)).encode()
+
+
+@dataclass(frozen=True)
+class SampledEvalResult(EvalResult):
+    """An :class:`EvalResult` whose error term is a sampled estimate.
+
+    ``wmed`` (the :attr:`~EvalResult.error` alias) holds the pooled
+    point estimate; ``[ci_low, ci_high]`` its 95 % confidence interval
+    (see :class:`repro.errors.metrics.MetricEstimate` for the interval
+    semantics, including the one-sided ``worst-case`` convention).
+    """
+
+    ci_low: float = float("nan")
+    ci_high: float = float("nan")
+
+
+@dataclass(frozen=True)
+class SampledStimulus:
+    """A reproducibly drawn sample matrix in packed simulation form.
+
+    ``vectors[i]`` is the raw input-vector pattern of sample ``i``
+    (operand ``x`` in the low bits, as in the exhaustive vector order);
+    ``stimulus`` is the same set packed for the simulators, and samples
+    are grouped as ``spec.replicates`` consecutive blocks of
+    ``spec.samples``, one per spawned stream.
+    """
+
+    vectors: np.ndarray
+    stimulus: np.ndarray
+    num_inputs: int
+    width: int
+    spec: SampleSpec
+
+
+def draw_sampled_stimulus(
+    dist, num_inputs: int, spec: SampleSpec
+) -> SampledStimulus:
+    """Draw the sample matrix for a sampled objective.
+
+    Stream discipline: replicate ``r`` uses a generator seeded from
+    ``SeedSequence(spec.seed).spawn(replicates)[r]`` — the same spawning
+    convention as :func:`repro.analysis.sweep.parallel_front` — and
+    draws the ``x`` operand (the low ``dist.width`` bits) from ``dist``
+    via ``sample_patterns`` plus one uniform draw for the remaining
+    input bits.  Works with both materialized :class:`~repro.errors
+    .distributions.Distribution` and parametric
+    :class:`~repro.errors.distributions.WideDistribution` laws.
+    """
+    width = int(dist.width)
+    rest_bits = num_inputs - width
+    if rest_bits < 0:
+        raise ValueError(
+            f"distribution width {width} exceeds input count {num_inputs}"
+        )
+    if num_inputs > 62:
+        raise ValueError(
+            f"sampled vectors are packed into 62-bit patterns; "
+            f"{num_inputs} inputs exceed that"
+        )
+    children = np.random.SeedSequence(spec.seed).spawn(spec.replicates)
+    vectors = np.empty(spec.total, dtype=np.uint64)
+    n = spec.samples
+    for r, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        v = dist.sample_patterns(n, rng).astype(np.uint64)
+        if rest_bits:
+            rest = rng.integers(0, 1 << rest_bits, size=n, dtype=np.uint64)
+            v = v | (rest << np.uint64(width))
+        vectors[r * n : (r + 1) * n] = v
+    return SampledStimulus(
+        vectors=vectors,
+        stimulus=pack_input_vectors(vectors, num_inputs),
+        num_inputs=num_inputs,
+        width=width,
+        spec=spec,
+    )
+
+
+class SampledObjective(CircuitObjective):
+    """Eq. (1) objective evaluated on a reproducible operand sample.
+
+    The sampled counterpart of :class:`CircuitObjective` for operand
+    widths whose exhaustive vector space (``2**num_inputs``) cannot be
+    enumerated: the stimulus is a :class:`SampledStimulus` drawn from
+    the target distribution, the reference is computed *at the sampled
+    vectors only* (closed form, via ``reference_at``), and the weight
+    vector is uniform — samples drawn from ``D`` embody the weighting,
+    so the plain sample mean estimates the weighted metric.  ``med``
+    and ``worst-case`` ignore weights exhaustively, so their sampling
+    law is the uniform distribution instead of ``dist``.
+
+    Every inherited decode/area/evaluate path works unchanged on the
+    sample matrix; :meth:`evaluate` returns a :class:`SampledEvalResult`
+    carrying the 95 % confidence interval.
+
+    Args:
+        num_inputs: Primary input count of the candidates.
+        reference_at: ``vectors -> int64`` exact outputs at the given
+            raw input-vector patterns (closed form; never a table).
+        dist: Target distribution of the ``x`` operand (low bits).
+        spec: Sample-count / replicate / seed specification.
+        signed: Decode candidate output buses as two's complement.
+        normalizer: Error scale (max ``|reference|`` over the *full*
+            domain, closed form — so thresholds keep exhaustive
+            semantics).
+        metric: Metric name or :class:`~repro.errors.metrics
+            .ErrorMetric`.
+        library: Technology library for the area term.
+        component: Component-family tag.
+    """
+
+    def __init__(
+        self,
+        num_inputs: int,
+        reference_at: Callable[[np.ndarray], np.ndarray],
+        dist,
+        spec: SampleSpec,
+        signed: bool = False,
+        normalizer: Optional[float] = None,
+        metric: object = "wmed",
+        library: Optional[TechLibrary] = None,
+        component: str = "",
+    ) -> None:
+        self.metric = get_metric(metric)
+        self.dist = dist
+        self.sample_spec = spec
+        # med and worst-case are uniform-space metrics (their exhaustive
+        # reductions ignore the weight vector), so estimate them from a
+        # uniform sample; the weighted metrics sample from dist itself.
+        if self.metric.name in ("med", "worst-case"):
+            from ..errors.distributions import uniform
+
+            self.sampling_dist = uniform(dist.width, dist.signed)
+        else:
+            self.sampling_dist = dist
+        sampled = draw_sampled_stimulus(self.sampling_dist, num_inputs, spec)
+        self.sampled = sampled
+        self.num_inputs = num_inputs
+        self.num_vectors = spec.total
+        self.stimulus = sampled.stimulus
+        self.reference = np.asarray(
+            reference_at(sampled.vectors), dtype=np.int64
+        ).ravel()
+        if self.reference.shape != (spec.total,):
+            raise ValueError(
+                f"reference_at must return {spec.total} values, got "
+                f"{self.reference.shape}"
+            )
+        self.weights = np.full(spec.total, 1.0 / spec.total)
+        self.signed = signed
+        if normalizer is None:
+            normalizer = float(np.abs(self.reference).max()) or 1.0
+        if normalizer <= 0:
+            raise ValueError("normalizer must be positive")
+        self.normalizer = float(normalizer)
+        self.component = component
+        self.library = library or default_library()
+        self._area_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+        # Sample-spec identity: folded into the engine's cache salt so a
+        # sampled estimate never aliases an exhaustive value or a
+        # different sample spec's estimate for the same phenotype.  The
+        # stimulus bytes pin the realized draw itself.
+        h = hashlib.blake2b(digest_size=8)
+        h.update(b"sampled")
+        h.update(spec.key())
+        h.update((getattr(dist, "spec", "") or dist.name).encode())
+        h.update(self.stimulus.tobytes())
+        self._sample_salt = h.digest()
+
+    def estimate_distances(self, distances: np.ndarray) -> MetricEstimate:
+        """Metric estimate + 95 % CI from a per-sample distance row."""
+        return estimate_from_distances(
+            self.metric,
+            distances,
+            self.normalizer,
+            self.reference,
+            self.sample_spec.replicates,
+        )
+
+    def estimate(self, chromosome: Chromosome) -> MetricEstimate:
+        """Simulate the candidate on the sample and estimate the metric."""
+        return self.estimate_distances(self.error_distances(chromosome))
+
+    def evaluate(
+        self, chromosome: Chromosome, threshold: float
+    ) -> SampledEvalResult:
+        """Eq. (1) on the point estimate, carrying the 95 % CI."""
+        est = self.estimate(chromosome)
+        area = self.area(chromosome)
+        fitness = area if est.value <= threshold else float("inf")
+        return SampledEvalResult(
+            fitness=fitness,
+            wmed=est.value,
+            area=area,
+            ci_low=est.ci_low,
+            ci_high=est.ci_high,
+        )

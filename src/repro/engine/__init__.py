@@ -36,7 +36,11 @@ fallback).
 from .arena import BufferArena
 from .cache import EvalCache
 from .compiler import CompiledPhenotype, compile_netlist, compile_phenotype
-from .evaluator import CompiledMultiplierFitness, CompiledObjective
+from .evaluator import (
+    CompiledMultiplierFitness,
+    CompiledObjective,
+    CompiledSampledObjective,
+)
 from .native import native_available
 from .opcodes import OP_ARITY, OP_NAMES
 
@@ -48,6 +52,7 @@ __all__ = [
     "compile_phenotype",
     "CompiledMultiplierFitness",
     "CompiledObjective",
+    "CompiledSampledObjective",
     "native_available",
     "OP_ARITY",
     "OP_NAMES",

@@ -6,12 +6,14 @@ mutations that only touch inactive genes, or that rewire inactive nodes,
 produce byte-identical compiled programs.  The evolution loop already
 skips offspring whose mutations touch no active gene, but it cannot see
 convergent cases (e.g. a mutation undoing a previous one, or two parents
-drifting onto the same cone).  Caching ``(wmed, area)`` by compiled-
-program signature turns all of those into dictionary hits.
+drifting onto the same cone).  Caching the measure tuple — ``(wmed,
+area)`` exhaustively, ``(wmed, area, ci_low, ci_high)`` for sampled
+objectives — by compiled-program signature turns all of those into
+dictionary hits.
 
 Entries are threshold-independent: Eq. (1) fitness is re-derived from
-``(wmed, area)`` at lookup time, so one cache serves a whole multi-target
-sweep.
+the cached measure at lookup time, so one cache serves a whole
+multi-target sweep.
 """
 
 from __future__ import annotations
@@ -25,7 +27,12 @@ __all__ = ["EvalCache"]
 
 
 class EvalCache:
-    """Bounded LRU map: phenotype signature -> ``(wmed, area)``.
+    """Bounded LRU map: phenotype signature -> measure tuple.
+
+    The measure is whatever the evaluator derives per phenotype:
+    ``(wmed, area)`` for exhaustive objectives, ``(wmed, area, ci_low,
+    ci_high)`` for sampled ones.  One cache never mixes the two — the
+    signature salt folds in the objective (and sample-spec) identity.
 
     Args:
         max_entries: Capacity; 0 disables caching entirely.
@@ -35,7 +42,7 @@ class EvalCache:
         if max_entries < 0:
             raise ValueError("max_entries must be non-negative")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[bytes, Tuple[float, float]]" = (
+        self._entries: "OrderedDict[bytes, Tuple[float, ...]]" = (
             OrderedDict()
         )
         self.hits = 0
@@ -44,7 +51,7 @@ class EvalCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: bytes) -> Optional[Tuple[float, float]]:
+    def get(self, key: bytes) -> Optional[Tuple[float, ...]]:
         # The per-instance ints are the source of truth for stats();
         # the global obs counters are fleet aggregates of the same
         # events (never reset by clear()).
@@ -58,13 +65,13 @@ class EvalCache:
         ENGINE_CACHE_HITS.inc()
         return entry
 
-    def put(self, key: bytes, wmed: float, area: float) -> None:
+    def put(self, key: bytes, *measure: float) -> None:
         if self.max_entries == 0:
             return
         entries = self._entries
         if key in entries:
             entries.move_to_end(key)
-        entries[key] = (wmed, area)
+        entries[key] = measure
         while len(entries) > self.max_entries:
             entries.popitem(last=False)
 

@@ -40,7 +40,12 @@ import numpy as np
 from ..core.chromosome import CGPParams, Chromosome
 from ..obs import catalog as _obs
 from ..core.fitness import MultiplierFitness
-from ..core.objective import CircuitObjective, EvalResult
+from ..core.objective import (
+    CircuitObjective,
+    EvalResult,
+    SampledEvalResult,
+    SampledObjective,
+)
 from ..errors.distributions import Distribution
 from ..tech.library import TechLibrary
 from . import kernels
@@ -50,7 +55,11 @@ from .compiler import compile_genes_into, phenotype_signature
 from .native import NativeLib, native_lib, omp_threads
 from .opcodes import OP_ARITY, OP_NAMES, function_opcode_table
 
-__all__ = ["CompiledObjective", "CompiledMultiplierFitness"]
+__all__ = [
+    "CompiledObjective",
+    "CompiledSampledObjective",
+    "CompiledMultiplierFitness",
+]
 
 
 class _Runtime:
@@ -437,6 +446,12 @@ class _EngineEvalMixin:
         h.update(repr(self.normalizer).encode())
         h.update(self.reference.tobytes())
         h.update(self.weights.tobytes())
+        # Sampled objectives additionally fold the sample-spec identity
+        # (counts, replicates, seed, realized stimulus) so a sampled
+        # estimate never aliases an exhaustive value — or a different
+        # sample's estimate — for the same phenotype.
+        sample_salt = getattr(self, "_sample_salt", b"")
+        h.update(sample_salt)
         self._objective_salt = h.digest()
         # Exact-reduction fast path: some metrics are *provably* equal —
         # bit for bit, not approximately — to a formula over the integer
@@ -474,6 +489,12 @@ class _EngineEvalMixin:
         elif name == "worst-case":
             self._reduce_kind = name
         else:
+            self._reduce_kind = None
+        if sample_salt:
+            # Sampled objectives always materialize the distance row:
+            # the confidence interval comes from per-replicate (or
+            # per-sample) reductions of it, which the integer triple
+            # cannot reconstruct.
             self._reduce_kind = None
         self._w0 = w0
         self.cache = EvalCache(cache_entries)
@@ -539,14 +560,37 @@ class _EngineEvalMixin:
         return float(mx) / self.normalizer  # worst-case
 
     # ------------------------------------------------------------------
+    # Measure-tuple hooks: the measure is whatever per-phenotype record
+    # the objective family caches and turns into results — (error, area)
+    # here; the sampled subclass appends the confidence interval.
+    def _finish_measure(self, err: np.ndarray, area: float) -> tuple:
+        """Measure tuple from a materialized per-vector distance row."""
+        return (
+            self.metric.from_distances(
+                err, self.weights, self.normalizer, self.reference
+            ),
+            area,
+        )
+
+    def _measure_interpreted(self, chromosome: Chromosome) -> tuple:
+        """Measure via the inherited numpy path (no runtime available)."""
+        return (
+            CircuitObjective.error(self, chromosome),
+            CircuitObjective.area(self, chromosome),
+        )
+
+    def _result(self, measure: tuple, threshold: float) -> EvalResult:
+        """Eq. (1) result from a measure tuple."""
+        error, area = measure
+        fitness = area if error <= threshold else float("inf")
+        return EvalResult(fitness=fitness, wmed=error, area=area)
+
+    # ------------------------------------------------------------------
     def _measure(self, chromosome: Chromosome) -> tuple:
-        """(error, area) of a candidate, via cache or fresh execution."""
+        """Measure tuple of a candidate, via cache or fresh execution."""
         rt = self._runtime(chromosome.params)
         if rt is None:
-            return (
-                CircuitObjective.error(self, chromosome),
-                CircuitObjective.area(self, chromosome),
-            )
+            return self._measure_interpreted(chromosome)
         rt.arena.assert_owner()
         n_ops = rt.compile(chromosome.genes)
         caching = self.cache.max_entries > 0
@@ -556,17 +600,19 @@ class _EngineEvalMixin:
             if cached is not None:
                 return cached
         rt.execute(n_ops)
-        if rt.native is not None and self._reduce_kind is not None:
-            error = self._reduce_error(*rt.reduce_stats(self.signed))
-        else:
-            err = rt.error(self.signed, self._exact32)
-            error = self.metric.from_distances(
-                err, self.weights, self.normalizer, self.reference
-            )
         area = float(rt.area_by_op[rt.arena.ops[:n_ops]].sum())
+        if rt.native is not None and self._reduce_kind is not None:
+            measure = (
+                self._reduce_error(*rt.reduce_stats(self.signed)),
+                area,
+            )
+        else:
+            measure = self._finish_measure(
+                rt.error(self.signed, self._exact32), area
+            )
         if caching:
-            self.cache.put(sig, error, area)
-        return error, area
+            self.cache.put(sig, *measure)
+        return measure
 
     def truth_table(self, chromosome: Chromosome) -> np.ndarray:
         self._check_params(chromosome.params)
@@ -587,11 +633,10 @@ class _EngineEvalMixin:
     def evaluate(self, chromosome: Chromosome, threshold: float) -> EvalResult:
         t0 = perf_counter_ns()
         self._check_params(chromosome.params)
-        error, area = self._measure(chromosome)
-        fitness = area if error <= threshold else float("inf")
+        result = self._result(self._measure(chromosome), threshold)
         _obs.ENGINE_EVALS.inc()
         _obs.ENGINE_EVAL_NS.inc(perf_counter_ns() - t0)
-        return EvalResult(fitness=fitness, wmed=error, area=area)
+        return result
 
     def evaluate_batch(
         self, chromosomes: Sequence[Chromosome], threshold: float
@@ -672,11 +717,9 @@ class _EngineEvalMixin:
             _obs.ENGINE_BATCH_EVALS.inc(n_lanes)
             _obs.ENGINE_BATCH_SIZE.observe(n_lanes)
             by_lane: Dict[int, tuple] = {}
-            from_distances = self.metric.from_distances
+            finish = self._finish_measure
             lane_area = rt.lane_area
             cache_put = self.cache.put
-            weights, normalizer = self.weights, self.normalizer
-            reference = self.reference
             signed = self.signed
             fast = rt.native is not None and self._reduce_kind is not None
             if rt.native is not None and nthreads <= 1:
@@ -690,24 +733,23 @@ class _EngineEvalMixin:
                     execute_lane_stats = rt.execute_lane_stats
                     reduce_error = self._reduce_error
                     for i, lane, sig, n_ops in pending:
-                        error = reduce_error(
-                            *execute_lane_stats(lane, signed)
+                        measure = (
+                            reduce_error(*execute_lane_stats(lane, signed)),
+                            lane_area(lane, n_ops),
                         )
-                        area = lane_area(lane, n_ops)
                         if caching:
-                            cache_put(sig, error, area)
-                        measures[i] = by_lane[lane] = (error, area)
+                            cache_put(sig, *measure)
+                        measures[i] = by_lane[lane] = measure
                 else:
                     execute_lane = rt.execute_lane
                     for i, lane, sig, n_ops in pending:
-                        err = execute_lane(lane, signed)
-                        error = from_distances(
-                            err, weights, normalizer, reference
+                        measure = finish(
+                            execute_lane(lane, signed),
+                            lane_area(lane, n_ops),
                         )
-                        area = lane_area(lane, n_ops)
                         if caching:
-                            cache_put(sig, error, area)
-                        measures[i] = by_lane[lane] = (error, area)
+                            cache_put(sig, *measure)
+                        measures[i] = by_lane[lane] = measure
             else:
                 rt.execute_batch(n_lanes, signed, nthreads, stats=fast)
                 batch_err = rt.arena.batch_err
@@ -715,23 +757,21 @@ class _EngineEvalMixin:
                 reduce_error = self._reduce_error
                 for i, lane, sig, n_ops in pending:
                     if fast:
-                        error = reduce_error(*batch_stats[lane].tolist())
-                    else:
-                        error = from_distances(
-                            batch_err[lane], weights, normalizer, reference
+                        measure = (
+                            reduce_error(*batch_stats[lane].tolist()),
+                            lane_area(lane, n_ops),
                         )
-                    area = lane_area(lane, n_ops)
+                    else:
+                        measure = finish(
+                            batch_err[lane], lane_area(lane, n_ops)
+                        )
                     if caching:
-                        cache_put(sig, error, area)
-                    measures[i] = by_lane[lane] = (error, area)
+                        cache_put(sig, *measure)
+                    measures[i] = by_lane[lane] = measure
             for i, lane in dups:
                 measures[i] = by_lane[lane]
-        results = []
-        for error, area in measures:
-            fitness = area if error <= threshold else float("inf")
-            results.append(
-                EvalResult(fitness=fitness, wmed=error, area=area)
-            )
+        result_of = self._result
+        results = [result_of(m, threshold) for m in measures]
         _obs.ENGINE_EVALS.inc(n)
         _obs.ENGINE_EVAL_NS.inc(perf_counter_ns() - t0)
         return results
@@ -790,6 +830,74 @@ class CompiledObjective(_EngineEvalMixin, CircuitObjective):
         # copied — the wrapper only adds engine state on top.
         self.__dict__.update(objective.__dict__)
         self._init_engine(backend, cache_entries)
+
+
+class CompiledSampledObjective(_EngineEvalMixin, SampledObjective):
+    """Engine-backed evaluator for a sampled objective.
+
+    Wraps a :class:`~repro.core.objective.SampledObjective`: candidates
+    compile and execute through the same engine pipeline as
+    :class:`CompiledObjective` — the arena simply holds the packed
+    sample matrix instead of the exhaustive stimulus — and every result
+    is a :class:`~repro.core.objective.SampledEvalResult` carrying the
+    95 % confidence interval.  The phenotype-cache entries store the
+    four-tuple ``(error, area, ci_low, ci_high)``, salted with the
+    sample-spec identity, so sampled and exhaustive evaluations of the
+    same phenotype never alias.  Exact-integer fast reduction is always
+    disabled here: the CI needs the materialized distance row.
+
+    Widths whose reference magnitudes exceed the engine's int32 decode
+    range (e.g. multipliers past width 15) transparently serve through
+    the interpreted sampled path instead — same estimates, no engine.
+
+    Args:
+        objective: The sampled objective to accelerate (anything built
+            by :func:`repro.core.components.sampled_component_objective`).
+        backend: ``"auto"`` (native when buildable, else numpy),
+            ``"native"`` (require the C backend) or ``"numpy"``.
+        cache_entries: Phenotype-cache capacity; 0 disables caching.
+    """
+
+    def __init__(
+        self,
+        objective: SampledObjective,
+        backend: str = "auto",
+        cache_entries: int = 1 << 16,
+    ) -> None:
+        if not isinstance(objective, SampledObjective):
+            raise TypeError(
+                f"expected a SampledObjective, got {type(objective).__name__}"
+            )
+        self.__dict__.update(objective.__dict__)
+        self._init_engine(backend, cache_entries)
+
+    def _finish_measure(self, err: np.ndarray, area: float) -> tuple:
+        est = SampledObjective.estimate_distances(self, err)
+        return (est.value, area, est.ci_low, est.ci_high)
+
+    def _measure_interpreted(self, chromosome: Chromosome) -> tuple:
+        # error_distances() routes through the mixin's truth_table, so
+        # this also covers the engine-undecodable widths.
+        est = SampledObjective.estimate_distances(
+            self, CircuitObjective.error_distances(self, chromosome)
+        )
+        return (
+            est.value,
+            CircuitObjective.area(self, chromosome),
+            est.ci_low,
+            est.ci_high,
+        )
+
+    def _result(self, measure: tuple, threshold: float) -> SampledEvalResult:
+        error, area, ci_low, ci_high = measure
+        fitness = area if error <= threshold else float("inf")
+        return SampledEvalResult(
+            fitness=fitness,
+            wmed=error,
+            area=area,
+            ci_low=ci_low,
+            ci_high=ci_high,
+        )
 
 
 class CompiledMultiplierFitness(_EngineEvalMixin, MultiplierFitness):

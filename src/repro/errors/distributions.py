@@ -19,17 +19,37 @@ Provided constructors cover the paper's distributions:
 * :func:`discretized_half_normal` — D2 (half-normal, decaying from 0),
 * :func:`empirical` — measured from application data (NN weights, filter
   coefficients), the "data-driven" path of the method.
+
+Wide operands
+-------------
+A materialized pmf needs ``2**width`` float64 entries, which stops being
+practical somewhere past 20 bits.  Above :data:`PMF_WIDTH_CUTOFF` the
+constructors therefore return a :class:`WideDistribution` — the same
+``width`` / ``signed`` / ``name`` surface and the same
+``sample_patterns`` sampling contract, but parametric: samples are drawn
+by exact rejection from the underlying continuous density (or directly,
+for the uniform law) and the pmf is never materialized.  Sampling is
+fully deterministic given the :class:`numpy.random.Generator`, which is
+what the sampled-evaluation mode's reproducibility contract relies on.
+
+Narrow distributions sample by inverse-CDF on the cached cumulative
+mass — one uniform draw and one ``searchsorted`` per sample — so narrow
+and wide distributions share one stream discipline: exactly the draws a
+``Generator`` hands out, no table-dependent consumption.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import math
+from dataclasses import dataclass
+from typing import Callable, Union
 
 import numpy as np
 
 __all__ = [
+    "PMF_WIDTH_CUTOFF",
     "Distribution",
+    "WideDistribution",
     "uniform",
     "discretized_normal",
     "discretized_half_normal",
@@ -39,6 +59,10 @@ __all__ = [
     "paper_d1",
     "paper_d2",
 ]
+
+#: Widest operand for which constructors materialize a pmf (2**20 float64
+#: entries = 8 MiB); above it they return a :class:`WideDistribution`.
+PMF_WIDTH_CUTOFF = 20
 
 
 @dataclass(frozen=True)
@@ -104,10 +128,35 @@ class Distribution:
         p = self.pmf[self.pmf > 0]
         return float(-(p * np.log2(p)).sum())
 
+    @property
+    def _cdf(self) -> np.ndarray:
+        # Lazily cached cumulative mass for inverse-CDF sampling (the
+        # dataclass is frozen but still carries a __dict__).
+        cdf = self.__dict__.get("_cdf_arr")
+        if cdf is None:
+            cdf = np.cumsum(self.pmf)
+            cdf[-1] = 1.0
+            object.__setattr__(self, "_cdf_arr", cdf)
+        return cdf
+
+    def sample_patterns(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw raw bit patterns by inverse-CDF (one uniform per sample).
+
+        Zero-mass patterns are never drawn: pattern ``k`` needs
+        ``cdf[k-1] <= u < cdf[k]``, an empty interval when ``pmf[k]`` is
+        zero.  One ``rng.random`` call of ``count`` draws is consumed,
+        independent of the pmf — the stream-discipline property the
+        sampled-evaluation mode relies on.
+        """
+        u = rng.random(count)
+        idx = np.searchsorted(self._cdf, u, side="right")
+        return np.minimum(idx, self.size - 1).astype(np.uint64)
+
     def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """Draw numeric operand values according to the PMF."""
-        idx = rng.choice(self.size, size=count, p=self.pmf)
-        return self.values[idx]
+        return self.values[self.sample_patterns(count, rng).astype(np.int64)]
 
     def renamed(self, name: str) -> "Distribution":
         return Distribution(self.width, self.signed, self.pmf, name)
@@ -117,6 +166,154 @@ class Distribution:
         return f"<Distribution {label}: width={self.width}>"
 
 
+class WideDistribution:
+    """A parametric operand distribution that never materializes its pmf.
+
+    The wide-width counterpart of :class:`Distribution`: same ``width`` /
+    ``signed`` / ``name`` surface and the same
+    :meth:`sample_patterns` contract, but the law is represented by a
+    sampler (exact rejection from the continuous density, or a direct
+    integer draw for the uniform law) instead of a ``2**width`` table.
+    ``spec`` is the canonical parameter string (e.g.
+    ``"normal:8388608:1000000"``) — the distribution's identity for
+    cache keys and reports.
+
+    Accessing :attr:`pmf` or :attr:`values` raises: both would
+    materialize ``2**width`` entries, exactly what this class exists to
+    avoid.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        signed: bool,
+        name: str,
+        spec: str,
+        sampler: Callable[[int, np.random.Generator], np.ndarray],
+    ) -> None:
+        if width <= 0 or width > 62:
+            raise ValueError("WideDistribution width must be in 1..62")
+        self.width = width
+        self.signed = signed
+        self.name = name
+        self.spec = spec
+        self._sampler = sampler
+
+    @property
+    def size(self) -> int:
+        return 1 << self.width
+
+    @property
+    def pmf(self) -> np.ndarray:
+        raise ValueError(
+            f"distribution {self.name or self.spec!r} is parametric: its "
+            f"pmf would need 2**{self.width} entries; use sample_patterns "
+            f"(sampled evaluation) instead of the exhaustive path"
+        )
+
+    @property
+    def values(self) -> np.ndarray:
+        raise ValueError(
+            f"distribution {self.name or self.spec!r} is parametric: the "
+            f"pattern->value table would need 2**{self.width} entries"
+        )
+
+    def decode(self, patterns: np.ndarray) -> np.ndarray:
+        """Numeric value of each raw pattern (two's complement if signed)."""
+        v = patterns.astype(np.int64)
+        if self.signed:
+            half = np.int64(1 << (self.width - 1))
+            v = np.where(v >= half, v - np.int64(1 << self.width), v)
+        return v
+
+    def sample_patterns(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw raw bit patterns from the parametric law."""
+        return self._sampler(count, rng)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw numeric operand values from the parametric law."""
+        return self.decode(self.sample_patterns(count, rng))
+
+    def renamed(self, name: str) -> "WideDistribution":
+        return WideDistribution(
+            self.width, self.signed, name, self.spec, self._sampler
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or self.spec
+        return f"<WideDistribution {label}: width={self.width}>"
+
+
+#: Either representation; both provide width/signed/name/sample_patterns.
+AnyDistribution = Union[Distribution, WideDistribution]
+
+
+def _operand_range(width: int, signed: bool) -> tuple:
+    if signed:
+        return -(1 << (width - 1)), (1 << (width - 1)) - 1
+    return 0, (1 << width) - 1
+
+
+def _normal_mass(mean: float, std: float, lo: float, hi: float) -> float:
+    """Mass of ``[lo, hi]`` under ``N(mean, std)`` (for degeneracy checks)."""
+    s = std * math.sqrt(2.0)
+    return 0.5 * (math.erf((hi - mean) / s) - math.erf((lo - mean) / s))
+
+
+def _check_density_mass(
+    total: float, what: str, width: int, signed: bool
+) -> None:
+    """Raise a diagnosable error for densities that underflow to zero.
+
+    A far-out-of-range mean (e.g. ``normal:100000:1`` on an 8-bit
+    operand) makes every density value underflow to 0.0; without this
+    check the failure surfaces later as the cryptic ``pmf must have
+    positive finite mass``.
+    """
+    if not np.isfinite(total) or total <= 0.0:
+        lo, hi = _operand_range(width, signed)
+        raise ValueError(
+            f"distribution {what} has no mass on the {width}-bit "
+            f"{'signed' if signed else 'unsigned'} operand range "
+            f"[{lo}, {hi}]: the density underflows to zero everywhere; "
+            f"move the mean into range or widen the scale"
+        )
+
+
+def _pattern_mask(width: int) -> np.int64:
+    return np.int64((1 << width) - 1)
+
+
+def _rejection_normal(
+    count: int,
+    rng: np.random.Generator,
+    mean: float,
+    std: float,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Integers in ``[lo, hi]`` from a rounded, truncated normal.
+
+    Exact rejection: draw from the continuous ``N(mean, std)``, keep
+    draws inside ``[lo - 0.5, hi + 0.5)``, round to the nearest integer.
+    Deterministic for a given generator state.
+    """
+    lo_c, hi_c = lo - 0.5, hi + 0.5
+    out = np.empty(count, dtype=np.float64)
+    have = 0
+    while have < count:
+        # Oversample by the inverse acceptance rate (already checked to
+        # be far from zero by the constructor) to finish in ~1 round.
+        draw = rng.normal(mean, std, size=2 * max(count - have, 32))
+        keep = draw[(draw >= lo_c) & (draw < hi_c)]
+        take = min(keep.size, count - have)
+        out[have : have + take] = keep[:take]
+        have += take
+    return np.clip(np.rint(out).astype(np.int64), lo, hi)
+
+
 def from_pmf(
     pmf: np.ndarray, width: int, signed: bool = False, name: str = ""
 ) -> Distribution:
@@ -124,8 +321,20 @@ def from_pmf(
     return Distribution(width=width, signed=signed, pmf=pmf, name=name)
 
 
-def uniform(width: int, signed: bool = False, name: str = "Du") -> Distribution:
-    """Uniform distribution Du — the conventional-metric reference."""
+def uniform(
+    width: int, signed: bool = False, name: str = "Du"
+) -> AnyDistribution:
+    """Uniform distribution Du — the conventional-metric reference.
+
+    Above :data:`PMF_WIDTH_CUTOFF` the result is a parametric
+    :class:`WideDistribution` (uniform values are uniform raw patterns,
+    signed or not, so the sampler is a direct integer draw).
+    """
+    if width > PMF_WIDTH_CUTOFF:
+        def _sample(count: int, rng: np.random.Generator) -> np.ndarray:
+            return rng.integers(0, 1 << width, size=count, dtype=np.uint64)
+
+        return WideDistribution(width, signed, name, "uniform", _sample)
     return Distribution(
         width=width,
         signed=signed,
@@ -134,7 +343,7 @@ def uniform(width: int, signed: bool = False, name: str = "Du") -> Distribution:
     )
 
 
-def _pmf_from_density(values: np.ndarray, density: np.ndarray) -> np.ndarray:
+def _pmf_from_density(density: np.ndarray) -> np.ndarray:
     pmf = np.asarray(density, dtype=np.float64)
     pmf = np.clip(pmf, 0.0, None)
     return pmf
@@ -146,18 +355,35 @@ def discretized_normal(
     std: float,
     signed: bool = False,
     name: str = "",
-) -> Distribution:
+) -> AnyDistribution:
     """Normal density discretized over the operand's numeric range.
 
     The paper's D1 is an "arbitrarily chosen" normal over 0..255; see
-    :func:`paper_d1` for that instance.
+    :func:`paper_d1` for that instance.  Above :data:`PMF_WIDTH_CUTOFF`
+    the result is a parametric :class:`WideDistribution` sampling the
+    rounded, range-truncated normal by exact rejection.
     """
     if std <= 0:
         raise ValueError("std must be positive")
+    what = name or f"normal(mean={mean:g}, std={std:g})"
+    if width > PMF_WIDTH_CUTOFF:
+        lo, hi = _operand_range(width, signed)
+        _check_density_mass(
+            _normal_mass(mean, std, lo - 0.5, hi + 0.5), what, width, signed
+        )
+
+        def _sample(count: int, rng: np.random.Generator) -> np.ndarray:
+            ints = _rejection_normal(count, rng, mean, std, lo, hi)
+            return (ints & _pattern_mask(width)).astype(np.uint64)
+
+        return WideDistribution(
+            width, signed, name, f"normal:{mean:g}:{std:g}", _sample
+        )
     probe = Distribution(width, signed, np.full(1 << width, 1.0))
     vals = probe.values.astype(np.float64)
     density = np.exp(-0.5 * ((vals - mean) / std) ** 2)
-    return Distribution(width, signed, _pmf_from_density(vals, density), name)
+    _check_density_mass(float(density.sum()), what, width, signed)
+    return Distribution(width, signed, _pmf_from_density(density), name)
 
 
 def discretized_half_normal(
@@ -165,19 +391,55 @@ def discretized_half_normal(
     sigma: float,
     signed: bool = False,
     name: str = "",
-) -> Distribution:
+) -> AnyDistribution:
     """Half-normal density: mass decays from 0 with scale ``sigma``.
 
     For signed operands the density is symmetric in ``|value|`` — the
     natural analogue used for zero-peaked NN weight distributions.  For
     unsigned operands it decays from 0 upward (the paper's D2 shape).
+    Above :data:`PMF_WIDTH_CUTOFF` the result is a parametric
+    :class:`WideDistribution` (signed: range-truncated ``N(0, sigma)``;
+    unsigned: its absolute value), sampled by exact rejection.
     """
     if sigma <= 0:
         raise ValueError("sigma must be positive")
+    what = name or f"half-normal(sigma={sigma:g})"
+    if width > PMF_WIDTH_CUTOFF:
+        lo, hi = _operand_range(width, signed)
+        if signed:
+            mass = _normal_mass(0.0, sigma, lo - 0.5, hi + 0.5)
+        else:
+            mass = 2.0 * _normal_mass(0.0, sigma, 0.0, hi + 0.5)
+        _check_density_mass(mass, what, width, signed)
+
+        def _sample(count: int, rng: np.random.Generator) -> np.ndarray:
+            if signed:
+                ints = _rejection_normal(count, rng, 0.0, sigma, lo, hi)
+            else:
+                # |N(0, sigma)| truncated to the unsigned range: reflect
+                # before rejecting so the kept mass matches the density.
+                out = np.empty(count, dtype=np.float64)
+                have = 0
+                hi_c = hi + 0.5
+                while have < count:
+                    draw = np.abs(
+                        rng.normal(0.0, sigma, size=2 * max(count - have, 32))
+                    )
+                    keep = draw[draw < hi_c]
+                    take = min(keep.size, count - have)
+                    out[have : have + take] = keep[:take]
+                    have += take
+                ints = np.clip(np.rint(out).astype(np.int64), 0, hi)
+            return (ints & _pattern_mask(width)).astype(np.uint64)
+
+        return WideDistribution(
+            width, signed, name, f"half-normal:{sigma:g}", _sample
+        )
     probe = Distribution(width, signed, np.full(1 << width, 1.0))
     vals = np.abs(probe.values.astype(np.float64))
     density = np.exp(-0.5 * (vals / sigma) ** 2)
-    return Distribution(width, signed, _pmf_from_density(vals, density), name)
+    _check_density_mass(float(density.sum()), what, width, signed)
+    return Distribution(width, signed, _pmf_from_density(density), name)
 
 
 def empirical(
@@ -219,38 +481,75 @@ def empirical(
     return Distribution(width, signed, counts, name)
 
 
-def distribution_from_spec(spec: str, width: int, signed: bool) -> Distribution:
+#: The accepted ``--dist`` spec grammar, quoted by every parse error.
+_SPEC_FORMS = (
+    "uniform (or du), d1, d2, half-normal:<sigma>, normal:<mean>:<std>"
+)
+
+
+def _spec_error(spec: str, why: str) -> ValueError:
+    return ValueError(
+        f"bad distribution spec {spec!r}: {why}; accepted forms: "
+        f"{_SPEC_FORMS}"
+    )
+
+
+def _spec_float(spec: str, text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise _spec_error(spec, f"{what} {text!r} is not a number") from None
+
+
+def distribution_from_spec(
+    spec: str, width: int, signed: bool
+) -> AnyDistribution:
     """Build a distribution from a compact command-line spec string.
 
     Recognized specs: ``uniform`` (or ``du``), ``d1``, ``d2``,
     ``half-normal:<sigma>`` and ``normal:<mean>:<std>``.  This is the
     parser behind the CLI's ``--dist`` option and the design-library
-    builder's grid specs.
+    builder's grid specs.  Malformed specs raise a :class:`ValueError`
+    naming the accepted forms (surfaced as one-line CLI errors and
+    422-style envelopes by the serving layer).  Above
+    :data:`PMF_WIDTH_CUTOFF` the parametric :class:`WideDistribution`
+    variants are returned.
     """
     spec = spec.strip().lower()
     if spec in ("uniform", "du"):
         return uniform(width, signed=signed, name="Du")
-    if spec == "d1":
-        return paper_d1(width)
-    if spec == "d2":
-        return paper_d2(width)
+    if spec in ("d1", "d2"):
+        # The paper defines D1/D2 over unsigned 8-bit patterns; their
+        # generalizations here stay unsigned.  Silently returning the
+        # unsigned pmf for a signed operand would weight each pattern by
+        # the wrong two's-complement decoding, so refuse instead.
+        if signed:
+            raise ValueError(
+                f"distribution {spec!r} is defined over unsigned operand "
+                f"patterns; it cannot weight a signed component (use "
+                f"half-normal:<sigma> / normal:<mean>:<std> for signed "
+                f"operands)"
+            )
+        return paper_d1(width) if spec == "d1" else paper_d2(width)
     if spec.startswith("half-normal:"):
-        sigma = float(spec.split(":", 1)[1])
+        sigma = _spec_float(spec, spec.split(":", 1)[1], "sigma")
         return discretized_half_normal(
             width, sigma=sigma, signed=signed, name=spec
         )
     if spec.startswith("normal:"):
         parts = spec.split(":")
         if len(parts) != 3:
-            raise ValueError("normal spec is normal:<mean>:<std>")
+            raise _spec_error(spec, "normal takes exactly mean and std")
         return discretized_normal(
-            width, mean=float(parts[1]), std=float(parts[2]),
+            width,
+            mean=_spec_float(spec, parts[1], "mean"),
+            std=_spec_float(spec, parts[2], "std"),
             signed=signed, name=spec,
         )
-    raise ValueError(f"unknown distribution spec {spec!r}")
+    raise _spec_error(spec, "unknown distribution")
 
 
-def paper_d1(width: int = 8) -> Distribution:
+def paper_d1(width: int = 8) -> AnyDistribution:
     """The paper's D1: normal centered mid-range (peak near 127 for 8-bit)."""
     center = (1 << width) / 2 - 0.5
     return discretized_normal(
@@ -258,7 +557,7 @@ def paper_d1(width: int = 8) -> Distribution:
     )
 
 
-def paper_d2(width: int = 8) -> Distribution:
+def paper_d2(width: int = 8) -> AnyDistribution:
     """The paper's D2: half-normal decaying from 0."""
     return discretized_half_normal(
         width, sigma=(1 << width) / 3.35, signed=False, name="D2"

@@ -22,6 +22,7 @@ the paper's threshold semantics.  Both conventions are exposed:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -31,6 +32,9 @@ from .distributions import Distribution
 from .truth_tables import max_product_magnitude, vector_weights
 
 __all__ = [
+    "MetricEstimate",
+    "estimate_from_distances",
+    "t_critical",
     "error_distances",
     "relative_error_distances",
     "mean_error_distance",
@@ -352,6 +356,145 @@ def get_metric(spec) -> ErrorMetric:
             f"unknown error metric {spec!r}; known: {', '.join(METRICS)}"
         )
     return metric
+
+
+# ----------------------------------------------------------------------
+# Sampled estimation: metric estimates with confidence intervals
+# ----------------------------------------------------------------------
+#: Two-sided 95 % Student-t critical values by degrees of freedom; the
+#: normal-approximation 1.96 serves dof > 30 (the error is < 2 % there).
+_T_975 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+)
+
+
+def t_critical(dof: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``dof`` degrees.
+
+    Exact table entries for dof 1..30, the normal approximation (1.96)
+    beyond — no SciPy dependency.
+    """
+    if dof < 1:
+        raise ValueError("degrees of freedom must be >= 1")
+    if dof <= len(_T_975):
+        return _T_975[dof - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class MetricEstimate:
+    """A sampled metric estimate with a 95 % confidence interval.
+
+    ``value`` is the pooled point estimate over all samples;
+    ``[ci_low, ci_high]`` the 95 % interval.  For mean-type metrics the
+    interval is the replicate-stream Student-t interval over the
+    per-replicate estimates (``replicates >= 2``), or the per-sample
+    normal approximation for a single stream.  ``worst-case`` is
+    special: a sampled maximum is a *certified lower bound* on the true
+    worst case but admits no distribution-free upper bound, so its
+    interval is ``[value, inf)``.
+    """
+
+    value: float
+    ci_low: float
+    ci_high: float
+    stderr: float
+    replicates: int
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def covers(self, true_value: float) -> bool:
+        """Whether the interval contains a (known) true metric value."""
+        return self.ci_low <= true_value <= self.ci_high
+
+
+def _sample_contributions(
+    metric: "ErrorMetric",
+    distances: np.ndarray,
+    normalizer: float,
+    reference: np.ndarray,
+) -> np.ndarray:
+    """Per-sample terms whose mean is the metric (mean-type metrics)."""
+    name = metric.name
+    if name in ("wmed", "med"):
+        return distances / normalizer
+    if name == "mred":
+        return relative_error_distances(distances, reference)
+    if name == "error-rate":
+        return (distances != 0).astype(np.float64)
+    raise ValueError(f"metric {name!r} is not a per-sample mean")
+
+
+def estimate_from_distances(
+    metric: "ErrorMetric",
+    distances: np.ndarray,
+    normalizer: float,
+    reference: np.ndarray,
+    replicates: int = 1,
+) -> MetricEstimate:
+    """Estimate a metric (with 95 % CI) from sampled error distances.
+
+    ``distances`` and ``reference`` hold ``replicates`` consecutive
+    equal-length blocks, one per independent sample stream (the layout
+    :class:`repro.core.objective.SampledObjective` draws).  The point
+    estimate is the pooled reduction over all samples with uniform
+    weights — for samples drawn from the objective's distribution, the
+    sampling itself embodies the weighting, so the plain mean *is* the
+    weighted-metric estimator.
+
+    CI construction: ``replicates >= 2`` uses the Student-t interval
+    over the per-replicate estimates (each an independent stream);
+    a single replicate falls back to the per-sample normal
+    approximation.  ``worst-case`` returns ``[value, inf)`` — see
+    :class:`MetricEstimate`.  Lower bounds are clamped at 0 (all five
+    metrics are non-negative).
+    """
+    distances = np.asarray(distances, dtype=np.float64).ravel()
+    n_total = distances.size
+    if replicates < 1 or n_total % replicates:
+        raise ValueError(
+            f"{n_total} samples do not split into {replicates} replicates"
+        )
+    reference = np.asarray(reference, dtype=np.int64).ravel()
+    pooled_w = np.full(n_total, 1.0 / n_total)
+    value = metric.from_distances(distances, pooled_w, normalizer, reference)
+    if metric.name == "worst-case":
+        per_rep = distances.reshape(replicates, -1).max(axis=1) / normalizer
+        stderr = (
+            float(per_rep.std(ddof=1)) / math.sqrt(replicates)
+            if replicates >= 2
+            else float("nan")
+        )
+        return MetricEstimate(value, value, float("inf"), stderr, replicates)
+    if replicates >= 2:
+        n = n_total // replicates
+        rep_w = np.full(n, 1.0 / n)
+        dist_rows = distances.reshape(replicates, n)
+        ref_rows = reference.reshape(replicates, n)
+        per_rep = np.array(
+            [
+                metric.from_distances(
+                    dist_rows[r], rep_w, normalizer, ref_rows[r]
+                )
+                for r in range(replicates)
+            ]
+        )
+        stderr = float(per_rep.std(ddof=1)) / math.sqrt(replicates)
+        half = t_critical(replicates - 1) * stderr
+    else:
+        contrib = _sample_contributions(
+            metric, distances, normalizer, reference
+        )
+        stderr = float(contrib.std(ddof=1)) / math.sqrt(n_total)
+        half = 1.96 * stderr
+    return MetricEstimate(
+        value, max(0.0, value - half), value + half, stderr, replicates
+    )
 
 
 @dataclass(frozen=True)

@@ -6,9 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors.distributions import (
+    PMF_WIDTH_CUTOFF,
     Distribution,
+    WideDistribution,
     discretized_half_normal,
     discretized_normal,
+    distribution_from_spec,
     empirical,
     from_pmf,
     paper_d1,
@@ -150,3 +153,81 @@ def test_uniform_any_width(width):
     d = uniform(width)
     assert d.size == 1 << width
     assert d.pmf.sum() == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Spec-grammar and bugfix regressions
+# ----------------------------------------------------------------------
+def test_d1_d2_signed_spec_rejected():
+    # Regression: d1/d2 are unsigned-pattern weightings; signed=True used
+    # to be silently ignored, weighting pattern 0b1000... as +2**(w-1)
+    # while the tables decode it as a negative value.
+    for spec in ("d1", "d2"):
+        with pytest.raises(ValueError, match="unsigned operand patterns"):
+            distribution_from_spec(spec, 8, True)
+        d = distribution_from_spec(spec, 8, False)
+        assert not d.signed
+
+
+def test_underflow_density_names_spec_and_range():
+    # Regression: a density whose mass underflows to zero on the operand
+    # range raised an unhelpful "pmf must have positive finite mass".
+    with pytest.raises(ValueError, match=r"\[0, 255\]"):
+        distribution_from_spec("normal:100000:1", 8, False)
+    with pytest.raises(ValueError, match="underflows"):
+        discretized_normal(8, mean=1e6, std=0.5)
+    with pytest.raises(ValueError, match="no mass"):
+        discretized_normal(4, mean=-1e6, std=1.0)
+
+
+def test_malformed_spec_names_accepted_forms():
+    for bad in ("half-normal:oops", "normal:1", "normal:1:2:3", "nope",
+                "half-normal", "normal:a:b"):
+        with pytest.raises(ValueError, match="half-normal:<sigma>"):
+            distribution_from_spec(bad, 8, False)
+
+
+def test_inverse_cdf_sampling_matches_pmf():
+    # sample_patterns must follow the pmf (inverse-CDF, no rng.choice).
+    d = paper_d2(4)
+    rng = np.random.default_rng(0)
+    patterns = d.sample_patterns(200_000, rng)
+    assert patterns.dtype == np.uint64
+    freq = np.bincount(patterns.astype(np.int64), minlength=d.size)
+    freq = freq / freq.sum()
+    assert np.abs(freq - d.pmf).max() < 5e-3
+
+
+def test_wide_distribution_above_cutoff():
+    d = distribution_from_spec("uniform", PMF_WIDTH_CUTOFF + 4, False)
+    assert isinstance(d, WideDistribution)
+    rng = np.random.default_rng(1)
+    v = d.sample_patterns(1000, rng)
+    assert v.max() < 1 << d.width
+    with pytest.raises(ValueError, match="parametric"):
+        _ = d.pmf
+
+
+def test_wide_normal_sampling_signed_and_unsigned():
+    w = PMF_WIDTH_CUTOFF + 2
+    rng = np.random.default_rng(2)
+    signed = distribution_from_spec(f"half-normal:1000", w, True)
+    vals = signed.sample(5000, rng)
+    assert vals.min() < 0 < vals.max()
+    assert np.abs(vals).max() < 10_000
+    unsigned = distribution_from_spec("normal:1000000:1000", w, False)
+    u = unsigned.sample(5000, rng)
+    assert 990_000 < u.min() and u.max() < 1_010_000
+
+
+def test_wide_degenerate_spec_rejected():
+    w = PMF_WIDTH_CUTOFF + 2
+    with pytest.raises(ValueError, match="no mass"):
+        distribution_from_spec(f"normal:-1e30:1", w, False)
+
+
+def test_sampling_reproducible():
+    d = paper_d1(8)
+    a = d.sample_patterns(100, np.random.default_rng(7))
+    b = d.sample_patterns(100, np.random.default_rng(7))
+    assert np.array_equal(a, b)
